@@ -1,0 +1,158 @@
+// E14 (Sec. II inference discussion): the program-once analog inference
+// flow — bit-slicing resolution, programming noise, retention, defective
+// devices, and hardware-aware (drop-connect) training.
+//
+// Claims exercised: inference-only arrays need retention/stability rather
+// than update symmetry; accuracy vs weight resolution (bit slices);
+// accuracy decay between refreshes; and the [33] result that randomly
+// dropping connections during (digital) training restores accuracy on
+// arrays with non-yielding devices.
+#include "analog/inference.h"
+#include "bench_util.h"
+#include "data/synthetic_mnist.h"
+#include "nn/digital_linear.h"
+#include "nn/mlp.h"
+
+namespace {
+
+using namespace enw;
+using enw::bench::fmt;
+using enw::bench::pct;
+using enw::bench::Table;
+
+struct Setup {
+  data::Dataset train, test;
+  std::vector<std::size_t> order;
+  nn::MlpConfig net_cfg;
+};
+
+Setup make_setup() {
+  data::SyntheticMnistConfig dcfg;
+  dcfg.image_size = 14;
+  dcfg.jitter_pixels = 1.1f;
+  dcfg.pixel_noise = 0.12f;
+  data::SyntheticMnist gen(dcfg);
+  Setup s;
+  s.train = gen.train_set(1500);
+  s.test = gen.test_set(400);
+  Rng rng(31);
+  s.order = rng.permutation(s.train.size());
+  s.net_cfg.dims = {s.train.feature_dim(), 64, 10};
+  s.net_cfg.hidden_activation = nn::Activation::kRelu;
+  return s;
+}
+
+nn::Mlp train_digital(const Setup& s, const nn::LinearOpsFactory& f) {
+  nn::Mlp net(s.net_cfg, f);
+  for (int e = 0; e < 8; ++e)
+    nn::train_epoch(net, s.train.features, s.train.labels, s.order, 0.01f);
+  return net;
+}
+
+/// Program a trained network onto inference arrays and return the twin.
+nn::Mlp program_twin(const Setup& s, nn::Mlp& source,
+                     const analog::InferenceArrayConfig& cfg, std::uint64_t seed) {
+  analog::InferenceArrayConfig c = cfg;
+  c.seed = seed;
+  Rng rng(seed);
+  nn::Mlp twin(s.net_cfg, analog::InferenceLinear::factory(c, rng));
+  for (std::size_t l = 0; l < twin.layer_count(); ++l) {
+    twin.layer(l).ops().set_weights(source.layer(l).ops().weights());
+    twin.layer(l).set_bias(
+        Vector(source.layer(l).bias().begin(), source.layer(l).bias().end()));
+  }
+  return twin;
+}
+
+}  // namespace
+
+int main() {
+  enw::bench::header("E14 / Sec. II (inference)",
+                     "program-once analog inference: slicing, noise, "
+                     "retention, yield",
+                     "inference arrays need retention & programming fidelity, "
+                     "not update symmetry; hardware-aware training absorbs "
+                     "defects [33]");
+
+  const Setup s = make_setup();
+  Rng rng(1);
+  nn::Mlp digital = train_digital(s, nn::DigitalLinear::factory(rng));
+  const double base = digital.accuracy(s.test.features, s.test.labels);
+  std::printf("digitally trained fp32 accuracy: %s\n", pct(base).c_str());
+
+  {
+    enw::bench::section("(a) weight resolution: bit slices per weight");
+    Table t({"slices x bits", "total W bits", "accuracy", "delta"});
+    for (const auto& [slices, bits] :
+         std::vector<std::pair<int, int>>{{1, 1}, {1, 2}, {2, 2}, {4, 2}, {2, 4}}) {
+      analog::InferenceArrayConfig cfg;
+      cfg.num_slices = slices;
+      cfg.slice_bits = bits;
+      cfg.write_noise_std = 0.02;
+      cfg.read_noise_std = 0.005;
+      nn::Mlp twin = program_twin(s, digital, cfg, 100 + slices * 10 + bits);
+      const double acc = twin.accuracy(s.test.features, s.test.labels);
+      t.row({std::to_string(slices) + " x " + std::to_string(bits) + "b",
+             std::to_string(slices * bits), pct(acc),
+             fmt((acc - base) * 100.0, 2) + " pp"});
+    }
+    t.print();
+  }
+
+  {
+    enw::bench::section("(b) programming (write) noise");
+    Table t({"write noise (frac. of range)", "accuracy"});
+    for (double noise : {0.0, 0.02, 0.05, 0.10, 0.20}) {
+      analog::InferenceArrayConfig cfg;
+      cfg.write_noise_std = noise;
+      cfg.read_noise_std = 0.005;
+      nn::Mlp twin = program_twin(s, digital, cfg, 200);
+      t.row({fmt(noise, 2), pct(twin.accuracy(s.test.features, s.test.labels))});
+    }
+    t.print();
+  }
+
+  {
+    enw::bench::section("(c) retention: accuracy vs time since programming");
+    analog::InferenceArrayConfig cfg;
+    cfg.write_noise_std = 0.02;
+    cfg.retention_tau_s = 1e6;
+    nn::Mlp twin = program_twin(s, digital, cfg, 300);
+    Table t({"time since programming", "accuracy"});
+    t.row({"0", pct(twin.accuracy(s.test.features, s.test.labels))});
+    double elapsed = 0.0;
+    for (double dt : {1e5, 4e5, 5e5, 1e6}) {
+      for (std::size_t l = 0; l < twin.layer_count(); ++l) {
+        dynamic_cast<analog::InferenceLinear&>(twin.layer(l).ops())
+            .array()
+            .advance_time(dt);
+      }
+      elapsed += dt;
+      t.row({fmt(elapsed / 1e6, 1) + " Ms",
+             pct(twin.accuracy(s.test.features, s.test.labels))});
+    }
+    t.print();
+    std::printf("(refresh cadence must beat the retention knee — the "
+                "\"minimize refresh operations\" requirement)\n");
+  }
+
+  {
+    enw::bench::section("(d) yield: vanilla vs hardware-aware (drop-connect) training");
+    Table t({"stuck devices", "vanilla-trained", "drop-connect-trained"});
+    Rng r2(2);
+    nn::Mlp hw_aware = train_digital(s, analog::DropConnectLinear::factory(0.10, r2));
+    for (double stuck : {0.0, 0.05, 0.10, 0.20}) {
+      analog::InferenceArrayConfig cfg;
+      cfg.write_noise_std = 0.02;
+      cfg.stuck_fraction = stuck;
+      nn::Mlp tv = program_twin(s, digital, cfg, 400);
+      nn::Mlp th = program_twin(s, hw_aware, cfg, 400);  // same defect map
+      t.row({pct(stuck, 0), pct(tv.accuracy(s.test.features, s.test.labels)),
+             pct(th.accuracy(s.test.features, s.test.labels))});
+    }
+    t.print();
+    std::printf("(drop-connect training degrades more gracefully as yield "
+                "drops — the marriage-of-training-and-inference result)\n");
+  }
+  return 0;
+}

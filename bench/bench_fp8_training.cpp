@@ -1,0 +1,120 @@
+// E12 (Sec. II, refs [11][12]): hybrid-FP8 training.
+//
+// Claim reproduced: training with 8-bit floating-point operands — 1-4-3 for
+// forward tensors, wider-range 1-5-2 for gradients, fp32 accumulation —
+// matches fp32 training accuracy. Also shows the ablation the hybrid format
+// exists for: using the narrow-range 1-4-3 format for gradients too hurts.
+#include "bench_util.h"
+#include "data/synthetic_mnist.h"
+#include "nn/digital_linear.h"
+#include "nn/fp8.h"
+#include "nn/mlp.h"
+
+namespace {
+
+using namespace enw;
+using enw::bench::pct;
+using enw::bench::Table;
+
+/// Fp8 backend variant that (wrongly) uses the forward format for
+/// gradients too — the ablation showing why HFP8 is hybrid.
+class NarrowGradFp8 final : public nn::LinearOps {
+ public:
+  NarrowGradFp8(std::size_t out, std::size_t in, Rng& rng) : master_(out, in) {
+    master_ = Matrix::kaiming(out, in, in, rng);
+  }
+  std::size_t out_dim() const override { return master_.rows(); }
+  std::size_t in_dim() const override { return master_.cols(); }
+  void forward(std::span<const float> x, std::span<float> y) override {
+    for (std::size_t r = 0; r < out_dim(); ++r) {
+      float acc = 0.0f;
+      const float* row = master_.data() + r * in_dim();
+      for (std::size_t c = 0; c < in_dim(); ++c)
+        acc += nn::round_fp8(row[c], nn::kFp8Forward) *
+               nn::round_fp8(x[c], nn::kFp8Forward);
+      y[r] = acc;
+    }
+  }
+  void backward(std::span<const float> dy, std::span<float> dx) override {
+    std::fill(dx.begin(), dx.end(), 0.0f);
+    for (std::size_t r = 0; r < out_dim(); ++r) {
+      const float g = nn::round_fp8(dy[r], nn::kFp8Forward);  // narrow range!
+      if (g == 0.0f) continue;
+      const float* row = master_.data() + r * in_dim();
+      for (std::size_t c = 0; c < in_dim(); ++c)
+        dx[c] += nn::round_fp8(row[c], nn::kFp8Forward) * g;
+    }
+  }
+  void update(std::span<const float> x, std::span<const float> dy,
+              float lr) override {
+    for (std::size_t r = 0; r < out_dim(); ++r) {
+      const float g = nn::round_fp8(dy[r], nn::kFp8Forward);
+      if (g == 0.0f) continue;
+      float* row = master_.data() + r * in_dim();
+      for (std::size_t c = 0; c < in_dim(); ++c)
+        row[c] -= lr * g * nn::round_fp8(x[c], nn::kFp8Forward);
+    }
+  }
+  Matrix weights() const override { return master_; }
+  void set_weights(const Matrix& w) override { master_ = w; }
+
+ private:
+  Matrix master_;
+};
+
+}  // namespace
+
+int main() {
+  enw::bench::header("E12 / Sec. II [11][12]", "hybrid FP8 training",
+                     "8-bit floating-point training (1-4-3 fwd / 1-5-2 grad, "
+                     "fp32 accumulate) matches fp32 accuracy");
+
+  data::SyntheticMnistConfig dcfg;
+  dcfg.image_size = 14;
+  dcfg.jitter_pixels = 1.1f;  // jitter scaled to the smaller canvas
+  dcfg.pixel_noise = 0.12f;
+  data::SyntheticMnist gen(dcfg);
+  const auto train = gen.train_set(1500);
+  const auto test = gen.test_set(400);
+
+  nn::MlpConfig cfg;
+  cfg.dims = {train.feature_dim(), 64, 10};
+  cfg.hidden_activation = nn::Activation::kRelu;
+
+  Table t({"arithmetic", "test accuracy"});
+  {
+    Rng rng(1);
+    nn::Mlp net(cfg, nn::DigitalLinear::factory(rng));
+    auto order = rng.permutation(train.size());
+    for (int e = 0; e < 8; ++e)
+      nn::train_epoch(net, train.features, train.labels, order, 0.01f);
+    t.row({"fp32", pct(net.accuracy(test.features, test.labels))});
+  }
+  {
+    Rng rng(2);
+    nn::Mlp net(cfg, nn::Fp8Linear::factory(rng));
+    auto order = rng.permutation(train.size());
+    for (int e = 0; e < 8; ++e)
+      nn::train_epoch(net, train.features, train.labels, order, 0.01f);
+    t.row({"hybrid FP8 (1-4-3 fwd / 1-5-2 grad)",
+           pct(net.accuracy(test.features, test.labels))});
+  }
+  {
+    Rng rng(3);
+    const nn::LinearOpsFactory f = [&rng](std::size_t out, std::size_t in) {
+      return std::make_unique<NarrowGradFp8>(out, in, rng);
+    };
+    nn::Mlp net(cfg, f);
+    auto order = rng.permutation(train.size());
+    for (int e = 0; e < 8; ++e)
+      nn::train_epoch(net, train.features, train.labels, order, 0.01f);
+    t.row({"ablation: 1-4-3 for gradients too",
+           pct(net.accuracy(test.features, test.labels))});
+  }
+  t.print();
+  std::printf("\n(expect: hybrid FP8 ~ fp32. The all-1-4-3 ablation loses "
+              "ground because small gradients underflow the narrow exponent "
+              "range; on this shallow network the effect is small — the "
+              "original work shows it compounds with depth)\n");
+  return 0;
+}

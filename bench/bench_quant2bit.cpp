@@ -1,0 +1,65 @@
+// E4 (Sec. II, ref [13]): low-bit quantized training (PACT + SAWB style).
+//
+// Claim reproduced: with a learned activation clip and statistics-aware
+// weight scaling, networks with 2-bit integer weights and activations in
+// the hidden layers approach full-precision accuracy.
+#include "bench_util.h"
+#include "data/synthetic_mnist.h"
+#include "nn/digital_linear.h"
+#include "nn/mlp.h"
+#include "nn/quant.h"
+
+int main() {
+  using namespace enw;
+  using enw::bench::pct;
+  using enw::bench::Table;
+  enw::bench::header("E4 / Sec. II [13]",
+                     "2-bit quantized weights & activations (PACT+SAWB QAT)",
+                     "state-of-the-art accuracy with 2-bit integer weights "
+                     "and activations");
+
+  data::SyntheticMnistConfig dcfg;
+  dcfg.image_size = 14;
+  dcfg.jitter_pixels = 1.1f;  // jitter scaled to the smaller canvas
+  dcfg.pixel_noise = 0.12f;
+  data::SyntheticMnist gen(dcfg);
+  const auto train = gen.train_set(2000);
+  const auto test = gen.test_set(500);
+
+  Rng rng(5);
+  nn::MlpConfig fcfg;
+  fcfg.dims = {train.feature_dim(), 96, 48, 10};
+  fcfg.hidden_activation = nn::Activation::kRelu;
+  nn::Mlp fp32(fcfg, nn::DigitalLinear::factory(rng));
+  auto order = rng.permutation(train.size());
+  for (int e = 0; e < 8; ++e)
+    nn::train_epoch(fp32, train.features, train.labels, order, 0.01f);
+  const double base = fp32.accuracy(test.features, test.labels);
+
+  Table t({"precision (hidden W/A)", "accuracy", "delta vs fp32", "PACT alpha(s)"});
+  t.row({"fp32 / fp32", pct(base), "--", "--"});
+
+  for (int bits : {8, 4, 3, 2}) {
+    nn::QatConfig qcfg;
+    qcfg.dims = fcfg.dims;
+    qcfg.weight_bits = bits;
+    qcfg.act_bits = bits;
+    Rng qrng(6);
+    nn::QatMlp qnet(qcfg, qrng);
+    for (int e = 0; e < 8; ++e) {
+      for (std::size_t i : order) {
+        qnet.train_step(train.features.row(i), train.labels[i], 0.01f);
+      }
+    }
+    const double acc = qnet.accuracy(test.features, test.labels);
+    std::string alphas = enw::bench::fmt(qnet.pact_alpha(0), 2) + ", " +
+                         enw::bench::fmt(qnet.pact_alpha(1), 2);
+    t.row({std::to_string(bits) + "b / " + std::to_string(bits) + "b", pct(acc),
+           enw::bench::fmt((acc - base) * 100.0, 2) + " pp", alphas});
+  }
+  t.print();
+  std::printf("\n(expect: 8b/4b ~ fp32; 2b within a small gap thanks to the "
+              "learned clip + SAWB scale; first/last layers stay 8b as in the "
+              "original work)\n");
+  return 0;
+}

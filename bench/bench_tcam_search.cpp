@@ -1,0 +1,95 @@
+// E9 (Sec. IV-B.2 & IV-C): memory-search energy & latency — GPU+DRAM vs
+// 16T CMOS TCAM vs 2-FeFET TCAM.
+//
+// Paper claims: replacing the DRAM-backed cosine search with a 16T CMOS
+// TCAM cuts memory-search energy ~24x and latency ~2582x; moving to the
+// 2-FeFET cell of Ni et al. buys a further ~1.1x latency and ~2.4x energy.
+#include "bench_util.h"
+#include "cam/cam_search.h"
+#include "mann/similarity_search.h"
+#include "perf/tech_constants.h"
+
+namespace {
+
+using namespace enw;
+using enw::bench::fmt;
+using enw::bench::fmt_sci;
+using enw::bench::Table;
+
+}  // namespace
+
+int main() {
+  enw::bench::header("E9 / Sec. IV-B.2, IV-C",
+                     "memory-search energy & latency across technologies",
+                     "16T CMOS TCAM vs GPU/DRAM: ~24x energy, ~2582x latency; "
+                     "2-FeFET vs CMOS TCAM: ~2.4x energy, ~1.1x latency");
+
+  const std::size_t dim = 128;   // feature dimensionality (fp32 baseline)
+  const std::size_t planes = 128;  // signature width (one bit per plane)
+
+  enw::bench::section("search cost vs number of stored memory entries");
+  Table t({"entries", "GPU+DRAM energy (pJ)", "CMOS TCAM (pJ)", "FeFET TCAM (pJ)",
+           "E ratio GPU/CMOS", "E ratio CMOS/FeFET"});
+  Table l({"entries", "GPU+DRAM latency (ns)", "CMOS TCAM (ns)", "FeFET TCAM (ns)",
+           "L ratio GPU/CMOS", "L ratio CMOS/FeFET"});
+
+  Rng rng(5);
+  for (std::size_t entries : {128u, 512u, 2048u, 8192u}) {
+    mann::ExactSearch gpu(dim, Metric::kCosineSimilarity);
+    cam::LshTcamSearch cmos(planes, dim, rng, cam::CellTech::kCmos16T);
+    cam::LshTcamSearch fefet(planes, dim, rng, cam::CellTech::kFeFet2T);
+    Vector v(dim, 0.1f);
+    for (std::size_t i = 0; i < entries; ++i) {
+      gpu.add(v, i % 5);
+      cmos.add(v, i % 5);
+      fefet.add(v, i % 5);
+    }
+    const perf::Cost cg = gpu.query_cost();
+    const perf::Cost cc = cmos.query_cost();
+    const perf::Cost cf = fefet.query_cost();
+    t.row({std::to_string(entries), fmt_sci(cg.energy_pj), fmt_sci(cc.energy_pj),
+           fmt_sci(cf.energy_pj), fmt(cg.energy_pj / cc.energy_pj, 1) + "x",
+           fmt(cc.energy_pj / cf.energy_pj, 1) + "x"});
+    l.row({std::to_string(entries), fmt_sci(cg.latency_ns), fmt_sci(cc.latency_ns),
+           fmt_sci(cf.latency_ns), fmt(cg.latency_ns / cc.latency_ns, 0) + "x",
+           fmt(cc.latency_ns / cf.latency_ns, 2) + "x"});
+  }
+  std::printf("energy:\n");
+  t.print();
+  std::printf("\nlatency:\n");
+  l.print();
+
+  enw::bench::section("paper reference point (512 entries)");
+  {
+    mann::ExactSearch gpu(dim, Metric::kCosineSimilarity);
+    cam::LshTcamSearch cmos(planes, dim, rng);
+    for (std::size_t i = 0; i < 512; ++i) {
+      gpu.add(Vector(dim, 0.1f), 0);
+      cmos.add(Vector(dim, 0.1f), 0);
+    }
+    const auto cg = gpu.query_cost();
+    const auto cc = cmos.query_cost();
+    std::printf("energy reduction  : %.1fx   (paper: ~24x)\n",
+                cg.energy_pj / cc.energy_pj);
+    std::printf("latency reduction : %.0fx  (paper: ~2582x)\n",
+                cg.latency_ns / cc.latency_ns);
+    std::printf("NOTE: the latency ratio reproduces the paper almost exactly; "
+                "our energy ratio is much larger because it compares the TCAM "
+                "*array* against full GPU+DRAM streaming. The paper's 24x is a "
+                "system-level module comparison — its TCAM-side overheads "
+                "(drivers, encoders, data conversion) are ~100x our array-only "
+                "energy, consistent with latency/energy ratios of 2582x/24x "
+                "implying ~107x higher TCAM-side power. See EXPERIMENTS.md.\n");
+  }
+
+  enw::bench::section("why: operation counts per query (M entries, D dims)");
+  std::printf("GPU cosine: M*D fp32 MACs + M*D*4 bytes DRAM traffic + kernel "
+              "launch (~%.0f ns)\n",
+              perf::kGpu.kernel_launch_overhead_ns);
+  std::printf("TCAM       : ONE parallel array search (%.1f ns ML evaluate), "
+              "%.2f fJ/cell (CMOS) / %.2f fJ/cell (FeFET)\n",
+              perf::kCmosTcam.search_latency_ns,
+              perf::kCmosTcam.cell_search_energy_fj,
+              perf::kFeFetTcam.cell_search_energy_fj);
+  return 0;
+}

@@ -1,0 +1,93 @@
+// Shared formatting/timing helpers for the experiment benchmark binaries.
+//
+// Every binary prints (a) the experiment id and the paper's reported
+// numbers, (b) the regenerated table/series, and (c) the technology
+// constants it used, so EXPERIMENTS.md can be cross-checked against raw
+// output.
+#pragma once
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace enw::bench {
+
+inline void header(const std::string& id, const std::string& title,
+                   const std::string& paper_claim) {
+  std::printf("\n================================================================\n");
+  std::printf("%s — %s\n", id.c_str(), title.c_str());
+  std::printf("paper: %s\n", paper_claim.c_str());
+  std::printf("================================================================\n");
+}
+
+inline void section(const std::string& name) {
+  std::printf("\n--- %s ---\n", name.c_str());
+}
+
+/// Minimal fixed-width table printer.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> columns) : columns_(std::move(columns)) {}
+
+  void row(const std::vector<std::string>& cells) { rows_.push_back(cells); }
+
+  void print() const {
+    std::vector<std::size_t> width(columns_.size());
+    for (std::size_t c = 0; c < columns_.size(); ++c) width[c] = columns_[c].size();
+    for (const auto& r : rows_) {
+      for (std::size_t c = 0; c < r.size() && c < width.size(); ++c) {
+        width[c] = std::max(width[c], r[c].size());
+      }
+    }
+    auto print_row = [&](const std::vector<std::string>& r) {
+      for (std::size_t c = 0; c < columns_.size(); ++c) {
+        const std::string& cell = c < r.size() ? r[c] : std::string();
+        std::printf("| %-*s ", static_cast<int>(width[c]), cell.c_str());
+      }
+      std::printf("|\n");
+    };
+    print_row(columns_);
+    for (std::size_t c = 0; c < columns_.size(); ++c) {
+      std::printf("|%s", std::string(width[c] + 2, '-').c_str());
+    }
+    std::printf("|\n");
+    for (const auto& r : rows_) print_row(r);
+  }
+
+ private:
+  std::vector<std::string> columns_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+inline std::string fmt(double v, int prec = 3) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", prec, v);
+  return buf;
+}
+
+inline std::string fmt_sci(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.3g", v);
+  return buf;
+}
+
+inline std::string pct(double v, int prec = 2) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f%%", prec, v * 100.0);
+  return buf;
+}
+
+class Timer {
+ public:
+  Timer() : start_(std::chrono::steady_clock::now()) {}
+  double seconds() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() - start_)
+        .count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace enw::bench

@@ -1,0 +1,82 @@
+// Example: a Differentiable Neural Computer memory building and traversing
+// data structures (Sec. I: DNCs "learn to construct complex data structures
+// such as graphs and decision trees (e.g., navigating the London
+// underground)").
+//
+// The controller here is hand-programmed so the memory machinery itself is
+// on display: dynamic allocation finds free rows, temporal links record
+// write order, and the three read modes (backward / content / forward)
+// navigate the stored structure.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "mann/dnc_memory.h"
+#include "tensor/ops.h"
+
+namespace {
+
+using namespace enw;
+
+// A toy transit line: stations along a route, written in travel order.
+const std::vector<std::string> kLine = {"Bank",     "Holborn",   "Oxford Circus",
+                                        "Bond St.", "Marble Arch"};
+
+Vector station_record(std::size_t id, std::size_t dim) {
+  Vector v(dim, 0.0f);
+  v[id] = 1.0f;  // one-hot station id
+  return v;
+}
+
+}  // namespace
+
+int main() {
+  const std::size_t dim = kLine.size();
+  mann::DncMemory dnc(16, dim);
+  const Vector no_erase(dim, 0.0f);
+
+  // 1. Ride the line once: each station is written into a freshly
+  //    allocated row; the link matrix records the travel order.
+  std::printf("writing the line into memory via dynamic allocation:\n  ");
+  for (std::size_t s = 0; s < kLine.size(); ++s) {
+    dnc.write(Vector(dim, 0.0f), 1.0f, /*write_gate=*/1.0f, /*alloc_gate=*/1.0f,
+              no_erase, station_record(s, dim));
+    std::printf("%s%s", kLine[s].c_str(), s + 1 < kLine.size() ? " -> " : "\n");
+  }
+  std::printf("memory usage after writes: %.2f rows\n", sum(dnc.usage()));
+
+  // 2. Content lookup: "where is Oxford Circus?"
+  mann::DncMemory::ReadHead head;
+  const Vector content_mode{0.0f, 1.0f, 0.0f};
+  Vector r = dnc.read(head, station_record(2, dim), 20.0f, content_mode);
+  std::printf("\ncontent lookup of '%s' -> station #%zu\n", kLine[2].c_str(),
+              argmax(r));
+
+  // 3. Forward traversal: ride on from there using temporal links only.
+  const Vector fwd{0.0f, 0.0f, 1.0f};
+  std::printf("forward traversal: ");
+  for (int hop = 0; hop < 2; ++hop) {
+    r = dnc.read(head, Vector(dim, 0.0f), 1.0f, fwd);
+    std::printf("%s%s", kLine[argmax(r)].c_str(), hop == 0 ? " -> " : "\n");
+  }
+
+  // 4. Backward traversal: ride back toward the start.
+  const Vector bwd{1.0f, 0.0f, 0.0f};
+  std::printf("backward traversal: ");
+  for (int hop = 0; hop < 3; ++hop) {
+    r = dnc.read(head, Vector(dim, 0.0f), 1.0f, bwd);
+    std::printf("%s%s", kLine[argmax(r)].c_str(), hop < 2 ? " -> " : "\n");
+  }
+
+  // 5. Allocation under pressure: write more records than free rows and
+  //    watch usage saturate (the memory as a managed resource).
+  mann::DncMemory small(4, dim);
+  for (int i = 0; i < 6; ++i) {
+    small.write(Vector(dim, 0.0f), 1.0f, 1.0f, 1.0f, no_erase,
+                station_record(static_cast<std::size_t>(i) % dim, dim));
+  }
+  std::printf("\nsmall memory (4 rows) after 6 allocation writes: usage %.2f "
+              "(allocation recycles the least-used rows)\n",
+              sum(small.usage()));
+  return 0;
+}

@@ -1,0 +1,135 @@
+// Example: the copy task on a differentiable memory (Sec. III, Fig. 3).
+//
+// Part 1 drives the DifferentiableMemory primitives directly with a
+// hand-programmed controller: write each input vector to a sharply-addressed
+// slot, then read the sequence back — the canonical demonstration that soft
+// read/write with sharp attention implements a random-access tape.
+//
+// Part 2 runs a randomly-initialized NTM and reports the op-count split
+// between controller and memory, the numbers behind the paper's claim that
+// attentional memory dominates MANN execution.
+//
+// Part 3 contrasts with a trained LSTM on the same copy problem — the
+// fixed-state controller degrades as sequences lengthen, which is why MANNs
+// carry an external memory at all.
+#include <cstdio>
+
+#include "mann/differentiable_memory.h"
+#include "mann/ntm.h"
+#include "nn/dense_layer.h"
+#include "nn/digital_linear.h"
+#include "nn/loss.h"
+#include "nn/lstm.h"
+#include "tensor/ops.h"
+
+namespace {
+
+using namespace enw;
+
+void hand_programmed_copy() {
+  std::printf("1) hand-programmed copy on the differentiable memory\n");
+  const std::size_t T = 8, D = 6;
+  mann::DifferentiableMemory memory(16, D);
+  Rng rng(1);
+
+  // Write phase: one-hot (sharp) attention on slot t.
+  std::vector<Vector> inputs;
+  for (std::size_t t = 0; t < T; ++t) {
+    Vector x(D);
+    for (auto& v : x) v = static_cast<float>(rng.uniform(-1, 1));
+    inputs.push_back(x);
+    Vector w(memory.slots(), 0.0f);
+    w[t] = 1.0f;
+    const Vector erase(D, 1.0f);
+    memory.soft_write(w, erase, x);
+  }
+  // Read phase.
+  double max_err = 0.0;
+  for (std::size_t t = 0; t < T; ++t) {
+    Vector w(memory.slots(), 0.0f);
+    w[t] = 1.0f;
+    const Vector r = memory.soft_read(w);
+    for (std::size_t j = 0; j < D; ++j) {
+      max_err = std::max(max_err, std::abs(static_cast<double>(r[j]) - inputs[t][j]));
+    }
+  }
+  std::printf("   copied %zu vectors of dim %zu, max element error %.2e\n\n", T, D,
+              max_err);
+}
+
+void ntm_op_split() {
+  std::printf("2) NTM per-step op split (random weights, forward only)\n");
+  Rng rng(2);
+  for (std::size_t slots : {128u, 4096u}) {
+    mann::NtmConfig cfg;
+    cfg.memory_slots = slots;
+    cfg.memory_dim = 32;
+    cfg.controller_dim = 128;
+    mann::Ntm ntm(cfg, rng);
+    Vector x(cfg.input_dim, 0.3f);
+    ntm.step(x);  // exercise the machine once
+    const auto ctrl = ntm.controller_step_ops();
+    const auto mem = ntm.memory_step_ops();
+    std::printf("   M=%6zu: controller %.2f MFLOP, memory %.2f MFLOP (%.0f%% of "
+                "step)\n",
+                slots, ctrl.flops / 1e6, mem.flops / 1e6,
+                100.0 * static_cast<double>(mem.flops) /
+                    static_cast<double>(mem.flops + ctrl.flops));
+  }
+  std::printf("\n");
+}
+
+void lstm_copy_baseline() {
+  std::printf("3) LSTM-only copy baseline (trained, no external memory)\n");
+  const std::size_t D = 4;
+  for (const std::size_t T : {3u, 8u}) {
+    Rng rng(3);
+    nn::Lstm lstm(D + 1, 48, rng);  // +1 flag channel marks the recall phase
+    nn::DenseLayer readout(std::make_unique<nn::DigitalLinear>(D, 48, rng),
+                           nn::Activation::kIdentity);
+    double final_loss = 0.0;
+    for (int iter = 0; iter < 1200; ++iter) {
+      std::vector<Vector> xs;
+      std::vector<Vector> targets;
+      std::vector<Vector> seq;
+      for (std::size_t t = 0; t < T; ++t) {
+        Vector v(D);
+        for (auto& u : v) u = rng.bernoulli(0.5) ? 1.0f : 0.0f;
+        seq.push_back(v);
+        Vector x(D + 1, 0.0f);
+        std::copy(v.begin(), v.end(), x.begin());
+        xs.push_back(x);
+      }
+      for (std::size_t t = 0; t < T; ++t) {
+        Vector x(D + 1, 0.0f);
+        x[D] = 1.0f;  // recall flag
+        xs.push_back(x);
+        targets.push_back(seq[t]);
+      }
+      const auto hs = lstm.forward_sequence(xs);
+      std::vector<Vector> d_hs(xs.size(), Vector(48, 0.0f));
+      double loss = 0.0;
+      for (std::size_t t = 0; t < T; ++t) {
+        const Vector out = readout.forward(hs[T + t]);
+        Vector grad(D, 0.0f);
+        loss += nn::mse(out, targets[t], grad);
+        d_hs[T + t] = readout.backward(grad, 0.05f);
+      }
+      lstm.backward_sequence(d_hs, 0.05f);
+      if (iter >= 1100) final_loss += loss / T;
+    }
+    std::printf("   copy length %zu: late-training MSE %.4f\n", T,
+                final_loss / 100.0);
+  }
+  std::printf("   (loss grows with sequence length: the fixed-size LSTM state "
+              "is the bottleneck the external memory removes)\n");
+}
+
+}  // namespace
+
+int main() {
+  hand_programmed_copy();
+  ntm_op_split();
+  lstm_copy_baseline();
+  return 0;
+}

@@ -1,0 +1,73 @@
+// Example: a recommendation serving loop (Sec. V of the paper).
+//
+// Builds a DLRM, trains it on a synthetic click log, then "serves" a ranked
+// slate: for a user context, scores candidate items and prints the top-k.
+// Also prints the capacity/intensity facts that make this workload hard for
+// conventional accelerators.
+#include <algorithm>
+#include <cstdio>
+
+#include "data/click_log.h"
+#include "recsys/characterize.h"
+#include "recsys/dlrm.h"
+
+int main() {
+  using namespace enw;
+  using namespace enw::recsys;
+
+  data::ClickLogConfig lcfg;
+  lcfg.num_tables = 6;
+  lcfg.rows_per_table = 5000;
+  lcfg.lookups_per_table = 3;
+  data::ClickLogGenerator gen(lcfg);
+
+  DlrmConfig mcfg;
+  mcfg.num_dense = lcfg.num_dense;
+  mcfg.num_tables = lcfg.num_tables;
+  mcfg.rows_per_table = lcfg.rows_per_table;
+  mcfg.embed_dim = 16;
+  Rng rng(1);
+  Dlrm model(mcfg, rng);
+
+  // --- daily (re)training, as the paper notes production systems do.
+  Rng drng(2);
+  const auto train = gen.batch(4000, drng);
+  const auto test = gen.batch(800, drng);
+  std::printf("training DLRM on %zu impressions...\n", train.size());
+  for (int epoch = 0; epoch < 3; ++epoch) {
+    for (const auto& s : train) model.train_step(s, 0.02f);
+  }
+  std::printf("test AUC %.3f, accuracy %.1f%%, planted CTR %.1f%%\n",
+              model.auc(test), 100.0 * model.accuracy(test),
+              100.0 * gen.planted_ctr(2000, drng));
+
+  // --- serving: rank candidate items for one user context.
+  // A "candidate" varies the first categorical feature (the item id);
+  // the remaining features are the user/context.
+  data::ClickSample context = gen.sample(drng);
+  std::printf("\nscoring 200 candidate items for one user context:\n");
+  std::vector<std::pair<float, std::size_t>> slate;
+  for (std::size_t item = 0; item < 200; ++item) {
+    data::ClickSample candidate = context;
+    candidate.sparse[0] = {item};
+    slate.emplace_back(model.predict(candidate), item);
+  }
+  std::sort(slate.rbegin(), slate.rend());
+  std::printf("  top-5 items: ");
+  for (int i = 0; i < 5; ++i) {
+    std::printf("#%zu (p=%.3f)  ", slate[i].second, slate[i].first);
+  }
+  std::printf("\n");
+
+  // --- why this workload is hard (Sec. V-B in three numbers).
+  const auto profile = profile_inference(model, lcfg.lookups_per_table, 64);
+  std::printf("\nworkload facts:\n");
+  std::printf("  embedding parameters: %.2f MB vs MLP parameters: %.3f MB\n",
+              model.embedding_bytes() / 1e6, model.mlp_bytes() / 1e6);
+  std::printf("  compute intensity: MLP %.1f FLOP/B vs embeddings %.2f FLOP/B\n",
+              profile.bottom_mlp.compute_intensity(),
+              profile.embeddings.compute_intensity());
+  std::printf("  (scale rows_per_table to millions for the production "
+              "100s-MB-to-GBs regime the paper describes)\n");
+  return 0;
+}

@@ -1,0 +1,133 @@
+#include "analog/analog_linear.h"
+
+#include <cmath>
+
+#include "core/check.h"
+#include "tensor/ops.h"
+
+namespace enw::analog {
+
+Matrix zero_shift_calibrate(AnalogMatrix& m, int pairs) {
+  ENW_CHECK(pairs > 0);
+  // Alternating single up/down pulses converge each device to the state
+  // where both steps cancel — its symmetry point — regardless of the start.
+  for (int p = 0; p < pairs; ++p) {
+    for (std::size_t r = 0; r < m.rows(); ++r) {
+      for (std::size_t c = 0; c < m.cols(); ++c) {
+        m.pulse_element(r, c, +1);
+        m.pulse_element(r, c, -1);
+      }
+    }
+  }
+  return m.weights_snapshot();
+}
+
+AnalogLinear::AnalogLinear(std::size_t out_dim, std::size_t in_dim,
+                           const AnalogMatrixConfig& config, Rng& init_rng,
+                           bool zero_shift)
+    : array_(out_dim, in_dim, config), zero_shift_(zero_shift) {
+  if (zero_shift_) {
+    reference_ = zero_shift_calibrate(array_);
+  } else {
+    reference_ = Matrix(out_dim, in_dim, 0.0f);
+  }
+  // Program a Kaiming-style initialization (relative to the reference so the
+  // effective starting weights match a digital network's).
+  Matrix init = Matrix::kaiming(out_dim, in_dim, in_dim, init_rng);
+  init += reference_;
+  array_.program(init);
+}
+
+void AnalogLinear::forward(std::span<const float> x, std::span<float> y) {
+  array_.forward(x, y);
+  if (zero_shift_) {
+    const Vector ref_y = matvec(reference_, x);
+    for (std::size_t i = 0; i < y.size(); ++i) y[i] -= ref_y[i];
+  }
+}
+
+void AnalogLinear::backward(std::span<const float> dy, std::span<float> dx) {
+  array_.backward(dy, dx);
+  if (zero_shift_) {
+    const Vector ref_x = matvec_transposed(reference_, dy);
+    for (std::size_t i = 0; i < dx.size(); ++i) dx[i] -= ref_x[i];
+  }
+}
+
+void AnalogLinear::update(std::span<const float> x, std::span<const float> dy,
+                          float lr) {
+  array_.pulsed_update(x, dy, lr);
+}
+
+Matrix AnalogLinear::weights() const {
+  Matrix w = array_.weights_snapshot();
+  w -= reference_;
+  return w;
+}
+
+void AnalogLinear::set_weights(const Matrix& w) {
+  Matrix target = w;
+  target += reference_;
+  array_.program(target);
+}
+
+nn::LinearOpsFactory AnalogLinear::factory(const AnalogMatrixConfig& config, Rng& rng,
+                                           bool zero_shift) {
+  return [config, &rng, zero_shift](std::size_t out, std::size_t in) {
+    AnalogMatrixConfig c = config;
+    c.seed = rng.engine()();  // independent device population per layer
+    return std::make_unique<AnalogLinear>(out, in, c, rng, zero_shift);
+  };
+}
+
+MixedPrecisionLinear::MixedPrecisionLinear(std::size_t out_dim, std::size_t in_dim,
+                                           const AnalogMatrixConfig& config,
+                                           Rng& init_rng)
+    : array_(out_dim, in_dim, config), chi_(out_dim, in_dim, 0.0f) {
+  array_.program(Matrix::kaiming(out_dim, in_dim, in_dim, init_rng));
+}
+
+void MixedPrecisionLinear::forward(std::span<const float> x, std::span<float> y) {
+  array_.forward(x, y);
+}
+
+void MixedPrecisionLinear::backward(std::span<const float> dy, std::span<float> dx) {
+  array_.backward(dy, dx);
+}
+
+void MixedPrecisionLinear::update(std::span<const float> x, std::span<const float> dy,
+                                  float lr) {
+  ENW_CHECK(x.size() == in_dim() && dy.size() == out_dim());
+  // Accumulate the exact gradient digitally; flush whole device steps.
+  for (std::size_t r = 0; r < out_dim(); ++r) {
+    const float g = -lr * dy[r];
+    if (g == 0.0f) continue;
+    for (std::size_t c = 0; c < in_dim(); ++c) {
+      chi_(r, c) += g * x[c];
+    }
+  }
+  for (std::size_t r = 0; r < out_dim(); ++r) {
+    for (std::size_t c = 0; c < in_dim(); ++c) {
+      float& acc = chi_(r, c);
+      if (acc == 0.0f) continue;
+      const bool up = acc > 0.0f;
+      const float step = array_.expected_step(r, c, up);
+      if (step <= 1e-12f) continue;
+      const int n = static_cast<int>(std::abs(acc) / step);
+      if (n == 0) continue;
+      array_.pulse_element(r, c, up ? n : -n);
+      acc -= static_cast<float>(n) * (up ? step : -step);
+    }
+  }
+}
+
+nn::LinearOpsFactory MixedPrecisionLinear::factory(const AnalogMatrixConfig& config,
+                                                   Rng& rng) {
+  return [config, &rng](std::size_t out, std::size_t in) {
+    AnalogMatrixConfig c = config;
+    c.seed = rng.engine()();
+    return std::make_unique<MixedPrecisionLinear>(out, in, c, rng);
+  };
+}
+
+}  // namespace enw::analog

@@ -1,0 +1,81 @@
+// LinearOps backends that put the weights on simulated analog crossbars.
+//
+// AnalogLinear is the plain "analog SGD" arrangement of Sec. II-A: forward,
+// backward and the rank-1 update all happen on one array. It optionally
+// carries a digital reference matrix that is subtracted from every read —
+// the circuit idiom (differential read against a reference column/array)
+// used by the zero-shifting technique [30] to move each device's symmetry
+// point to logical zero.
+//
+// MixedPrecisionLinear implements the scheme of Nandakumar et al. (Sec.
+// II-B.1): matrix products run on the analog array, but gradients accumulate
+// in a digital side-memory chi, and a device only receives pulses once its
+// accumulated update exceeds one device step — trading update parallelism
+// for robustness to update noise and asymmetry.
+#pragma once
+
+#include "analog/analog_matrix.h"
+#include "nn/linear_ops.h"
+
+namespace enw::analog {
+
+/// Drive every (non-stuck) device to its symmetry point by issuing
+/// alternating up/down pulse pairs, then return a snapshot of the resulting
+/// states. The snapshot is the reference matrix for differential reads.
+Matrix zero_shift_calibrate(AnalogMatrix& m, int pairs = 500);
+
+class AnalogLinear final : public nn::LinearOps {
+ public:
+  AnalogLinear(std::size_t out_dim, std::size_t in_dim,
+               const AnalogMatrixConfig& config, Rng& init_rng,
+               bool zero_shift = false);
+
+  std::size_t out_dim() const override { return array_.rows(); }
+  std::size_t in_dim() const override { return array_.cols(); }
+
+  void forward(std::span<const float> x, std::span<float> y) override;
+  void backward(std::span<const float> dy, std::span<float> dx) override;
+  void update(std::span<const float> x, std::span<const float> dy, float lr) override;
+
+  Matrix weights() const override;
+  void set_weights(const Matrix& w) override;
+
+  AnalogMatrix& array() { return array_; }
+  bool zero_shifted() const { return zero_shift_; }
+
+  /// Factory with a shared config (one array per layer).
+  static nn::LinearOpsFactory factory(const AnalogMatrixConfig& config, Rng& rng,
+                                      bool zero_shift = false);
+
+ private:
+  AnalogMatrix array_;
+  bool zero_shift_;
+  Matrix reference_;  // subtracted from reads when zero_shift_ is on
+};
+
+class MixedPrecisionLinear final : public nn::LinearOps {
+ public:
+  MixedPrecisionLinear(std::size_t out_dim, std::size_t in_dim,
+                       const AnalogMatrixConfig& config, Rng& init_rng);
+
+  std::size_t out_dim() const override { return array_.rows(); }
+  std::size_t in_dim() const override { return array_.cols(); }
+
+  void forward(std::span<const float> x, std::span<float> y) override;
+  void backward(std::span<const float> dy, std::span<float> dx) override;
+  void update(std::span<const float> x, std::span<const float> dy, float lr) override;
+
+  Matrix weights() const override { return array_.weights_snapshot(); }
+  void set_weights(const Matrix& w) override { array_.program(w); }
+
+  AnalogMatrix& array() { return array_; }
+  const Matrix& accumulator() const { return chi_; }
+
+  static nn::LinearOpsFactory factory(const AnalogMatrixConfig& config, Rng& rng);
+
+ private:
+  AnalogMatrix array_;
+  Matrix chi_;  // digital gradient accumulator
+};
+
+}  // namespace enw::analog

@@ -1,0 +1,66 @@
+#include "analog/crossbar_conv.h"
+
+#include "core/check.h"
+#include "tensor/ops.h"
+
+namespace enw::analog {
+
+CrossbarConv2d::CrossbarConv2d(const nn::ConvSpec& spec,
+                               const AnalogMatrixConfig& config, Rng& init_rng)
+    : spec_(spec),
+      array_(spec.out_channels, spec.in_channels * spec.kernel * spec.kernel, config),
+      bias_(spec.out_channels, 0.0f) {
+  const std::size_t fan_in = spec.in_channels * spec.kernel * spec.kernel;
+  array_.program(Matrix::kaiming(spec.out_channels, fan_in, fan_in, init_rng));
+}
+
+Matrix CrossbarConv2d::forward(const Matrix& input) {
+  ENW_CHECK_MSG(input.rows() == spec_.in_channels &&
+                    input.cols() == spec_.height * spec_.width,
+                "conv input shape mismatch");
+  last_cols_ = im2col(input, spec_.height, spec_.width, spec_.kernel, spec_.kernel,
+                      spec_.stride, spec_.pad);
+  Matrix out(spec_.out_channels, last_cols_.cols());
+  Vector patch(last_cols_.rows());
+  Vector y(spec_.out_channels, 0.0f);
+  for (std::size_t p = 0; p < last_cols_.cols(); ++p) {
+    for (std::size_t r = 0; r < last_cols_.rows(); ++r) patch[r] = last_cols_(r, p);
+    array_.forward(patch, y);
+    for (std::size_t oc = 0; oc < spec_.out_channels; ++oc) {
+      const float v = y[oc] + bias_[oc];
+      out(oc, p) = v > 0.0f ? v : 0.0f;  // ReLU
+    }
+  }
+  last_output_ = out;
+  return out;
+}
+
+Matrix CrossbarConv2d::backward(const Matrix& d_out, float lr) {
+  ENW_CHECK_MSG(d_out.same_shape(last_output_),
+                "conv backward without a matching forward");
+  Matrix delta = d_out;
+  for (std::size_t i = 0; i < delta.rows(); ++i)
+    for (std::size_t j = 0; j < delta.cols(); ++j)
+      if (last_output_(i, j) <= 0.0f) delta(i, j) = 0.0f;
+
+  Matrix dx_cols(last_cols_.rows(), last_cols_.cols());
+  Vector patch(last_cols_.rows());
+  Vector d_col(spec_.out_channels);
+  Vector dx_patch(last_cols_.rows(), 0.0f);
+  for (std::size_t p = 0; p < last_cols_.cols(); ++p) {
+    for (std::size_t oc = 0; oc < spec_.out_channels; ++oc) d_col[oc] = delta(oc, p);
+    // Transpose read for the input gradient, pulsed update for the weights.
+    array_.backward(d_col, dx_patch);
+    for (std::size_t r = 0; r < last_cols_.rows(); ++r) {
+      dx_cols(r, p) = dx_patch[r];
+      patch[r] = last_cols_(r, p);
+    }
+    array_.pulsed_update(patch, d_col, lr);
+    for (std::size_t oc = 0; oc < spec_.out_channels; ++oc)
+      bias_[oc] -= lr * d_col[oc];
+  }
+  return col2im(dx_cols, spec_.in_channels, spec_.height, spec_.width, spec_.kernel,
+                spec_.kernel, spec_.stride, spec_.pad);
+}
+
+}  // namespace enw::analog

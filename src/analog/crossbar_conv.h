@@ -1,0 +1,44 @@
+// Convolution on a resistive crossbar (Sec. II-A: the parallel VMM is "the
+// main building block of generalized matrix multiplication and convolution
+// computations during a forward pass").
+//
+// The standard mapping: the (out_channels x in_channels*k*k) kernel matrix
+// lives on one crossbar; each im2col patch is one VMM. Training applies a
+// stochastic rank-1 pulsed update per patch — the per-position granularity
+// a crossbar-native conv engine would use.
+#pragma once
+
+#include "analog/analog_matrix.h"
+#include "nn/conv.h"
+#include "tensor/matrix.h"
+
+namespace enw::analog {
+
+class CrossbarConv2d {
+ public:
+  CrossbarConv2d(const nn::ConvSpec& spec, const AnalogMatrixConfig& config,
+                 Rng& init_rng);
+
+  const nn::ConvSpec& spec() const { return spec_; }
+
+  /// input: (in_channels x height*width); output (out_channels x out_h*out_w),
+  /// ReLU applied. One crossbar VMM per output position.
+  Matrix forward(const Matrix& input);
+
+  /// Backward + pulsed weight update; returns gradient w.r.t. the input.
+  Matrix backward(const Matrix& d_out, float lr);
+
+  /// Decoded kernel matrix (for comparison with a digital twin).
+  Matrix kernel_snapshot() const { return array_.weights_snapshot(); }
+
+  AnalogMatrix& array() { return array_; }
+
+ private:
+  nn::ConvSpec spec_;
+  AnalogMatrix array_;   // out_channels x (in_channels * k * k)
+  Vector bias_;
+  Matrix last_cols_;
+  Matrix last_output_;
+};
+
+}  // namespace enw::analog

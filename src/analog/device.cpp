@@ -1,0 +1,119 @@
+#include "analog/device.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/check.h"
+
+namespace enw::analog {
+
+DeviceInstance sample_device(const DevicePreset& p, Rng& rng) {
+  ENW_CHECK_MSG(p.w_max > p.w_min, "device bounds must be ordered");
+  ENW_CHECK_MSG(p.dw_up >= 0.0 && p.dw_down >= 0.0, "step sizes must be >= 0");
+  DeviceInstance d;
+  auto vary = [&rng](double base, double rel) {
+    if (rel <= 0.0) return static_cast<float>(base);
+    // Log-normal-ish: keep strictly positive scaling even at large spreads.
+    const double f = std::max(0.05, 1.0 + rel * rng.normal());
+    return static_cast<float>(base * f);
+  };
+  d.dw_up = vary(p.dw_up, p.dtod_dw);
+  d.dw_down = vary(p.dw_down, p.dtod_dw);
+  d.slope_up = static_cast<float>(p.slope_up);
+  d.slope_down = static_cast<float>(p.slope_down);
+  d.w_min = p.w_min >= 0.0 ? static_cast<float>(p.w_min)
+                           : -vary(-p.w_min, p.dtod_bounds);
+  d.w_max = vary(p.w_max, p.dtod_bounds);
+  if (d.w_max <= d.w_min) d.w_max = d.w_min + 0.1f;
+  d.stuck = rng.bernoulli(p.stuck_fraction);
+  return d;
+}
+
+float apply_pulse(const DeviceInstance& d, float w, bool up, double sigma_ctoc,
+                  Rng& rng) {
+  if (d.stuck) return w;
+  const float noise =
+      sigma_ctoc > 0.0 ? 1.0f + static_cast<float>(sigma_ctoc * rng.normal()) : 1.0f;
+  float dw;
+  if (up) {
+    dw = d.dw_up * (1.0f - d.slope_up * w) * noise;
+  } else {
+    dw = -d.dw_down * (1.0f + d.slope_down * w) * noise;
+  }
+  return std::clamp(w + dw, d.w_min, d.w_max);
+}
+
+float symmetry_point(const DeviceInstance& d) {
+  const float denom = d.dw_up * d.slope_up + d.dw_down * d.slope_down;
+  if (std::abs(denom) < 1e-12f) return 0.0f;
+  return (d.dw_up - d.dw_down) / denom;
+}
+
+DevicePreset ideal_device(double dw) {
+  DevicePreset p;
+  p.name = "ideal";
+  p.dw_up = p.dw_down = dw;
+  return p;
+}
+
+DevicePreset rram_device() {
+  DevicePreset p;
+  p.name = "rram";
+  // Asymmetric soft-bounds: potentiation steps shrink toward w_max,
+  // depression steps grow with w — the signature of filament dynamics.
+  // The 3x up/down mismatch puts every device's symmetry point near +0.5,
+  // i.e. far from zero: the "aggressive bidirectional asymmetry" regime
+  // the Tiki-Taka work targets.
+  p.dw_up = 0.006;
+  p.dw_down = 0.002;
+  p.slope_up = 1.0;   // soft saturation toward +1
+  p.slope_down = 1.0; // soft saturation toward -1
+  p.sigma_ctoc = 0.3;
+  p.dtod_dw = 0.3;
+  p.dtod_bounds = 0.2;
+  return p;
+}
+
+DevicePreset ecram_device() {
+  DevicePreset p;
+  p.name = "ecram";
+  // ~1000 near-identical states across the range, small noise.
+  p.dw_up = 0.002;
+  p.dw_down = 0.0021;  // a few percent mismatch at most
+  p.slope_up = 0.05;
+  p.slope_down = 0.05;
+  p.sigma_ctoc = 0.05;
+  p.dtod_dw = 0.05;
+  return p;
+}
+
+DevicePreset fefet_device() {
+  DevicePreset p;
+  p.name = "fefet";
+  p.dw_up = 0.004;
+  p.dw_down = 0.005;
+  p.slope_up = 0.5;
+  p.slope_down = 0.5;
+  p.sigma_ctoc = 0.15;
+  p.dtod_dw = 0.15;
+  p.dtod_bounds = 0.1;
+  return p;
+}
+
+DevicePreset pcm_single_device() {
+  DevicePreset p;
+  p.name = "pcm";
+  // Unidirectional: only potentiation; conductance lives in [0, 1].
+  p.dw_up = 0.005;
+  p.dw_down = 0.0;
+  p.slope_up = 1.0;  // crystallization saturates
+  p.slope_down = 0.0;
+  p.w_min = 0.0;
+  p.w_max = 1.0;
+  p.sigma_ctoc = 0.3;
+  p.dtod_dw = 0.2;
+  p.dtod_bounds = 0.15;
+  return p;
+}
+
+}  // namespace enw::analog

@@ -1,0 +1,102 @@
+// Behavioral models of analog crosspoint devices (Sec. II-B).
+//
+// Every candidate technology in the paper — PCM, RRAM, FeFET/FTJ, ECRAM —
+// is characterized for training by how its conductance responds to a single
+// potentiation/depression pulse: mean step size (granularity), dependence of
+// the step on the current state (nonlinearity / soft bounds), up/down
+// mismatch (asymmetry), cycle-to-cycle stochasticity, and device-to-device
+// variability. The DevicePreset below parameterizes exactly those axes,
+// following the RPU modeling methodology of Gokmen & Vlasov (2016).
+//
+// The update rule for one pulse on a device with state w (in logical weight
+// units, nominally [-1, 1]) is
+//
+//   up   : w += dw_up   * (1 - slope_up   * w) * (1 + sigma_ctoc * N(0,1))
+//   down : w -= dw_down * (1 + slope_down * w) * (1 + sigma_ctoc * N(0,1))
+//
+// then clipped to the device's hard bounds. slope_* = 1/|bound| reproduces
+// the exponential "soft bounds" saturation seen in RRAM measurements
+// (Fig. 2 of the paper); slope_* = 0 gives an ideal constant-step device.
+#pragma once
+
+#include <string>
+
+#include "core/rng.h"
+
+namespace enw::analog {
+
+struct DevicePreset {
+  std::string name = "ideal";
+
+  // Mean step magnitude per pulse, in logical weight units. The paper's
+  // target spec is ~0.1% of the full range, i.e. dw ~ 0.002 for range 2.
+  double dw_up = 0.002;
+  double dw_down = 0.002;
+
+  // State-dependence of the step (soft bounds). 0 = none.
+  double slope_up = 0.0;
+  double slope_down = 0.0;
+
+  // Hard bounds of the logical weight.
+  double w_min = -1.0;
+  double w_max = 1.0;
+
+  // Cycle-to-cycle noise: relative stddev of each step.
+  double sigma_ctoc = 0.0;
+
+  // Device-to-device variability: relative stddev applied once per device
+  // to dw_up/dw_down (independently) and to the bounds.
+  double dtod_dw = 0.0;
+  double dtod_bounds = 0.0;
+
+  // Fraction of devices stuck at a random conductance (yield defects).
+  double stuck_fraction = 0.0;
+};
+
+/// Per-crosspoint realized parameters after device-to-device sampling.
+struct DeviceInstance {
+  float dw_up = 0.002f;
+  float dw_down = 0.002f;
+  float slope_up = 0.0f;
+  float slope_down = 0.0f;
+  float w_min = -1.0f;
+  float w_max = 1.0f;
+  bool stuck = false;
+};
+
+/// Sample a concrete device from a preset (device-to-device variation).
+DeviceInstance sample_device(const DevicePreset& preset, Rng& rng);
+
+/// Apply one pulse to state w. up=true potentiates. Returns the new state.
+float apply_pulse(const DeviceInstance& d, float w, bool up, double sigma_ctoc,
+                  Rng& rng);
+
+/// The state at which an up pulse and a down pulse cancel on average — the
+/// "symmetry point" exploited by the zero-shifting technique [30].
+/// For the update rule above: w* = (dw_up - dw_down) /
+///                                 (dw_up * slope_up + dw_down * slope_down).
+/// Devices with no state dependence have no finite symmetry point unless
+/// dw_up == dw_down; this returns 0 in that (already symmetric) case.
+float symmetry_point(const DeviceInstance& d);
+
+// ----------------------------------------------------------------- presets
+
+/// Perfectly symmetric constant-step device — the algorithmic ideal.
+DevicePreset ideal_device(double dw = 0.002);
+
+/// Filamentary oxide RRAM: strong soft-bounds nonlinearity, pronounced
+/// up/down asymmetry, large cycle-to-cycle noise (Fig. 2 behaviour).
+DevicePreset rram_device();
+
+/// ECRAM: near-symmetric, ~1000 analog states, excellent SNR (Sec. II-B.4).
+DevicePreset ecram_device();
+
+/// FeFET synaptic transistor: moderate asymmetry and noise, limited
+/// endurance handled elsewhere (Sec. II-B.3).
+DevicePreset fefet_device();
+
+/// Single PCM conductance: unidirectional (dw_down = 0) with crystallization
+/// saturation; used in differential pairs by the PCM array (Sec. II-B.1).
+DevicePreset pcm_single_device();
+
+}  // namespace enw::analog

@@ -1,0 +1,137 @@
+#include "analog/hybrid_cell.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "analog/analog_linear.h"
+#include "core/check.h"
+#include "tensor/ops.h"
+
+namespace enw::analog {
+
+namespace {
+AnalogMatrixConfig fefet_array_config(const HybridCellConfig& c) {
+  AnalogMatrixConfig ac;
+  ac.device = c.fefet;
+  ac.read_noise_std = 0.005;
+  ac.seed = c.seed;
+  return ac;
+}
+}  // namespace
+
+Hybrid2T1FLinear::Hybrid2T1FLinear(std::size_t out_dim, std::size_t in_dim,
+                                   const HybridCellConfig& config, Rng& init_rng)
+    : config_(config),
+      fefet_(out_dim, in_dim, fefet_array_config(config)),
+      cap_(out_dim, in_dim, 0.0f),
+      writes_(out_dim, in_dim, 0.0f),
+      rng_(config.seed ^ 0xF0F0ULL) {
+  ENW_CHECK(config.cap_step > 0.0 && config.cap_range > 0.0);
+  ENW_CHECK(config.transfer_threshold > 0.0 && config.transfer_threshold <= 1.0);
+  ref_ = zero_shift_calibrate(fefet_);
+  Matrix init = Matrix::kaiming(out_dim, in_dim, in_dim, init_rng);
+  init += ref_;
+  fefet_.program(init);
+}
+
+void Hybrid2T1FLinear::forward(std::span<const float> x, std::span<float> y) {
+  fefet_.forward(x, y);
+  const Vector ref_y = matvec(ref_, x);
+  const Vector cap_y = matvec(cap_, x);
+  for (std::size_t i = 0; i < y.size(); ++i) y[i] += cap_y[i] - ref_y[i];
+}
+
+void Hybrid2T1FLinear::backward(std::span<const float> dy, std::span<float> dx) {
+  fefet_.backward(dy, dx);
+  const Vector ref_x = matvec_transposed(ref_, dy);
+  const Vector cap_x = matvec_transposed(cap_, dy);
+  for (std::size_t i = 0; i < dx.size(); ++i) dx[i] += cap_x[i] - ref_x[i];
+}
+
+void Hybrid2T1FLinear::maybe_transfer(std::size_t r, std::size_t c) {
+  float& cap = cap_(r, c);
+  if (std::abs(cap) < config_.transfer_threshold * config_.cap_range) return;
+  if (config_.endurance > 0 &&
+      writes_(r, c) >= static_cast<float>(config_.endurance)) {
+    // Worn FeFET: the capacitor saturates and information is lost.
+    cap = std::clamp(cap, -static_cast<float>(config_.cap_range),
+                     static_cast<float>(config_.cap_range));
+    return;
+  }
+  // Transfer: push the capacitor value into the FeFET as coarse pulses.
+  const bool up = cap > 0.0f;
+  const float step = fefet_.expected_step(r, c, up);
+  if (step > 1e-12f) {
+    const int n = static_cast<int>(std::abs(cap) / step);
+    if (n > 0) {
+      fefet_.pulse_element(r, c, up ? n : -n);
+      cap -= static_cast<float>(n) * (up ? step : -step);
+      writes_(r, c) += 1.0f;
+      ++transfers_;
+    }
+  }
+}
+
+void Hybrid2T1FLinear::update(std::span<const float> x, std::span<const float> dy,
+                              float lr) {
+  ENW_CHECK(x.size() == in_dim() && dy.size() == out_dim());
+  // Stochastic pulse trains on the capacitor (symmetric constant steps) —
+  // same coincidence scheme as the crossbar, with a perfect device.
+  const int bl = 31;
+  const double amp = std::sqrt(static_cast<double>(lr) / (bl * config_.cap_step));
+  const float leak = 1.0f - static_cast<float>(config_.cap_leak_per_update);
+  for (std::size_t i = 0; i < cap_.size(); ++i) cap_.data()[i] *= leak;
+
+  for (int pulse = 0; pulse < bl; ++pulse) {
+    for (std::size_t r = 0; r < out_dim(); ++r) {
+      const double pr = std::min(amp * std::abs(dy[r]), 1.0);
+      if (pr <= 0.0 || !rng_.bernoulli(pr)) continue;
+      for (std::size_t c = 0; c < in_dim(); ++c) {
+        const double pc = std::min(amp * std::abs(x[c]), 1.0);
+        if (pc <= 0.0 || !rng_.bernoulli(pc)) continue;
+        const float direction = (dy[r] * x[c]) < 0.0f ? 1.0f : -1.0f;
+        float& cap = cap_(r, c);
+        cap = std::clamp(cap + direction * static_cast<float>(config_.cap_step),
+                         -static_cast<float>(config_.cap_range),
+                         static_cast<float>(config_.cap_range));
+      }
+    }
+  }
+  for (std::size_t r = 0; r < out_dim(); ++r) {
+    for (std::size_t c = 0; c < in_dim(); ++c) maybe_transfer(r, c);
+  }
+}
+
+Matrix Hybrid2T1FLinear::weights() const {
+  Matrix w = fefet_.weights_snapshot();
+  w -= ref_;
+  w += cap_;
+  return w;
+}
+
+void Hybrid2T1FLinear::set_weights(const Matrix& w) {
+  Matrix target = w;
+  target += ref_;
+  fefet_.program(target);
+  cap_.fill(0.0f);
+}
+
+std::uint64_t Hybrid2T1FLinear::worn_out_cells() const {
+  if (config_.endurance == 0) return 0;
+  std::uint64_t n = 0;
+  for (std::size_t i = 0; i < writes_.size(); ++i) {
+    if (writes_.data()[i] >= static_cast<float>(config_.endurance)) ++n;
+  }
+  return n;
+}
+
+nn::LinearOpsFactory Hybrid2T1FLinear::factory(const HybridCellConfig& config,
+                                               Rng& rng) {
+  return [config, &rng](std::size_t out, std::size_t in) {
+    HybridCellConfig c = config;
+    c.seed = rng.engine()();
+    return std::make_unique<Hybrid2T1FLinear>(out, in, c, rng);
+  };
+}
+
+}  // namespace enw::analog

@@ -1,0 +1,74 @@
+// 2T-1FeFET hybrid-precision weight cell (Sec. II-B.3, ref [38]).
+//
+// The cell splits each weight into a volatile lower-significance part on a
+// capacitor (charged/discharged through two transistors — near-perfectly
+// symmetric but leaky) and a non-volatile higher-significance part in a
+// FeFET. Gradient updates land on the capacitor; when a cell's capacitor
+// approaches its range, its value is transferred into the FeFET as coarse
+// polarization steps and the capacitor recenters. The same idea PCM uses
+// with its "higher/lower significance" split, realized at cell level.
+//
+// Modeled behaviors: symmetric capacitor updates with leakage, coarse
+// asymmetric FeFET steps, threshold-triggered transfer, and bounded FeFET
+// endurance (each transfer costs write cycles; worn cells stop updating).
+#pragma once
+
+#include "analog/analog_matrix.h"
+#include "nn/linear_ops.h"
+
+namespace enw::analog {
+
+struct HybridCellConfig {
+  /// Capacitor: symmetric fine steps, volatile.
+  double cap_step = 0.002;        // per-pulse step in logical weight units
+  double cap_range = 0.1;         // |capacitor| bound (lower-significance)
+  double cap_leak_per_update = 1e-4;  // multiplicative leak applied per update
+  /// FeFET: coarse, asymmetric, non-volatile steps.
+  DevicePreset fefet = fefet_device();
+  /// Transfer fires when |capacitor| exceeds this fraction of cap_range.
+  double transfer_threshold = 0.8;
+  /// FeFET endurance in write cycles (0 = unlimited). Sec. II-B.3 cites
+  /// 1e6-1e9; worn devices freeze.
+  std::uint64_t endurance = 0;
+  std::uint64_t seed = 515;
+};
+
+class Hybrid2T1FLinear final : public nn::LinearOps {
+ public:
+  Hybrid2T1FLinear(std::size_t out_dim, std::size_t in_dim,
+                   const HybridCellConfig& config, Rng& init_rng);
+
+  std::size_t out_dim() const override { return fefet_.rows(); }
+  std::size_t in_dim() const override { return fefet_.cols(); }
+
+  /// Reads sum both parts: y = (W_fefet + W_cap) x.
+  void forward(std::span<const float> x, std::span<float> y) override;
+  void backward(std::span<const float> dy, std::span<float> dx) override;
+
+  /// Stochastic pulsed update onto the CAPACITOR part, then threshold
+  /// transfers into the FeFET.
+  void update(std::span<const float> x, std::span<const float> dy, float lr) override;
+
+  Matrix weights() const override;
+  void set_weights(const Matrix& w) override;
+
+  std::uint64_t transfers_done() const { return transfers_; }
+  std::uint64_t worn_out_cells() const;
+  const Matrix& capacitor() const { return cap_; }
+  AnalogMatrix& fefet_array() { return fefet_; }
+
+  static nn::LinearOpsFactory factory(const HybridCellConfig& config, Rng& rng);
+
+ private:
+  void maybe_transfer(std::size_t r, std::size_t c);
+
+  HybridCellConfig config_;
+  AnalogMatrix fefet_;
+  Matrix ref_;   // FeFET symmetry points (differential-read reference)
+  Matrix cap_;   // capacitor voltages in logical weight units
+  Matrix writes_;  // FeFET write-cycle counters (endurance)
+  std::uint64_t transfers_ = 0;
+  Rng rng_;
+};
+
+}  // namespace enw::analog

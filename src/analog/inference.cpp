@@ -1,0 +1,252 @@
+#include "analog/inference.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/check.h"
+#include "tensor/ops.h"
+
+namespace enw::analog {
+
+BitSlicedInferenceArray::BitSlicedInferenceArray(std::size_t rows, std::size_t cols,
+                                                 const InferenceArrayConfig& config)
+    : rows_(rows), cols_(cols), config_(config), rng_(config.seed) {
+  ENW_CHECK(rows > 0 && cols > 0);
+  ENW_CHECK_MSG(config.slice_bits >= 1 && config.slice_bits <= 8,
+                "slice_bits in [1, 8]");
+  ENW_CHECK_MSG(config.num_slices >= 1 && config.num_slices <= 8,
+                "num_slices in [1, 8]");
+  const std::size_t n_planes = 2 * static_cast<std::size_t>(config.num_slices);
+  slices_.assign(n_planes, Matrix(rows, cols, 0.0f));
+  stuck_.assign(n_planes, std::vector<bool>(rows * cols, false));
+  for (auto& plane : stuck_) {
+    for (std::size_t i = 0; i < plane.size(); ++i) {
+      plane[i] = rng_.bernoulli(config.stuck_fraction);
+    }
+  }
+  // Stuck devices freeze at a random level.
+  for (std::size_t p = 0; p < n_planes; ++p) {
+    for (std::size_t r = 0; r < rows_; ++r) {
+      for (std::size_t c = 0; c < cols_; ++c) {
+        if (stuck_[p][r * cols_ + c]) {
+          slices_[p](r, c) = static_cast<float>(rng_.uniform());
+        }
+      }
+    }
+  }
+}
+
+void BitSlicedInferenceArray::program(const Matrix& target) {
+  ENW_CHECK_MSG(target.rows() == rows_ && target.cols() == cols_,
+                "program target shape mismatch");
+  // Full-scale range follows the weight distribution.
+  scale_ = 1e-12;
+  for (std::size_t i = 0; i < target.size(); ++i) {
+    scale_ = std::max(scale_, static_cast<double>(std::abs(target.data()[i])));
+  }
+  const int b = config_.slice_bits;
+  const int k = config_.num_slices;
+  const std::uint32_t slice_levels = (1u << b) - 1u;
+  const std::uint64_t full_levels = (1ull << (b * k)) - 1ull;
+
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::size_t c = 0; c < cols_; ++c) {
+      const float w = target(r, c);
+      const double mag = std::min(std::abs(w) / scale_, 1.0);
+      const auto code = static_cast<std::uint64_t>(
+          std::llround(mag * static_cast<double>(full_levels)));
+      for (int s = 0; s < k; ++s) {
+        const auto level =
+            static_cast<std::uint32_t>((code >> (b * s)) & slice_levels);
+        const float value = static_cast<float>(level) / static_cast<float>(slice_levels);
+        const std::size_t pos_plane = 2 * static_cast<std::size_t>(s);
+        const std::size_t neg_plane = pos_plane + 1;
+        const std::size_t target_plane = (w >= 0.0f) ? pos_plane : neg_plane;
+        const std::size_t zero_plane = (w >= 0.0f) ? neg_plane : pos_plane;
+        const std::size_t flat = r * cols_ + c;
+        if (!stuck_[target_plane][flat]) {
+          const float noisy = value + static_cast<float>(
+              config_.write_noise_std * rng_.normal());
+          slices_[target_plane](r, c) = std::clamp(noisy, 0.0f, 1.0f);
+        }
+        if (!stuck_[zero_plane][flat]) {
+          const float noisy =
+              static_cast<float>(config_.write_noise_std * rng_.normal());
+          slices_[zero_plane](r, c) = std::clamp(noisy, 0.0f, 1.0f);
+        }
+      }
+    }
+  }
+}
+
+float BitSlicedInferenceArray::decode(std::size_t r, std::size_t c) const {
+  const int b = config_.slice_bits;
+  const int k = config_.num_slices;
+  const std::uint64_t full_levels = (1ull << (b * k)) - 1ull;
+  const double slice_levels = static_cast<double>((1u << b) - 1u);
+  double acc = 0.0;
+  for (int s = 0; s < k; ++s) {
+    const double weight = static_cast<double>(1ull << (b * s)) * slice_levels /
+                          static_cast<double>(full_levels);
+    acc += weight * (slices_[2 * static_cast<std::size_t>(s)](r, c) -
+                     slices_[2 * static_cast<std::size_t>(s) + 1](r, c));
+  }
+  return static_cast<float>(acc * scale_);
+}
+
+Matrix BitSlicedInferenceArray::weights_snapshot() const {
+  Matrix w(rows_, cols_);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::size_t c = 0; c < cols_; ++c) w(r, c) = decode(r, c);
+  }
+  return w;
+}
+
+void BitSlicedInferenceArray::forward(std::span<const float> x, std::span<float> y) {
+  ENW_CHECK(x.size() == cols_ && y.size() == rows_);
+  const int b = config_.slice_bits;
+  const int k = config_.num_slices;
+  const std::uint64_t full_levels = (1ull << (b * k)) - 1ull;
+  const double slice_levels = static_cast<double>((1u << b) - 1u);
+  const float x_norm = l2_norm(x);
+
+  std::fill(y.begin(), y.end(), 0.0f);
+  for (int s = 0; s < k; ++s) {
+    const double shift = static_cast<double>(1ull << (b * s)) * slice_levels /
+                         static_cast<double>(full_levels);
+    for (std::size_t plane_side = 0; plane_side < 2; ++plane_side) {
+      const Matrix& plane = slices_[2 * static_cast<std::size_t>(s) + plane_side];
+      const float sign = plane_side == 0 ? 1.0f : -1.0f;
+      for (std::size_t r = 0; r < rows_; ++r) {
+        float acc = 0.0f;
+        const float* row = plane.data() + r * cols_;
+        for (std::size_t c = 0; c < cols_; ++c) acc += row[c] * x[c];
+        if (config_.read_noise_std > 0.0) {
+          acc += static_cast<float>(config_.read_noise_std * rng_.normal()) * x_norm;
+        }
+        y[r] += sign * static_cast<float>(shift * scale_) * acc;
+      }
+    }
+  }
+}
+
+void BitSlicedInferenceArray::backward(std::span<const float> dy, std::span<float> dx) {
+  ENW_CHECK(dy.size() == rows_ && dx.size() == cols_);
+  // Transpose read through the decoded weights (slice planes are read the
+  // same way; decoding order does not matter for the sum).
+  const Matrix w = weights_snapshot();
+  const Vector out = matvec_transposed(w, dy);
+  const float d_norm = l2_norm(dy);
+  for (std::size_t c = 0; c < cols_; ++c) {
+    float v = out[c];
+    if (config_.read_noise_std > 0.0) {
+      v += static_cast<float>(config_.read_noise_std * rng_.normal()) * d_norm *
+           static_cast<float>(scale_);
+    }
+    dx[c] = v;
+  }
+}
+
+void BitSlicedInferenceArray::advance_time(double dt_seconds) {
+  ENW_CHECK(dt_seconds > 0.0);
+  if (config_.retention_tau_s <= 0.0) return;
+  const float keep = static_cast<float>(std::exp(-dt_seconds / config_.retention_tau_s));
+  for (auto& plane : slices_) {
+    for (std::size_t i = 0; i < plane.size(); ++i) {
+      // Relax toward the mid state 0.5 (charge leakage / depolarization).
+      plane.data()[i] = 0.5f + (plane.data()[i] - 0.5f) * keep;
+    }
+  }
+}
+
+InferenceLinear::InferenceLinear(std::size_t out_dim, std::size_t in_dim,
+                                 const InferenceArrayConfig& config, Rng& init_rng)
+    : array_(out_dim, in_dim, config) {
+  array_.program(Matrix::kaiming(out_dim, in_dim, in_dim, init_rng));
+}
+
+void InferenceLinear::forward(std::span<const float> x, std::span<float> y) {
+  array_.forward(x, y);
+}
+
+void InferenceLinear::backward(std::span<const float> dy, std::span<float> dx) {
+  array_.backward(dy, dx);
+}
+
+void InferenceLinear::update(std::span<const float>, std::span<const float>, float) {
+  // Inference arrays are programmed, not trained in place.
+}
+
+nn::LinearOpsFactory InferenceLinear::factory(const InferenceArrayConfig& config,
+                                              Rng& rng) {
+  return [config, &rng](std::size_t out, std::size_t in) {
+    InferenceArrayConfig c = config;
+    c.seed = rng.engine()();
+    return std::make_unique<InferenceLinear>(out, in, c, rng);
+  };
+}
+
+DropConnectLinear::DropConnectLinear(std::size_t out_dim, std::size_t in_dim,
+                                     double drop_prob, Rng& rng)
+    : w_(Matrix::kaiming(out_dim, in_dim, in_dim, rng)),
+      mask_(out_dim, in_dim, 1.0f),
+      drop_prob_(drop_prob),
+      rng_(rng.engine()()) {
+  ENW_CHECK_MSG(drop_prob >= 0.0 && drop_prob < 1.0, "drop_prob in [0, 1)");
+}
+
+void DropConnectLinear::resample_mask() {
+  for (std::size_t i = 0; i < mask_.size(); ++i) {
+    mask_.data()[i] = rng_.bernoulli(drop_prob_) ? 0.0f : 1.0f;
+  }
+}
+
+void DropConnectLinear::forward(std::span<const float> x, std::span<float> y) {
+  ENW_CHECK(x.size() == in_dim() && y.size() == out_dim());
+  resample_mask();
+  for (std::size_t r = 0; r < out_dim(); ++r) {
+    float acc = 0.0f;
+    const float* wrow = w_.data() + r * in_dim();
+    const float* mrow = mask_.data() + r * in_dim();
+    for (std::size_t c = 0; c < in_dim(); ++c) acc += wrow[c] * mrow[c] * x[c];
+    y[r] = acc;
+  }
+}
+
+void DropConnectLinear::backward(std::span<const float> dy, std::span<float> dx) {
+  ENW_CHECK(dy.size() == out_dim() && dx.size() == in_dim());
+  std::fill(dx.begin(), dx.end(), 0.0f);
+  for (std::size_t r = 0; r < out_dim(); ++r) {
+    const float g = dy[r];
+    if (g == 0.0f) continue;
+    const float* wrow = w_.data() + r * in_dim();
+    const float* mrow = mask_.data() + r * in_dim();
+    for (std::size_t c = 0; c < in_dim(); ++c) dx[c] += wrow[c] * mrow[c] * g;
+  }
+}
+
+void DropConnectLinear::update(std::span<const float> x, std::span<const float> dy,
+                               float lr) {
+  // Gradient flows only through the surviving connections this pass.
+  for (std::size_t r = 0; r < out_dim(); ++r) {
+    const float g = -lr * dy[r];
+    if (g == 0.0f) continue;
+    float* wrow = w_.data() + r * in_dim();
+    const float* mrow = mask_.data() + r * in_dim();
+    for (std::size_t c = 0; c < in_dim(); ++c) wrow[c] += g * mrow[c] * x[c];
+  }
+}
+
+void DropConnectLinear::set_weights(const Matrix& w) {
+  ENW_CHECK_MSG(w.rows() == w_.rows() && w.cols() == w_.cols(),
+                "set_weights shape mismatch");
+  w_ = w;
+}
+
+nn::LinearOpsFactory DropConnectLinear::factory(double drop_prob, Rng& rng) {
+  return [drop_prob, &rng](std::size_t out, std::size_t in) {
+    return std::make_unique<DropConnectLinear>(out, in, drop_prob, rng);
+  };
+}
+
+}  // namespace enw::analog

@@ -1,0 +1,142 @@
+// Inference-oriented analog crossbars (Sec. II: "inference applications
+// only rely on the forward pass and require excellent long-term weight
+// retention and stability").
+//
+// Unlike the training arrays (analog_matrix.h) whose devices must support
+// millions of incremental updates, inference arrays are programmed once
+// from digitally-trained weights. What matters is different:
+//
+//   * programming (write) noise: each device lands near, not at, its target;
+//   * bit-slicing: a weight is split across `num_slices` devices of
+//     `slice_bits` each (ISAAC/PUMA-style), combined with a digital
+//     shift-add; sign is handled by a differential pair per slice;
+//   * retention: conductances relax toward their mid state over time, so
+//     accuracy decays between refreshes;
+//   * yield: stuck devices freeze at a random state.
+//
+// HardwareAwareTrainer implements the drop-connect recipe of [33]: randomly
+// zeroing weights during digital training makes the network robust to the
+// defective devices it will later be programmed onto.
+#pragma once
+
+#include <vector>
+
+#include "core/rng.h"
+#include "nn/linear_ops.h"
+#include "tensor/matrix.h"
+
+namespace enw::analog {
+
+struct InferenceArrayConfig {
+  int slice_bits = 2;          // bits per physical device
+  int num_slices = 4;          // total magnitude resolution = slice_bits*num_slices
+  double write_noise_std = 0.02;  // programming error, fraction of device range
+  double read_noise_std = 0.005;  // per-read output noise (relative)
+  double retention_tau_s = 1e7;   // exponential relaxation time constant
+  double stuck_fraction = 0.0;    // fraction of dead devices
+  std::uint64_t seed = 4242;
+};
+
+/// A (rows x cols) signed weight matrix stored on 2*num_slices unsigned
+/// crossbar planes (differential pairs of bit slices).
+class BitSlicedInferenceArray {
+ public:
+  BitSlicedInferenceArray(std::size_t rows, std::size_t cols,
+                          const InferenceArrayConfig& config);
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  const InferenceArrayConfig& config() const { return config_; }
+
+  /// Program the array from target weights (clipped to [-scale, scale]).
+  void program(const Matrix& target);
+
+  /// y = W x with slice-wise analog reads + digital shift-add.
+  void forward(std::span<const float> x, std::span<float> y);
+
+  /// dx = W^T dy (transposable read, used when the array backs a frozen
+  /// feature extractor in front of trainable layers).
+  void backward(std::span<const float> dy, std::span<float> dx);
+
+  /// Decoded weight snapshot (includes programming error, not read noise).
+  Matrix weights_snapshot() const;
+
+  /// Retention: slices relax toward their mid state with time constant tau.
+  void advance_time(double dt_seconds);
+
+  /// Number of physical crossbar planes (2 per slice).
+  std::size_t planes() const { return slices_.size(); }
+
+  double scale() const { return scale_; }
+
+ private:
+  float decode(std::size_t r, std::size_t c) const;
+
+  std::size_t rows_;
+  std::size_t cols_;
+  InferenceArrayConfig config_;
+  double scale_ = 1.0;
+  // slices_[2*s] = positive plane of slice s, slices_[2*s+1] = negative.
+  // Values are normalized slice levels in [0, 1].
+  std::vector<Matrix> slices_;
+  std::vector<std::vector<bool>> stuck_;  // per plane
+  Rng rng_;
+};
+
+/// Inference-only LinearOps backend. update() is a documented no-op: the
+/// deployment flow is train digitally -> program once -> (optionally)
+/// refresh. set_weights == (re)program.
+class InferenceLinear final : public nn::LinearOps {
+ public:
+  InferenceLinear(std::size_t out_dim, std::size_t in_dim,
+                  const InferenceArrayConfig& config, Rng& init_rng);
+
+  std::size_t out_dim() const override { return array_.rows(); }
+  std::size_t in_dim() const override { return array_.cols(); }
+
+  void forward(std::span<const float> x, std::span<float> y) override;
+  void backward(std::span<const float> dy, std::span<float> dx) override;
+  /// No-op: inference arrays are not updated in place.
+  void update(std::span<const float> x, std::span<const float> dy, float lr) override;
+
+  Matrix weights() const override { return array_.weights_snapshot(); }
+  void set_weights(const Matrix& w) override { array_.program(w); }
+
+  BitSlicedInferenceArray& array() { return array_; }
+
+  static nn::LinearOpsFactory factory(const InferenceArrayConfig& config, Rng& rng);
+
+ private:
+  BitSlicedInferenceArray array_;
+};
+
+/// Digital LinearOps with drop-connect: each forward pass computes with a
+/// Bernoulli mask over the weights, training the network to tolerate dead
+/// devices (hardware-aware training, ref [33]).
+class DropConnectLinear final : public nn::LinearOps {
+ public:
+  DropConnectLinear(std::size_t out_dim, std::size_t in_dim, double drop_prob,
+                    Rng& rng);
+
+  std::size_t out_dim() const override { return w_.rows(); }
+  std::size_t in_dim() const override { return w_.cols(); }
+
+  void forward(std::span<const float> x, std::span<float> y) override;
+  void backward(std::span<const float> dy, std::span<float> dx) override;
+  void update(std::span<const float> x, std::span<const float> dy, float lr) override;
+
+  Matrix weights() const override { return w_; }
+  void set_weights(const Matrix& w) override;
+
+  static nn::LinearOpsFactory factory(double drop_prob, Rng& rng);
+
+ private:
+  void resample_mask();
+
+  Matrix w_;
+  Matrix mask_;  // 0/1, resampled every forward
+  double drop_prob_;
+  Rng rng_;
+};
+
+}  // namespace enw::analog

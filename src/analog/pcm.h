@@ -1,0 +1,118 @@
+// Phase-change-memory differential-pair array (Sec. II-B.1).
+//
+// PCM is a unidirectional switch: pulses can only crystallize (raise G);
+// amorphization is a destructive reset. Signed weights therefore use a pair
+// of conductances, w = G+ - G-. Three PCM-specific behaviours are modeled:
+//
+//   * saturation: both G+ and G- climb until further updates stop working;
+//     a periodic "reset + reprogram the difference" restores headroom [18].
+//   * conductance drift: G(t) = G(t_p) * (t / t_p)^-nu from structural
+//     relaxation of the amorphous phase; a projection liner reduces nu by
+//     ~an order of magnitude [26][27], and a digital scale correction in the
+//     activation can compensate the mean drift [28].
+//   * stochastic crystallization: cycle-to-cycle update noise.
+#pragma once
+
+#include "analog/analog_matrix.h"
+#include "nn/linear_ops.h"
+
+namespace enw::analog {
+
+struct PcmArrayConfig {
+  DevicePreset device = pcm_single_device();  // one unidirectional conductance
+  double read_noise_std = 0.01;
+  int update_bl = 31;
+
+  double drift_nu = 0.05;        // mean drift exponent (no liner)
+  double drift_nu_dtod = 0.3;    // relative device-to-device spread of nu
+  /// Multiplies drift_nu; a metallic liner / projection segment gives ~0.1.
+  double liner_factor = 1.0;
+
+  std::uint64_t seed = 1299;
+};
+
+class PcmPairArray {
+ public:
+  PcmPairArray(std::size_t rows, std::size_t cols, const PcmArrayConfig& config);
+
+  std::size_t rows() const { return gplus_.rows(); }
+  std::size_t cols() const { return gplus_.cols(); }
+
+  /// Differential read: y = (G+ - G-) x, two analog forwards.
+  void forward(std::span<const float> x, std::span<float> y);
+
+  /// Transpose differential read.
+  void backward(std::span<const float> dy, std::span<float> dx);
+
+  /// Stochastic pulsed rank-1 update: positive desired increments go to G+,
+  /// negative ones to G- (both as potentiation pulses).
+  void pulsed_update(std::span<const float> x, std::span<const float> d, float lr);
+
+  /// Occasional RESET: melt-quench both devices of every pair and reprogram
+  /// only the difference (keeps w, restores saturation headroom).
+  void reset_and_reprogram();
+
+  /// Advance time by dt_seconds; every conductance drifts by
+  /// (t_new / t_old)^-nu with its own nu. Time starts at t0 = 1 s after
+  /// programming, the convention used in drift measurements.
+  void advance_time(double dt_seconds);
+
+  /// Mean saturation level: fraction of pairs where either device is within
+  /// 5% of its max conductance (the trigger metric for resets).
+  double saturation_fraction() const;
+
+  Matrix weights_snapshot() const;
+  void program(const Matrix& target);
+
+  double elapsed_seconds() const { return time_s_; }
+
+ private:
+  PcmArrayConfig config_;
+  AnalogMatrix gplus_;
+  AnalogMatrix gminus_;
+  Matrix nu_;       // per-pair drift exponent (applied to both devices)
+  double time_s_ = 1.0;
+  Rng rng_;
+};
+
+/// LinearOps adapter: counts updates, fires periodic resets, and optionally
+/// applies the digital drift-compensation scale to every forward read.
+class PcmLinear final : public nn::LinearOps {
+ public:
+  struct Config {
+    PcmArrayConfig array;
+    int reset_every = 2000;       // updates between resets (0 = never)
+    bool drift_compensation = false;
+  };
+
+  PcmLinear(std::size_t out_dim, std::size_t in_dim, const Config& config,
+            Rng& init_rng);
+
+  std::size_t out_dim() const override { return array_.rows(); }
+  std::size_t in_dim() const override { return array_.cols(); }
+
+  void forward(std::span<const float> x, std::span<float> y) override;
+  void backward(std::span<const float> dy, std::span<float> dx) override;
+  void update(std::span<const float> x, std::span<const float> dy, float lr) override;
+
+  Matrix weights() const override { return array_.weights_snapshot(); }
+  void set_weights(const Matrix& w) override;
+
+  PcmPairArray& array() { return array_; }
+
+  /// Current compensation scale (1.0 right after programming; grows as the
+  /// array drifts). Exposed for the drift experiment.
+  double compensation_scale();
+
+  static nn::LinearOpsFactory factory(const Config& config, Rng& rng);
+
+ private:
+  double probe() ;
+
+  Config config_;
+  PcmPairArray array_;
+  std::size_t update_count_ = 0;
+  double baseline_probe_ = 0.0;
+};
+
+}  // namespace enw::analog

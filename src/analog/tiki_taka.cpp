@@ -1,0 +1,106 @@
+#include "analog/tiki_taka.h"
+
+#include "core/check.h"
+#include "tensor/ops.h"
+
+namespace enw::analog {
+
+TikiTakaLinear::TikiTakaLinear(std::size_t out_dim, std::size_t in_dim,
+                               const TikiTakaConfig& config, Rng& init_rng)
+    : config_(config),
+      a_(out_dim, in_dim,
+         [&] {
+           AnalogMatrixConfig c = config.array;
+           c.seed = init_rng.engine()();
+           return c;
+         }()),
+      c_(out_dim, in_dim, [&] {
+        AnalogMatrixConfig c = config.array;
+        c.seed = init_rng.engine()();
+        return c;
+      }()) {
+  ENW_CHECK(config.transfer_every > 0);
+  ENW_CHECK(config.transfer_lr > 0.0f);
+  ref_a_ = zero_shift_calibrate(a_);
+  ref_c_ = zero_shift_calibrate(c_);
+  // The effective initial weight comes from C; A starts at zero (its
+  // symmetry point, where calibration just left it).
+  Matrix init = Matrix::kaiming(out_dim, in_dim, in_dim, init_rng);
+  init += ref_c_;
+  c_.program(init);
+}
+
+void TikiTakaLinear::forward(std::span<const float> x, std::span<float> y) {
+  Vector ya(out_dim(), 0.0f);
+  a_.forward(x, ya);
+  c_.forward(x, y);
+  const Vector ra = matvec(ref_a_, x);
+  const Vector rc = matvec(ref_c_, x);
+  for (std::size_t i = 0; i < y.size(); ++i) {
+    y[i] = config_.gamma * (ya[i] - ra[i]) + (y[i] - rc[i]);
+  }
+}
+
+void TikiTakaLinear::backward(std::span<const float> dy, std::span<float> dx) {
+  Vector xa(in_dim(), 0.0f);
+  a_.backward(dy, xa);
+  c_.backward(dy, dx);
+  const Vector ra = matvec_transposed(ref_a_, dy);
+  const Vector rc = matvec_transposed(ref_c_, dy);
+  for (std::size_t i = 0; i < dx.size(); ++i) {
+    dx[i] = config_.gamma * (xa[i] - ra[i]) + (dx[i] - rc[i]);
+  }
+}
+
+void TikiTakaLinear::update(std::span<const float> x, std::span<const float> dy,
+                            float lr) {
+  a_.pulsed_update(x, dy, lr);
+  if (++update_count_ % static_cast<std::size_t>(config_.transfer_every) == 0) {
+    transfer_column();
+  }
+}
+
+void TikiTakaLinear::transfer_column() {
+  // Read column j of A with a one-hot forward (a genuine crossbar read,
+  // including read noise), then push it into the same column of C.
+  const std::size_t j = next_column_;
+  next_column_ = (next_column_ + 1) % in_dim();
+  ++transfers_;
+
+  Vector onehot(in_dim(), 0.0f);
+  onehot[j] = 1.0f;
+  Vector v(out_dim(), 0.0f);
+  a_.forward(onehot, v);
+  for (std::size_t r = 0; r < out_dim(); ++r) v[r] -= ref_a_(r, j);
+
+  // C[:, j] += transfer_lr * v  <=>  pulsed_update with d = -v, x = onehot.
+  Vector d(out_dim());
+  for (std::size_t r = 0; r < out_dim(); ++r) d[r] = -v[r];
+  c_.pulsed_update(onehot, d, config_.transfer_lr);
+}
+
+Matrix TikiTakaLinear::weights() const {
+  Matrix wa = a_.weights_snapshot();
+  wa -= ref_a_;
+  Matrix wc = c_.weights_snapshot();
+  wc -= ref_c_;
+  wa *= config_.gamma;
+  wc += wa;
+  return wc;
+}
+
+void TikiTakaLinear::set_weights(const Matrix& w) {
+  Matrix target = w;
+  target += ref_c_;
+  c_.program(target);
+  // Return A to its symmetry points.
+  a_.program(ref_a_);
+}
+
+nn::LinearOpsFactory TikiTakaLinear::factory(const TikiTakaConfig& config, Rng& rng) {
+  return [config, &rng](std::size_t out, std::size_t in) {
+    return std::make_unique<TikiTakaLinear>(out, in, config, rng);
+  };
+}
+
+}  // namespace enw::analog

@@ -1,0 +1,69 @@
+// Tiki-Taka training algorithm for asymmetric resistive devices (Sec.
+// II-B.5, ref [35]).
+//
+// Plain analog SGD fails on asymmetric devices because the up/down mismatch
+// acts as an implicit penalty term that drags weights toward each device's
+// symmetry point. Tiki-Taka splits the weight into a coupled system of two
+// arrays: W = gamma * A + C.
+//
+//   * A (the "fast" array) receives every stochastic rank-1 gradient update.
+//     It is zero-shifted, so its device asymmetry pulls it toward zero —
+//     turning the harmful bias into a benign decay.
+//   * C (the "slow" array) receives information transferred from A: every
+//     `transfer_every` updates, one column of A is read (a regular crossbar
+//     forward with a one-hot input) and applied to the same column of C as
+//     a pulsed update.
+//
+// A thus integrates (and low-pass filters) the gradient while C accumulates
+// its persistent component; the paper reports training indistinguishable
+// from symmetric ideal devices, which bench_tiki_taka reproduces.
+#pragma once
+
+#include "analog/analog_linear.h"
+#include "analog/analog_matrix.h"
+#include "nn/linear_ops.h"
+
+namespace enw::analog {
+
+struct TikiTakaConfig {
+  AnalogMatrixConfig array;     // device/array model for both A and C
+  float gamma = 0.5f;           // weight of the fast array in W
+  int transfer_every = 2;       // rank-1 updates between column transfers
+  float transfer_lr = 0.1f;     // learning rate of the A -> C transfer
+};
+
+class TikiTakaLinear final : public nn::LinearOps {
+ public:
+  TikiTakaLinear(std::size_t out_dim, std::size_t in_dim, const TikiTakaConfig& config,
+                 Rng& init_rng);
+
+  std::size_t out_dim() const override { return a_.rows(); }
+  std::size_t in_dim() const override { return a_.cols(); }
+
+  void forward(std::span<const float> x, std::span<float> y) override;
+  void backward(std::span<const float> dy, std::span<float> dx) override;
+  void update(std::span<const float> x, std::span<const float> dy, float lr) override;
+
+  Matrix weights() const override;
+  void set_weights(const Matrix& w) override;
+
+  AnalogMatrix& fast_array() { return a_; }
+  AnalogMatrix& slow_array() { return c_; }
+  std::size_t transfers_done() const { return transfers_; }
+
+  static nn::LinearOpsFactory factory(const TikiTakaConfig& config, Rng& rng);
+
+ private:
+  void transfer_column();
+
+  TikiTakaConfig config_;
+  AnalogMatrix a_;
+  AnalogMatrix c_;
+  Matrix ref_a_;  // symmetry points of A (differential-read reference)
+  Matrix ref_c_;  // symmetry points of C
+  std::size_t update_count_ = 0;
+  std::size_t transfers_ = 0;
+  std::size_t next_column_ = 0;
+};
+
+}  // namespace enw::analog

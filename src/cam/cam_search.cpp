@@ -1,0 +1,158 @@
+#include "cam/cam_search.h"
+
+#include <cmath>
+#include <map>
+
+#include "core/check.h"
+#include "perf/tech_constants.h"
+
+namespace enw::cam {
+
+LshTcamSearch::LshTcamSearch(std::size_t planes, std::size_t dim, Rng& rng,
+                             CellTech tech, double sense_noise, std::size_t knn)
+    : encoder_(planes, dim, rng),
+      array_(planes, tech),
+      sense_noise_(sense_noise),
+      knn_(knn),
+      rng_(rng.engine()()) {
+  ENW_CHECK_MSG(knn >= 1, "knn must be >= 1");
+  name_ = std::string("LSH-") + std::to_string(planes) + "b TCAM (" +
+          cell_tech_name(tech) + (knn > 1 ? ", " + std::to_string(knn) + "-NN" : "") +
+          ")";
+}
+
+void LshTcamSearch::clear() {
+  array_.clear();
+  labels_.clear();
+}
+
+void LshTcamSearch::add(std::span<const float> key, std::size_t label) {
+  array_.store(encoder_.encode(key));
+  labels_.push_back(label);
+}
+
+std::size_t LshTcamSearch::predict(std::span<const float> key) {
+  ENW_CHECK_MSG(!labels_.empty(), "predict on empty memory");
+  const BitVector sig = encoder_.encode(key);
+  if (knn_ == 1) {
+    const NearestMatch m = array_.search_nearest(sig, sense_noise_, &rng_);
+    return labels_[m.row];
+  }
+  const auto neighbours = array_.search_knn(sig, knn_, sense_noise_, &rng_);
+  std::map<std::size_t, std::size_t> votes;
+  for (const auto& n : neighbours) votes[labels_[n.row]]++;
+  std::size_t best_label = labels_[neighbours.front().row];
+  std::size_t best_votes = 0;
+  for (const auto& [label, v] : votes) {
+    if (v > best_votes) {
+      best_votes = v;
+      best_label = label;
+    }
+  }
+  return best_label;
+}
+
+const char* LshTcamSearch::name() const { return name_.c_str(); }
+
+perf::Cost LshTcamSearch::query_cost() const {
+  // knn parallel searches (the encoder MACs replace the CNN's final FC
+  // layer, so their cost belongs to the network, not the memory search).
+  perf::Cost one = array_.search_cost();
+  one.latency_ns *= static_cast<double>(knn_);
+  one.energy_pj *= static_cast<double>(knn_);
+  return one;
+}
+
+ReneTcamSearch::ReneTcamSearch(int bits, std::size_t dim, double lo, double hi,
+                               CellTech tech, bool refine_l2)
+    : encoder_(bits, dim, lo, hi),
+      array_(encoder_.word_width(), tech),
+      refine_l2_(refine_l2) {
+  name_ = std::string("RENE-") + std::to_string(bits) + "b " +
+          (refine_l2 ? "Linf+L2" : "Linf") + " TCAM (" + cell_tech_name(tech) + ")";
+}
+
+void ReneTcamSearch::clear() {
+  array_.clear();
+  stored_codes_.clear();
+  labels_.clear();
+}
+
+void ReneTcamSearch::add(std::span<const float> key, std::size_t label) {
+  array_.store(encoder_.encode_point(key));
+  stored_codes_.push_back(encoder_.quantize(key));
+  labels_.push_back(label);
+}
+
+std::size_t ReneTcamSearch::predict(std::span<const float> key) {
+  ENW_CHECK_MSG(!labels_.empty(), "predict on empty memory");
+  ++queries_;
+  const auto qcodes = encoder_.quantize(key);
+  const TernaryWord point = encoder_.encode_point(key);
+  for (int mask = 0; mask <= encoder_.bits(); ++mask) {
+    const TernaryWord cube = encoder_.encode_cube(key, mask);
+    ++lookups_;
+    const auto hits = array_.search_match(cube);
+    if (hits.empty()) continue;
+    if (hits.size() == 1) return labels_[hits.front()];
+    if (!refine_l2_) {
+      // Pure-Linf mode: candidates inside the matched cube are
+      // Linf-equivalent as far as the cube can tell; break the tie with the
+      // match-line degree of match (Gray-code Hamming distance to the
+      // query), which the same search senses for free.
+      std::size_t best = hits.front();
+      std::size_t best_d = array_.row_distance(best, point.bits);
+      for (std::size_t h : hits) {
+        const std::size_t d = array_.row_distance(h, point.bits);
+        if (d < best_d) {
+          best_d = d;
+          best = h;
+        }
+      }
+      return labels_[best];
+    }
+    // SFU refinement: exact fixed-point L2 among the caught candidates.
+    std::size_t best = hits.front();
+    double best_d2 = 1e300;
+    for (std::size_t h : hits) {
+      double d2 = 0.0;
+      for (std::size_t d = 0; d < qcodes.size(); ++d) {
+        const double diff = static_cast<double>(qcodes[d]) -
+                            static_cast<double>(stored_codes_[h][d]);
+        d2 += diff * diff;
+      }
+      sfu_ops_ += 2 * qcodes.size();
+      if (d2 < best_d2) {
+        best_d2 = d2;
+        best = h;
+      }
+    }
+    return labels_[best];
+  }
+  // A fully-masked cube matches every row; unreachable.
+  return labels_.front();
+}
+
+const char* ReneTcamSearch::name() const { return name_.c_str(); }
+
+double ReneTcamSearch::mean_searches_per_query() const {
+  return queries_ == 0 ? 0.0
+                       : static_cast<double>(lookups_) / static_cast<double>(queries_);
+}
+
+perf::Cost ReneTcamSearch::query_cost() const {
+  const double per_query = queries_ == 0 ? 1.0 : mean_searches_per_query();
+  perf::Cost one = array_.search_cost();
+  perf::Cost c;
+  c.latency_ns = one.latency_ns * per_query;
+  c.energy_pj = one.energy_pj * per_query;
+  if (queries_ > 0) {
+    const double sfu_per_query =
+        static_cast<double>(sfu_ops_) / static_cast<double>(queries_);
+    c.energy_pj += sfu_per_query * perf::kCrossbar.sfu_op_energy_pj;
+    c.latency_ns += sfu_per_query / perf::kCrossbar.sfu_ops_per_ns;
+  }
+  return c;
+}
+
+}  // namespace enw::cam

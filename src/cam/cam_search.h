@@ -1,0 +1,84 @@
+// TCAM-backed SimilaritySearch implementations (Sec. IV-B).
+//
+// LshTcamSearch — hash features to binary signatures (random projections)
+// and find the minimum-Hamming-distance entry with ONE parallel TCAM search
+// using match-line discharge-rate sensing. This is the Fig. 5 pipeline.
+//
+// ReneTcamSearch — quantize features to low-bit fixed point, store BRGC
+// codes, and classify with the expanding-cube search of [48]: issue cube
+// queries of growing L-infinity radius until at least one stored entry
+// matches, then (combined Linf+L2 mode) refine among the caught candidates
+// with an exact fixed-point L2 computed by the near-memory SFU.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "cam/lsh.h"
+#include "cam/range_encoding.h"
+#include "cam/tcam.h"
+#include "mann/similarity_search.h"
+
+namespace enw::cam {
+
+class LshTcamSearch final : public mann::SimilaritySearch {
+ public:
+  /// knn > 1 retrieves the K nearest signatures with K consecutive TCAM
+  /// searches and majority-votes their labels (the Sec. IV-B.1 KNN flow).
+  LshTcamSearch(std::size_t planes, std::size_t dim, Rng& rng,
+                CellTech tech = CellTech::kCmos16T, double sense_noise = 0.0,
+                std::size_t knn = 1);
+
+  void clear() override;
+  void add(std::span<const float> key, std::size_t label) override;
+  std::size_t predict(std::span<const float> key) override;
+  const char* name() const override;
+  perf::Cost query_cost() const override;
+  std::size_t size() const override { return labels_.size(); }
+
+  const LshEncoder& encoder() const { return encoder_; }
+  TcamArray& array() { return array_; }
+
+ private:
+  LshEncoder encoder_;
+  TcamArray array_;
+  std::vector<std::size_t> labels_;
+  double sense_noise_;
+  std::size_t knn_;
+  Rng rng_;
+  std::string name_;
+};
+
+class ReneTcamSearch final : public mann::SimilaritySearch {
+ public:
+  /// refine_l2: after the first non-empty cube, pick the candidate with
+  /// minimum exact (fixed-point) L2 — the combined Linf+L2 metric of [48].
+  /// With refine_l2 == false the first match wins (pure Linf).
+  ReneTcamSearch(int bits, std::size_t dim, double lo, double hi,
+                 CellTech tech = CellTech::kCmos16T, bool refine_l2 = true);
+
+  void clear() override;
+  void add(std::span<const float> key, std::size_t label) override;
+  std::size_t predict(std::span<const float> key) override;
+  const char* name() const override;
+  perf::Cost query_cost() const override;
+  std::size_t size() const override { return labels_.size(); }
+
+  /// Mean number of TCAM lookups needed per query so far.
+  double mean_searches_per_query() const;
+
+  TcamArray& array() { return array_; }
+
+ private:
+  RangeEncoder encoder_;
+  TcamArray array_;
+  std::vector<std::vector<std::uint32_t>> stored_codes_;
+  std::vector<std::size_t> labels_;
+  bool refine_l2_;
+  std::uint64_t queries_ = 0;
+  std::uint64_t lookups_ = 0;
+  std::uint64_t sfu_ops_ = 0;
+  std::string name_;
+};
+
+}  // namespace enw::cam

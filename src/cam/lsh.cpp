@@ -1,0 +1,33 @@
+#include "cam/lsh.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+#include "core/check.h"
+#include "tensor/distance.h"
+#include "tensor/ops.h"
+
+namespace enw::cam {
+
+LshEncoder::LshEncoder(std::size_t planes, std::size_t dim, Rng& rng)
+    : projections_(Matrix::normal(planes, dim, 0.0f, 1.0f, rng)) {
+  ENW_CHECK(planes > 0 && dim > 0);
+}
+
+BitVector LshEncoder::encode(std::span<const float> x) const {
+  ENW_CHECK_MSG(x.size() == dim(), "feature dimension mismatch");
+  const Vector proj = matvec(projections_, x);
+  BitVector sig(planes());
+  for (std::size_t i = 0; i < proj.size(); ++i) sig.set(i, proj[i] >= 0.0f);
+  return sig;
+}
+
+double LshEncoder::expected_hamming(std::span<const float> a,
+                                    std::span<const float> b) const {
+  const double cosv = std::clamp<double>(cosine_similarity(a, b), -1.0, 1.0);
+  const double angle = std::acos(cosv);
+  return static_cast<double>(planes()) * angle / std::numbers::pi;
+}
+
+}  // namespace enw::cam

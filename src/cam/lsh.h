@@ -1,0 +1,35 @@
+// Locality-sensitive hashing with random projections (Sec. IV-B.2).
+//
+// The LSH layer replaces the CNN's last fully connected layer: each of P
+// hyperplanes (rows of a random Gaussian matrix) contributes one signature
+// bit, sign(p . x). For unit vectors, P(bit differs) = angle(x, y) / pi, so
+// the Hamming distance between signatures is an unbiased estimate of the
+// angular (cosine) distance — exactly the property that lets a TCAM's
+// Hamming search stand in for the GPU's cosine search.
+#pragma once
+
+#include "core/bits.h"
+#include "core/rng.h"
+#include "tensor/matrix.h"
+
+namespace enw::cam {
+
+class LshEncoder {
+ public:
+  /// planes: number of signature bits. dim: feature dimensionality.
+  LshEncoder(std::size_t planes, std::size_t dim, Rng& rng);
+
+  std::size_t planes() const { return projections_.rows(); }
+  std::size_t dim() const { return projections_.cols(); }
+
+  BitVector encode(std::span<const float> x) const;
+
+  /// Expected Hamming distance between the signatures of two vectors,
+  /// planes * angle / pi (for analysis/tests).
+  double expected_hamming(std::span<const float> a, std::span<const float> b) const;
+
+ private:
+  Matrix projections_;
+};
+
+}  // namespace enw::cam

@@ -1,0 +1,49 @@
+#include "cam/range_encoding.h"
+
+#include "core/bits.h"
+#include "core/check.h"
+
+namespace enw::cam {
+
+RangeEncoder::RangeEncoder(int bits, std::size_t dims, double lo, double hi)
+    : quantizer_(bits, lo, hi), dims_(dims) {
+  ENW_CHECK(dims > 0);
+}
+
+std::vector<std::uint32_t> RangeEncoder::quantize(std::span<const float> x) const {
+  ENW_CHECK_MSG(x.size() == dims_, "dimension mismatch");
+  std::vector<std::uint32_t> codes(dims_);
+  for (std::size_t i = 0; i < dims_; ++i) codes[i] = quantizer_.quantize(x[i]);
+  return codes;
+}
+
+TernaryWord RangeEncoder::encode_point(std::span<const float> x) const {
+  const auto codes = quantize(x);
+  TernaryWord w(word_width());
+  const int b = bits();
+  for (std::size_t d = 0; d < dims_; ++d) {
+    const std::uint32_t gray = to_gray(codes[d]);
+    for (int i = 0; i < b; ++i) {
+      // MSB first within each coordinate field.
+      w.set(d * static_cast<std::size_t>(b) + static_cast<std::size_t>(i),
+            (gray >> (b - 1 - i)) & 1u);
+    }
+  }
+  return w;
+}
+
+TernaryWord RangeEncoder::encode_cube(std::span<const float> x, int mask_bits) const {
+  ENW_CHECK_MSG(mask_bits >= 0 && mask_bits <= bits(), "mask_bits out of range");
+  TernaryWord w = encode_point(x);
+  const int b = bits();
+  for (std::size_t d = 0; d < dims_; ++d) {
+    for (int i = 0; i < mask_bits; ++i) {
+      // Mask the LOW Gray bits: positions at the end of the field.
+      w.set_dont_care(d * static_cast<std::size_t>(b) +
+                      static_cast<std::size_t>(b - 1 - i));
+    }
+  }
+  return w;
+}
+
+}  // namespace enw::cam

@@ -1,0 +1,57 @@
+// BRGC range encoding for TCAM similarity search (RENE, refs [53][54],
+// applied to MANNs in [48] — Sec. IV-B.1).
+//
+// Coordinates are quantized to `bits`-bit fixed point and stored as binary
+// reflected Gray codes. A query for "all points within L-infinity radius r
+// of v" is issued as a ternary word: for each coordinate, the low
+// ceil(log2(2r+1)) Gray bits are masked to don't-care, which matches the
+// aligned BRGC cube of that size containing v (the expansion-free
+// approximation of RENE — a cube that contains the query point but is not
+// exactly centered on it, which is why the search expands the radius until
+// a neighbour is caught).
+//
+// The expanding-cube KNN search and the combined Linf+L2 refinement of
+// [48]/[49] are built on top in cam_search.h.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "cam/tcam.h"
+#include "core/fixed_point.h"
+
+namespace enw::cam {
+
+class RangeEncoder {
+ public:
+  /// bits per coordinate; dims coordinates per vector. Values are expected
+  /// in [lo, hi] and quantized uniformly.
+  RangeEncoder(int bits, std::size_t dims, double lo, double hi);
+
+  int bits() const { return quantizer_.bits; }
+  std::size_t dims() const { return dims_; }
+  std::size_t word_width() const { return dims_ * static_cast<std::size_t>(bits()); }
+
+  /// Quantize a real vector to per-coordinate codes.
+  std::vector<std::uint32_t> quantize(std::span<const float> x) const;
+
+  /// Fully-specified stored word: Gray code of every coordinate.
+  TernaryWord encode_point(std::span<const float> x) const;
+
+  /// Ternary cube query: coordinate i's low mask_bits Gray bits become X.
+  /// mask_bits == 0 is an exact-match query; mask_bits == bits() matches
+  /// everything in that coordinate.
+  TernaryWord encode_cube(std::span<const float> x, int mask_bits) const;
+
+  /// Dequantized value of coordinate code (for SFU-side exact refinement).
+  double dequantize(std::uint32_t code) const { return quantizer_.dequantize(code); }
+
+  const UnsignedQuantizer& quantizer() const { return quantizer_; }
+
+ private:
+  UnsignedQuantizer quantizer_;
+  std::size_t dims_;
+};
+
+}  // namespace enw::cam

@@ -1,0 +1,143 @@
+#include "cam/tcam.h"
+
+#include <cmath>
+
+#include "core/check.h"
+#include "perf/tech_constants.h"
+
+namespace enw::cam {
+
+const char* cell_tech_name(CellTech t) {
+  switch (t) {
+    case CellTech::kCmos16T: return "16T-CMOS";
+    case CellTech::kFeFet2T: return "2-FeFET";
+  }
+  return "?";
+}
+
+TcamArray::TcamArray(std::size_t width, CellTech tech) : width_(width), tech_(tech) {
+  ENW_CHECK(width > 0);
+}
+
+void TcamArray::clear() { rows_.clear(); }
+
+void TcamArray::store(const TernaryWord& word) {
+  ENW_CHECK_MSG(word.width() == width_, "word width mismatch");
+  rows_.push_back(word);
+}
+
+void TcamArray::store(const BitVector& bits) {
+  ENW_CHECK_MSG(bits.size() == width_, "word width mismatch");
+  TernaryWord w(width_);
+  for (std::size_t i = 0; i < width_; ++i) w.set(i, bits.get(i));
+  rows_.push_back(w);
+}
+
+std::vector<std::size_t> TcamArray::search_match(const TernaryWord& query) {
+  ENW_CHECK_MSG(query.width() == width_, "query width mismatch");
+  account_search();
+  std::vector<std::size_t> hits;
+  for (std::size_t r = 0; r < rows_.size(); ++r) {
+    const TernaryWord& row = rows_[r];
+    bool match = true;
+    for (std::size_t i = 0; i < width_ && match; ++i) {
+      if (row.cared(i) && query.cared(i) && row.bits.get(i) != query.bits.get(i)) {
+        match = false;
+      }
+    }
+    if (match) hits.push_back(r);
+  }
+  return hits;
+}
+
+std::size_t TcamArray::row_distance(std::size_t r, const BitVector& query) const {
+  ENW_CHECK(r < rows_.size());
+  ENW_CHECK_MSG(query.size() == width_, "query width mismatch");
+  const TernaryWord& row = rows_[r];
+  std::size_t d = 0;
+  for (std::size_t i = 0; i < width_; ++i) {
+    if (row.cared(i) && row.bits.get(i) != query.get(i)) ++d;
+  }
+  return d;
+}
+
+NearestMatch TcamArray::search_nearest(const BitVector& query, double sense_noise,
+                                       Rng* rng) {
+  ENW_CHECK_MSG(!rows_.empty(), "nearest search on empty array");
+  account_search();
+  NearestMatch best;
+  double best_sensed = 1e30;
+  for (std::size_t r = 0; r < rows_.size(); ++r) {
+    const std::size_t d = row_distance(r, query);
+    double sensed = static_cast<double>(d);
+    if (sense_noise > 0.0 && rng != nullptr) {
+      sensed += sense_noise * rng->normal();
+    }
+    if (sensed < best_sensed) {
+      best_sensed = sensed;
+      best.row = r;
+      best.distance = d;
+    }
+  }
+  return best;
+}
+
+std::vector<NearestMatch> TcamArray::search_knn(const BitVector& query, std::size_t k,
+                                                double sense_noise, Rng* rng) {
+  ENW_CHECK_MSG(!rows_.empty(), "knn search on empty array");
+  k = std::min(k, rows_.size());
+  std::vector<bool> excluded(rows_.size(), false);
+  std::vector<NearestMatch> out;
+  out.reserve(k);
+  for (std::size_t round = 0; round < k; ++round) {
+    account_search();  // one parallel search per retrieved neighbour
+    NearestMatch best;
+    double best_sensed = 1e300;
+    bool found = false;
+    for (std::size_t r = 0; r < rows_.size(); ++r) {
+      if (excluded[r]) continue;
+      const std::size_t d = row_distance(r, query);
+      double sensed = static_cast<double>(d);
+      if (sense_noise > 0.0 && rng != nullptr) sensed += sense_noise * rng->normal();
+      if (sensed < best_sensed) {
+        best_sensed = sensed;
+        best.row = r;
+        best.distance = d;
+        found = true;
+      }
+    }
+    if (!found) break;
+    excluded[best.row] = true;
+    out.push_back(best);
+  }
+  return out;
+}
+
+perf::Cost TcamArray::search_cost() const {
+  const double cells = static_cast<double>(rows_.size()) * static_cast<double>(width_);
+  perf::Cost c;
+  switch (tech_) {
+    case CellTech::kCmos16T: {
+      const auto& t = perf::kCmosTcam;
+      c.energy_pj = cells * t.cell_search_energy_fj * 1e-3 +
+                    static_cast<double>(rows_.size()) * t.sense_energy_pj;
+      c.latency_ns = t.search_latency_ns + t.periphery_latency_ns;
+      break;
+    }
+    case CellTech::kFeFet2T: {
+      const auto& t = perf::kFeFetTcam;
+      c.energy_pj = cells * t.cell_search_energy_fj * 1e-3 +
+                    static_cast<double>(rows_.size()) * t.sense_energy_pj;
+      c.latency_ns = t.search_latency_ns + t.periphery_latency_ns;
+      break;
+    }
+  }
+  return c;
+}
+
+void TcamArray::account_search() {
+  ++stats_.searches;
+  stats_.total += search_cost();
+}
+
+}  // namespace enw::cam

@@ -1,0 +1,117 @@
+// Ternary content-addressable memory array model (Sec. IV).
+//
+// A TCAM compares a query word against every stored word in one parallel
+// search. Each cell stores 0, 1, or X ("don't care"); queries may also
+// carry X bits (global masking), which range encoding exploits. Two search
+// modes are modeled:
+//
+//   * exact/ternary match — the classical TCAM operation: a row matches if
+//     every cared-about bit agrees. Used by RENE-style cube queries.
+//   * nearest match — the approximate-search extension: match lines
+//     discharge at a rate proportional to the number of mismatched bits, so
+//     sensing the discharge order yields the row with minimum Hamming
+//     distance ("degree of match", refs [48][55]). Used by the LSH scheme.
+//
+// Energy/latency use per-cell constants for either a 16T CMOS cell or the
+// 2-FeFET cell of Ni et al. [9].
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+#include "core/bits.h"
+#include "core/rng.h"
+#include "perf/op_counter.h"
+
+namespace enw::cam {
+
+enum class CellTech { kCmos16T, kFeFet2T };
+
+const char* cell_tech_name(CellTech t);
+
+/// A stored or query word: value bits plus a care mask (care=0 means X).
+struct TernaryWord {
+  BitVector bits;
+  BitVector care;
+
+  TernaryWord() = default;
+  explicit TernaryWord(std::size_t width) : bits(width), care(width) {
+    for (std::size_t i = 0; i < width; ++i) care.set(i, true);
+  }
+
+  std::size_t width() const { return bits.size(); }
+
+  void set(std::size_t i, bool v) {
+    bits.set(i, v);
+    care.set(i, true);
+  }
+  void set_dont_care(std::size_t i) {
+    bits.set(i, false);
+    care.set(i, false);
+  }
+  bool cared(std::size_t i) const { return care.get(i); }
+};
+
+/// Result of a nearest-match search.
+struct NearestMatch {
+  std::size_t row = 0;
+  std::size_t distance = 0;
+};
+
+struct TcamSearchStats {
+  std::uint64_t searches = 0;
+  perf::Cost total;
+};
+
+class TcamArray {
+ public:
+  TcamArray(std::size_t width, CellTech tech = CellTech::kCmos16T);
+
+  std::size_t width() const { return width_; }
+  std::size_t rows() const { return rows_.size(); }
+  CellTech tech() const { return tech_; }
+
+  void clear();
+  void store(const TernaryWord& word);
+  /// Convenience: store a fully-specified binary word.
+  void store(const BitVector& bits);
+
+  /// Ternary match: rows agreeing with the query on every position where
+  /// BOTH the row and the query care. One parallel search.
+  std::vector<std::size_t> search_match(const TernaryWord& query);
+
+  /// Degree-of-match search: row with minimum Hamming distance to the
+  /// query over the row's cared bits. With sense_noise > 0, the measured
+  /// discharge rates are perturbed (stddev in bit units), modeling
+  /// analog match-line sensing error. One parallel search.
+  NearestMatch search_nearest(const BitVector& query, double sense_noise = 0.0,
+                              Rng* rng = nullptr);
+
+  /// K nearest rows by Hamming distance. With binary match comparators a
+  /// TCAM finds one winner per reference, so K nearest costs K consecutive
+  /// searches (each previous winner masked out) — exactly the overhead
+  /// Sec. IV-B.1 calls out for KNN on TCAMs. Results are ordered
+  /// nearest-first; k is clamped to rows().
+  std::vector<NearestMatch> search_knn(const BitVector& query, std::size_t k,
+                                       double sense_noise = 0.0, Rng* rng = nullptr);
+
+  /// Hamming distance of the query to row r (over the row's cared bits).
+  std::size_t row_distance(std::size_t r, const BitVector& query) const;
+
+  /// Cost of one parallel search on this array (all cells evaluate).
+  perf::Cost search_cost() const;
+
+  const TcamSearchStats& stats() const { return stats_; }
+  void reset_stats() { stats_ = {}; }
+
+ private:
+  void account_search();
+
+  std::size_t width_;
+  CellTech tech_;
+  std::vector<TernaryWord> rows_;
+  TcamSearchStats stats_;
+};
+
+}  // namespace enw::cam

@@ -1,0 +1,73 @@
+// Bit-level utilities shared by the CAM/TCAM and LSH modules.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <vector>
+
+#include "core/check.h"
+
+namespace enw {
+
+/// Dense bit vector with popcount-based Hamming distance. Bits beyond
+/// size() are kept zero so whole-word operations stay correct.
+class BitVector {
+ public:
+  BitVector() = default;
+  explicit BitVector(std::size_t n_bits) : n_(n_bits), words_((n_bits + 63) / 64, 0) {}
+
+  std::size_t size() const { return n_; }
+
+  bool get(std::size_t i) const {
+    ENW_CHECK(i < n_);
+    return (words_[i / 64] >> (i % 64)) & 1u;
+  }
+
+  void set(std::size_t i, bool v) {
+    ENW_CHECK(i < n_);
+    const std::uint64_t mask = 1ULL << (i % 64);
+    if (v)
+      words_[i / 64] |= mask;
+    else
+      words_[i / 64] &= ~mask;
+  }
+
+  /// Number of set bits.
+  std::size_t popcount() const {
+    std::size_t c = 0;
+    for (auto w : words_) c += static_cast<std::size_t>(std::popcount(w));
+    return c;
+  }
+
+  /// Hamming distance to another vector of equal length.
+  std::size_t hamming(const BitVector& other) const {
+    ENW_CHECK_MSG(n_ == other.n_, "Hamming distance requires equal lengths");
+    std::size_t d = 0;
+    for (std::size_t i = 0; i < words_.size(); ++i) {
+      d += static_cast<std::size_t>(std::popcount(words_[i] ^ other.words_[i]));
+    }
+    return d;
+  }
+
+  bool operator==(const BitVector& other) const {
+    return n_ == other.n_ && words_ == other.words_;
+  }
+
+  const std::vector<std::uint64_t>& words() const { return words_; }
+
+ private:
+  std::size_t n_ = 0;
+  std::vector<std::uint64_t> words_;
+};
+
+/// Binary-reflected Gray code of x.
+inline std::uint32_t to_gray(std::uint32_t x) { return x ^ (x >> 1); }
+
+/// Inverse of to_gray.
+inline std::uint32_t from_gray(std::uint32_t g) {
+  std::uint32_t x = g;
+  for (std::uint32_t shift = 1; shift < 32; shift <<= 1) x ^= x >> shift;
+  return x;
+}
+
+}  // namespace enw

@@ -1,0 +1,34 @@
+// Lightweight runtime contract checking used across the library.
+//
+// ENW_CHECK enforces preconditions/invariants that guard against API misuse
+// (dimension mismatches, out-of-range arguments). Violations throw
+// std::invalid_argument so tests can assert on them; they are programming
+// errors, not recoverable conditions, but throwing keeps the library usable
+// from long-running hosts.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace enw {
+
+[[noreturn]] inline void fail_check(const char* expr, const char* file, int line,
+                                    const std::string& msg) {
+  std::ostringstream os;
+  os << file << ":" << line << ": check failed: " << expr;
+  if (!msg.empty()) os << " — " << msg;
+  throw std::invalid_argument(os.str());
+}
+
+}  // namespace enw
+
+#define ENW_CHECK(cond)                                        \
+  do {                                                         \
+    if (!(cond)) ::enw::fail_check(#cond, __FILE__, __LINE__, ""); \
+  } while (false)
+
+#define ENW_CHECK_MSG(cond, msg)                                  \
+  do {                                                            \
+    if (!(cond)) ::enw::fail_check(#cond, __FILE__, __LINE__, (msg)); \
+  } while (false)

@@ -1,0 +1,83 @@
+// Fixed-point quantization helpers.
+//
+// The CAM-based MANN work (Sec. IV) converts floating-point feature vectors
+// to low-bit fixed point before range-encoding them for TCAM search, and the
+// quantized-inference experiments (Sec. II) need symmetric integer
+// quantization. These helpers implement both directions with explicit
+// saturation so behaviour at the representable edges is well-defined.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "core/check.h"
+
+namespace enw {
+
+/// Symmetric uniform quantizer mapping reals in [-clip, clip] to signed
+/// integers with the given number of bits (2..16).
+struct SymmetricQuantizer {
+  int bits = 8;
+  double clip = 1.0;
+
+  SymmetricQuantizer(int bits_, double clip_) : bits(bits_), clip(clip_) {
+    ENW_CHECK_MSG(bits >= 2 && bits <= 16, "bits must be in [2, 16]");
+    ENW_CHECK_MSG(clip > 0.0, "clip must be positive");
+  }
+
+  /// Largest representable level, e.g. 127 for 8 bits.
+  std::int32_t qmax() const { return (1 << (bits - 1)) - 1; }
+
+  std::int32_t quantize(double x) const {
+    const double scaled = x / clip * qmax();
+    const double r = std::nearbyint(scaled);
+    return static_cast<std::int32_t>(
+        std::clamp(r, -static_cast<double>(qmax()), static_cast<double>(qmax())));
+  }
+
+  double dequantize(std::int32_t q) const {
+    return static_cast<double>(q) * clip / qmax();
+  }
+
+  /// Round-trip a real value through the quantizer.
+  double apply(double x) const { return dequantize(quantize(x)); }
+};
+
+/// Unsigned fixed-point quantizer mapping [lo, hi] to [0, 2^bits - 1].
+/// Used to prepare feature coordinates for BRGC range encoding, which
+/// operates on unsigned codes.
+struct UnsignedQuantizer {
+  int bits = 4;
+  double lo = 0.0;
+  double hi = 1.0;
+
+  UnsignedQuantizer(int bits_, double lo_, double hi_) : bits(bits_), lo(lo_), hi(hi_) {
+    ENW_CHECK_MSG(bits >= 1 && bits <= 16, "bits must be in [1, 16]");
+    ENW_CHECK_MSG(hi > lo, "range must be non-empty");
+  }
+
+  std::uint32_t levels() const { return 1u << bits; }
+
+  std::uint32_t quantize(double x) const {
+    const double t = (x - lo) / (hi - lo) * (levels() - 1);
+    const double r = std::nearbyint(t);
+    return static_cast<std::uint32_t>(
+        std::clamp(r, 0.0, static_cast<double>(levels() - 1)));
+  }
+
+  double dequantize(std::uint32_t q) const {
+    return lo + static_cast<double>(q) * (hi - lo) / (levels() - 1);
+  }
+};
+
+/// Quantize a whole vector with a shared unsigned quantizer.
+inline std::vector<std::uint32_t> quantize_vector(const UnsignedQuantizer& q,
+                                                  const std::vector<float>& x) {
+  std::vector<std::uint32_t> out(x.size());
+  for (std::size_t i = 0; i < x.size(); ++i) out[i] = q.quantize(x[i]);
+  return out;
+}
+
+}  // namespace enw

@@ -1,0 +1,91 @@
+#include "core/rng.h"
+
+#include <cmath>
+
+#include "core/check.h"
+
+namespace enw {
+
+std::size_t Rng::index(std::size_t n) {
+  ENW_CHECK_MSG(n > 0, "Rng::index requires n > 0");
+  std::uniform_int_distribution<std::size_t> dist(0, n - 1);
+  return dist(engine_);
+}
+
+std::int64_t Rng::integer(std::int64_t lo, std::int64_t hi) {
+  ENW_CHECK_MSG(lo <= hi, "Rng::integer requires lo <= hi");
+  std::uniform_int_distribution<std::int64_t> dist(lo, hi);
+  return dist(engine_);
+}
+
+std::vector<std::size_t> Rng::permutation(std::size_t n) {
+  std::vector<std::size_t> p(n);
+  for (std::size_t i = 0; i < n; ++i) p[i] = i;
+  for (std::size_t i = n; i > 1; --i) {
+    const std::size_t j = index(i);
+    std::swap(p[i - 1], p[j]);
+  }
+  return p;
+}
+
+std::vector<std::size_t> Rng::sample_without_replacement(std::size_t n, std::size_t k) {
+  ENW_CHECK_MSG(k <= n, "cannot sample more items than the population");
+  // Selection sampling (Knuth algorithm S): O(n) but no allocation of a full
+  // permutation; fine for the sizes used in episode sampling.
+  std::vector<std::size_t> out;
+  out.reserve(k);
+  std::size_t remaining = n;
+  std::size_t needed = k;
+  for (std::size_t i = 0; i < n && needed > 0; ++i) {
+    if (uniform() * static_cast<double>(remaining) < static_cast<double>(needed)) {
+      out.push_back(i);
+      --needed;
+    }
+    --remaining;
+  }
+  return out;
+}
+
+Rng Rng::fork() {
+  // Draw two words from this stream to seed the child so sibling forks differ.
+  const std::uint64_t a = engine_();
+  const std::uint64_t b = engine_();
+  return Rng(a ^ (b << 1) ^ 0x9e37'79b9'7f4a'7c15ULL);
+}
+
+ZipfSampler::ZipfSampler(std::size_t n, double s) : n_(n), s_(s) {
+  ENW_CHECK_MSG(n > 0, "ZipfSampler requires a non-empty domain");
+  ENW_CHECK_MSG(s >= 0.0, "Zipf exponent must be non-negative");
+  h_x1_ = h(1.5) - 1.0;
+  h_n_ = h(static_cast<double>(n) + 0.5);
+  c_ = 2.0 - h_inverse(h(2.5) - std::pow(2.0, -s_));
+}
+
+double ZipfSampler::h(double x) const {
+  // Antiderivative of x^-s (handles s == 1 as log).
+  if (std::abs(s_ - 1.0) < 1e-12) return std::log(x);
+  return std::pow(x, 1.0 - s_) / (1.0 - s_);
+}
+
+double ZipfSampler::h_inverse(double x) const {
+  if (std::abs(s_ - 1.0) < 1e-12) return std::exp(x);
+  return std::pow((1.0 - s_) * x, 1.0 / (1.0 - s_));
+}
+
+std::size_t ZipfSampler::sample(Rng& rng) const {
+  if (n_ == 1) return 0;
+  if (s_ == 0.0) return rng.index(n_);
+  // Rejection-inversion (Hörmann & Derflinger). Ranks are 1-based internally.
+  for (;;) {
+    const double u = h_n_ + rng.uniform() * (h_x1_ - h_n_);
+    const double x = h_inverse(u);
+    double k = std::floor(x + 0.5);
+    if (k < 1.0) k = 1.0;
+    if (k > static_cast<double>(n_)) k = static_cast<double>(n_);
+    if (k - x <= c_ || u >= h(k + 0.5) - std::pow(k, -s_)) {
+      return static_cast<std::size_t>(k) - 1;
+    }
+  }
+}
+
+}  // namespace enw

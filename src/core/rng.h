@@ -1,0 +1,87 @@
+// Deterministic random number generation.
+//
+// All stochastic components in the library (device noise, pulse trains,
+// dataset synthesis, workload generators) draw from an explicitly seeded
+// Rng instance so every experiment is reproducible bit-for-bit. Never use
+// std::rand or an unseeded engine anywhere in the library.
+#pragma once
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+namespace enw {
+
+/// Seeded pseudo-random source with the distribution helpers the library
+/// needs. Copyable (copies fork the stream state).
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x5eed'c0de'1234'5678ULL) : engine_(seed) {}
+
+  /// Uniform in [0, 1).
+  double uniform() { return unit_(engine_); }
+
+  /// Uniform in [lo, hi).
+  double uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
+
+  /// Standard normal (mean 0, stddev 1).
+  double normal() { return normal_(engine_); }
+
+  /// Normal with given mean and stddev.
+  double normal(double mean, double stddev) { return mean + stddev * normal(); }
+
+  /// True with probability p (clamped to [0, 1]).
+  bool bernoulli(double p) {
+    if (p <= 0.0) return false;
+    if (p >= 1.0) return true;
+    return uniform() < p;
+  }
+
+  /// Uniform integer in [0, n). Requires n > 0.
+  std::size_t index(std::size_t n);
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t integer(std::int64_t lo, std::int64_t hi);
+
+  /// Fisher–Yates shuffle of indices [0, n); returns the permutation.
+  std::vector<std::size_t> permutation(std::size_t n);
+
+  /// Sample k distinct indices from [0, n) without replacement. k <= n.
+  std::vector<std::size_t> sample_without_replacement(std::size_t n, std::size_t k);
+
+  /// Access to the underlying engine for std:: distributions.
+  std::mt19937_64& engine() { return engine_; }
+
+  /// Derive an independent child stream (for per-component seeding).
+  Rng fork();
+
+ private:
+  std::mt19937_64 engine_;
+  std::uniform_real_distribution<double> unit_{0.0, 1.0};
+  std::normal_distribution<double> normal_{0.0, 1.0};
+};
+
+/// Zipf-distributed integer sampler over [0, n) with exponent s.
+/// Uses the classic rejection-inversion method so construction is O(1)
+/// and sampling is O(1) expected — suitable for tables with millions of rows.
+class ZipfSampler {
+ public:
+  ZipfSampler(std::size_t n, double s);
+
+  std::size_t sample(Rng& rng) const;
+
+  std::size_t n() const { return n_; }
+  double exponent() const { return s_; }
+
+ private:
+  double h(double x) const;
+  double h_inverse(double x) const;
+
+  std::size_t n_ = 0;
+  double s_ = 1.0;
+  double h_x1_ = 0.0;
+  double h_n_ = 0.0;
+  double c_ = 0.0;
+};
+
+}  // namespace enw

@@ -1,0 +1,75 @@
+#include "data/click_log.h"
+
+#include <cmath>
+
+#include "core/check.h"
+#include "tensor/ops.h"
+
+namespace enw::data {
+
+ClickLogGenerator::ClickLogGenerator(const ClickLogConfig& config)
+    : config_(config), zipf_(config.rows_per_table, config.zipf_exponent) {
+  ENW_CHECK(config.num_tables > 0 && config.rows_per_table > 0);
+  ENW_CHECK(config.lookups_per_table > 0 &&
+            config.lookups_per_table <= config.rows_per_table);
+  Rng rng(config_.seed ^ 0xC11C'76A6'0000'0001ULL);
+  true_embeddings_.reserve(config_.num_tables);
+  for (std::size_t t = 0; t < config_.num_tables; ++t) {
+    true_embeddings_.push_back(
+        Matrix::normal(config_.rows_per_table, config_.latent_dim, 0.0f, 1.0f, rng));
+  }
+  dense_weights_.resize(config_.num_dense);
+  for (auto& w : dense_weights_) w = static_cast<float>(rng.normal(0.0, 0.8));
+  latent_weights_.resize(config_.latent_dim);
+  for (auto& w : latent_weights_) w = static_cast<float>(rng.normal(0.0, 0.8));
+}
+
+double ClickLogGenerator::true_logit(const ClickSample& s) const {
+  double logit = bias_;
+  for (std::size_t i = 0; i < s.dense.size(); ++i)
+    logit += dense_weights_[i] * s.dense[i];
+  // Pooled latent vectors contribute through a shared readout; normalize by
+  // table count so the logit scale is independent of the configuration.
+  Vector pooled(config_.latent_dim, 0.0f);
+  for (std::size_t t = 0; t < s.sparse.size(); ++t) {
+    for (std::size_t idx : s.sparse[t]) {
+      const auto row = true_embeddings_[t].row(idx);
+      for (std::size_t d = 0; d < pooled.size(); ++d) pooled[d] += row[d];
+    }
+  }
+  const double norm = static_cast<double>(config_.num_tables) *
+                      static_cast<double>(config_.lookups_per_table);
+  for (std::size_t d = 0; d < pooled.size(); ++d)
+    logit += latent_weights_[d] * pooled[d] / norm;
+  return logit;
+}
+
+ClickSample ClickLogGenerator::sample(Rng& rng) const {
+  ClickSample s;
+  s.dense.resize(config_.num_dense);
+  for (auto& v : s.dense) v = static_cast<float>(rng.normal(0.0, 1.0));
+  s.sparse.resize(config_.num_tables);
+  for (auto& lookups : s.sparse) {
+    lookups.resize(config_.lookups_per_table);
+    for (auto& idx : lookups) idx = zipf_.sample(rng);
+  }
+  const double p = 1.0 / (1.0 + std::exp(-true_logit(s)));
+  s.label = rng.bernoulli(p) ? 1.0f : 0.0f;
+  return s;
+}
+
+std::vector<ClickSample> ClickLogGenerator::batch(std::size_t n, Rng& rng) const {
+  std::vector<ClickSample> out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) out.push_back(sample(rng));
+  return out;
+}
+
+double ClickLogGenerator::planted_ctr(std::size_t n_probe, Rng& rng) const {
+  ENW_CHECK(n_probe > 0);
+  double clicks = 0.0;
+  for (std::size_t i = 0; i < n_probe; ++i) clicks += sample(rng).label;
+  return clicks / static_cast<double>(n_probe);
+}
+
+}  // namespace enw::data

@@ -1,0 +1,19 @@
+// Common labelled-dataset container for the synthetic data generators.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "tensor/matrix.h"
+
+namespace enw::data {
+
+struct Dataset {
+  Matrix features;                  // one sample per row
+  std::vector<std::size_t> labels;  // class index per row
+
+  std::size_t size() const { return labels.size(); }
+  std::size_t feature_dim() const { return features.cols(); }
+};
+
+}  // namespace enw::data

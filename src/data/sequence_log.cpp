@@ -1,0 +1,89 @@
+#include "data/sequence_log.h"
+
+#include <cmath>
+
+#include "core/check.h"
+#include "tensor/distance.h"
+#include "tensor/ops.h"
+
+namespace enw::data {
+
+SequenceLogGenerator::SequenceLogGenerator(const SequenceLogConfig& config)
+    : config_(config), zipf_(config.num_items, config.zipf_exponent) {
+  ENW_CHECK(config.num_items > 10 && config.latent_dim > 0);
+  ENW_CHECK(config.history_length > 0);
+  Rng rng(config_.seed ^ 0x5e9'0000'0001ULL);
+  item_latent_ = Matrix::normal(config_.num_items, config_.latent_dim, 0.0f, 1.0f, rng);
+  for (std::size_t r = 0; r < item_latent_.rows(); ++r) {
+    const float n = std::max(l2_norm(item_latent_.row(r)), 1e-6f);
+    for (auto& v : item_latent_.row(r)) v /= n;
+  }
+}
+
+std::span<const float> SequenceLogGenerator::true_item_vector(std::size_t item) const {
+  ENW_CHECK(item < config_.num_items);
+  return item_latent_.row(item);
+}
+
+std::size_t SequenceLogGenerator::sample_near(std::span<const float> interest,
+                                              Rng& rng) const {
+  // Rejection-lite: draw a handful of candidates, keep the most aligned.
+  std::size_t best = rng.index(config_.num_items);
+  float best_sim = dot(item_latent_.row(best), interest);
+  for (int t = 0; t < 12; ++t) {
+    const std::size_t cand = rng.index(config_.num_items);
+    const float sim = dot(item_latent_.row(cand), interest);
+    if (sim > best_sim) {
+      best_sim = sim;
+      best = cand;
+    }
+  }
+  return best;
+}
+
+SequenceSample SequenceLogGenerator::sample(Rng& rng) const {
+  // Two user interests: random directions on the latent sphere.
+  Matrix interests(2, config_.latent_dim);
+  for (std::size_t k = 0; k < 2; ++k) {
+    for (auto& v : interests.row(k)) v = static_cast<float>(rng.normal());
+    const float n = std::max(l2_norm(interests.row(k)), 1e-6f);
+    for (auto& v : interests.row(k)) v /= n;
+  }
+
+  SequenceSample s;
+  s.history.reserve(config_.history_length);
+  for (std::size_t t = 0; t < config_.history_length; ++t) {
+    if (rng.bernoulli(config_.interest_fraction)) {
+      s.history.push_back(sample_near(interests.row(rng.index(2)), rng));
+    } else {
+      s.history.push_back(zipf_.sample(rng));  // popular distractor
+    }
+  }
+  // Candidate: usually near one of the interests, sometimes just popular.
+  s.candidate = rng.bernoulli(0.6) ? sample_near(interests.row(rng.index(2)), rng)
+                                   : zipf_.sample(rng);
+
+  // Click propensity: soft-attention-pooled affinity — the history items
+  // RELATED to the candidate decide, unrelated interests and distractors
+  // are ignored. (Uniform pooling dilutes this signal by construction.)
+  const auto cvec = item_latent_.row(s.candidate);
+  Vector sims(s.history.size());
+  for (std::size_t t = 0; t < s.history.size(); ++t) {
+    sims[t] = dot(item_latent_.row(s.history[t]), cvec);
+  }
+  const Vector w = softmax(sims, 4.0f);
+  float affinity = 0.0f;
+  for (std::size_t t = 0; t < sims.size(); ++t) affinity += w[t] * sims[t];
+  const double p = 1.0 / (1.0 + std::exp(-(6.0 * affinity - 2.0)));
+  s.label = rng.bernoulli(p) ? 1.0f : 0.0f;
+  return s;
+}
+
+std::vector<SequenceSample> SequenceLogGenerator::batch(std::size_t n, Rng& rng) const {
+  std::vector<SequenceSample> out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) out.push_back(sample(rng));
+  return out;
+}
+
+}  // namespace enw::data

@@ -1,0 +1,92 @@
+#include "data/synthetic_mnist.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/check.h"
+
+namespace enw::data {
+
+SyntheticMnist::SyntheticMnist(const SyntheticMnistConfig& config) : config_(config) {
+  ENW_CHECK(config.image_size >= 8);
+  ENW_CHECK(config.num_classes >= 2);
+  Rng proto_rng(config_.seed);
+  class_strokes_.resize(config_.num_classes);
+  const float s = static_cast<float>(config_.image_size);
+  for (auto& strokes : class_strokes_) {
+    strokes.resize(config_.strokes_per_class);
+    for (auto& st : strokes) {
+      st.x0 = static_cast<float>(proto_rng.uniform(0.15, 0.85)) * s;
+      st.y0 = static_cast<float>(proto_rng.uniform(0.15, 0.85)) * s;
+      st.x1 = static_cast<float>(proto_rng.uniform(0.15, 0.85)) * s;
+      st.y1 = static_cast<float>(proto_rng.uniform(0.15, 0.85)) * s;
+    }
+  }
+}
+
+void SyntheticMnist::render(std::size_t cls, Rng& rng, std::span<float> out) const {
+  const std::size_t n = config_.image_size;
+  ENW_CHECK(out.size() == n * n);
+  std::fill(out.begin(), out.end(), 0.0f);
+  const float j = config_.jitter_pixels;
+  for (const auto& st : class_strokes_[cls]) {
+    // Jittered endpoints make every sample unique within its class.
+    const float x0 = st.x0 + static_cast<float>(rng.normal(0.0, j));
+    const float y0 = st.y0 + static_cast<float>(rng.normal(0.0, j));
+    const float x1 = st.x1 + static_cast<float>(rng.normal(0.0, j));
+    const float y1 = st.y1 + static_cast<float>(rng.normal(0.0, j));
+    // Rasterize the segment with a soft 1-pixel pen.
+    const float len = std::max(std::hypot(x1 - x0, y1 - y0), 1.0f);
+    const int steps = static_cast<int>(len * 2.0f) + 1;
+    for (int t = 0; t <= steps; ++t) {
+      const float f = static_cast<float>(t) / static_cast<float>(steps);
+      const float cx = x0 + f * (x1 - x0);
+      const float cy = y0 + f * (y1 - y0);
+      const int ix = static_cast<int>(std::lround(cx));
+      const int iy = static_cast<int>(std::lround(cy));
+      for (int dy = -1; dy <= 1; ++dy) {
+        for (int dx = -1; dx <= 1; ++dx) {
+          const int px = ix + dx;
+          const int py = iy + dy;
+          if (px < 0 || py < 0 || px >= static_cast<int>(n) || py >= static_cast<int>(n))
+            continue;
+          const float d2 = (cx - static_cast<float>(px)) * (cx - static_cast<float>(px)) +
+                           (cy - static_cast<float>(py)) * (cy - static_cast<float>(py));
+          const float ink = std::exp(-d2);
+          float& pix = out[static_cast<std::size_t>(py) * n + static_cast<std::size_t>(px)];
+          pix = std::min(1.0f, pix + ink);
+        }
+      }
+    }
+  }
+  // Additive pixel noise.
+  for (auto& v : out) {
+    v = std::clamp(v + static_cast<float>(rng.uniform(-config_.pixel_noise,
+                                                      config_.pixel_noise)),
+                   0.0f, 1.0f);
+  }
+}
+
+Dataset SyntheticMnist::sample(std::size_t n, Rng& rng) const {
+  Dataset ds;
+  ds.features = Matrix(n, feature_dim());
+  ds.labels.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t cls = i % config_.num_classes;
+    ds.labels[i] = cls;
+    render(cls, rng, ds.features.row(i));
+  }
+  return ds;
+}
+
+Dataset SyntheticMnist::train_set(std::size_t n) const {
+  Rng rng(config_.seed * 2654435761ULL + 1);
+  return sample(n, rng);
+}
+
+Dataset SyntheticMnist::test_set(std::size_t n) const {
+  Rng rng(config_.seed * 2654435761ULL + 7919);
+  return sample(n, rng);
+}
+
+}  // namespace enw::data

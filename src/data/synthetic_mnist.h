@@ -1,0 +1,56 @@
+// SyntheticMnist — a deterministic stand-in for MNIST.
+//
+// The paper's crossbar-training experiments (Sec. II) derive device
+// specifications by training a small fully connected network on MNIST. We
+// cannot ship MNIST, so we synthesize a drop-in: 10 classes of 28x28 images
+// built from randomly placed stroke segments per class prototype, corrupted
+// by per-sample jitter, pixel noise, and elastic-style displacement. The
+// generator exercises the identical code paths (784-input MLP, per-sample
+// SGD) and has a tunable difficulty so accuracy degradations caused by
+// device non-idealities are measurable, which is what the experiments need.
+#pragma once
+
+#include <cstddef>
+
+#include "core/rng.h"
+#include "data/dataset.h"
+
+namespace enw::data {
+
+struct SyntheticMnistConfig {
+  std::size_t image_size = 28;      // images are image_size x image_size
+  std::size_t num_classes = 10;
+  std::size_t strokes_per_class = 6;
+  float jitter_pixels = 1.5f;       // per-sample stroke endpoint jitter
+  float pixel_noise = 0.15f;        // additive uniform pixel noise amplitude
+  std::uint64_t seed = 42;
+};
+
+class SyntheticMnist {
+ public:
+  explicit SyntheticMnist(const SyntheticMnistConfig& config = {});
+
+  std::size_t feature_dim() const {
+    return config_.image_size * config_.image_size;
+  }
+  std::size_t num_classes() const { return config_.num_classes; }
+
+  /// Generate n labelled samples (classes balanced round-robin).
+  Dataset sample(std::size_t n, Rng& rng) const;
+
+  /// Convenience: fixed-size train/test split from independent streams.
+  Dataset train_set(std::size_t n) const;
+  Dataset test_set(std::size_t n) const;
+
+ private:
+  struct Stroke {
+    float x0, y0, x1, y1;
+  };
+
+  void render(std::size_t cls, Rng& rng, std::span<float> out) const;
+
+  SyntheticMnistConfig config_;
+  std::vector<std::vector<Stroke>> class_strokes_;
+};
+
+}  // namespace enw::data

@@ -1,0 +1,69 @@
+// SyntheticOmniglot — a deterministic stand-in for the Omniglot dataset.
+//
+// Omniglot ("the transpose of MNIST") has ~1600 character classes with 20
+// handwritten examples each and is the standard benchmark for N-way K-shot
+// episodic evaluation (Sec. IV). This generator synthesizes a large number
+// of stroke-based character classes with small per-sample deformations, and
+// provides the episode sampler (support/query split) that the few-shot
+// harness and the CAM/TCAM experiments consume.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/rng.h"
+#include "data/dataset.h"
+
+namespace enw::data {
+
+struct SyntheticOmniglotConfig {
+  std::size_t image_size = 20;
+  std::size_t num_classes = 200;
+  std::size_t strokes_per_class = 4;
+  float jitter_pixels = 0.8f;
+  float pixel_noise = 0.08f;
+  std::uint64_t seed = 1234;
+};
+
+/// One N-way K-shot episode: N*K support images with labels 0..N-1 and a set
+/// of query images drawn from the same N classes.
+struct Episode {
+  Matrix support;                            // (n_way * k_shot) x dim
+  std::vector<std::size_t> support_labels;   // values in [0, n_way)
+  Matrix query;                              // n_query x dim
+  std::vector<std::size_t> query_labels;     // values in [0, n_way)
+};
+
+class SyntheticOmniglot {
+ public:
+  explicit SyntheticOmniglot(const SyntheticOmniglotConfig& config = {});
+
+  std::size_t feature_dim() const {
+    return config_.image_size * config_.image_size;
+  }
+  std::size_t num_classes() const { return config_.num_classes; }
+  std::size_t image_size() const { return config_.image_size; }
+
+  /// Render one sample of a global class (for pre-training the embedding
+  /// network on the "background" classes, as the few-shot literature does).
+  void render(std::size_t cls, Rng& rng, std::span<float> out) const;
+
+  /// Flat dataset over the first `num_classes` classes (background split).
+  Dataset background_set(std::size_t per_class, std::size_t num_classes, Rng& rng) const;
+
+  /// Sample an N-way K-shot episode from classes in [class_lo, class_hi).
+  /// Episode labels are re-indexed to [0, n_way).
+  Episode sample_episode(std::size_t n_way, std::size_t k_shot,
+                         std::size_t queries_per_class, std::size_t class_lo,
+                         std::size_t class_hi, Rng& rng) const;
+
+ private:
+  struct Stroke {
+    float x0, y0, x1, y1;
+  };
+
+  SyntheticOmniglotConfig config_;
+  std::vector<std::vector<Stroke>> class_strokes_;
+};
+
+}  // namespace enw::data

@@ -1,0 +1,64 @@
+#include "mann/differentiable_memory.h"
+
+#include "core/check.h"
+#include "tensor/ops.h"
+
+namespace enw::mann {
+
+DifferentiableMemory::DifferentiableMemory(std::size_t slots, std::size_t dim)
+    : m_(slots, dim) {
+  ENW_CHECK(slots > 0 && dim > 0);
+}
+
+Vector DifferentiableMemory::address(std::span<const float> key, float beta,
+                                     Metric metric) const {
+  ENW_CHECK_MSG(key.size() == dim(), "key dimension mismatch");
+  const Vector scores = similarity_scores(metric, m_, key);
+  return softmax(scores, beta);
+}
+
+Vector DifferentiableMemory::soft_read(std::span<const float> weights) const {
+  ENW_CHECK_MSG(weights.size() == slots(), "weight vector must cover all slots");
+  return matvec_transposed(m_, weights);
+}
+
+void DifferentiableMemory::soft_write(std::span<const float> weights,
+                                      std::span<const float> erase,
+                                      std::span<const float> add) {
+  ENW_CHECK(weights.size() == slots());
+  ENW_CHECK(erase.size() == dim() && add.size() == dim());
+  for (std::size_t i = 0; i < slots(); ++i) {
+    const float w = weights[i];
+    if (w == 0.0f) continue;
+    float* row = m_.data() + i * dim();
+    for (std::size_t j = 0; j < dim(); ++j) {
+      row[j] = row[j] * (1.0f - w * erase[j]) + w * add[j];
+    }
+  }
+}
+
+perf::OpCounter DifferentiableMemory::address_ops() const {
+  perf::OpCounter c;
+  // Similarity of the key against every row: M*D MACs, plus norms and the
+  // softmax (exp + divide per slot).
+  c.flops = 2ull * slots() * dim() + 4ull * slots();
+  c.dram_bytes = static_cast<std::uint64_t>(slots()) * dim() * sizeof(float);
+  return c;
+}
+
+perf::OpCounter DifferentiableMemory::read_ops() const {
+  perf::OpCounter c;
+  c.flops = 2ull * slots() * dim();
+  c.dram_bytes = static_cast<std::uint64_t>(slots()) * dim() * sizeof(float);
+  return c;
+}
+
+perf::OpCounter DifferentiableMemory::write_ops() const {
+  perf::OpCounter c;
+  c.flops = 4ull * slots() * dim();
+  // Read-modify-write of the full matrix.
+  c.dram_bytes = 2ull * slots() * dim() * sizeof(float);
+  return c;
+}
+
+}  // namespace enw::mann

@@ -1,0 +1,51 @@
+// Differentiable (attentional) memory — the external memory of an NTM/MANN
+// (Sec. III, Fig. 3).
+//
+// The memory is an M x D matrix addressed by *content*: a key produced by
+// the controller is compared against every row, the similarities pass
+// through a sharpened softmax, and reads/writes are weighted sums over ALL
+// rows ("soft" read/write — what makes the memory differentiable, and what
+// makes it the performance bottleneck the paper's accelerators attack).
+#pragma once
+
+#include "perf/op_counter.h"
+#include "tensor/distance.h"
+#include "tensor/matrix.h"
+
+namespace enw::mann {
+
+class DifferentiableMemory {
+ public:
+  DifferentiableMemory(std::size_t slots, std::size_t dim);
+
+  std::size_t slots() const { return m_.rows(); }
+  std::size_t dim() const { return m_.cols(); }
+
+  /// Content-based addressing: softmax(beta * sim(key, M_i)) over rows.
+  /// Metric defaults to cosine similarity, the NTM convention.
+  Vector address(std::span<const float> key, float beta,
+                 Metric metric = Metric::kCosineSimilarity) const;
+
+  /// Soft read: r = sum_i w_i * M_i. w must sum to ~1 (softmax output).
+  Vector soft_read(std::span<const float> weights) const;
+
+  /// Soft write (NTM erase/add): M_i <- M_i * (1 - w_i * e) + w_i * a,
+  /// element-wise over the D coordinates.
+  void soft_write(std::span<const float> weights, std::span<const float> erase,
+                  std::span<const float> add);
+
+  /// Abstract cost of each primitive on a general-purpose machine (all rows
+  /// touched, streamed from DRAM) — consumed by the bottleneck study and
+  /// the GPU baseline of the X-MANN comparison.
+  perf::OpCounter address_ops() const;
+  perf::OpCounter read_ops() const;
+  perf::OpCounter write_ops() const;
+
+  Matrix& data() { return m_; }
+  const Matrix& data() const { return m_; }
+
+ private:
+  Matrix m_;
+};
+
+}  // namespace enw::mann

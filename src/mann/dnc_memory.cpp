@@ -1,0 +1,107 @@
+#include "mann/dnc_memory.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "core/check.h"
+#include "tensor/ops.h"
+
+namespace enw::mann {
+
+DncMemory::DncMemory(std::size_t slots, std::size_t dim) : memory_(slots, dim) {
+  reset();
+}
+
+void DncMemory::reset() {
+  memory_.data().fill(0.0f);
+  usage_.assign(slots(), 0.0f);
+  precedence_.assign(slots(), 0.0f);
+  link_ = Matrix(slots(), slots(), 0.0f);
+  write_w_.assign(slots(), 0.0f);
+}
+
+Vector DncMemory::allocation_weighting() const {
+  // Sort slots by ascending usage ("free list"); allocation weight of the
+  // j-th least used slot is (1 - u_j) * prod_{k<j} u_k.
+  std::vector<std::size_t> order(slots());
+  std::iota(order.begin(), order.end(), 0u);
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::size_t a, std::size_t b) { return usage_[a] < usage_[b]; });
+  Vector a(slots(), 0.0f);
+  float prod = 1.0f;
+  for (std::size_t j = 0; j < slots(); ++j) {
+    const std::size_t slot = order[j];
+    a[slot] = (1.0f - usage_[slot]) * prod;
+    prod *= usage_[slot];
+    if (prod < 1e-12f) break;  // remaining slots get ~0
+  }
+  return a;
+}
+
+Vector DncMemory::write(std::span<const float> key, float beta, float write_gate,
+                        float alloc_gate, std::span<const float> erase,
+                        std::span<const float> add) {
+  ENW_CHECK(key.size() == dim());
+  ENW_CHECK(erase.size() == dim() && add.size() == dim());
+  ENW_CHECK_MSG(write_gate >= 0.0f && write_gate <= 1.0f, "write_gate in [0,1]");
+  ENW_CHECK_MSG(alloc_gate >= 0.0f && alloc_gate <= 1.0f, "alloc_gate in [0,1]");
+
+  const Vector content = memory_.address(key, beta);
+  const Vector alloc = allocation_weighting();
+  Vector w(slots());
+  for (std::size_t i = 0; i < slots(); ++i) {
+    w[i] = write_gate * (alloc_gate * alloc[i] + (1.0f - alloc_gate) * content[i]);
+  }
+
+  memory_.soft_write(w, erase, add);
+
+  // Usage: increases where written (no free gates modeled — reads do not
+  // release usage in this implementation).
+  for (std::size_t i = 0; i < slots(); ++i) {
+    usage_[i] = usage_[i] + w[i] - usage_[i] * w[i];
+  }
+
+  // Temporal link update (Graves et al. eq. 5-6):
+  // L[i][j] = (1 - w_i - w_j) L[i][j] + w_i p_j ; L[i][i] = 0.
+  for (std::size_t i = 0; i < slots(); ++i) {
+    for (std::size_t j = 0; j < slots(); ++j) {
+      if (i == j) continue;
+      link_(i, j) =
+          (1.0f - w[i] - w[j]) * link_(i, j) + w[i] * precedence_[j];
+      link_(i, j) = std::clamp(link_(i, j), 0.0f, 1.0f);
+    }
+  }
+  // Precedence: p = (1 - sum w) p + w.
+  const float wsum = sum(w);
+  for (std::size_t j = 0; j < slots(); ++j) {
+    precedence_[j] = (1.0f - wsum) * precedence_[j] + w[j];
+  }
+  write_w_ = w;
+  return w;
+}
+
+Vector DncMemory::read(ReadHead& head, std::span<const float> key, float beta,
+                       std::span<const float> mode) {
+  ENW_CHECK(key.size() == dim());
+  ENW_CHECK_MSG(mode.size() == 3, "mode is {backward, content, forward}");
+  if (head.weights.size() != slots()) head.weights.assign(slots(), 0.0f);
+
+  const Vector content = memory_.address(key, beta);
+  // forward: f = L w_prev ; backward: b = L^T w_prev.
+  const Vector forward = matvec(link_, head.weights);
+  const Vector backward = matvec_transposed(link_, head.weights);
+
+  Vector w(slots());
+  for (std::size_t i = 0; i < slots(); ++i) {
+    w[i] = mode[0] * backward[i] + mode[1] * content[i] + mode[2] * forward[i];
+  }
+  // Renormalize (link rows are sub-stochastic).
+  const float total = sum(w);
+  if (total > 1e-9f) {
+    for (auto& v : w) v /= total;
+  }
+  head.weights = w;
+  return memory_.soft_read(w);
+}
+
+}  // namespace enw::mann

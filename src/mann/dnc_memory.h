@@ -1,0 +1,65 @@
+// Differentiable Neural Computer memory (Sec. I / III context, refs [3][4]).
+//
+// The DNC extends the NTM's content-addressed matrix with the machinery
+// that lets it "learn to construct complex data structures such as graphs
+// and decision trees": dynamic allocation (usage-tracked free-list
+// weighting, so writes can target unused rows instead of clobbering data)
+// and temporal linkage (a link matrix recording write order, so reads can
+// walk forward/backward along the sequence in which entries were written —
+// the primitive behind traversing the London-underground graph).
+//
+// Implemented faithfully from Graves et al. (Nature 2016), forward
+// semantics: usage update, allocation weighting, write weighting (content
+// vs allocation gate), link matrix and precedence update, and the three
+// read modes (backward, content, forward).
+#pragma once
+
+#include "mann/differentiable_memory.h"
+#include "tensor/matrix.h"
+
+namespace enw::mann {
+
+class DncMemory {
+ public:
+  DncMemory(std::size_t slots, std::size_t dim);
+
+  std::size_t slots() const { return memory_.slots(); }
+  std::size_t dim() const { return memory_.dim(); }
+
+  void reset();
+
+  /// Allocation weighting: soft one-hot over the least-used rows (exactly
+  /// the Graves et al. sorted free-list formula).
+  Vector allocation_weighting() const;
+
+  /// One write step. write_gate in [0,1] scales the whole write;
+  /// alloc_gate in [0,1] interpolates content addressing (by key/beta)
+  /// vs allocation addressing. Returns the write weighting used.
+  Vector write(std::span<const float> key, float beta, float write_gate,
+               float alloc_gate, std::span<const float> erase,
+               std::span<const float> add);
+
+  /// One read step for a single read head. mode is a 3-way softmax-style
+  /// distribution {backward, content, forward}. Updates the head's state
+  /// and returns the read vector.
+  struct ReadHead {
+    Vector weights;  // last read weighting
+  };
+  Vector read(ReadHead& head, std::span<const float> key, float beta,
+              std::span<const float> mode);
+
+  const Vector& usage() const { return usage_; }
+  const Matrix& link() const { return link_; }
+  const Vector& precedence() const { return precedence_; }
+  const Vector& last_write_weighting() const { return write_w_; }
+  DifferentiableMemory& memory() { return memory_; }
+
+ private:
+  DifferentiableMemory memory_;
+  Vector usage_;        // per-slot usage in [0, 1]
+  Vector precedence_;   // last-write precedence weighting
+  Matrix link_;         // temporal link matrix L[i][j]: i written after j
+  Vector write_w_;      // last write weighting
+};
+
+}  // namespace enw::mann

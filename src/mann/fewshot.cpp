@@ -1,0 +1,34 @@
+#include "mann/fewshot.h"
+
+#include "core/check.h"
+
+namespace enw::mann {
+
+FewShotResult evaluate_fewshot(const data::SyntheticOmniglot& dataset,
+                               const EmbedFn& embed, SimilaritySearch& search,
+                               const FewShotConfig& config, Rng& rng) {
+  ENW_CHECK(config.episodes > 0);
+  ENW_CHECK(config.n_way >= 2);
+  FewShotResult result;
+  std::size_t correct = 0;
+  for (std::size_t e = 0; e < config.episodes; ++e) {
+    const data::Episode ep =
+        dataset.sample_episode(config.n_way, config.k_shot, config.queries_per_class,
+                               config.class_lo, config.class_hi, rng);
+    search.clear();
+    for (std::size_t i = 0; i < ep.support.rows(); ++i) {
+      search.add(embed(ep.support.row(i)), ep.support_labels[i]);
+    }
+    for (std::size_t i = 0; i < ep.query.rows(); ++i) {
+      const std::size_t pred = search.predict(embed(ep.query.row(i)));
+      if (pred == ep.query_labels[i]) ++correct;
+      ++result.total_queries;
+    }
+  }
+  result.accuracy = static_cast<double>(correct) /
+                    static_cast<double>(std::max<std::size_t>(result.total_queries, 1));
+  result.search_cost_per_query = search.query_cost();
+  return result;
+}
+
+}  // namespace enw::mann

@@ -1,0 +1,94 @@
+#include "mann/kv_memory.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/check.h"
+#include "tensor/ops.h"
+
+namespace enw::mann {
+
+KeyValueMemory::KeyValueMemory(std::size_t capacity, std::size_t dim, Metric metric)
+    : capacity_(capacity),
+      dim_(dim),
+      metric_(metric),
+      keys_(capacity, dim),
+      labels_(capacity, 0),
+      ages_(capacity, 0) {
+  ENW_CHECK(capacity > 0 && dim > 0);
+}
+
+void KeyValueMemory::clear() {
+  used_ = 0;
+  clock_ = 0;
+  keys_.fill(0.0f);
+  std::fill(labels_.begin(), labels_.end(), 0u);
+  std::fill(ages_.begin(), ages_.end(), 0u);
+}
+
+std::size_t KeyValueMemory::nearest(std::span<const float> key) const {
+  const float sign = is_similarity(metric_) ? 1.0f : -1.0f;
+  std::size_t best = 0;
+  float best_score = -1e30f;
+  for (std::size_t i = 0; i < used_; ++i) {
+    const float s = sign * metric_value(metric_, keys_.row(i), key);
+    if (s > best_score) {
+      best_score = s;
+      best = i;
+    }
+  }
+  return best;
+}
+
+std::size_t KeyValueMemory::oldest_slot() const {
+  // Unused slots first, then the stalest used one.
+  if (used_ < capacity_) return used_;
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < capacity_; ++i) {
+    if (ages_[i] < ages_[best]) best = i;
+  }
+  return best;
+}
+
+std::optional<std::size_t> KeyValueMemory::query(std::span<const float> key) const {
+  ENW_CHECK(key.size() == dim_);
+  if (used_ == 0) return std::nullopt;
+  return labels_[nearest(key)];
+}
+
+void KeyValueMemory::insert(std::span<const float> key, std::size_t label) {
+  ENW_CHECK(key.size() == dim_);
+  const std::size_t slot = oldest_slot();
+  auto row = keys_.row(slot);
+  std::copy(key.begin(), key.end(), row.begin());
+  labels_[slot] = label;
+  ages_[slot] = ++clock_;
+  used_ = std::min(capacity_, std::max(used_, slot + 1));
+}
+
+bool KeyValueMemory::update(std::span<const float> key, std::size_t label) {
+  ENW_CHECK(key.size() == dim_);
+  Vector q(key.begin(), key.end());
+  const float n = std::max(l2_norm(q), 1e-8f);
+  for (auto& v : q) v /= n;
+
+  if (used_ == 0) {
+    insert(q, label);
+    return false;
+  }
+  const std::size_t nn = nearest(q);
+  const bool correct = labels_[nn] == label;
+  if (correct) {
+    // Consolidation: move the stored key toward the query, renormalize.
+    auto row = keys_.row(nn);
+    for (std::size_t j = 0; j < dim_; ++j) row[j] = 0.5f * (row[j] + q[j]);
+    const float rn = std::max(l2_norm(row), 1e-8f);
+    for (std::size_t j = 0; j < dim_; ++j) row[j] /= rn;
+    ages_[nn] = ++clock_;
+  } else {
+    insert(q, label);
+  }
+  return correct;
+}
+
+}  // namespace enw::mann

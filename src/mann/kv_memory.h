@@ -1,0 +1,62 @@
+// Key–value lifelong memory module (Kaiser et al., "Learning to Remember
+// Rare Events" — refs [6]/[52], used by the CAM-based MANNs of Sec. IV).
+//
+// The module stores (key, value=label, age) triples. On a query it returns
+// the label of the nearest stored key. During episodic learning it applies
+// the Kaiser update rule: if the nearest neighbour already has the correct
+// label, its key is averaged toward the query (consolidation); otherwise
+// the query is written into the oldest slot (one-shot learning of the new
+// concept). This is the algorithmic context in which the TCAM/LSH searches
+// are evaluated.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+#include "tensor/distance.h"
+#include "tensor/matrix.h"
+
+namespace enw::mann {
+
+class KeyValueMemory {
+ public:
+  KeyValueMemory(std::size_t capacity, std::size_t dim,
+                 Metric metric = Metric::kCosineSimilarity);
+
+  std::size_t capacity() const { return capacity_; }
+  std::size_t dim() const { return dim_; }
+  std::size_t size() const { return used_; }
+
+  void clear();
+
+  /// Nearest-stored label for the query, or nullopt if the memory is empty.
+  std::optional<std::size_t> query(std::span<const float> key) const;
+
+  /// Kaiser update: consolidate on a correct hit, otherwise one-shot insert
+  /// into the oldest slot. Keys are L2-normalized internally (the update
+  /// rule averages on the unit sphere). Returns true if the prediction
+  /// before the update was correct.
+  bool update(std::span<const float> key, std::size_t label);
+
+  /// Direct insert (used when the episode harness controls writes itself).
+  void insert(std::span<const float> key, std::size_t label);
+
+  const Matrix& keys() const { return keys_; }
+  const std::vector<std::size_t>& labels() const { return labels_; }
+
+ private:
+  std::size_t nearest(std::span<const float> key) const;
+  std::size_t oldest_slot() const;
+
+  std::size_t capacity_;
+  std::size_t dim_;
+  Metric metric_;
+  Matrix keys_;
+  std::vector<std::size_t> labels_;
+  std::vector<std::size_t> ages_;
+  std::size_t used_ = 0;
+  std::size_t clock_ = 0;
+};
+
+}  // namespace enw::mann

@@ -1,0 +1,146 @@
+#include "mann/ntm.h"
+
+#include <cmath>
+
+#include "core/check.h"
+#include "tensor/ops.h"
+
+namespace enw::mann {
+
+namespace {
+float softplus(float x) { return std::log1p(std::exp(std::min(x, 20.0f))); }
+float sigmoid(float x) { return 1.0f / (1.0f + std::exp(-x)); }
+
+std::size_t addressing_param_count(const NtmConfig& c) {
+  // key(D) + beta + gate + shift(2s+1) + sharpen
+  return c.memory_dim + 1 + 1 + (2 * c.shift_range + 1) + 1;
+}
+}  // namespace
+
+Ntm::Ntm(const NtmConfig& config, Rng& rng)
+    : config_(config),
+      controller_(config.input_dim + config.memory_dim, config.controller_dim, rng),
+      read_params_(addressing_param_count(config), config.controller_dim, rng),
+      write_params_(addressing_param_count(config) + 2 * config.memory_dim,
+                    config.controller_dim, rng),
+      output_proj_(config.output_dim, config.controller_dim + config.memory_dim, rng),
+      memory_(config.memory_slots, config.memory_dim) {
+  reset(true);
+}
+
+void Ntm::reset(bool clear_memory) {
+  controller_.reset();
+  read_head_.weights.assign(config_.memory_slots, 0.0f);
+  write_head_.weights.assign(config_.memory_slots, 0.0f);
+  read_head_.weights[0] = 1.0f;  // heads start focused on slot 0
+  write_head_.weights[0] = 1.0f;
+  last_read_.assign(config_.memory_dim, 0.0f);
+  if (clear_memory) memory_.data().fill(0.0f);
+}
+
+Vector Ntm::head_address(std::span<const float> params, HeadState& head) {
+  const std::size_t D = config_.memory_dim;
+  const std::size_t S = 2 * config_.shift_range + 1;
+  ENW_CHECK(params.size() >= D + 3 + S);
+
+  const std::span<const float> key = params.subspan(0, D);
+  const float beta = softplus(params[D]) + 1e-3f;
+  const float gate = sigmoid(params[D + 1]);
+  const std::span<const float> shift_logits = params.subspan(D + 2, S);
+  const float sharpen = 1.0f + softplus(params[D + 2 + S]);
+
+  // 1. Content addressing.
+  const Vector wc = memory_.address(key, beta);
+
+  // 2. Interpolation with the previous step's weights.
+  Vector wg(config_.memory_slots);
+  for (std::size_t i = 0; i < wg.size(); ++i) {
+    wg[i] = gate * wc[i] + (1.0f - gate) * head.weights[i];
+  }
+
+  // 3. Circular convolutional shift.
+  const Vector sdist = softmax(shift_logits);
+  Vector ws(config_.memory_slots, 0.0f);
+  const std::ptrdiff_t n = static_cast<std::ptrdiff_t>(config_.memory_slots);
+  const std::ptrdiff_t range = static_cast<std::ptrdiff_t>(config_.shift_range);
+  for (std::ptrdiff_t i = 0; i < n; ++i) {
+    for (std::ptrdiff_t s = -range; s <= range; ++s) {
+      const std::ptrdiff_t src = ((i - s) % n + n) % n;
+      ws[static_cast<std::size_t>(i)] +=
+          sdist[static_cast<std::size_t>(s + range)] * wg[static_cast<std::size_t>(src)];
+    }
+  }
+
+  // 4. Sharpening.
+  float denom = 0.0f;
+  for (auto& w : ws) {
+    w = std::pow(std::max(w, 1e-12f), sharpen);
+    denom += w;
+  }
+  for (auto& w : ws) w /= denom;
+
+  head.weights = ws;
+  return ws;
+}
+
+Vector Ntm::step(std::span<const float> x) {
+  ENW_CHECK_MSG(x.size() == config_.input_dim, "NTM input size mismatch");
+  Vector ctrl_in(x.begin(), x.end());
+  ctrl_in.insert(ctrl_in.end(), last_read_.begin(), last_read_.end());
+  const Vector h = controller_.step(ctrl_in);
+
+  // Write first (NTM convention: erase/add before the read of this step).
+  Vector wp(write_params_.out_dim(), 0.0f);
+  write_params_.forward(h, wp);
+  const std::size_t D = config_.memory_dim;
+  const std::size_t base = addressing_param_count(config_);
+  const Vector ww =
+      head_address(std::span<const float>(wp.data(), base), write_head_);
+  Vector erase(D), add(D);
+  for (std::size_t j = 0; j < D; ++j) {
+    erase[j] = sigmoid(wp[base + j]);
+    add[j] = std::tanh(wp[base + D + j]);
+  }
+  memory_.soft_write(ww, erase, add);
+
+  // Read.
+  Vector rp(read_params_.out_dim(), 0.0f);
+  read_params_.forward(h, rp);
+  const Vector rw = head_address(rp, read_head_);
+  last_read_ = memory_.soft_read(rw);
+
+  // Output projection on [h ; read].
+  Vector concat(h.begin(), h.end());
+  concat.insert(concat.end(), last_read_.begin(), last_read_.end());
+  Vector out(config_.output_dim, 0.0f);
+  output_proj_.forward(concat, out);
+  return out;
+}
+
+perf::OpCounter Ntm::controller_step_ops() const {
+  perf::OpCounter c;
+  const std::uint64_t in = config_.input_dim + config_.memory_dim;
+  const std::uint64_t H = config_.controller_dim;
+  const std::uint64_t D = config_.memory_dim;
+  const std::uint64_t S = 2 * config_.shift_range + 1;
+  const std::uint64_t head_params = D + 3 + S;
+  c.flops = 2 * 4 * H * (in + H)                       // LSTM gates
+            + 2 * H * head_params                       // read head proj
+            + 2 * H * (head_params + 2 * D)             // write head proj
+            + 2 * (H + D) * config_.output_dim;         // output proj
+  // Controller weights are small and cacheable on-chip: count SRAM traffic.
+  c.sram_bytes = (4 * H * (in + H)) * sizeof(float);
+  return c;
+}
+
+perf::OpCounter Ntm::memory_step_ops() const {
+  perf::OpCounter c;
+  // Write head addressing + write, read head addressing + read.
+  c.add(memory_.address_ops());
+  c.add(memory_.write_ops());
+  c.add(memory_.address_ops());
+  c.add(memory_.read_ops());
+  return c;
+}
+
+}  // namespace enw::mann

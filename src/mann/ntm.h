@@ -1,0 +1,80 @@
+// Neural Turing Machine (Sec. III, Fig. 3): an LSTM controller coupled to a
+// differentiable memory through read and write heads.
+//
+// The head parameters (key, key strength, erase/add vectors, and a gate/
+// shift for location-based addressing) are produced from the controller
+// state by linear projections. The full Graves addressing chain is
+// implemented: content addressing -> interpolation with the previous weights
+// -> circular convolutional shift -> sharpening.
+//
+// The class supports forward execution (the workload the accelerators in
+// Secs. III/IV target) and exposes per-step op counts. End-to-end BPTT
+// through the memory is out of scope for this reproduction — the paper's
+// hardware studies are inference-side — but the projections can be set
+// explicitly, which the copy-task example uses to hand-program the machine
+// and demonstrate the architecture end to end.
+#pragma once
+
+#include <memory>
+
+#include "core/rng.h"
+#include "mann/differentiable_memory.h"
+#include "nn/digital_linear.h"
+#include "nn/lstm.h"
+#include "perf/op_counter.h"
+
+namespace enw::mann {
+
+struct NtmConfig {
+  std::size_t input_dim = 8;
+  std::size_t output_dim = 8;
+  std::size_t controller_dim = 64;
+  std::size_t memory_slots = 128;
+  std::size_t memory_dim = 20;
+  std::size_t shift_range = 1;  // allowed shifts: -1, 0, +1
+};
+
+/// Addressing state of one head.
+struct HeadState {
+  Vector weights;  // attention over slots
+};
+
+class Ntm {
+ public:
+  Ntm(const NtmConfig& config, Rng& rng);
+
+  const NtmConfig& config() const { return config_; }
+  DifferentiableMemory& memory() { return memory_; }
+
+  /// Reset controller state, head weights, and (optionally) the memory.
+  void reset(bool clear_memory = true);
+
+  /// One timestep: consume x, update memory through the write head, return
+  /// the output vector (controller readout + read vector projection).
+  Vector step(std::span<const float> x);
+
+  /// Abstract cost of one timestep split into controller vs memory parts —
+  /// the input to the bottleneck analysis (E13).
+  perf::OpCounter controller_step_ops() const;
+  perf::OpCounter memory_step_ops() const;
+
+  const HeadState& read_head() const { return read_head_; }
+  const HeadState& write_head() const { return write_head_; }
+  const Vector& last_read() const { return last_read_; }
+
+ private:
+  Vector head_address(std::span<const float> params, HeadState& head);
+
+  NtmConfig config_;
+  nn::Lstm controller_;
+  // Projections from controller state to head parameters and output.
+  nn::DigitalLinear read_params_;   // key(D) + beta + gate + shift(2s+1) + sharpen
+  nn::DigitalLinear write_params_;  // same + erase(D) + add(D)
+  nn::DigitalLinear output_proj_;   // [h ; read] -> output
+  DifferentiableMemory memory_;
+  HeadState read_head_;
+  HeadState write_head_;
+  Vector last_read_;
+};
+
+}  // namespace enw::mann

@@ -1,0 +1,93 @@
+#include "mann/similarity_search.h"
+
+#include <algorithm>
+#include <map>
+
+#include "core/check.h"
+#include "perf/tech_constants.h"
+#include "tensor/ops.h"
+
+namespace enw::mann {
+
+ExactSearch::ExactSearch(std::size_t dim, Metric metric) : dim_(dim), metric_(metric) {
+  ENW_CHECK(dim > 0);
+}
+
+void ExactSearch::clear() {
+  keys_.clear();
+  labels_.clear();
+}
+
+void ExactSearch::add(std::span<const float> key, std::size_t label) {
+  ENW_CHECK_MSG(key.size() == dim_, "key dimension mismatch");
+  keys_.insert(keys_.end(), key.begin(), key.end());
+  labels_.push_back(label);
+}
+
+std::size_t ExactSearch::predict(std::span<const float> key) {
+  ENW_CHECK_MSG(!labels_.empty(), "predict on empty memory");
+  ENW_CHECK(key.size() == dim_);
+  const float sign = is_similarity(metric_) ? 1.0f : -1.0f;
+  std::size_t best = 0;
+  float best_score = -1e30f;
+  for (std::size_t i = 0; i < labels_.size(); ++i) {
+    const std::span<const float> row(keys_.data() + i * dim_, dim_);
+    const float s = sign * metric_value(metric_, row, key);
+    if (s > best_score) {
+      best_score = s;
+      best = i;
+    }
+  }
+  return labels_[best];
+}
+
+const char* ExactSearch::name() const {
+  switch (metric_) {
+    case Metric::kCosineSimilarity: return "fp32-cosine (GPU/DRAM baseline)";
+    case Metric::kDot: return "fp32-dot";
+    case Metric::kL1: return "fp32-L1";
+    case Metric::kL2: return "fp32-L2";
+    case Metric::kLInf: return "fp32-Linf";
+  }
+  return "exact";
+}
+
+perf::Cost ExactSearch::query_cost() const {
+  // GPU/DRAM model: stream all M*D fp32 entries from DRAM, 2 flops each,
+  // plus a kernel launch.
+  const auto& g = perf::kGpu;
+  const double bytes = static_cast<double>(labels_.size()) * dim_ * sizeof(float);
+  const double flops = 2.0 * static_cast<double>(labels_.size()) * dim_;
+  perf::Cost c;
+  const double mem_ns = bytes / g.dram_bandwidth_gbps;  // GB/s == bytes/ns
+  const double compute_ns = flops / (g.peak_tflops * 1e3);
+  c.latency_ns = g.kernel_launch_overhead_ns + std::max(mem_ns, compute_ns);
+  c.energy_pj = bytes * g.dram_energy_pj_per_byte + flops * g.flop_energy_pj;
+  return c;
+}
+
+std::size_t knn_majority(Metric metric, const Matrix& keys,
+                         std::span<const std::size_t> labels,
+                         std::span<const float> query, std::size_t k) {
+  ENW_CHECK(keys.rows() == labels.size());
+  ENW_CHECK_MSG(k > 0 && k <= labels.size(), "invalid k for knn");
+  const Vector scores = similarity_scores(metric, keys, query);
+  std::vector<std::size_t> idx(labels.size());
+  for (std::size_t i = 0; i < idx.size(); ++i) idx[i] = i;
+  std::partial_sort(idx.begin(), idx.begin() + static_cast<std::ptrdiff_t>(k),
+                    idx.end(),
+                    [&](std::size_t a, std::size_t b) { return scores[a] > scores[b]; });
+  std::map<std::size_t, std::size_t> votes;
+  for (std::size_t i = 0; i < k; ++i) votes[labels[idx[i]]]++;
+  std::size_t best_label = labels[idx[0]];
+  std::size_t best_votes = 0;
+  for (const auto& [label, v] : votes) {
+    if (v > best_votes) {
+      best_votes = v;
+      best_label = label;
+    }
+  }
+  return best_label;
+}
+
+}  // namespace enw::mann

@@ -1,0 +1,69 @@
+// SimilaritySearch — the pluggable "attentional memory lookup" interface.
+//
+// The CAM experiments of Sec. IV compare several realizations of the same
+// operation: store the support-set feature vectors, then return the label of
+// the entry most similar to a query. The GPU baseline computes exact cosine
+// similarity over fp32 vectors in DRAM; the CAM designs quantize/hash the
+// vectors and search in memory. Every realization implements this interface
+// so the few-shot harness and the energy/latency benches can swap them.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "perf/op_counter.h"
+#include "tensor/distance.h"
+#include "tensor/matrix.h"
+
+namespace enw::mann {
+
+class SimilaritySearch {
+ public:
+  virtual ~SimilaritySearch() = default;
+
+  /// Drop all stored entries (start of a new episode).
+  virtual void clear() = 0;
+
+  /// Store a (key, label) pair.
+  virtual void add(std::span<const float> key, std::size_t label) = 0;
+
+  /// Label of the stored entry most similar to the query.
+  virtual std::size_t predict(std::span<const float> key) = 0;
+
+  /// Human-readable name for report tables.
+  virtual const char* name() const = 0;
+
+  /// Abstract cost of one predict() on this backend's target hardware.
+  virtual perf::Cost query_cost() const = 0;
+
+  virtual std::size_t size() const = 0;
+};
+
+/// Exact floating-point search under a configurable metric — the GPU/DRAM
+/// baseline of Fig. 5 when metric == cosine.
+class ExactSearch final : public SimilaritySearch {
+ public:
+  explicit ExactSearch(std::size_t dim, Metric metric = Metric::kCosineSimilarity);
+
+  void clear() override;
+  void add(std::span<const float> key, std::size_t label) override;
+  std::size_t predict(std::span<const float> key) override;
+  const char* name() const override;
+  perf::Cost query_cost() const override;
+  std::size_t size() const override { return labels_.size(); }
+
+ private:
+  std::size_t dim_;
+  Metric metric_;
+  std::vector<float> keys_;  // flattened rows
+  std::vector<std::size_t> labels_;
+};
+
+/// K-nearest-neighbour majority vote on top of any exact metric (used when
+/// K > 1 shots are stored per class).
+std::size_t knn_majority(Metric metric, const Matrix& keys,
+                         std::span<const std::size_t> labels,
+                         std::span<const float> query, std::size_t k);
+
+}  // namespace enw::mann

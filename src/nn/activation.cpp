@@ -1,0 +1,48 @@
+#include "nn/activation.h"
+
+#include <cmath>
+
+namespace enw::nn {
+
+const char* activation_name(Activation a) {
+  switch (a) {
+    case Activation::kIdentity: return "identity";
+    case Activation::kRelu: return "relu";
+    case Activation::kSigmoid: return "sigmoid";
+    case Activation::kTanh: return "tanh";
+  }
+  return "?";
+}
+
+float activate(Activation a, float x) {
+  switch (a) {
+    case Activation::kIdentity: return x;
+    case Activation::kRelu: return x > 0.0f ? x : 0.0f;
+    case Activation::kSigmoid: return 1.0f / (1.0f + std::exp(-x));
+    case Activation::kTanh: return std::tanh(x);
+  }
+  return x;
+}
+
+float activate_grad_from_output(Activation a, float y) {
+  switch (a) {
+    case Activation::kIdentity: return 1.0f;
+    case Activation::kRelu: return y > 0.0f ? 1.0f : 0.0f;
+    case Activation::kSigmoid: return y * (1.0f - y);
+    case Activation::kTanh: return 1.0f - y * y;
+  }
+  return 1.0f;
+}
+
+void activate(Activation a, std::span<float> x) {
+  for (auto& v : x) v = activate(a, v);
+}
+
+void scale_by_activation_grad(Activation a, std::span<const float> y,
+                              std::span<float> grad) {
+  for (std::size_t i = 0; i < grad.size(); ++i) {
+    grad[i] *= activate_grad_from_output(a, y[i]);
+  }
+}
+
+}  // namespace enw::nn

@@ -1,0 +1,27 @@
+// Element-wise activation functions and their derivatives.
+#pragma once
+
+#include <span>
+
+#include "tensor/matrix.h"
+
+namespace enw::nn {
+
+enum class Activation { kIdentity, kRelu, kSigmoid, kTanh };
+
+const char* activation_name(Activation a);
+
+float activate(Activation a, float x);
+
+/// Derivative expressed in terms of the *output* y = f(x), which is what the
+/// backward pass has in hand (e.g. sigmoid' = y (1 - y)).
+float activate_grad_from_output(Activation a, float y);
+
+/// Apply in place to a whole vector.
+void activate(Activation a, std::span<float> x);
+
+/// grad[i] *= f'(y[i]) for the whole vector.
+void scale_by_activation_grad(Activation a, std::span<const float> y,
+                              std::span<float> grad);
+
+}  // namespace enw::nn

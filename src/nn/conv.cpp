@@ -1,0 +1,171 @@
+#include "nn/conv.h"
+
+#include <cmath>
+
+#include "core/check.h"
+#include "nn/digital_linear.h"
+#include "nn/loss.h"
+#include "tensor/ops.h"
+
+namespace enw::nn {
+
+Conv2dLayer::Conv2dLayer(const ConvSpec& spec, Rng& rng)
+    : spec_(spec),
+      w_(Matrix::kaiming(spec.out_channels, spec.in_channels * spec.kernel * spec.kernel,
+                         spec.in_channels * spec.kernel * spec.kernel, rng)),
+      bias_(spec.out_channels, 0.0f) {
+  ENW_CHECK(spec.stride > 0 && spec.kernel > 0);
+}
+
+Matrix Conv2dLayer::forward(const Matrix& input) {
+  ENW_CHECK_MSG(input.rows() == spec_.in_channels &&
+                    input.cols() == spec_.height * spec_.width,
+                "conv input shape mismatch");
+  last_cols_ = im2col(input, spec_.height, spec_.width, spec_.kernel, spec_.kernel,
+                      spec_.stride, spec_.pad);
+  Matrix out = matmul(w_, last_cols_);
+  for (std::size_t oc = 0; oc < out.rows(); ++oc) {
+    for (std::size_t p = 0; p < out.cols(); ++p) {
+      float v = out(oc, p) + bias_[oc];
+      out(oc, p) = v > 0.0f ? v : 0.0f;  // ReLU
+    }
+  }
+  last_output_ = out;
+  return out;
+}
+
+Matrix Conv2dLayer::backward(const Matrix& d_out, float lr) {
+  ENW_CHECK_MSG(d_out.same_shape(last_output_),
+                "conv backward called without a matching forward");
+  // ReLU gradient.
+  Matrix delta = d_out;
+  for (std::size_t i = 0; i < delta.rows(); ++i)
+    for (std::size_t j = 0; j < delta.cols(); ++j)
+      if (last_output_(i, j) <= 0.0f) delta(i, j) = 0.0f;
+
+  // dW = delta * cols^T ; dx = W^T delta (then col2im).
+  const Matrix cols_t = transpose(last_cols_);
+  const Matrix dw = matmul(delta, cols_t);
+  const Matrix dx_cols = matmul(transpose(w_), delta);
+
+  for (std::size_t i = 0; i < w_.rows(); ++i)
+    for (std::size_t j = 0; j < w_.cols(); ++j) w_(i, j) -= lr * dw(i, j);
+  for (std::size_t oc = 0; oc < spec_.out_channels; ++oc) {
+    float acc = 0.0f;
+    for (std::size_t p = 0; p < delta.cols(); ++p) acc += delta(oc, p);
+    bias_[oc] -= lr * acc;
+  }
+
+  return col2im(dx_cols, spec_.in_channels, spec_.height, spec_.width, spec_.kernel,
+                spec_.kernel, spec_.stride, spec_.pad);
+}
+
+namespace {
+
+ConvSpec make_spec1(const EmbeddingNet::Config& c) {
+  ConvSpec s;
+  s.in_channels = 1;
+  s.out_channels = c.channels1;
+  s.height = c.image_height;
+  s.width = c.image_width;
+  return s;
+}
+
+ConvSpec make_spec2(const EmbeddingNet::Config& c) {
+  const ConvSpec s1 = make_spec1(c);
+  ConvSpec s;
+  s.in_channels = c.channels1;
+  s.out_channels = c.channels2;
+  s.height = s1.out_height();
+  s.width = s1.out_width();
+  return s;
+}
+
+std::size_t flat_dim(const EmbeddingNet::Config& c) {
+  const ConvSpec s2 = make_spec2(c);
+  return c.channels2 * s2.out_height() * s2.out_width();
+}
+
+}  // namespace
+
+EmbeddingNet::EmbeddingNet(const Config& config, Rng& rng)
+    : config_(config),
+      conv1_(make_spec1(config), rng),
+      conv2_(make_spec2(config), rng),
+      fc_embed_(std::make_unique<DigitalLinear>(config.embed_dim, flat_dim(config), rng),
+                Activation::kIdentity),
+      head_(std::make_unique<DigitalLinear>(std::max<std::size_t>(config.num_classes, 1),
+                                            config.embed_dim, rng),
+            Activation::kIdentity) {}
+
+Vector EmbeddingNet::embed_internal(std::span<const float> image, bool cache) {
+  ENW_CHECK_MSG(image.size() == config_.image_height * config_.image_width,
+                "image size mismatch");
+  Matrix input(1, image.size());
+  for (std::size_t i = 0; i < image.size(); ++i) input(0, i) = image[i];
+  const Matrix h1 = conv1_.forward(input);
+  const Matrix h2 = conv2_.forward(h1);
+  Vector flat(h2.data(), h2.data() + h2.size());
+  Vector raw = fc_embed_.forward(flat);
+  if (cache) {
+    last_input_ = input;
+    last_flat_ = flat;
+    last_embed_raw_ = raw;
+  }
+  // L2-normalize; keep a small epsilon so all-zero embeddings stay finite.
+  const float norm = std::max(l2_norm(raw), 1e-8f);
+  for (auto& v : raw) v /= norm;
+  return raw;
+}
+
+Vector EmbeddingNet::embed(std::span<const float> image) const {
+  // Embedding extraction re-uses the training forward path; the caches it
+  // fills are scratch state, so the const_cast does not change observable
+  // logical state.
+  return const_cast<EmbeddingNet*>(this)->embed_internal(image, /*cache=*/false);
+}
+
+float EmbeddingNet::train_step(std::span<const float> image, std::size_t label,
+                               float lr) {
+  ENW_CHECK_MSG(config_.num_classes > 0, "train_step requires a classifier head");
+  const Vector emb = embed_internal(image, /*cache=*/true);
+  const Vector logits = head_.forward(emb);
+  Vector grad(logits.size(), 0.0f);
+  const float loss = softmax_cross_entropy(logits, label, grad);
+
+  const Vector d_emb = head_.backward(grad, lr);
+
+  // Gradient through L2 normalization: de = (d_emb - (d_emb . y) y) / ||raw||.
+  const float norm = std::max(l2_norm(last_embed_raw_), 1e-8f);
+  Vector y(last_embed_raw_.size());
+  for (std::size_t i = 0; i < y.size(); ++i) y[i] = last_embed_raw_[i] / norm;
+  const float proj = dot(d_emb, y);
+  Vector d_raw(y.size());
+  for (std::size_t i = 0; i < y.size(); ++i) d_raw[i] = (d_emb[i] - proj * y[i]) / norm;
+
+  const Vector d_flat = fc_embed_.backward(d_raw, lr);
+
+  const ConvSpec s2 = conv2_.spec();
+  Matrix d_h2(s2.out_channels, s2.out_height() * s2.out_width());
+  ENW_CHECK(d_flat.size() == d_h2.size());
+  std::copy(d_flat.begin(), d_flat.end(), d_h2.data());
+
+  const Matrix d_h1 = conv2_.backward(d_h2, lr);
+  conv1_.backward(d_h1, lr);
+  return loss;
+}
+
+double EmbeddingNet::accuracy(const Matrix& images,
+                              std::span<const std::size_t> labels) const {
+  ENW_CHECK(images.rows() == labels.size());
+  if (labels.empty()) return 0.0;
+  std::size_t correct = 0;
+  for (std::size_t i = 0; i < images.rows(); ++i) {
+    const Vector emb = embed(images.row(i));
+    const Vector logits = head_.infer(emb);
+    if (argmax(logits) == labels[i]) ++correct;
+  }
+  return static_cast<double>(correct) / static_cast<double>(labels.size());
+}
+
+}  // namespace enw::nn

@@ -1,0 +1,100 @@
+// 2-D convolution layer and a small CNN feature extractor.
+//
+// Sec. IV of the paper pairs a small convolutional "helper network" with an
+// external memory: the CNN produces feature embeddings, and its final fully
+// connected layer can be swapped for an LSH layer feeding a TCAM. ConvNet
+// below is that helper network; EmbeddingNet exposes the embedding so the
+// few-shot harness can store/query it against different memory backends.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/rng.h"
+#include "nn/activation.h"
+#include "nn/dense_layer.h"
+#include "tensor/matrix.h"
+
+namespace enw::nn {
+
+struct ConvSpec {
+  std::size_t in_channels = 1;
+  std::size_t out_channels = 8;
+  std::size_t height = 20;  // input spatial size
+  std::size_t width = 20;
+  std::size_t kernel = 3;
+  std::size_t stride = 2;
+  std::size_t pad = 1;
+
+  std::size_t out_height() const { return (height + 2 * pad - kernel) / stride + 1; }
+  std::size_t out_width() const { return (width + 2 * pad - kernel) / stride + 1; }
+};
+
+/// Single conv layer with ReLU, im2col-based forward/backward, per-sample SGD.
+class Conv2dLayer {
+ public:
+  Conv2dLayer(const ConvSpec& spec, Rng& rng);
+
+  const ConvSpec& spec() const { return spec_; }
+
+  /// input: (in_channels x height*width). Returns (out_channels x out_h*out_w).
+  Matrix forward(const Matrix& input);
+
+  /// d_out: gradient w.r.t. this layer's output. Updates weights/bias and
+  /// returns the gradient w.r.t. the input.
+  Matrix backward(const Matrix& d_out, float lr);
+
+  const Matrix& weights() const { return w_; }
+
+ private:
+  ConvSpec spec_;
+  Matrix w_;  // (out_channels) x (in_channels * k * k)
+  Vector bias_;
+  Matrix last_cols_;    // cached im2col of the last input
+  Matrix last_output_;  // cached post-ReLU output
+};
+
+/// Conv-Conv-Dense embedding network with an optional classifier head.
+///
+/// Train with train_step() (softmax-CE through the head); read embeddings
+/// with embed(). Embeddings are L2-normalized, which makes cosine similarity
+/// equal to a dot product — the convention the MANN literature uses.
+class EmbeddingNet {
+ public:
+  struct Config {
+    std::size_t image_height = 20;
+    std::size_t image_width = 20;
+    std::size_t channels1 = 8;
+    std::size_t channels2 = 16;
+    std::size_t embed_dim = 32;
+    std::size_t num_classes = 0;  // classifier head size; 0 = headless
+  };
+
+  EmbeddingNet(const Config& config, Rng& rng);
+
+  const Config& config() const { return config_; }
+  std::size_t embed_dim() const { return config_.embed_dim; }
+
+  /// L2-normalized embedding of a flattened image (height*width floats).
+  Vector embed(std::span<const float> image) const;
+
+  /// One SGD step through the classifier head. Requires num_classes > 0.
+  float train_step(std::span<const float> image, std::size_t label, float lr);
+
+  double accuracy(const Matrix& images, std::span<const std::size_t> labels) const;
+
+ private:
+  Vector embed_internal(std::span<const float> image, bool cache);
+
+  Config config_;
+  Conv2dLayer conv1_;
+  Conv2dLayer conv2_;
+  DenseLayer fc_embed_;
+  DenseLayer head_;
+  // Cached shapes for backward.
+  Matrix last_input_;
+  Vector last_flat_;
+  Vector last_embed_raw_;  // pre-normalization embedding
+};
+
+}  // namespace enw::nn

@@ -1,0 +1,63 @@
+#include "nn/dense_layer.h"
+
+#include "core/check.h"
+#include "tensor/ops.h"
+
+namespace enw::nn {
+
+DenseLayer::DenseLayer(std::unique_ptr<LinearOps> ops, Activation act)
+    : ops_(std::move(ops)), act_(act) {
+  ENW_CHECK_MSG(ops_ != nullptr, "DenseLayer needs a backend");
+  bias_.assign(ops_->out_dim(), 0.0f);
+}
+
+Vector DenseLayer::forward(std::span<const float> x) {
+  last_input_.assign(x.begin(), x.end());
+  Vector y(out_dim(), 0.0f);
+  ops_->forward(x, y);
+  for (std::size_t i = 0; i < y.size(); ++i) y[i] += bias_[i];
+  activate(act_, y);
+  last_output_ = y;
+  return y;
+}
+
+Vector DenseLayer::infer(std::span<const float> x) const {
+  Vector y(out_dim(), 0.0f);
+  // forward() on the backend is non-const because analog reads consume RNG
+  // state (read noise); a const_cast would hide that, so we snapshot-free
+  // call through a mutable reference obtained from the unique_ptr.
+  ops_->forward(x, y);
+  for (std::size_t i = 0; i < y.size(); ++i) y[i] += bias_[i];
+  activate(act_, y);
+  return y;
+}
+
+Vector DenseLayer::backward(std::span<const float> dy, float lr) {
+  ENW_CHECK_MSG(last_output_.size() == dy.size(),
+                "backward called without a matching forward");
+  Vector delta(dy.begin(), dy.end());
+  scale_by_activation_grad(act_, last_output_, delta);
+
+  Vector dx(in_dim(), 0.0f);
+  ops_->backward(delta, dx);
+  ops_->update(last_input_, delta, lr);
+  for (std::size_t i = 0; i < bias_.size(); ++i) bias_[i] -= lr * delta[i];
+  return dx;
+}
+
+Vector DenseLayer::backward_no_update(std::span<const float> dy) const {
+  ENW_CHECK_MSG(last_output_.size() == dy.size(),
+                "backward called without a matching forward");
+  Vector delta(dy.begin(), dy.end());
+  scale_by_activation_grad(act_, last_output_, delta);
+  Vector dx(in_dim(), 0.0f);
+  ops_->backward(delta, dx);
+  return dx;
+}
+
+void DenseLayer::set_bias(Vector b) {
+  ENW_CHECK_MSG(b.size() == bias_.size(), "bias size mismatch");
+  bias_ = std::move(b);
+}
+
+}  // namespace enw::nn

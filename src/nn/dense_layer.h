@@ -1,0 +1,52 @@
+// Fully connected layer: y = f(W x + b), weights behind a LinearOps backend.
+//
+// The bias and activation stay digital even when W lives on an analog
+// crossbar — this mirrors the accelerator designs in the paper, where
+// peripheral circuits (ADCs + digital SFUs) handle bias add and nonlinearity.
+#pragma once
+
+#include <memory>
+
+#include "nn/activation.h"
+#include "nn/linear_ops.h"
+
+namespace enw::nn {
+
+class DenseLayer {
+ public:
+  DenseLayer(std::unique_ptr<LinearOps> ops, Activation act);
+
+  std::size_t in_dim() const { return ops_->in_dim(); }
+  std::size_t out_dim() const { return ops_->out_dim(); }
+  Activation activation() const { return act_; }
+
+  /// Forward pass; caches the input and output for the subsequent backward.
+  Vector forward(std::span<const float> x);
+
+  /// Inference-only forward (no caching).
+  Vector infer(std::span<const float> x) const;
+
+  /// Backward pass from dLoss/dOutput. Applies the weight + bias update with
+  /// the given learning rate (rank-1, per-sample SGD — the analog-native
+  /// update granularity) and returns dLoss/dInput.
+  Vector backward(std::span<const float> dy, float lr);
+
+  /// Backward without any parameter update (for gradient checks / frozen
+  /// layers). Returns dLoss/dInput.
+  Vector backward_no_update(std::span<const float> dy) const;
+
+  LinearOps& ops() { return *ops_; }
+  const LinearOps& ops() const { return *ops_; }
+  const Vector& bias() const { return bias_; }
+  void set_bias(Vector b);
+
+ private:
+  std::unique_ptr<LinearOps> ops_;
+  Activation act_;
+  Vector bias_;
+  // Cached from the last forward() for use in backward().
+  Vector last_input_;
+  Vector last_output_;
+};
+
+}  // namespace enw::nn

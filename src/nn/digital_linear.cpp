@@ -1,0 +1,44 @@
+#include "nn/digital_linear.h"
+
+#include "core/check.h"
+#include "tensor/ops.h"
+
+namespace enw::nn {
+
+DigitalLinear::DigitalLinear(std::size_t out_dim, std::size_t in_dim, Rng& rng)
+    : w_(Matrix::kaiming(out_dim, in_dim, in_dim, rng)) {}
+
+DigitalLinear::DigitalLinear(Matrix w) : w_(std::move(w)) {
+  ENW_CHECK_MSG(!w_.empty(), "weights must be non-empty");
+}
+
+void DigitalLinear::forward(std::span<const float> x, std::span<float> y) {
+  ENW_CHECK(x.size() == in_dim() && y.size() == out_dim());
+  const Vector out = matvec(w_, x);
+  std::copy(out.begin(), out.end(), y.begin());
+}
+
+void DigitalLinear::backward(std::span<const float> dy, std::span<float> dx) {
+  ENW_CHECK(dy.size() == out_dim() && dx.size() == in_dim());
+  const Vector out = matvec_transposed(w_, dy);
+  std::copy(out.begin(), out.end(), dx.begin());
+}
+
+void DigitalLinear::update(std::span<const float> x, std::span<const float> dy,
+                           float lr) {
+  rank1_update(w_, dy, x, -lr);
+}
+
+void DigitalLinear::set_weights(const Matrix& w) {
+  ENW_CHECK_MSG(w.rows() == w_.rows() && w.cols() == w_.cols(),
+                "set_weights shape mismatch");
+  w_ = w;
+}
+
+LinearOpsFactory DigitalLinear::factory(Rng& rng) {
+  return [&rng](std::size_t out, std::size_t in) {
+    return std::make_unique<DigitalLinear>(out, in, rng);
+  };
+}
+
+}  // namespace enw::nn

@@ -1,0 +1,34 @@
+// Plain floating-point LinearOps backend — the digital reference that the
+// paper's analog designs are compared against.
+#pragma once
+
+#include "nn/linear_ops.h"
+#include "core/rng.h"
+
+namespace enw::nn {
+
+class DigitalLinear final : public LinearOps {
+ public:
+  /// Kaiming-initialized weights.
+  DigitalLinear(std::size_t out_dim, std::size_t in_dim, Rng& rng);
+  /// Explicit initial weights.
+  explicit DigitalLinear(Matrix w);
+
+  std::size_t out_dim() const override { return w_.rows(); }
+  std::size_t in_dim() const override { return w_.cols(); }
+
+  void forward(std::span<const float> x, std::span<float> y) override;
+  void backward(std::span<const float> dy, std::span<float> dx) override;
+  void update(std::span<const float> x, std::span<const float> dy, float lr) override;
+
+  Matrix weights() const override { return w_; }
+  void set_weights(const Matrix& w) override;
+
+  /// Convenience factory for network builders.
+  static LinearOpsFactory factory(Rng& rng);
+
+ private:
+  Matrix w_;
+};
+
+}  // namespace enw::nn

@@ -1,0 +1,99 @@
+#include "nn/fp8.h"
+
+#include <cmath>
+
+#include "core/check.h"
+#include "tensor/ops.h"
+
+namespace enw::nn {
+
+float fp8_max(const Fp8Format& fmt) {
+  const int bias = (1 << (fmt.exponent_bits - 1)) - 1;
+  const int emax = (1 << fmt.exponent_bits) - 2 - bias;  // all-ones exp reserved
+  const float mant_max = 2.0f - std::ldexp(1.0f, -fmt.mantissa_bits);
+  return mant_max * std::ldexp(1.0f, emax);
+}
+
+float round_fp8(float x, const Fp8Format& fmt) {
+  ENW_CHECK(fmt.exponent_bits >= 2 && fmt.exponent_bits <= 8);
+  ENW_CHECK(fmt.mantissa_bits >= 1 && fmt.mantissa_bits <= 10);
+  if (x == 0.0f || !std::isfinite(x)) return std::isfinite(x) ? 0.0f : x;
+
+  const float max_v = fp8_max(fmt);
+  const float sign = x < 0.0f ? -1.0f : 1.0f;
+  float a = std::abs(x);
+  if (a >= max_v) return sign * max_v;  // saturating, per the training recipe
+
+  const int bias = (1 << (fmt.exponent_bits - 1)) - 1;
+  int e = 0;
+  std::frexp(a, &e);       // a = m * 2^e with m in [0.5, 1)
+  int exp = e - 1;         // exponent with mantissa in [1, 2)
+  const int emin = 1 - bias;
+  if (exp < emin) {
+    // Subnormal range: fixed quantum 2^(emin - mantissa_bits).
+    const float quantum = std::ldexp(1.0f, emin - fmt.mantissa_bits);
+    const float q = std::nearbyint(a / quantum);
+    return sign * q * quantum;
+  }
+  const float quantum = std::ldexp(1.0f, exp - fmt.mantissa_bits);
+  const float q = std::nearbyint(a / quantum);
+  float r = q * quantum;
+  if (r > max_v) r = max_v;
+  return sign * r;
+}
+
+Fp8Linear::Fp8Linear(std::size_t out_dim, std::size_t in_dim, Rng& rng)
+    : master_(Matrix::kaiming(out_dim, in_dim, in_dim, rng)) {}
+
+void Fp8Linear::forward(std::span<const float> x, std::span<float> y) {
+  ENW_CHECK(x.size() == in_dim() && y.size() == out_dim());
+  for (std::size_t r = 0; r < out_dim(); ++r) {
+    float acc = 0.0f;  // fp32 accumulate
+    const float* row = master_.data() + r * in_dim();
+    for (std::size_t c = 0; c < in_dim(); ++c) {
+      acc += round_fp8(row[c], kFp8Forward) * round_fp8(x[c], kFp8Forward);
+    }
+    y[r] = acc;
+  }
+}
+
+void Fp8Linear::backward(std::span<const float> dy, std::span<float> dx) {
+  ENW_CHECK(dy.size() == out_dim() && dx.size() == in_dim());
+  std::fill(dx.begin(), dx.end(), 0.0f);
+  for (std::size_t r = 0; r < out_dim(); ++r) {
+    const float g = round_fp8(dy[r], kFp8Gradient);
+    if (g == 0.0f) continue;
+    const float* row = master_.data() + r * in_dim();
+    for (std::size_t c = 0; c < in_dim(); ++c) {
+      dx[c] += round_fp8(row[c], kFp8Forward) * g;
+    }
+  }
+}
+
+void Fp8Linear::update(std::span<const float> x, std::span<const float> dy, float lr) {
+  ENW_CHECK(x.size() == in_dim() && dy.size() == out_dim());
+  // Weight update stays in fp32 (the master copy), but the operands of the
+  // outer product are fp8-rounded as they would be on the training engine.
+  for (std::size_t r = 0; r < out_dim(); ++r) {
+    const float g = round_fp8(dy[r], kFp8Gradient);
+    if (g == 0.0f) continue;
+    float* row = master_.data() + r * in_dim();
+    for (std::size_t c = 0; c < in_dim(); ++c) {
+      row[c] -= lr * g * round_fp8(x[c], kFp8Forward);
+    }
+  }
+}
+
+void Fp8Linear::set_weights(const Matrix& w) {
+  ENW_CHECK_MSG(w.rows() == master_.rows() && w.cols() == master_.cols(),
+                "set_weights shape mismatch");
+  master_ = w;
+}
+
+LinearOpsFactory Fp8Linear::factory(Rng& rng) {
+  return [&rng](std::size_t out, std::size_t in) {
+    return std::make_unique<Fp8Linear>(out, in, rng);
+  };
+}
+
+}  // namespace enw::nn

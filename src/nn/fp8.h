@@ -1,0 +1,54 @@
+// Simulated 8-bit floating-point arithmetic for training (Sec. II, [11][12]).
+//
+// The hybrid-FP8 recipe uses a 1-4-3 format (1 sign, 4 exponent, 3 mantissa)
+// for forward-pass operands and a wider-range 1-5-2 format for gradients,
+// with accumulation kept in higher precision. Fp8Linear is a LinearOps
+// backend that rounds its operands accordingly, so an fp8-trained network is
+// produced by just swapping the backend factory.
+#pragma once
+
+#include "core/rng.h"
+#include "nn/linear_ops.h"
+
+namespace enw::nn {
+
+struct Fp8Format {
+  int exponent_bits = 4;
+  int mantissa_bits = 3;
+};
+
+inline constexpr Fp8Format kFp8Forward{4, 3};   // 1-4-3: more precision
+inline constexpr Fp8Format kFp8Gradient{5, 2};  // 1-5-2: more range
+
+/// Round x to the nearest representable value of the format (round to
+/// nearest even on the mantissa, saturating at the format's max, flushing
+/// below the minimum subnormal to zero).
+float round_fp8(float x, const Fp8Format& fmt);
+
+/// Largest finite value of the format.
+float fp8_max(const Fp8Format& fmt);
+
+/// LinearOps backend performing all MACs on fp8-rounded operands with fp32
+/// accumulation, and keeping an fp32 master copy of the weights (the
+/// standard mixed-precision training arrangement).
+class Fp8Linear final : public LinearOps {
+ public:
+  Fp8Linear(std::size_t out_dim, std::size_t in_dim, Rng& rng);
+
+  std::size_t out_dim() const override { return master_.rows(); }
+  std::size_t in_dim() const override { return master_.cols(); }
+
+  void forward(std::span<const float> x, std::span<float> y) override;
+  void backward(std::span<const float> dy, std::span<float> dx) override;
+  void update(std::span<const float> x, std::span<const float> dy, float lr) override;
+
+  Matrix weights() const override { return master_; }
+  void set_weights(const Matrix& w) override;
+
+  static LinearOpsFactory factory(Rng& rng);
+
+ private:
+  Matrix master_;
+};
+
+}  // namespace enw::nn

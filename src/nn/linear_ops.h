@@ -1,0 +1,56 @@
+// LinearOps — the backend abstraction that makes analog acceleration
+// drop-in.
+//
+// Sec. II of the paper frames a resistive crossbar as a device that supports
+// exactly three primitives on a stored weight matrix W (out_dim x in_dim):
+//
+//   forward  : y  = W  x      (vector-matrix multiply, Ohm + Kirchhoff)
+//   backward : dx = W^T dy    (transpose read, same array)
+//   update   : W -= lr * dy x^T  (parallel rank-1 outer-product update)
+//
+// Every weight-bearing layer in src/nn talks to its weights through this
+// interface only, so swapping a digital float backend for a simulated analog
+// crossbar (src/analog) — or an FP8 backend — changes no training code.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <span>
+
+#include "tensor/matrix.h"
+
+namespace enw::nn {
+
+class LinearOps {
+ public:
+  virtual ~LinearOps() = default;
+
+  virtual std::size_t out_dim() const = 0;
+  virtual std::size_t in_dim() const = 0;
+
+  /// y = W x. y.size() == out_dim(), x.size() == in_dim().
+  virtual void forward(std::span<const float> x, std::span<float> y) = 0;
+
+  /// dx = W^T dy.
+  virtual void backward(std::span<const float> dy, std::span<float> dx) = 0;
+
+  /// W -= lr * dy x^T (rank-1). Analog backends realize this with pulse
+  /// coincidences and may apply it only approximately.
+  virtual void update(std::span<const float> x, std::span<const float> dy,
+                      float lr) = 0;
+
+  /// Snapshot of the effective weight matrix (for tests/inspection). Analog
+  /// backends return the decoded conductance state, without read noise.
+  virtual Matrix weights() const = 0;
+
+  /// Program the weights to the given matrix as faithfully as the backend
+  /// allows (analog backends clip to their conductance range).
+  virtual void set_weights(const Matrix& w) = 0;
+};
+
+/// Factory signature used by network builders: (out_dim, in_dim) -> backend.
+using LinearOpsFactory =
+    std::function<std::unique_ptr<LinearOps>(std::size_t, std::size_t)>;
+
+}  // namespace enw::nn

@@ -1,0 +1,43 @@
+#include "nn/loss.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/check.h"
+#include "tensor/ops.h"
+
+namespace enw::nn {
+
+float softmax_cross_entropy(std::span<const float> logits, std::size_t label,
+                            std::span<float> grad) {
+  ENW_CHECK(label < logits.size());
+  ENW_CHECK(grad.size() == logits.size());
+  const Vector p = softmax(logits);
+  for (std::size_t i = 0; i < p.size(); ++i) grad[i] = p[i];
+  grad[label] -= 1.0f;
+  // Guard the log against exact zeros produced by underflow.
+  return -std::log(std::max(p[label], 1e-12f));
+}
+
+float mse(std::span<const float> pred, std::span<const float> target,
+          std::span<float> grad) {
+  ENW_CHECK(pred.size() == target.size() && grad.size() == pred.size());
+  float loss = 0.0f;
+  const float inv_n = 1.0f / static_cast<float>(pred.size());
+  for (std::size_t i = 0; i < pred.size(); ++i) {
+    const float d = pred[i] - target[i];
+    loss += 0.5f * d * d;
+    grad[i] = d * inv_n;
+  }
+  return loss * inv_n;
+}
+
+float binary_cross_entropy_logit(float logit, float label, float& grad) {
+  const float p = 1.0f / (1.0f + std::exp(-logit));
+  grad = p - label;
+  const float eps = 1e-12f;
+  return -(label * std::log(std::max(p, eps)) +
+           (1.0f - label) * std::log(std::max(1.0f - p, eps)));
+}
+
+}  // namespace enw::nn

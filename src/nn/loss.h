@@ -1,0 +1,25 @@
+// Loss functions for classifier and regression training.
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+#include "tensor/matrix.h"
+
+namespace enw::nn {
+
+/// Softmax cross-entropy against an integer class label.
+/// Returns the loss; writes dLoss/dLogits into grad (same size as logits).
+float softmax_cross_entropy(std::span<const float> logits, std::size_t label,
+                            std::span<float> grad);
+
+/// Mean squared error 0.5 * ||pred - target||^2 / n.
+/// Writes dLoss/dPred into grad.
+float mse(std::span<const float> pred, std::span<const float> target,
+          std::span<float> grad);
+
+/// Binary cross-entropy of a single sigmoid output against label in {0,1}.
+/// Returns loss and the gradient w.r.t. the pre-sigmoid logit.
+float binary_cross_entropy_logit(float logit, float label, float& grad);
+
+}  // namespace enw::nn

@@ -1,0 +1,125 @@
+#include "nn/lstm.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/check.h"
+#include "tensor/ops.h"
+
+namespace enw::nn {
+
+namespace {
+float sigmoid(float x) { return 1.0f / (1.0f + std::exp(-x)); }
+float clipv(float v, float c) { return std::clamp(v, -c, c); }
+}  // namespace
+
+Lstm::Lstm(std::size_t input_dim, std::size_t hidden_dim, Rng& rng)
+    : input_dim_(input_dim),
+      hidden_dim_(hidden_dim),
+      w_(Matrix::kaiming(4 * hidden_dim, input_dim + hidden_dim, input_dim + hidden_dim,
+                         rng)),
+      b_(4 * hidden_dim, 0.0f),
+      h_(hidden_dim, 0.0f),
+      c_(hidden_dim, 0.0f) {
+  ENW_CHECK(input_dim > 0 && hidden_dim > 0);
+  // Forget-gate bias starts positive so early training retains state.
+  for (std::size_t j = 0; j < hidden_dim_; ++j) b_[hidden_dim_ + j] = 1.0f;
+}
+
+void Lstm::reset() {
+  std::fill(h_.begin(), h_.end(), 0.0f);
+  std::fill(c_.begin(), c_.end(), 0.0f);
+  cache_.clear();
+}
+
+Vector Lstm::step(std::span<const float> x) {
+  ENW_CHECK_MSG(x.size() == input_dim_, "LSTM input size mismatch");
+  StepCache sc;
+  sc.z.reserve(input_dim_ + hidden_dim_);
+  sc.z.assign(x.begin(), x.end());
+  sc.z.insert(sc.z.end(), h_.begin(), h_.end());
+  sc.c_prev = c_;
+
+  const Vector pre = matvec(w_, sc.z);
+  sc.i.resize(hidden_dim_);
+  sc.f.resize(hidden_dim_);
+  sc.g.resize(hidden_dim_);
+  sc.o.resize(hidden_dim_);
+  sc.c.resize(hidden_dim_);
+  sc.tanh_c.resize(hidden_dim_);
+  const std::size_t H = hidden_dim_;
+  for (std::size_t j = 0; j < H; ++j) {
+    sc.i[j] = sigmoid(pre[j] + b_[j]);
+    sc.f[j] = sigmoid(pre[H + j] + b_[H + j]);
+    sc.g[j] = std::tanh(pre[2 * H + j] + b_[2 * H + j]);
+    sc.o[j] = sigmoid(pre[3 * H + j] + b_[3 * H + j]);
+    sc.c[j] = sc.f[j] * sc.c_prev[j] + sc.i[j] * sc.g[j];
+    sc.tanh_c[j] = std::tanh(sc.c[j]);
+    h_[j] = sc.o[j] * sc.tanh_c[j];
+  }
+  c_ = sc.c;
+  cache_.push_back(std::move(sc));
+  return h_;
+}
+
+std::vector<Vector> Lstm::forward_sequence(const std::vector<Vector>& xs) {
+  reset();
+  std::vector<Vector> hs;
+  hs.reserve(xs.size());
+  for (const auto& x : xs) hs.push_back(step(x));
+  return hs;
+}
+
+std::vector<Vector> Lstm::backward_sequence(const std::vector<Vector>& d_hs, float lr,
+                                            float clip) {
+  ENW_CHECK_MSG(d_hs.size() == cache_.size(),
+                "backward_sequence needs one gradient per cached step");
+  const std::size_t T = cache_.size();
+  const std::size_t H = hidden_dim_;
+  Matrix dw(w_.rows(), w_.cols());
+  Vector db(b_.size(), 0.0f);
+  std::vector<Vector> d_xs(T, Vector(input_dim_, 0.0f));
+
+  Vector dh_next(H, 0.0f);  // gradient flowing into h from the future
+  Vector dc_next(H, 0.0f);
+
+  for (std::size_t t = T; t > 0; --t) {
+    const StepCache& sc = cache_[t - 1];
+    Vector dh(H);
+    for (std::size_t j = 0; j < H; ++j) dh[j] = d_hs[t - 1][j] + dh_next[j];
+
+    Vector d_pre(4 * H, 0.0f);
+    Vector dc(H);
+    for (std::size_t j = 0; j < H; ++j) {
+      const float d_tanh_c = dh[j] * sc.o[j];
+      dc[j] = d_tanh_c * (1.0f - sc.tanh_c[j] * sc.tanh_c[j]) + dc_next[j];
+      const float d_o = dh[j] * sc.tanh_c[j];
+      const float d_i = dc[j] * sc.g[j];
+      const float d_f = dc[j] * sc.c_prev[j];
+      const float d_g = dc[j] * sc.i[j];
+      d_pre[j] = d_i * sc.i[j] * (1.0f - sc.i[j]);
+      d_pre[H + j] = d_f * sc.f[j] * (1.0f - sc.f[j]);
+      d_pre[2 * H + j] = d_g * (1.0f - sc.g[j] * sc.g[j]);
+      d_pre[3 * H + j] = d_o * sc.o[j] * (1.0f - sc.o[j]);
+    }
+
+    // Accumulate parameter gradients and propagate to z = [x ; h_prev].
+    const Vector dz = matvec_transposed(w_, d_pre);
+    rank1_update(dw, d_pre, sc.z, 1.0f);
+    for (std::size_t k = 0; k < 4 * H; ++k) db[k] += d_pre[k];
+
+    for (std::size_t j = 0; j < input_dim_; ++j) d_xs[t - 1][j] = dz[j];
+    for (std::size_t j = 0; j < H; ++j) dh_next[j] = dz[input_dim_ + j];
+    for (std::size_t j = 0; j < H; ++j) dc_next[j] = dc[j] * sc.f[j];
+  }
+
+  for (std::size_t i = 0; i < w_.rows(); ++i)
+    for (std::size_t j = 0; j < w_.cols(); ++j)
+      w_(i, j) -= lr * clipv(dw(i, j), clip);
+  for (std::size_t k = 0; k < b_.size(); ++k) b_[k] -= lr * clipv(db[k], clip);
+
+  cache_.clear();
+  return d_xs;
+}
+
+}  // namespace enw::nn

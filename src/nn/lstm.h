@@ -1,0 +1,61 @@
+// LSTM layer with full backpropagation through time.
+//
+// MANNs (Sec. III) use a recurrent controller in front of the differentiable
+// memory; this is that controller. It is also used stand-alone for the NTM
+// copy-task example, where an LSTM must learn to reproduce an input sequence
+// — the canonical workload that motivated external memories in the first
+// place (the LSTM's fixed-size state degrades with sequence length, the
+// memory-augmented version does not).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/rng.h"
+#include "tensor/matrix.h"
+
+namespace enw::nn {
+
+class Lstm {
+ public:
+  Lstm(std::size_t input_dim, std::size_t hidden_dim, Rng& rng);
+
+  std::size_t input_dim() const { return input_dim_; }
+  std::size_t hidden_dim() const { return hidden_dim_; }
+
+  /// Reset recurrent state and clear cached steps.
+  void reset();
+
+  /// One timestep; returns the new hidden state. Caches for BPTT.
+  Vector step(std::span<const float> x);
+
+  /// Run a whole sequence from a fresh state; returns hidden states per step.
+  std::vector<Vector> forward_sequence(const std::vector<Vector>& xs);
+
+  /// BPTT given dLoss/dh for every timestep of the last forward_sequence.
+  /// Applies SGD updates with the given learning rate and returns
+  /// dLoss/dx per step. Gradients are clipped element-wise to +/- clip.
+  std::vector<Vector> backward_sequence(const std::vector<Vector>& d_hs, float lr,
+                                        float clip = 1.0f);
+
+  const Vector& hidden() const { return h_; }
+  const Vector& cell() const { return c_; }
+
+ private:
+  struct StepCache {
+    Vector z;       // [x ; h_prev]
+    Vector i, f, g, o;
+    Vector c_prev;
+    Vector c;
+    Vector tanh_c;
+  };
+
+  std::size_t input_dim_;
+  std::size_t hidden_dim_;
+  Matrix w_;   // (4*hidden) x (input + hidden), gate order [i f g o]
+  Vector b_;   // 4*hidden
+  Vector h_, c_;
+  std::vector<StepCache> cache_;
+};
+
+}  // namespace enw::nn

@@ -1,0 +1,83 @@
+#include "nn/mlp.h"
+
+#include "core/check.h"
+#include "nn/loss.h"
+#include "tensor/ops.h"
+
+namespace enw::nn {
+
+Mlp::Mlp(const MlpConfig& config, const LinearOpsFactory& factory) {
+  ENW_CHECK_MSG(config.dims.size() >= 2, "MLP needs at least input and output dims");
+  for (std::size_t i = 0; i + 1 < config.dims.size(); ++i) {
+    const bool last = (i + 2 == config.dims.size());
+    const Activation act = last ? config.output_activation : config.hidden_activation;
+    layers_.emplace_back(factory(config.dims[i + 1], config.dims[i]), act);
+  }
+}
+
+Vector Mlp::forward(std::span<const float> x) {
+  Vector h(x.begin(), x.end());
+  for (auto& layer : layers_) h = layer.forward(h);
+  return h;
+}
+
+float Mlp::train_step(std::span<const float> x, std::size_t label, float lr) {
+  const Vector logits = forward(x);
+  Vector grad(logits.size(), 0.0f);
+  const float loss = softmax_cross_entropy(logits, label, grad);
+  Vector g = grad;
+  for (std::size_t i = layers_.size(); i > 0; --i) g = layers_[i - 1].backward(g, lr);
+  return loss;
+}
+
+float Mlp::train_step_mse(std::span<const float> x, std::span<const float> target,
+                          float lr) {
+  const Vector out = forward(x);
+  Vector grad(out.size(), 0.0f);
+  const float loss = mse(out, target, grad);
+  Vector g = grad;
+  for (std::size_t i = layers_.size(); i > 0; --i) g = layers_[i - 1].backward(g, lr);
+  return loss;
+}
+
+std::size_t Mlp::predict(std::span<const float> x) const {
+  Vector h(x.begin(), x.end());
+  for (const auto& layer : layers_) h = layer.infer(h);
+  return argmax(h);
+}
+
+double Mlp::accuracy(const Matrix& features, std::span<const std::size_t> labels) const {
+  ENW_CHECK(features.rows() == labels.size());
+  if (labels.empty()) return 0.0;
+  std::size_t correct = 0;
+  for (std::size_t i = 0; i < features.rows(); ++i) {
+    if (predict(features.row(i)) == labels[i]) ++correct;
+  }
+  return static_cast<double>(correct) / static_cast<double>(labels.size());
+}
+
+double Mlp::mean_loss(const Matrix& features, std::span<const std::size_t> labels) {
+  ENW_CHECK(features.rows() == labels.size());
+  if (labels.empty()) return 0.0;
+  double total = 0.0;
+  for (std::size_t i = 0; i < features.rows(); ++i) {
+    const Vector logits = forward(features.row(i));
+    Vector grad(logits.size(), 0.0f);
+    total += softmax_cross_entropy(logits, labels[i], grad);
+  }
+  return total / static_cast<double>(labels.size());
+}
+
+double train_epoch(Mlp& net, const Matrix& features,
+                   std::span<const std::size_t> labels,
+                   std::span<const std::size_t> order, float lr) {
+  ENW_CHECK(features.rows() == labels.size());
+  double total = 0.0;
+  for (std::size_t idx : order) {
+    ENW_CHECK(idx < features.rows());
+    total += net.train_step(features.row(idx), labels[idx], lr);
+  }
+  return order.empty() ? 0.0 : total / static_cast<double>(order.size());
+}
+
+}  // namespace enw::nn

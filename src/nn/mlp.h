@@ -1,0 +1,64 @@
+// Multi-layer perceptron classifier / regressor over DenseLayer.
+//
+// This is the network used throughout Sec. II of the paper to derive device
+// specifications: a small fully connected net trained with per-sample SGD,
+// whose weight layers can be backed by digital floats or simulated analog
+// crossbars through the LinearOps factory.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "nn/dense_layer.h"
+#include "nn/linear_ops.h"
+
+namespace enw::nn {
+
+struct MlpConfig {
+  /// Layer widths, e.g. {784, 256, 128, 10}.
+  std::vector<std::size_t> dims;
+  Activation hidden_activation = Activation::kSigmoid;
+  Activation output_activation = Activation::kIdentity;  // logits for CE loss
+};
+
+class Mlp {
+ public:
+  Mlp(const MlpConfig& config, const LinearOpsFactory& factory);
+
+  std::size_t input_dim() const { return layers_.front().in_dim(); }
+  std::size_t output_dim() const { return layers_.back().out_dim(); }
+  std::size_t layer_count() const { return layers_.size(); }
+  DenseLayer& layer(std::size_t i) { return layers_.at(i); }
+  const DenseLayer& layer(std::size_t i) const { return layers_.at(i); }
+
+  /// Forward pass producing output logits; caches activations for training.
+  Vector forward(std::span<const float> x);
+
+  /// One SGD step on a single (x, label) pair with softmax cross-entropy.
+  /// Returns the loss before the update.
+  float train_step(std::span<const float> x, std::size_t label, float lr);
+
+  /// One SGD step against a dense regression target with MSE loss.
+  float train_step_mse(std::span<const float> x, std::span<const float> target,
+                       float lr);
+
+  /// Predicted class of x (argmax of logits), without caching.
+  std::size_t predict(std::span<const float> x) const;
+
+  /// Fraction of samples classified correctly. features is (n x input_dim).
+  double accuracy(const Matrix& features, std::span<const std::size_t> labels) const;
+
+  /// Mean softmax-CE loss over a dataset (no updates).
+  double mean_loss(const Matrix& features, std::span<const std::size_t> labels);
+
+ private:
+  std::vector<DenseLayer> layers_;
+};
+
+/// One epoch of single-sample SGD in the given order (shuffle outside).
+/// Returns mean training loss.
+double train_epoch(Mlp& net, const Matrix& features,
+                   std::span<const std::size_t> labels,
+                   std::span<const std::size_t> order, float lr);
+
+}  // namespace enw::nn

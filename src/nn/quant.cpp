@@ -1,0 +1,158 @@
+#include "nn/quant.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/check.h"
+#include "nn/loss.h"
+#include "tensor/ops.h"
+
+namespace enw::nn {
+
+float sawb_clip_scale(std::span<const float> weights, int bits) {
+  ENW_CHECK_MSG(!weights.empty(), "empty weight span");
+  double e_abs = 0.0;
+  double e_sq = 0.0;
+  for (float w : weights) {
+    e_abs += std::abs(w);
+    e_sq += static_cast<double>(w) * w;
+  }
+  e_abs /= static_cast<double>(weights.size());
+  e_sq /= static_cast<double>(weights.size());
+  // Coefficients in the spirit of SAWB (Choi et al.); values beyond 8 bits
+  // fall back to a 3-sigma clip which is near-optimal there anyway.
+  double c1 = 3.0, c2 = 0.0;
+  switch (bits) {
+    case 2: c1 = 3.2;  c2 = -2.1;  break;
+    case 3: c1 = 7.0;  c2 = -6.0;  break;
+    case 4: c1 = 12.1; c2 = -12.2; break;
+    case 8: c1 = 3.0;  c2 = 0.0;   break;
+    default: break;
+  }
+  const double alpha = c1 * std::sqrt(e_sq) + c2 * e_abs;
+  return static_cast<float>(std::max(alpha, 1e-6));
+}
+
+float quantize_symmetric(float x, float alpha, int bits) {
+  ENW_CHECK(bits >= 2 && bits <= 16);
+  const float qmax = static_cast<float>((1 << (bits - 1)) - 1);
+  const float clamped = std::clamp(x, -alpha, alpha);
+  const float q = std::nearbyint(clamped / alpha * qmax);
+  return q * alpha / qmax;
+}
+
+float PactActivation::forward(float x) const {
+  const float clamped = std::clamp(x, 0.0f, alpha);
+  const float levels = static_cast<float>((1 << bits) - 1);
+  const float q = std::nearbyint(clamped / alpha * levels);
+  return q * alpha / levels;
+}
+
+float PactActivation::backward(float x, float dy, float& alpha_grad) const {
+  if (x <= 0.0f) return 0.0f;
+  if (x >= alpha) {
+    // In the saturated region the output equals alpha, so dL/dalpha += dy.
+    alpha_grad += dy;
+    return 0.0f;
+  }
+  return dy;  // STE through the quantizer inside the clip range
+}
+
+QatMlp::QatMlp(const QatConfig& config, Rng& rng) : config_(config) {
+  ENW_CHECK_MSG(config.dims.size() >= 2, "QatMlp needs at least two dims");
+  const std::size_t L = config.dims.size() - 1;
+  for (std::size_t i = 0; i < L; ++i) {
+    weights_.push_back(
+        Matrix::kaiming(config.dims[i + 1], config.dims[i], config.dims[i], rng));
+    biases_.emplace_back(config.dims[i + 1], 0.0f);
+  }
+  // PACT clip per hidden layer output.
+  for (std::size_t i = 0; i + 1 < L; ++i) {
+    PactActivation p;
+    p.bits = config.act_bits;
+    p.alpha = 6.0f;
+    pacts_.push_back(p);
+  }
+  cache_.resize(L);
+}
+
+int QatMlp::layer_weight_bits(std::size_t i) const {
+  const std::size_t L = weights_.size();
+  if (config_.high_precision_edges && (i == 0 || i + 1 == L)) return 8;
+  return config_.weight_bits;
+}
+
+Vector QatMlp::forward(std::span<const float> x) {
+  Vector h(x.begin(), x.end());
+  const std::size_t L = weights_.size();
+  for (std::size_t l = 0; l < L; ++l) {
+    LayerCache& lc = cache_[l];
+    lc.input = h;
+
+    const int wbits = layer_weight_bits(l);
+    const Matrix& w = weights_[l];
+    const float alpha_w =
+        sawb_clip_scale(std::span<const float>(w.data(), w.size()), wbits);
+    lc.wq = w;
+    for (std::size_t i = 0; i < lc.wq.rows(); ++i)
+      for (std::size_t j = 0; j < lc.wq.cols(); ++j)
+        lc.wq(i, j) = quantize_symmetric(w(i, j), alpha_w, wbits);
+
+    Vector pre = matvec(lc.wq, h);
+    for (std::size_t i = 0; i < pre.size(); ++i) pre[i] += biases_[l][i];
+    lc.pre = pre;
+
+    if (l + 1 < L) {
+      Vector post(pre.size());
+      for (std::size_t i = 0; i < pre.size(); ++i) post[i] = pacts_[l].forward(pre[i]);
+      lc.post = post;
+      h = post;
+    } else {
+      lc.post = pre;  // output logits stay real-valued
+      h = pre;
+    }
+  }
+  return h;
+}
+
+float QatMlp::train_step(std::span<const float> x, std::size_t label, float lr) {
+  const Vector logits = forward(x);
+  Vector grad(logits.size(), 0.0f);
+  const float loss = softmax_cross_entropy(logits, label, grad);
+
+  Vector g = grad;  // dL/d(layer output)
+  for (std::size_t l = weights_.size(); l > 0; --l) {
+    LayerCache& lc = cache_[l - 1];
+    Vector d_pre(g.size());
+    if (l < weights_.size()) {
+      float alpha_grad = 2.0f * config_.alpha_l2 * pacts_[l - 1].alpha;
+      for (std::size_t i = 0; i < g.size(); ++i)
+        d_pre[i] = pacts_[l - 1].backward(lc.pre[i], g[i], alpha_grad);
+      pacts_[l - 1].alpha -= lr * config_.alpha_lr_scale * alpha_grad;
+      pacts_[l - 1].alpha = std::clamp(pacts_[l - 1].alpha, 0.1f, 20.0f);
+    } else {
+      d_pre = g;
+    }
+
+    // dx through the *quantized* weights (that's what the forward used);
+    // master-weight update uses STE: dW = d_pre * input^T applied to fp32 W.
+    g = matvec_transposed(lc.wq, d_pre);
+    rank1_update(weights_[l - 1], d_pre, lc.input, -lr);
+    for (std::size_t i = 0; i < biases_[l - 1].size(); ++i)
+      biases_[l - 1][i] -= lr * d_pre[i];
+  }
+  return loss;
+}
+
+std::size_t QatMlp::predict(std::span<const float> x) { return argmax(forward(x)); }
+
+double QatMlp::accuracy(const Matrix& features, std::span<const std::size_t> labels) {
+  ENW_CHECK(features.rows() == labels.size());
+  if (labels.empty()) return 0.0;
+  std::size_t correct = 0;
+  for (std::size_t i = 0; i < features.rows(); ++i)
+    if (predict(features.row(i)) == labels[i]) ++correct;
+  return static_cast<double>(correct) / static_cast<double>(labels.size());
+}
+
+}  // namespace enw::nn

@@ -1,0 +1,29 @@
+#include "perf/lru_cache.h"
+
+#include "core/check.h"
+
+namespace enw::perf {
+
+LruCache::LruCache(std::size_t capacity) : capacity_(capacity) {
+  ENW_CHECK_MSG(capacity > 0, "cache capacity must be positive");
+}
+
+bool LruCache::access(std::uint64_t key) {
+  auto it = map_.find(key);
+  if (it != map_.end()) {
+    order_.splice(order_.begin(), order_, it->second);
+    ++hits_;
+    return true;
+  }
+  ++misses_;
+  if (map_.size() >= capacity_) {
+    const std::uint64_t victim = order_.back();
+    order_.pop_back();
+    map_.erase(victim);
+  }
+  order_.push_front(key);
+  map_[key] = order_.begin();
+  return false;
+}
+
+}  // namespace enw::perf

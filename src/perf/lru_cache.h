@@ -1,0 +1,40 @@
+// LRU cache model for embedding-locality studies (Sec. V-B).
+//
+// Models a cache of fixed entry capacity in front of the embedding tables:
+// the research question is how much of the Zipf-skewed lookup traffic a
+// modest on-chip cache absorbs. Tracks hits/misses only — no data payload.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <list>
+#include <unordered_map>
+
+namespace enw::perf {
+
+class LruCache {
+ public:
+  explicit LruCache(std::size_t capacity);
+
+  /// Touch key; returns true on hit. Misses insert (evicting LRU if full).
+  bool access(std::uint64_t key);
+
+  std::size_t capacity() const { return capacity_; }
+  std::size_t size() const { return map_.size(); }
+  std::uint64_t hits() const { return hits_; }
+  std::uint64_t misses() const { return misses_; }
+  double hit_rate() const {
+    const std::uint64_t total = hits_ + misses_;
+    return total == 0 ? 0.0 : static_cast<double>(hits_) / static_cast<double>(total);
+  }
+  void reset_stats() { hits_ = misses_ = 0; }
+
+ private:
+  std::size_t capacity_;
+  std::list<std::uint64_t> order_;  // front = most recent
+  std::unordered_map<std::uint64_t, std::list<std::uint64_t>::iterator> map_;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+};
+
+}  // namespace enw::perf

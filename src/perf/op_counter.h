@@ -1,0 +1,49 @@
+// Operation/byte accounting used by the workload characterizers.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace enw::perf {
+
+/// Accumulates the abstract cost of a computation: floating-point ops,
+/// bytes read/written from each level, and discrete accelerator events.
+struct OpCounter {
+  std::uint64_t flops = 0;
+  std::uint64_t dram_bytes = 0;
+  std::uint64_t sram_bytes = 0;
+  std::uint64_t crossbar_ops = 0;  // full-array analog VMMs / updates
+  std::uint64_t tcam_searches = 0;
+  std::uint64_t sfu_ops = 0;
+
+  void add(const OpCounter& o) {
+    flops += o.flops;
+    dram_bytes += o.dram_bytes;
+    sram_bytes += o.sram_bytes;
+    crossbar_ops += o.crossbar_ops;
+    tcam_searches += o.tcam_searches;
+    sfu_ops += o.sfu_ops;
+  }
+
+  /// FLOPs per DRAM byte — the compute-intensity axis of a roofline plot.
+  double compute_intensity() const {
+    return dram_bytes == 0 ? 0.0
+                           : static_cast<double>(flops) / static_cast<double>(dram_bytes);
+  }
+};
+
+/// A latency+energy pair; the output unit of every architectural model.
+struct Cost {
+  double latency_ns = 0.0;
+  double energy_pj = 0.0;
+
+  Cost& operator+=(const Cost& o) {
+    latency_ns += o.latency_ns;
+    energy_pj += o.energy_pj;
+    return *this;
+  }
+};
+
+inline Cost operator+(Cost a, const Cost& b) { return a += b; }
+
+}  // namespace enw::perf

@@ -1,0 +1,30 @@
+#include "perf/roofline.h"
+
+#include <algorithm>
+
+#include "core/check.h"
+
+namespace enw::perf {
+
+double ridge_point(const Machine& m) {
+  ENW_CHECK(m.dram_bytes_per_ns > 0.0);
+  return m.peak_flops_per_ns / m.dram_bytes_per_ns;
+}
+
+RooflinePoint evaluate(const Machine& m, const OpCounter& ops) {
+  ENW_CHECK(m.peak_flops_per_ns > 0.0 && m.dram_bytes_per_ns > 0.0);
+  RooflinePoint p;
+  p.compute_intensity = ops.compute_intensity();
+
+  const double compute_ns = static_cast<double>(ops.flops) / m.peak_flops_per_ns;
+  const double memory_ns = static_cast<double>(ops.dram_bytes) / m.dram_bytes_per_ns;
+  p.memory_bound = memory_ns > compute_ns;
+  p.cost.latency_ns = std::max(compute_ns, memory_ns);
+  p.cost.energy_pj = static_cast<double>(ops.flops) * m.flop_energy_pj +
+                     static_cast<double>(ops.dram_bytes) * m.dram_energy_pj_per_byte;
+  p.attained_flops_per_ns =
+      p.cost.latency_ns > 0.0 ? static_cast<double>(ops.flops) / p.cost.latency_ns : 0.0;
+  return p;
+}
+
+}  // namespace enw::perf

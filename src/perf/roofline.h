@@ -1,0 +1,33 @@
+// Roofline model helper (Sec. V characterization).
+//
+// Classifies a workload as compute-bound or memory-bound for a machine with
+// a given peak FLOP rate and DRAM bandwidth, and converts an OpCounter into
+// a latency/energy estimate under the roofline assumption (perfect overlap
+// of compute and memory, whichever is longer dominates).
+#pragma once
+
+#include "perf/op_counter.h"
+
+namespace enw::perf {
+
+struct Machine {
+  double peak_flops_per_ns = 14000.0;   // 14 TFLOP/s
+  double dram_bytes_per_ns = 900.0;     // 900 GB/s
+  double flop_energy_pj = 1.5;
+  double dram_energy_pj_per_byte = 20.0;
+};
+
+struct RooflinePoint {
+  double compute_intensity = 0.0;  // flops / dram byte
+  double attained_flops_per_ns = 0.0;
+  bool memory_bound = false;
+  Cost cost;
+};
+
+/// Intensity at which the machine transitions memory-bound -> compute-bound.
+double ridge_point(const Machine& m);
+
+/// Evaluate a workload on a machine under the roofline assumption.
+RooflinePoint evaluate(const Machine& m, const OpCounter& ops);
+
+}  // namespace enw::perf

@@ -1,0 +1,75 @@
+// Technology constants used by the architectural energy/latency models.
+//
+// Values are order-of-magnitude numbers from the public literature the paper
+// cites (GPU/DRAM energy-per-byte surveys, ISAAC/PUMA-class crossbar
+// peripherals, TCAM design studies, Ni et al. FeFET TCAM). Every benchmark
+// binary prints the constants it used; EXPERIMENTS.md records them next to
+// the paper's reported factors. They are deliberately centralized here so a
+// user retargeting the model to another technology edits one file.
+#pragma once
+
+namespace enw::perf {
+
+// ---------------------------------------------------------------- GPU/DRAM
+struct GpuConstants {
+  double dram_bandwidth_gbps = 900.0;   // HBM2-class device (V100 era)
+  double dram_energy_pj_per_byte = 20.0; // DRAM access incl. interface
+  double flop_energy_pj = 1.5;          // fp32 FMA on a 12-16nm GPU
+  double peak_tflops = 14.0;            // fp32
+  double kernel_launch_overhead_ns = 5000.0;
+  double sram_energy_pj_per_byte = 1.0; // on-chip buffering per byte moved
+};
+
+// ------------------------------------------------------- Analog crossbar HW
+struct CrossbarConstants {
+  double array_read_latency_ns = 100.0;  // one full VMM incl. settle + ADC
+  double array_update_latency_ns = 100.0; // one parallel rank-1 update
+  double dac_energy_pj = 0.4;            // per input line per op
+  double adc_energy_pj = 4.0;            // per output sample (shared ADCs)
+  double crossbar_energy_pj_per_cell = 0.02; // per cell per read
+  double sfu_op_energy_pj = 0.5;         // vPE/SPE digital op
+  double sfu_ops_per_ns = 8.0;           // SFU throughput
+  double bus_energy_pj_per_byte = 0.8;   // tile <-> reduce-unit transfer
+  double bus_bandwidth_gbps = 256.0;
+};
+
+// ------------------------------------------------------------------- TCAM
+struct TcamConstants {
+  // Per-search, per-cell numbers for a match-line precharge/evaluate cycle
+  // (cell energy includes the search-line drive share).
+  double search_latency_ns = 1.0;        // one parallel search (array-wide)
+  double cell_search_energy_fj = 1.0;    // 16T CMOS TCAM cell
+  double sense_energy_pj = 0.01;         // per match line (sense amp)
+  double periphery_latency_ns = 1.0;     // encoder/priority logic
+};
+
+/// 2-FeFET TCAM cell (Ni et al., Nature Electronics 2019): denser and lower
+/// search energy than 16T CMOS; slightly faster match-line evaluation.
+struct FeFetTcamConstants {
+  double search_latency_ns = 0.9;        // ~1.1x faster than CMOS TCAM
+  double cell_search_energy_fj = 0.38;   // ~2.4x lower array search energy
+  double sense_energy_pj = 0.01;
+  double periphery_latency_ns = 0.9;
+};
+
+// ------------------------------------------------------------------- DRAM
+struct DramConstants {
+  double random_access_latency_ns = 50.0;
+  double bandwidth_gbps = 25.6;          // one DDR4 channel
+  double energy_pj_per_byte = 20.0;
+};
+
+// ------------------------------------------------------------------ CPU-ish
+struct DigitalConstants {
+  double flop_energy_pj = 1.0;
+  double flops_per_ns = 32.0;            // modest SIMD core
+};
+
+inline constexpr GpuConstants kGpu{};
+inline constexpr CrossbarConstants kCrossbar{};
+inline constexpr TcamConstants kCmosTcam{};
+inline constexpr FeFetTcamConstants kFeFetTcam{};
+inline constexpr DramConstants kDram{};
+inline constexpr DigitalConstants kDigital{};
+
+}  // namespace enw::perf

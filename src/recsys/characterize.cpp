@@ -1,0 +1,136 @@
+#include "recsys/characterize.h"
+
+#include "core/check.h"
+#include "perf/tech_constants.h"
+
+namespace enw::recsys {
+
+perf::OpCounter ComponentProfile::total() const {
+  perf::OpCounter t;
+  t.add(bottom_mlp);
+  t.add(embeddings);
+  t.add(interaction);
+  t.add(top_mlp);
+  return t;
+}
+
+namespace {
+
+perf::OpCounter mlp_ops(std::size_t in_dim, const std::vector<std::size_t>& hidden,
+                        std::size_t out_dim, std::size_t batch_size) {
+  perf::OpCounter c;
+  std::size_t prev = in_dim;
+  std::uint64_t weight_bytes = 0;
+  for (std::size_t h : hidden) {
+    c.flops += 2ull * prev * h;
+    weight_bytes += prev * h * sizeof(float);
+    prev = h;
+  }
+  c.flops += 2ull * prev * out_dim;
+  weight_bytes += prev * out_dim * sizeof(float);
+  // Weights stream once per batch; activations stay on chip.
+  c.dram_bytes = weight_bytes / std::max<std::size_t>(batch_size, 1);
+  c.sram_bytes = weight_bytes;
+  return c;
+}
+
+}  // namespace
+
+ComponentProfile profile_inference(const Dlrm& model, std::size_t lookups_per_table,
+                                   std::size_t batch_size) {
+  ENW_CHECK(lookups_per_table > 0);
+  const DlrmConfig& cfg = model.config();
+  ComponentProfile p;
+
+  p.bottom_mlp = mlp_ops(cfg.num_dense, cfg.bottom_hidden, cfg.embed_dim, batch_size);
+  p.top_mlp = mlp_ops(model.interaction_dim(), cfg.top_hidden, 1, batch_size);
+
+  // Embeddings: gather + add per looked-up row. Rows are scattered across a
+  // table far larger than any cache, so every row is a DRAM access.
+  const std::uint64_t rows_touched =
+      static_cast<std::uint64_t>(cfg.num_tables) * lookups_per_table;
+  p.embeddings.flops = rows_touched * cfg.embed_dim;  // one add per element
+  p.embeddings.dram_bytes = rows_touched * cfg.embed_dim * sizeof(float);
+
+  const std::uint64_t n = cfg.num_tables + 1;
+  p.interaction.flops = n * (n - 1) / 2 * 2ull * cfg.embed_dim;
+  p.interaction.dram_bytes = 0;  // operands live in registers/SRAM
+
+  return p;
+}
+
+std::vector<CacheStudyPoint> embedding_cache_study(
+    const data::ClickLogGenerator& gen, const Dlrm& model,
+    std::span<const std::size_t> cache_capacities, std::size_t samples, Rng& rng) {
+  ENW_CHECK(samples > 0);
+  std::vector<CacheStudyPoint> out;
+  const std::size_t dim = model.config().embed_dim;
+  for (std::size_t cap : cache_capacities) {
+    perf::LruCache cache(cap);
+    Rng local = rng.fork();
+    std::uint64_t lookups = 0;
+    // Warm up on half the traffic, measure on the rest.
+    for (std::size_t i = 0; i < samples / 2; ++i) {
+      const auto s = gen.sample(local);
+      for (std::size_t t = 0; t < s.sparse.size(); ++t) {
+        for (std::size_t idx : s.sparse[t]) {
+          cache.access(static_cast<std::uint64_t>(t) << 32 | idx);
+        }
+      }
+    }
+    cache.reset_stats();
+    for (std::size_t i = 0; i < samples - samples / 2; ++i) {
+      const auto s = gen.sample(local);
+      for (std::size_t t = 0; t < s.sparse.size(); ++t) {
+        for (std::size_t idx : s.sparse[t]) {
+          cache.access(static_cast<std::uint64_t>(t) << 32 | idx);
+          ++lookups;
+        }
+      }
+    }
+    CacheStudyPoint pt;
+    pt.cache_rows = cap;
+    pt.hit_rate = cache.hit_rate();
+    const double lookups_per_sample =
+        static_cast<double>(lookups) / static_cast<double>(samples - samples / 2);
+    pt.dram_bytes_per_sample = lookups_per_sample * (1.0 - pt.hit_rate) *
+                               static_cast<double>(dim) * sizeof(float);
+    out.push_back(pt);
+  }
+  return out;
+}
+
+NearMemoryComparison near_memory_gather(std::size_t num_tables,
+                                        std::size_t lookups_per_table,
+                                        std::size_t embed_dim, std::size_t ranks) {
+  ENW_CHECK(num_tables > 0 && lookups_per_table > 0 && embed_dim > 0 && ranks > 0);
+  const auto& dram = perf::kDram;
+  const double row_bytes = static_cast<double>(embed_dim) * sizeof(float);
+  const double rows = static_cast<double>(num_tables) * lookups_per_table;
+
+  NearMemoryComparison c;
+  // Host gather: every row streams across the single memory channel, plus a
+  // random-access penalty per row (scattered addresses defeat prefetching).
+  c.bytes_on_channel_host = rows * row_bytes;
+  c.host.latency_ns = rows * dram.random_access_latency_ns / 4.0  // 4 banks overlap
+                      + c.bytes_on_channel_host / dram.bandwidth_gbps;
+  c.host.energy_pj = c.bytes_on_channel_host * dram.energy_pj_per_byte;
+
+  // Near-memory: ranks gather and pool in parallel with internal bandwidth;
+  // only one pooled vector per table crosses the channel. Internal accesses
+  // skip the channel interface (~60% of the per-byte energy).
+  const double internal_bytes = rows * row_bytes;
+  const double internal_bw = dram.bandwidth_gbps * static_cast<double>(ranks);
+  c.bytes_on_channel_nmp = static_cast<double>(num_tables) * row_bytes;
+  c.near_memory.latency_ns =
+      rows * dram.random_access_latency_ns / (4.0 * static_cast<double>(ranks)) +
+      internal_bytes / internal_bw + c.bytes_on_channel_nmp / dram.bandwidth_gbps;
+  c.near_memory.energy_pj = internal_bytes * dram.energy_pj_per_byte * 0.4 +
+                            c.bytes_on_channel_nmp * dram.energy_pj_per_byte;
+
+  c.speedup = c.host.latency_ns / c.near_memory.latency_ns;
+  c.energy_reduction = c.host.energy_pj / c.near_memory.energy_pj;
+  return c;
+}
+
+}  // namespace enw::recsys

@@ -1,0 +1,62 @@
+// Workload characterization for recommendation inference (Sec. V-B).
+//
+// Produces the quantitative backbone of the paper's argument: per-component
+// FLOP and byte counts, compute intensity (orders of magnitude lower for
+// embedding ops than for MLPs), roofline classification of whole model
+// configurations, and the embedding-cache locality study.
+#pragma once
+
+#include "data/click_log.h"
+#include "perf/lru_cache.h"
+#include "perf/op_counter.h"
+#include "perf/roofline.h"
+#include "recsys/dlrm.h"
+
+namespace enw::recsys {
+
+struct ComponentProfile {
+  perf::OpCounter bottom_mlp;
+  perf::OpCounter embeddings;
+  perf::OpCounter interaction;
+  perf::OpCounter top_mlp;
+
+  perf::OpCounter total() const;
+};
+
+/// Abstract per-sample cost of one inference, assuming MLP weights are
+/// amortized over `batch_size` samples (they stream from DRAM once per
+/// batch) while embedding rows are gathered per sample.
+ComponentProfile profile_inference(const Dlrm& model, std::size_t lookups_per_table,
+                                   std::size_t batch_size);
+
+struct CacheStudyPoint {
+  std::size_t cache_rows = 0;   // capacity in embedding rows
+  double hit_rate = 0.0;
+  double dram_bytes_per_sample = 0.0;  // after the cache absorbs hits
+};
+
+/// Drive Zipf lookup traffic from the generator through an LRU cache of each
+/// capacity and report hit rates (the caching/near-memory opportunity).
+std::vector<CacheStudyPoint> embedding_cache_study(
+    const data::ClickLogGenerator& gen, const Dlrm& model,
+    std::span<const std::size_t> cache_capacities, std::size_t samples, Rng& rng);
+
+/// Near-memory processing for embedding gathers (TensorDIMM-style, ref
+/// [66]): instead of shipping every gathered row across the memory channel
+/// and pooling on the host, rank-local logic pools inside the DIMM and only
+/// the pooled vector crosses the channel.
+struct NearMemoryComparison {
+  perf::Cost host;         // conventional: all rows cross the channel
+  perf::Cost near_memory;  // pooled inside the ranks
+  double speedup = 0.0;
+  double energy_reduction = 0.0;
+  double bytes_on_channel_host = 0.0;
+  double bytes_on_channel_nmp = 0.0;
+};
+
+NearMemoryComparison near_memory_gather(std::size_t num_tables,
+                                        std::size_t lookups_per_table,
+                                        std::size_t embed_dim,
+                                        std::size_t ranks = 8);
+
+}  // namespace enw::recsys

@@ -1,0 +1,214 @@
+#include "recsys/dlrm.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/check.h"
+#include "nn/digital_linear.h"
+#include "nn/loss.h"
+#include "tensor/ops.h"
+
+namespace enw::recsys {
+
+DlrmConfig DlrmConfig::memory_dominated() {
+  DlrmConfig c;
+  c.num_dense = 13;
+  c.num_tables = 24;
+  c.rows_per_table = 200000;
+  c.embed_dim = 32;
+  c.bottom_hidden = {32};
+  c.top_hidden = {32};
+  return c;
+}
+
+DlrmConfig DlrmConfig::compute_dominated() {
+  DlrmConfig c;
+  c.num_dense = 64;
+  c.num_tables = 4;
+  c.rows_per_table = 2000;
+  c.embed_dim = 32;
+  c.bottom_hidden = {512, 256, 128};
+  c.top_hidden = {512, 256, 128};
+  return c;
+}
+
+namespace {
+
+std::vector<nn::DenseLayer> build_mlp(std::size_t in_dim,
+                                      const std::vector<std::size_t>& hidden,
+                                      std::size_t out_dim, nn::Activation out_act,
+                                      Rng& rng) {
+  std::vector<nn::DenseLayer> layers;
+  std::size_t prev = in_dim;
+  for (std::size_t h : hidden) {
+    layers.emplace_back(std::make_unique<nn::DigitalLinear>(h, prev, rng),
+                        nn::Activation::kRelu);
+    prev = h;
+  }
+  layers.emplace_back(std::make_unique<nn::DigitalLinear>(out_dim, prev, rng), out_act);
+  return layers;
+}
+
+Vector run_forward(std::vector<nn::DenseLayer>& layers, std::span<const float> x) {
+  Vector h(x.begin(), x.end());
+  for (auto& layer : layers) h = layer.forward(h);
+  return h;
+}
+
+Vector run_backward(std::vector<nn::DenseLayer>& layers, std::span<const float> dy,
+                    float lr) {
+  Vector g(dy.begin(), dy.end());
+  for (std::size_t i = layers.size(); i > 0; --i) g = layers[i - 1].backward(g, lr);
+  return g;
+}
+
+}  // namespace
+
+Dlrm::Dlrm(const DlrmConfig& config, Rng& rng) : config_(config) {
+  ENW_CHECK(config.num_tables > 0 && config.embed_dim > 0);
+  bottom_ = build_mlp(config.num_dense, config.bottom_hidden, config.embed_dim,
+                      nn::Activation::kRelu, rng);
+  top_ = build_mlp(interaction_dim(), config.top_hidden, 1, nn::Activation::kIdentity,
+                   rng);
+  tables_.reserve(config.num_tables);
+  for (std::size_t t = 0; t < config.num_tables; ++t) {
+    tables_.emplace_back(config.rows_per_table, config.embed_dim, rng);
+  }
+}
+
+std::size_t Dlrm::interaction_dim() const {
+  const std::size_t n = config_.num_tables + 1;  // pooled vectors + bottom output
+  return config_.embed_dim + n * (n - 1) / 2;
+}
+
+float Dlrm::forward(const data::ClickSample& sample, ForwardCache& cache) {
+  ENW_CHECK_MSG(sample.dense.size() == config_.num_dense, "dense feature mismatch");
+  ENW_CHECK_MSG(sample.sparse.size() == config_.num_tables, "sparse feature mismatch");
+
+  cache.bottom_out = run_forward(bottom_, sample.dense);
+  cache.pooled.assign(config_.num_tables, Vector(config_.embed_dim, 0.0f));
+  for (std::size_t t = 0; t < config_.num_tables; ++t) {
+    tables_[t].lookup_sum(sample.sparse[t], cache.pooled[t]);
+  }
+
+  // Pairwise dot-product interactions over {bottom, pooled_0..T-1}.
+  cache.interactions.assign(interaction_dim(), 0.0f);
+  std::copy(cache.bottom_out.begin(), cache.bottom_out.end(),
+            cache.interactions.begin());
+  std::size_t k = config_.embed_dim;
+  const auto vec = [&](std::size_t i) -> const Vector& {
+    return i == 0 ? cache.bottom_out : cache.pooled[i - 1];
+  };
+  const std::size_t n = config_.num_tables + 1;
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      cache.interactions[k++] = dot(vec(i), vec(j));
+    }
+  }
+
+  const Vector out = run_forward(top_, cache.interactions);
+  cache.logit = out[0];
+  return cache.logit;
+}
+
+float Dlrm::predict(const data::ClickSample& sample) {
+  ForwardCache cache;
+  const float logit = forward(sample, cache);
+  return 1.0f / (1.0f + std::exp(-logit));
+}
+
+float Dlrm::train_step(const data::ClickSample& sample, float lr) {
+  ForwardCache cache;
+  const float logit = forward(sample, cache);
+  float dlogit = 0.0f;
+  const float loss = nn::binary_cross_entropy_logit(logit, sample.label, dlogit);
+
+  const Vector d_inter = run_backward(top_, Vector{dlogit}, lr);
+
+  // Split gradient into the direct bottom part and the pairwise dots.
+  const std::size_t n = config_.num_tables + 1;
+  std::vector<Vector> d_vec(n, Vector(config_.embed_dim, 0.0f));
+  for (std::size_t j = 0; j < config_.embed_dim; ++j) d_vec[0][j] = d_inter[j];
+  const auto vec = [&](std::size_t i) -> const Vector& {
+    return i == 0 ? cache.bottom_out : cache.pooled[i - 1];
+  };
+  std::size_t k = config_.embed_dim;
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      const float g = d_inter[k++];
+      const Vector& vi = vec(i);
+      const Vector& vj = vec(j);
+      for (std::size_t c = 0; c < config_.embed_dim; ++c) {
+        d_vec[i][c] += g * vj[c];
+        d_vec[j][c] += g * vi[c];
+      }
+    }
+  }
+
+  run_backward(bottom_, d_vec[0], lr);
+  for (std::size_t t = 0; t < config_.num_tables; ++t) {
+    tables_[t].apply_gradient(sample.sparse[t], d_vec[t + 1], lr);
+  }
+  return loss;
+}
+
+double Dlrm::mean_loss(std::span<const data::ClickSample> batch) {
+  if (batch.empty()) return 0.0;
+  double total = 0.0;
+  for (const auto& s : batch) {
+    ForwardCache cache;
+    const float logit = forward(s, cache);
+    float g = 0.0f;
+    total += nn::binary_cross_entropy_logit(logit, s.label, g);
+  }
+  return total / static_cast<double>(batch.size());
+}
+
+double Dlrm::accuracy(std::span<const data::ClickSample> batch) {
+  if (batch.empty()) return 0.0;
+  std::size_t correct = 0;
+  for (const auto& s : batch) {
+    const float p = predict(s);
+    if ((p >= 0.5f) == (s.label >= 0.5f)) ++correct;
+  }
+  return static_cast<double>(correct) / static_cast<double>(batch.size());
+}
+
+double Dlrm::auc(std::span<const data::ClickSample> batch) {
+  std::vector<std::pair<float, float>> scored;  // (prob, label)
+  scored.reserve(batch.size());
+  for (const auto& s : batch) scored.emplace_back(predict(s), s.label);
+  std::sort(scored.begin(), scored.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  // Rank-sum (Mann-Whitney) AUC.
+  double pos = 0.0, neg = 0.0, rank_sum = 0.0;
+  for (std::size_t i = 0; i < scored.size(); ++i) {
+    if (scored[i].second >= 0.5f) {
+      pos += 1.0;
+      rank_sum += static_cast<double>(i + 1);
+    } else {
+      neg += 1.0;
+    }
+  }
+  if (pos == 0.0 || neg == 0.0) return 0.5;
+  return (rank_sum - pos * (pos + 1.0) / 2.0) / (pos * neg);
+}
+
+std::size_t Dlrm::mlp_bytes() const {
+  std::size_t total = 0;
+  for (const auto& l : bottom_) {
+    total += (l.in_dim() * l.out_dim() + l.out_dim()) * sizeof(float);
+  }
+  for (const auto& l : top_) {
+    total += (l.in_dim() * l.out_dim() + l.out_dim()) * sizeof(float);
+  }
+  return total;
+}
+
+std::size_t Dlrm::embedding_bytes() const {
+  std::size_t total = 0;
+  for (const auto& t : tables_) total += t.bytes();
+  return total;
+}
+
+}  // namespace enw::recsys

@@ -1,0 +1,89 @@
+// DLRM-style deep learning recommendation model (Sec. V, Fig. 6).
+//
+// Execution flow exactly as the paper's diagram: dense features pass
+// through a bottom MLP; each sparse (categorical) feature is pooled out of
+// its embedding table; the bottom output and the pooled vectors interact
+// via pairwise dot products; the concatenated [bottom ; interactions]
+// vector drives the top (predictor) MLP, whose single logit is the
+// predicted click-through probability.
+//
+// Full training (BCE loss, backprop through the interaction, sparse
+// embedding-row updates) is implemented — recommendation models retrain
+// daily, so a recommendation substrate that cannot train would not exercise
+// the paper's workload.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "core/rng.h"
+#include "data/click_log.h"
+#include "nn/dense_layer.h"
+#include "recsys/embedding_table.h"
+
+namespace enw::recsys {
+
+struct DlrmConfig {
+  std::size_t num_dense = 13;
+  std::size_t num_tables = 8;
+  std::size_t rows_per_table = 10000;
+  std::size_t embed_dim = 16;
+  std::vector<std::size_t> bottom_hidden = {64, 32};  // widths before embed_dim
+  std::vector<std::size_t> top_hidden = {64, 32};     // widths before the logit
+
+  /// DLRM "RMC1"-style configuration: small MLPs, many tables — the
+  /// memory-capacity/bandwidth-bound corner of the design space.
+  static DlrmConfig memory_dominated();
+  /// "RMC3"-style: big MLP stacks, few small tables — compute-bound.
+  static DlrmConfig compute_dominated();
+};
+
+class Dlrm {
+ public:
+  Dlrm(const DlrmConfig& config, Rng& rng);
+
+  const DlrmConfig& config() const { return config_; }
+
+  /// Dimensionality of the interaction vector feeding the top MLP.
+  std::size_t interaction_dim() const;
+
+  /// Predicted click probability for one sample.
+  float predict(const data::ClickSample& sample);
+
+  /// One SGD step with binary cross-entropy. Returns the loss.
+  float train_step(const data::ClickSample& sample, float lr);
+
+  /// Mean BCE over a batch (no updates).
+  double mean_loss(std::span<const data::ClickSample> batch);
+
+  /// Binary classification accuracy at threshold 0.5.
+  double accuracy(std::span<const data::ClickSample> batch);
+
+  /// Model AUC over a batch (rank-based, ties broken by order).
+  double auc(std::span<const data::ClickSample> batch);
+
+  const std::vector<EmbeddingTable>& tables() const { return tables_; }
+  std::vector<EmbeddingTable>& tables() { return tables_; }
+
+  /// Total parameter bytes split into MLP and embedding parts — the paper's
+  /// capacity argument in one call.
+  std::size_t mlp_bytes() const;
+  std::size_t embedding_bytes() const;
+
+ private:
+  struct ForwardCache {
+    Vector bottom_out;
+    std::vector<Vector> pooled;  // one per table
+    Vector interactions;         // concatenated top input
+    float logit = 0.0f;
+  };
+
+  float forward(const data::ClickSample& sample, ForwardCache& cache);
+
+  DlrmConfig config_;
+  std::vector<nn::DenseLayer> bottom_;
+  std::vector<nn::DenseLayer> top_;
+  std::vector<EmbeddingTable> tables_;
+};
+
+}  // namespace enw::recsys

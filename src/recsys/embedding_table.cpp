@@ -1,0 +1,118 @@
+#include "recsys/embedding_table.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/check.h"
+
+namespace enw::recsys {
+
+EmbeddingTable::EmbeddingTable(std::size_t rows, std::size_t dim, Rng& rng)
+    : table_(Matrix::uniform(rows, dim, -0.1f, 0.1f, rng)) {
+  ENW_CHECK(rows > 0 && dim > 0);
+}
+
+void EmbeddingTable::lookup_sum(std::span<const std::size_t> indices,
+                                std::span<float> out) const {
+  ENW_CHECK_MSG(out.size() == dim(), "output size mismatch");
+  std::fill(out.begin(), out.end(), 0.0f);
+  for (std::size_t idx : indices) {
+    ENW_CHECK_MSG(idx < rows(), "embedding index out of range");
+    const float* r = table_.data() + idx * dim();
+    for (std::size_t j = 0; j < dim(); ++j) out[j] += r[j];
+  }
+}
+
+void EmbeddingTable::apply_gradient(std::span<const std::size_t> indices,
+                                    std::span<const float> grad, float lr) {
+  ENW_CHECK_MSG(grad.size() == dim(), "gradient size mismatch");
+  for (std::size_t idx : indices) {
+    ENW_CHECK(idx < rows());
+    float* r = table_.data() + idx * dim();
+    for (std::size_t j = 0; j < dim(); ++j) r[j] -= lr * grad[j];
+  }
+}
+
+QuantizedEmbeddingTable::QuantizedEmbeddingTable(const EmbeddingTable& source, int bits)
+    : rows_(source.rows()), dim_(source.dim()), bits_(bits) {
+  ENW_CHECK_MSG(bits == 2 || bits == 4 || bits == 8, "bits must be 2, 4 or 8");
+  scales_.resize(rows_);
+  const std::size_t codes_per_byte = bits_ == 8 ? 1 : (bits_ == 4 ? 2 : 4);
+  codes_.assign((rows_ * dim_ + codes_per_byte - 1) / codes_per_byte, 0);
+  const int qmax = (1 << (bits_ - 1)) - 1;
+
+  for (std::size_t r = 0; r < rows_; ++r) {
+    const auto row = source.row(r);
+    float amax = 1e-12f;
+    for (float v : row) amax = std::max(amax, std::abs(v));
+    scales_[r] = amax / static_cast<float>(qmax);
+    for (std::size_t c = 0; c < dim_; ++c) {
+      const int q = std::clamp(
+          static_cast<int>(std::nearbyint(row[c] / scales_[r])), -qmax, qmax);
+      const std::size_t flat = r * dim_ + c;
+      if (bits_ == 8) {
+        codes_[flat] = static_cast<std::int8_t>(q);
+      } else if (bits_ == 4) {
+        const std::size_t byte = flat / 2;
+        const int shift = (flat % 2) * 4;
+        auto u = static_cast<std::uint8_t>(codes_[byte]);
+        u = static_cast<std::uint8_t>((u & ~(0xF << shift)) |
+                                      ((static_cast<std::uint8_t>(q) & 0xF) << shift));
+        codes_[byte] = static_cast<std::int8_t>(u);
+      } else {  // 2 bits
+        const std::size_t byte = flat / 4;
+        const int shift = static_cast<int>((flat % 4) * 2);
+        auto u = static_cast<std::uint8_t>(codes_[byte]);
+        u = static_cast<std::uint8_t>((u & ~(0x3 << shift)) |
+                                      ((static_cast<std::uint8_t>(q) & 0x3) << shift));
+        codes_[byte] = static_cast<std::int8_t>(u);
+      }
+    }
+  }
+}
+
+std::int8_t QuantizedEmbeddingTable::stored(std::size_t r, std::size_t c) const {
+  const std::size_t flat = r * dim_ + c;
+  if (bits_ == 8) return codes_[flat];
+  if (bits_ == 4) {
+    const auto u = static_cast<std::uint8_t>(codes_[flat / 2]);
+    auto nibble = static_cast<std::int8_t>((u >> ((flat % 2) * 4)) & 0xF);
+    if (nibble & 0x8) nibble = static_cast<std::int8_t>(nibble | ~0xF);  // sign extend
+    return nibble;
+  }
+  const auto u = static_cast<std::uint8_t>(codes_[flat / 4]);
+  auto crumb = static_cast<std::int8_t>((u >> ((flat % 4) * 2)) & 0x3);
+  if (crumb & 0x2) crumb = static_cast<std::int8_t>(crumb | ~0x3);
+  return crumb;
+}
+
+void QuantizedEmbeddingTable::lookup_sum(std::span<const std::size_t> indices,
+                                         std::span<float> out) const {
+  ENW_CHECK_MSG(out.size() == dim_, "output size mismatch");
+  std::fill(out.begin(), out.end(), 0.0f);
+  for (std::size_t idx : indices) {
+    ENW_CHECK(idx < rows_);
+    for (std::size_t j = 0; j < dim_; ++j) {
+      out[j] += static_cast<float>(stored(idx, j)) * scales_[idx];
+    }
+  }
+}
+
+Vector QuantizedEmbeddingTable::row(std::size_t r) const {
+  ENW_CHECK(r < rows_);
+  Vector v(dim_);
+  for (std::size_t j = 0; j < dim_; ++j)
+    v[j] = static_cast<float>(stored(r, j)) * scales_[r];
+  return v;
+}
+
+std::size_t QuantizedEmbeddingTable::bytes() const {
+  return codes_.size() + scales_.size() * sizeof(float);
+}
+
+double QuantizedEmbeddingTable::compression_ratio() const {
+  const double fp32 = static_cast<double>(rows_) * dim_ * sizeof(float);
+  return fp32 / static_cast<double>(bytes());
+}
+
+}  // namespace enw::recsys

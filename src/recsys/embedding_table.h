@@ -1,0 +1,77 @@
+// Embedding tables — the memory-dominant component of recommendation
+// models (Sec. V-A, Fig. 6).
+//
+// A categorical feature with R possible values owns an R x D table of
+// learned latent vectors. Inference gathers the rows named by a multi-hot
+// index vector and pools them (sum); training scatters gradients back into
+// exactly those rows. R reaches millions in production, so the table is the
+// capacity/bandwidth problem the paper highlights; D stays small (tens).
+//
+// QuantizedEmbeddingTable stores rows in int8/int4 with one scale per row —
+// the up-to-16x compression the paper cites [65] — and dequantizes on read.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/rng.h"
+#include "tensor/matrix.h"
+
+namespace enw::recsys {
+
+class EmbeddingTable {
+ public:
+  EmbeddingTable(std::size_t rows, std::size_t dim, Rng& rng);
+
+  std::size_t rows() const { return table_.rows(); }
+  std::size_t dim() const { return table_.cols(); }
+
+  /// Sum-pool the rows named by indices into out (out.size() == dim).
+  void lookup_sum(std::span<const std::size_t> indices, std::span<float> out) const;
+
+  /// Sparse SGD: row[idx] -= lr * grad for every idx in indices.
+  void apply_gradient(std::span<const std::size_t> indices,
+                      std::span<const float> grad, float lr);
+
+  std::span<const float> row(std::size_t r) const { return table_.row(r); }
+  std::size_t bytes() const { return table_.size() * sizeof(float); }
+
+  const Matrix& data() const { return table_; }
+  Matrix& data() { return table_; }
+
+ private:
+  Matrix table_;
+};
+
+/// Row-wise symmetric integer quantization of an embedding table.
+class QuantizedEmbeddingTable {
+ public:
+  /// bits in {2, 4, 8}. Quantizes a snapshot of the given table.
+  QuantizedEmbeddingTable(const EmbeddingTable& source, int bits);
+
+  std::size_t rows() const { return rows_; }
+  std::size_t dim() const { return dim_; }
+  int bits() const { return bits_; }
+
+  void lookup_sum(std::span<const std::size_t> indices, std::span<float> out) const;
+
+  /// Dequantized copy of one row (for error analysis).
+  Vector row(std::size_t r) const;
+
+  /// Storage footprint including per-row scales.
+  std::size_t bytes() const;
+
+  /// Compression vs the fp32 original.
+  double compression_ratio() const;
+
+ private:
+  std::int8_t stored(std::size_t r, std::size_t c) const;
+
+  std::size_t rows_;
+  std::size_t dim_;
+  int bits_;
+  std::vector<std::int8_t> codes_;  // packed 2 codes/byte when bits == 4
+  std::vector<float> scales_;       // one per row
+};
+
+}  // namespace enw::recsys

@@ -1,0 +1,178 @@
+#include "recsys/sequence_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/check.h"
+#include "nn/digital_linear.h"
+#include "nn/loss.h"
+#include "tensor/ops.h"
+
+namespace enw::recsys {
+
+const char* pooling_name(HistoryPooling p) {
+  switch (p) {
+    case HistoryPooling::kMean: return "mean";
+    case HistoryPooling::kAttention: return "attention";
+    case HistoryPooling::kLstm: return "lstm";
+  }
+  return "?";
+}
+
+SequenceRecModel::SequenceRecModel(const SequenceModelConfig& config, Rng& rng)
+    : config_(config),
+      items_(config.num_items, config.embed_dim, rng),
+      lstm_(config.embed_dim, config.embed_dim, rng) {
+  ENW_CHECK(config.embed_dim > 0);
+  // MLP input: [interest ; candidate ; interest (*) candidate].
+  std::size_t prev = 3 * config.embed_dim;
+  for (std::size_t h : config.mlp_hidden) {
+    mlp_.emplace_back(std::make_unique<nn::DigitalLinear>(h, prev, rng),
+                      nn::Activation::kRelu);
+    prev = h;
+  }
+  mlp_.emplace_back(std::make_unique<nn::DigitalLinear>(1, prev, rng),
+                    nn::Activation::kIdentity);
+}
+
+float SequenceRecModel::forward(const data::SequenceSample& sample) {
+  ENW_CHECK_MSG(!sample.history.empty(), "empty history");
+  const std::size_t D = config_.embed_dim;
+  const std::size_t T = sample.history.size();
+
+  cache_.history.assign(T, Vector(D, 0.0f));
+  for (std::size_t t = 0; t < T; ++t) {
+    const std::size_t idx[] = {sample.history[t]};
+    items_.lookup_sum(idx, cache_.history[t]);
+  }
+  cache_.candidate.assign(D, 0.0f);
+  const std::size_t cidx[] = {sample.candidate};
+  items_.lookup_sum(cidx, cache_.candidate);
+
+  cache_.attention.clear();
+  if (config_.pooling == HistoryPooling::kLstm) {
+    const auto hs = lstm_.forward_sequence(cache_.history);
+    cache_.interest = hs.back();
+  } else {
+    if (config_.pooling == HistoryPooling::kAttention) {
+      Vector logits(T);
+      const float scale = 1.0f / std::sqrt(static_cast<float>(D));
+      for (std::size_t t = 0; t < T; ++t) {
+        logits[t] = scale * dot(cache_.history[t], cache_.candidate);
+      }
+      cache_.attention = softmax(logits);
+    } else {
+      cache_.attention.assign(T, 1.0f / static_cast<float>(T));
+    }
+    cache_.interest.assign(D, 0.0f);
+    for (std::size_t t = 0; t < T; ++t) {
+      for (std::size_t j = 0; j < D; ++j) {
+        cache_.interest[j] += cache_.attention[t] * cache_.history[t][j];
+      }
+    }
+  }
+
+  cache_.mlp_input.resize(3 * D);
+  for (std::size_t j = 0; j < D; ++j) {
+    cache_.mlp_input[j] = cache_.interest[j];
+    cache_.mlp_input[D + j] = cache_.candidate[j];
+    cache_.mlp_input[2 * D + j] = cache_.interest[j] * cache_.candidate[j];
+  }
+  Vector h = cache_.mlp_input;
+  for (auto& layer : mlp_) h = layer.forward(h);
+  cache_.logit = h[0];
+  return cache_.logit;
+}
+
+float SequenceRecModel::predict(const data::SequenceSample& sample) {
+  return 1.0f / (1.0f + std::exp(-forward(sample)));
+}
+
+float SequenceRecModel::train_step(const data::SequenceSample& sample, float lr) {
+  const float logit = forward(sample);
+  float dlogit = 0.0f;
+  const float loss = nn::binary_cross_entropy_logit(logit, sample.label, dlogit);
+
+  Vector g{dlogit};
+  for (std::size_t i = mlp_.size(); i > 0; --i) g = mlp_[i - 1].backward(g, lr);
+
+  const std::size_t D = config_.embed_dim;
+  const std::size_t T = sample.history.size();
+  // Split the MLP input gradient.
+  Vector d_interest(D), d_cand(D);
+  for (std::size_t j = 0; j < D; ++j) {
+    d_interest[j] = g[j] + g[2 * D + j] * cache_.candidate[j];
+    d_cand[j] = g[D + j] + g[2 * D + j] * cache_.interest[j];
+  }
+
+  std::vector<Vector> d_hist(T, Vector(D, 0.0f));
+  if (config_.pooling == HistoryPooling::kLstm) {
+    // BPTT: only the last hidden state feeds the MLP.
+    std::vector<Vector> d_hs(T, Vector(D, 0.0f));
+    d_hs.back() = d_interest;
+    d_hist = lstm_.backward_sequence(d_hs, lr);
+  } else {
+    // Through the attention-weighted sum.
+    Vector d_att(T, 0.0f);
+    for (std::size_t t = 0; t < T; ++t) {
+      for (std::size_t j = 0; j < D; ++j) {
+        d_hist[t][j] += cache_.attention[t] * d_interest[j];
+      }
+      d_att[t] = dot(d_interest, cache_.history[t]);
+    }
+    if (config_.pooling == HistoryPooling::kAttention) {
+      // Softmax jacobian: d_logit_t = a_t * (d_att_t - sum_k a_k d_att_k).
+      float mean = 0.0f;
+      for (std::size_t t = 0; t < T; ++t) mean += cache_.attention[t] * d_att[t];
+      const float scale = 1.0f / std::sqrt(static_cast<float>(D));
+      for (std::size_t t = 0; t < T; ++t) {
+        const float d_logit = cache_.attention[t] * (d_att[t] - mean) * scale;
+        for (std::size_t j = 0; j < D; ++j) {
+          d_hist[t][j] += d_logit * cache_.candidate[j];
+          d_cand[j] += d_logit * cache_.history[t][j];
+        }
+      }
+    }
+  }
+
+  const float emb_lr = lr * config_.embedding_lr_scale;
+  for (std::size_t t = 0; t < T; ++t) {
+    const std::size_t idx[] = {sample.history[t]};
+    items_.apply_gradient(idx, d_hist[t], emb_lr);
+  }
+  const std::size_t cidx[] = {sample.candidate};
+  items_.apply_gradient(cidx, d_cand, emb_lr);
+  return loss;
+}
+
+double SequenceRecModel::auc(std::span<const data::SequenceSample> batch) {
+  std::vector<std::pair<float, float>> scored;
+  scored.reserve(batch.size());
+  for (const auto& s : batch) scored.emplace_back(predict(s), s.label);
+  std::sort(scored.begin(), scored.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  double pos = 0.0, neg = 0.0, rank_sum = 0.0;
+  for (std::size_t i = 0; i < scored.size(); ++i) {
+    if (scored[i].second >= 0.5f) {
+      pos += 1.0;
+      rank_sum += static_cast<double>(i + 1);
+    } else {
+      neg += 1.0;
+    }
+  }
+  if (pos == 0.0 || neg == 0.0) return 0.5;
+  return (rank_sum - pos * (pos + 1.0) / 2.0) / (pos * neg);
+}
+
+double SequenceRecModel::mean_loss(std::span<const data::SequenceSample> batch) {
+  if (batch.empty()) return 0.0;
+  double total = 0.0;
+  for (const auto& s : batch) {
+    const float logit = forward(s);
+    float g = 0.0f;
+    total += nn::binary_cross_entropy_logit(logit, s.label, g);
+  }
+  return total / static_cast<double>(batch.size());
+}
+
+}  // namespace enw::recsys

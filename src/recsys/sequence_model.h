@@ -1,0 +1,83 @@
+// Attention-based sequence recommendation model (DIN-style, Sec. V-B and
+// refs [67][68]).
+//
+// Scores a candidate item against a user's interaction history: each
+// history item's embedding is weighted by its (softmax-normalized, scaled
+// dot-product) attention to the candidate embedding, the weighted sum forms
+// the "interest" vector, and an MLP on [interest ; candidate ; interest *
+// candidate] predicts the click logit. Trained end to end with BCE,
+// including the gradient through the attention softmax and the sparse
+// embedding updates.
+//
+// A mean-pooling baseline (attention disabled) isolates what attention
+// buys — the comparison the sequence-recommendation literature leads with.
+#pragma once
+
+#include "core/rng.h"
+#include "data/sequence_log.h"
+#include "nn/dense_layer.h"
+#include "nn/lstm.h"
+#include "recsys/embedding_table.h"
+
+namespace enw::recsys {
+
+/// How the interaction history is reduced to one "interest" vector.
+///   kMean      — uniform average (the history-agnostic baseline)
+///   kAttention — candidate-conditioned dot-product attention (DIN [67])
+///   kLstm      — recurrent summary of the sequence (DIEN-style [68])
+enum class HistoryPooling { kMean, kAttention, kLstm };
+
+const char* pooling_name(HistoryPooling p);
+
+struct SequenceModelConfig {
+  std::size_t num_items = 5000;
+  std::size_t embed_dim = 16;
+  std::vector<std::size_t> mlp_hidden = {32};
+  HistoryPooling pooling = HistoryPooling::kAttention;
+  /// Sparse (embedding) parameters receive lr * this factor — each row is
+  /// touched far less often than the dense MLP weights, the standard
+  /// sparse/dense learning-rate split in recommendation training.
+  float embedding_lr_scale = 4.0f;
+};
+
+class SequenceRecModel {
+ public:
+  SequenceRecModel(const SequenceModelConfig& config, Rng& rng);
+
+  const SequenceModelConfig& config() const { return config_; }
+
+  /// Predicted click probability.
+  float predict(const data::SequenceSample& sample);
+
+  /// One BCE SGD step; returns the loss.
+  float train_step(const data::SequenceSample& sample, float lr);
+
+  double auc(std::span<const data::SequenceSample> batch);
+  double mean_loss(std::span<const data::SequenceSample> batch);
+
+  /// Attention weights of the last forward (diagnostics; empty if
+  /// attention is disabled).
+  const Vector& last_attention() const { return cache_.attention; }
+
+  EmbeddingTable& items() { return items_; }
+
+ private:
+  struct Cache {
+    std::vector<Vector> history;  // embeddings
+    Vector candidate;
+    Vector attention;  // softmax weights over history
+    Vector interest;
+    Vector mlp_input;
+    float logit = 0.0f;
+  };
+
+  float forward(const data::SequenceSample& sample);
+
+  SequenceModelConfig config_;
+  EmbeddingTable items_;
+  std::vector<nn::DenseLayer> mlp_;
+  nn::Lstm lstm_;  // used only when pooling == kLstm
+  Cache cache_;
+};
+
+}  // namespace enw::recsys

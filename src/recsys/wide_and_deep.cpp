@@ -1,0 +1,141 @@
+#include "recsys/wide_and_deep.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/check.h"
+#include "nn/digital_linear.h"
+#include "nn/loss.h"
+#include "tensor/ops.h"
+
+namespace enw::recsys {
+
+WideAndDeep::WideAndDeep(const WideAndDeepConfig& config, Rng& rng)
+    : config_(config) {
+  ENW_CHECK(config.num_tables > 0 && config.embed_dim > 0);
+  wide_.assign(config.num_tables, Vector(config.rows_per_table, 0.0f));
+  wide_dense_.assign(config.num_dense, 0.0f);
+  tables_.reserve(config.num_tables);
+  for (std::size_t t = 0; t < config.num_tables; ++t) {
+    tables_.emplace_back(config.rows_per_table, config.embed_dim, rng);
+  }
+  std::size_t prev = config.num_dense + config.num_tables * config.embed_dim;
+  for (std::size_t h : config.deep_hidden) {
+    deep_.emplace_back(std::make_unique<nn::DigitalLinear>(h, prev, rng),
+                       nn::Activation::kRelu);
+    prev = h;
+  }
+  deep_.emplace_back(std::make_unique<nn::DigitalLinear>(1, prev, rng),
+                     nn::Activation::kIdentity);
+}
+
+float WideAndDeep::forward(const data::ClickSample& sample) {
+  ENW_CHECK_MSG(sample.dense.size() == config_.num_dense, "dense mismatch");
+  ENW_CHECK_MSG(sample.sparse.size() == config_.num_tables, "sparse mismatch");
+
+  // Wide: memorized per-value weights + linear dense part.
+  float wide = wide_bias_;
+  for (std::size_t i = 0; i < sample.dense.size(); ++i) {
+    wide += wide_dense_[i] * sample.dense[i];
+  }
+  for (std::size_t t = 0; t < config_.num_tables; ++t) {
+    for (std::size_t idx : sample.sparse[t]) {
+      ENW_CHECK(idx < config_.rows_per_table);
+      wide += wide_[t][idx];
+    }
+  }
+  cache_.wide_logit = wide;
+
+  // Deep: [dense ; pooled embeddings per table] -> MLP.
+  const std::size_t D = config_.embed_dim;
+  cache_.deep_input.assign(config_.num_dense + config_.num_tables * D, 0.0f);
+  std::copy(sample.dense.begin(), sample.dense.end(), cache_.deep_input.begin());
+  for (std::size_t t = 0; t < config_.num_tables; ++t) {
+    std::span<float> slot(cache_.deep_input.data() + config_.num_dense + t * D, D);
+    tables_[t].lookup_sum(sample.sparse[t], slot);
+  }
+  Vector h = cache_.deep_input;
+  for (auto& layer : deep_) h = layer.forward(h);
+  cache_.logit = wide + h[0];
+  return cache_.logit;
+}
+
+float WideAndDeep::predict(const data::ClickSample& sample) {
+  return 1.0f / (1.0f + std::exp(-forward(sample)));
+}
+
+float WideAndDeep::train_step(const data::ClickSample& sample, float lr) {
+  const float logit = forward(sample);
+  float dlogit = 0.0f;
+  const float loss = nn::binary_cross_entropy_logit(logit, sample.label, dlogit);
+
+  // Wide part (plain SGD on the touched weights).
+  wide_bias_ -= lr * dlogit;
+  for (std::size_t i = 0; i < config_.num_dense; ++i) {
+    wide_dense_[i] -= lr * dlogit * sample.dense[i];
+  }
+  for (std::size_t t = 0; t < config_.num_tables; ++t) {
+    for (std::size_t idx : sample.sparse[t]) wide_[t][idx] -= lr * dlogit;
+  }
+
+  // Deep part.
+  Vector g{dlogit};
+  for (std::size_t i = deep_.size(); i > 0; --i) g = deep_[i - 1].backward(g, lr);
+  const std::size_t D = config_.embed_dim;
+  for (std::size_t t = 0; t < config_.num_tables; ++t) {
+    std::span<const float> slice(g.data() + config_.num_dense + t * D, D);
+    tables_[t].apply_gradient(sample.sparse[t], slice, lr);
+  }
+  return loss;
+}
+
+double WideAndDeep::auc(std::span<const data::ClickSample> batch) {
+  std::vector<std::pair<float, float>> scored;
+  scored.reserve(batch.size());
+  for (const auto& s : batch) scored.emplace_back(predict(s), s.label);
+  std::sort(scored.begin(), scored.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  double pos = 0.0, neg = 0.0, rank_sum = 0.0;
+  for (std::size_t i = 0; i < scored.size(); ++i) {
+    if (scored[i].second >= 0.5f) {
+      pos += 1.0;
+      rank_sum += static_cast<double>(i + 1);
+    } else {
+      neg += 1.0;
+    }
+  }
+  if (pos == 0.0 || neg == 0.0) return 0.5;
+  return (rank_sum - pos * (pos + 1.0) / 2.0) / (pos * neg);
+}
+
+double WideAndDeep::mean_loss(std::span<const data::ClickSample> batch) {
+  if (batch.empty()) return 0.0;
+  double total = 0.0;
+  for (const auto& s : batch) {
+    const float logit = forward(s);
+    float g = 0.0f;
+    total += nn::binary_cross_entropy_logit(logit, s.label, g);
+  }
+  return total / static_cast<double>(batch.size());
+}
+
+std::size_t WideAndDeep::wide_bytes() const {
+  return (config_.num_tables * config_.rows_per_table + config_.num_dense + 1) *
+         sizeof(float);
+}
+
+std::size_t WideAndDeep::deep_mlp_bytes() const {
+  std::size_t total = 0;
+  for (const auto& l : deep_) {
+    total += (l.in_dim() * l.out_dim() + l.out_dim()) * sizeof(float);
+  }
+  return total;
+}
+
+std::size_t WideAndDeep::embedding_bytes() const {
+  std::size_t total = 0;
+  for (const auto& t : tables_) total += t.bytes();
+  return total;
+}
+
+}  // namespace enw::recsys

@@ -1,0 +1,64 @@
+// Wide & Deep recommender (Sec. V-A/V-B, ref [61]).
+//
+// One of the "variety of NN architectures" the paper says recommendation
+// accelerators must serve: a *wide* generalized-linear part (one learned
+// scalar per categorical value — memorization) summed with a *deep* part
+// (MLP over dense features and concatenated pooled embeddings —
+// generalization). Structurally different from DLRM: no pairwise dot
+// interactions, and the wide part adds a second, even sparser lookup
+// pattern (a scalar gather per feature value).
+#pragma once
+
+#include "core/rng.h"
+#include "data/click_log.h"
+#include "nn/dense_layer.h"
+#include "recsys/embedding_table.h"
+
+namespace enw::recsys {
+
+struct WideAndDeepConfig {
+  std::size_t num_dense = 13;
+  std::size_t num_tables = 8;
+  std::size_t rows_per_table = 10000;
+  std::size_t embed_dim = 8;
+  std::vector<std::size_t> deep_hidden = {64, 32};
+};
+
+class WideAndDeep {
+ public:
+  WideAndDeep(const WideAndDeepConfig& config, Rng& rng);
+
+  const WideAndDeepConfig& config() const { return config_; }
+
+  float predict(const data::ClickSample& sample);
+  float train_step(const data::ClickSample& sample, float lr);
+  double auc(std::span<const data::ClickSample> batch);
+  double mean_loss(std::span<const data::ClickSample> batch);
+
+  /// Parameter footprint split (the wide part is tiny; embeddings dominate
+  /// exactly as in DLRM).
+  std::size_t wide_bytes() const;
+  std::size_t deep_mlp_bytes() const;
+  std::size_t embedding_bytes() const;
+
+ private:
+  struct Cache {
+    Vector deep_input;
+    float wide_logit = 0.0f;
+    float logit = 0.0f;
+  };
+
+  float forward(const data::ClickSample& sample);
+
+  WideAndDeepConfig config_;
+  // Wide part: one scalar weight per categorical value, plus a dense linear.
+  std::vector<Vector> wide_;   // per table: rows scalars
+  Vector wide_dense_;
+  float wide_bias_ = 0.0f;
+  // Deep part.
+  std::vector<EmbeddingTable> tables_;
+  std::vector<nn::DenseLayer> deep_;
+  Cache cache_;
+};
+
+}  // namespace enw::recsys

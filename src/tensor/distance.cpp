@@ -1,0 +1,82 @@
+#include "tensor/distance.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "tensor/ops.h"
+
+namespace enw {
+
+bool is_similarity(Metric m) {
+  return m == Metric::kCosineSimilarity || m == Metric::kDot;
+}
+
+const char* metric_name(Metric m) {
+  switch (m) {
+    case Metric::kCosineSimilarity: return "cosine";
+    case Metric::kDot: return "dot";
+    case Metric::kL1: return "L1";
+    case Metric::kL2: return "L2";
+    case Metric::kLInf: return "Linf";
+  }
+  return "?";
+}
+
+float cosine_similarity(std::span<const float> a, std::span<const float> b) {
+  const float na = l2_norm(a);
+  const float nb = l2_norm(b);
+  if (na == 0.0f || nb == 0.0f) return 0.0f;
+  return dot(a, b) / (na * nb);
+}
+
+float l1_distance(std::span<const float> a, std::span<const float> b) {
+  ENW_CHECK(a.size() == b.size());
+  float acc = 0.0f;
+  for (std::size_t i = 0; i < a.size(); ++i) acc += std::abs(a[i] - b[i]);
+  return acc;
+}
+
+float l2_distance(std::span<const float> a, std::span<const float> b) {
+  ENW_CHECK(a.size() == b.size());
+  float acc = 0.0f;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const float d = a[i] - b[i];
+    acc += d * d;
+  }
+  return std::sqrt(acc);
+}
+
+float linf_distance(std::span<const float> a, std::span<const float> b) {
+  ENW_CHECK(a.size() == b.size());
+  float acc = 0.0f;
+  for (std::size_t i = 0; i < a.size(); ++i) acc = std::max(acc, std::abs(a[i] - b[i]));
+  return acc;
+}
+
+float metric_value(Metric m, std::span<const float> a, std::span<const float> b) {
+  switch (m) {
+    case Metric::kCosineSimilarity: return cosine_similarity(a, b);
+    case Metric::kDot: return dot(a, b);
+    case Metric::kL1: return l1_distance(a, b);
+    case Metric::kL2: return l2_distance(a, b);
+    case Metric::kLInf: return linf_distance(a, b);
+  }
+  return 0.0f;
+}
+
+Vector similarity_scores(Metric m, const Matrix& memory, std::span<const float> query) {
+  Vector scores(memory.rows());
+  const float sign = is_similarity(m) ? 1.0f : -1.0f;
+  for (std::size_t r = 0; r < memory.rows(); ++r) {
+    scores[r] = sign * metric_value(m, memory.row(r), query);
+  }
+  return scores;
+}
+
+std::size_t nearest_row(Metric m, const Matrix& memory, std::span<const float> query) {
+  ENW_CHECK_MSG(memory.rows() > 0, "nearest_row on empty memory");
+  const Vector scores = similarity_scores(m, memory, query);
+  return argmax(scores);
+}
+
+}  // namespace enw

@@ -1,0 +1,43 @@
+// Distance / similarity metrics studied in Sec. IV of the paper.
+//
+// The CAM-based MANN work systematically compares cosine similarity (the
+// GPU/DRAM baseline) against CAM-friendlier norms (L1, L2, L-infinity,
+// Hamming). All of them live here so the few-shot harness can swap metrics
+// through one interface.
+#pragma once
+
+#include <span>
+
+#include "tensor/matrix.h"
+
+namespace enw {
+
+enum class Metric {
+  kCosineSimilarity,  // higher = closer
+  kDot,               // higher = closer
+  kL1,                // lower = closer
+  kL2,                // lower = closer
+  kLInf,              // lower = closer
+};
+
+/// True if larger metric values mean "more similar" for m.
+bool is_similarity(Metric m);
+
+const char* metric_name(Metric m);
+
+float cosine_similarity(std::span<const float> a, std::span<const float> b);
+float l1_distance(std::span<const float> a, std::span<const float> b);
+float l2_distance(std::span<const float> a, std::span<const float> b);
+float linf_distance(std::span<const float> a, std::span<const float> b);
+
+/// Evaluate metric m between a and b.
+float metric_value(Metric m, std::span<const float> a, std::span<const float> b);
+
+/// Index of the row of `memory` closest to `query` under metric m.
+std::size_t nearest_row(Metric m, const Matrix& memory, std::span<const float> query);
+
+/// Scores of `query` against every row of `memory` under metric m,
+/// sign-adjusted so that higher is always closer (distances are negated).
+Vector similarity_scores(Metric m, const Matrix& memory, std::span<const float> query);
+
+}  // namespace enw

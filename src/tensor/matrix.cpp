@@ -1,0 +1,54 @@
+#include "tensor/matrix.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace enw {
+
+Matrix::Matrix(std::initializer_list<std::initializer_list<float>> rows) {
+  rows_ = rows.size();
+  cols_ = rows_ ? rows.begin()->size() : 0;
+  data_.reserve(rows_ * cols_);
+  for (const auto& r : rows) {
+    ENW_CHECK_MSG(r.size() == cols_, "ragged initializer list");
+    data_.insert(data_.end(), r.begin(), r.end());
+  }
+}
+
+Matrix& Matrix::operator+=(const Matrix& other) {
+  ENW_CHECK_MSG(same_shape(other), "shape mismatch in +=");
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] += other.data_[i];
+  return *this;
+}
+
+Matrix& Matrix::operator-=(const Matrix& other) {
+  ENW_CHECK_MSG(same_shape(other), "shape mismatch in -=");
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] -= other.data_[i];
+  return *this;
+}
+
+Matrix& Matrix::operator*=(float s) {
+  for (auto& v : data_) v *= s;
+  return *this;
+}
+
+Matrix Matrix::uniform(std::size_t rows, std::size_t cols, float lo, float hi, Rng& rng) {
+  Matrix m(rows, cols);
+  for (auto& v : m.data_) v = static_cast<float>(rng.uniform(lo, hi));
+  return m;
+}
+
+Matrix Matrix::normal(std::size_t rows, std::size_t cols, float mean, float stddev,
+                      Rng& rng) {
+  Matrix m(rows, cols);
+  for (auto& v : m.data_) v = static_cast<float>(rng.normal(mean, stddev));
+  return m;
+}
+
+Matrix Matrix::kaiming(std::size_t rows, std::size_t cols, std::size_t fan_in, Rng& rng) {
+  ENW_CHECK(fan_in > 0);
+  const float stddev = std::sqrt(2.0f / static_cast<float>(fan_in));
+  return normal(rows, cols, 0.0f, stddev, rng);
+}
+
+}  // namespace enw

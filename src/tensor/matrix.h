@@ -1,0 +1,89 @@
+// Dense row-major matrix of float — the numeric workhorse of the library.
+//
+// The library deliberately uses a small concrete matrix type instead of a
+// general tensor: every workload in the paper (crossbar MVM, attention over
+// memory matrices, embedding tables, MLPs) is expressible with 2-D arrays
+// and vectors, and a concrete type keeps the analog-hardware models easy to
+// audit against the physics they emulate.
+#pragma once
+
+#include <cstddef>
+#include <initializer_list>
+#include <span>
+#include <vector>
+
+#include "core/check.h"
+#include "core/rng.h"
+
+namespace enw {
+
+using Vector = std::vector<float>;
+
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(std::size_t rows, std::size_t cols, float fill = 0.0f)
+      : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+  /// Build from nested initializer list (for tests and small examples).
+  Matrix(std::initializer_list<std::initializer_list<float>> rows);
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  std::size_t size() const { return data_.size(); }
+  bool empty() const { return data_.empty(); }
+
+  float& operator()(std::size_t r, std::size_t c) {
+    ENW_CHECK(r < rows_ && c < cols_);
+    return data_[r * cols_ + c];
+  }
+  float operator()(std::size_t r, std::size_t c) const {
+    ENW_CHECK(r < rows_ && c < cols_);
+    return data_[r * cols_ + c];
+  }
+
+  /// Contiguous view of row r.
+  std::span<float> row(std::size_t r) {
+    ENW_CHECK(r < rows_);
+    return {data_.data() + r * cols_, cols_};
+  }
+  std::span<const float> row(std::size_t r) const {
+    ENW_CHECK(r < rows_);
+    return {data_.data() + r * cols_, cols_};
+  }
+
+  float* data() { return data_.data(); }
+  const float* data() const { return data_.data(); }
+
+  /// All elements set to v.
+  void fill(float v) { std::fill(data_.begin(), data_.end(), v); }
+
+  /// Element-wise in-place operations.
+  Matrix& operator+=(const Matrix& other);
+  Matrix& operator-=(const Matrix& other);
+  Matrix& operator*=(float s);
+
+  bool same_shape(const Matrix& other) const {
+    return rows_ == other.rows_ && cols_ == other.cols_;
+  }
+
+  /// Factories.
+  static Matrix zeros(std::size_t rows, std::size_t cols) { return Matrix(rows, cols); }
+  static Matrix constant(std::size_t rows, std::size_t cols, float v) {
+    return Matrix(rows, cols, v);
+  }
+  /// I.i.d. uniform entries in [lo, hi).
+  static Matrix uniform(std::size_t rows, std::size_t cols, float lo, float hi, Rng& rng);
+  /// I.i.d. normal entries.
+  static Matrix normal(std::size_t rows, std::size_t cols, float mean, float stddev,
+                       Rng& rng);
+  /// Kaiming-style fan-in scaled init for layers with fan_in inputs.
+  static Matrix kaiming(std::size_t rows, std::size_t cols, std::size_t fan_in, Rng& rng);
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<float> data_;
+};
+
+}  // namespace enw

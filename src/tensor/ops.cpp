@@ -1,0 +1,209 @@
+#include "tensor/ops.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace enw {
+
+Vector matvec(const Matrix& a, std::span<const float> x) {
+  ENW_CHECK_MSG(a.cols() == x.size(), "matvec dimension mismatch");
+  Vector y(a.rows(), 0.0f);
+  for (std::size_t r = 0; r < a.rows(); ++r) {
+    const float* row = a.data() + r * a.cols();
+    float acc = 0.0f;
+    for (std::size_t c = 0; c < a.cols(); ++c) acc += row[c] * x[c];
+    y[r] = acc;
+  }
+  return y;
+}
+
+Vector matvec_transposed(const Matrix& a, std::span<const float> x) {
+  ENW_CHECK_MSG(a.rows() == x.size(), "matvec_transposed dimension mismatch");
+  Vector y(a.cols(), 0.0f);
+  for (std::size_t r = 0; r < a.rows(); ++r) {
+    const float* row = a.data() + r * a.cols();
+    const float xr = x[r];
+    if (xr == 0.0f) continue;
+    for (std::size_t c = 0; c < a.cols(); ++c) y[c] += row[c] * xr;
+  }
+  return y;
+}
+
+Matrix matmul(const Matrix& a, const Matrix& b) {
+  ENW_CHECK_MSG(a.cols() == b.rows(), "matmul dimension mismatch");
+  Matrix c(a.rows(), b.cols());
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    float* crow = c.data() + i * c.cols();
+    for (std::size_t k = 0; k < a.cols(); ++k) {
+      const float aik = a(i, k);
+      if (aik == 0.0f) continue;
+      const float* brow = b.data() + k * b.cols();
+      for (std::size_t j = 0; j < b.cols(); ++j) crow[j] += aik * brow[j];
+    }
+  }
+  return c;
+}
+
+void rank1_update(Matrix& a, std::span<const float> u, std::span<const float> v,
+                  float scale) {
+  ENW_CHECK_MSG(a.rows() == u.size() && a.cols() == v.size(),
+                "rank1_update dimension mismatch");
+  for (std::size_t r = 0; r < a.rows(); ++r) {
+    const float s = scale * u[r];
+    if (s == 0.0f) continue;
+    float* row = a.data() + r * a.cols();
+    for (std::size_t c = 0; c < a.cols(); ++c) row[c] += s * v[c];
+  }
+}
+
+Matrix transpose(const Matrix& a) {
+  Matrix t(a.cols(), a.rows());
+  for (std::size_t r = 0; r < a.rows(); ++r)
+    for (std::size_t c = 0; c < a.cols(); ++c) t(c, r) = a(r, c);
+  return t;
+}
+
+Vector add(std::span<const float> a, std::span<const float> b) {
+  ENW_CHECK(a.size() == b.size());
+  Vector out(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) out[i] = a[i] + b[i];
+  return out;
+}
+
+Vector sub(std::span<const float> a, std::span<const float> b) {
+  ENW_CHECK(a.size() == b.size());
+  Vector out(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) out[i] = a[i] - b[i];
+  return out;
+}
+
+Vector hadamard(std::span<const float> a, std::span<const float> b) {
+  ENW_CHECK(a.size() == b.size());
+  Vector out(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) out[i] = a[i] * b[i];
+  return out;
+}
+
+Vector scale(std::span<const float> a, float s) {
+  Vector out(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) out[i] = a[i] * s;
+  return out;
+}
+
+float dot(std::span<const float> a, std::span<const float> b) {
+  ENW_CHECK(a.size() == b.size());
+  float acc = 0.0f;
+  for (std::size_t i = 0; i < a.size(); ++i) acc += a[i] * b[i];
+  return acc;
+}
+
+float l2_norm(std::span<const float> a) { return std::sqrt(dot(a, a)); }
+
+float l1_norm(std::span<const float> a) {
+  float acc = 0.0f;
+  for (float v : a) acc += std::abs(v);
+  return acc;
+}
+
+float max_abs(std::span<const float> a) {
+  float m = 0.0f;
+  for (float v : a) m = std::max(m, std::abs(v));
+  return m;
+}
+
+float sum(std::span<const float> a) {
+  float acc = 0.0f;
+  for (float v : a) acc += v;
+  return acc;
+}
+
+Vector softmax(std::span<const float> logits) { return softmax(logits, 1.0f); }
+
+Vector softmax(std::span<const float> logits, float beta) {
+  ENW_CHECK_MSG(!logits.empty(), "softmax of empty vector");
+  float maxv = logits[0] * beta;
+  for (float v : logits) maxv = std::max(maxv, v * beta);
+  Vector out(logits.size());
+  float denom = 0.0f;
+  for (std::size_t i = 0; i < logits.size(); ++i) {
+    out[i] = std::exp(logits[i] * beta - maxv);
+    denom += out[i];
+  }
+  for (auto& v : out) v /= denom;
+  return out;
+}
+
+std::size_t argmax(std::span<const float> a) {
+  ENW_CHECK_MSG(!a.empty(), "argmax of empty vector");
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < a.size(); ++i)
+    if (a[i] > a[best]) best = i;
+  return best;
+}
+
+Matrix im2col(const Matrix& image, std::size_t height, std::size_t width,
+              std::size_t kh, std::size_t kw, std::size_t stride, std::size_t pad) {
+  const std::size_t channels = image.rows();
+  ENW_CHECK_MSG(image.cols() == height * width, "image shape mismatch");
+  ENW_CHECK(stride > 0 && kh > 0 && kw > 0);
+  ENW_CHECK_MSG(height + 2 * pad >= kh && width + 2 * pad >= kw,
+                "kernel larger than padded image");
+  const std::size_t out_h = (height + 2 * pad - kh) / stride + 1;
+  const std::size_t out_w = (width + 2 * pad - kw) / stride + 1;
+  Matrix cols(channels * kh * kw, out_h * out_w);
+  for (std::size_t c = 0; c < channels; ++c) {
+    for (std::size_t ky = 0; ky < kh; ++ky) {
+      for (std::size_t kx = 0; kx < kw; ++kx) {
+        const std::size_t row = (c * kh + ky) * kw + kx;
+        for (std::size_t oy = 0; oy < out_h; ++oy) {
+          const std::ptrdiff_t iy =
+              static_cast<std::ptrdiff_t>(oy * stride + ky) - static_cast<std::ptrdiff_t>(pad);
+          for (std::size_t ox = 0; ox < out_w; ++ox) {
+            const std::ptrdiff_t ix =
+                static_cast<std::ptrdiff_t>(ox * stride + kx) - static_cast<std::ptrdiff_t>(pad);
+            float v = 0.0f;
+            if (iy >= 0 && iy < static_cast<std::ptrdiff_t>(height) && ix >= 0 &&
+                ix < static_cast<std::ptrdiff_t>(width)) {
+              v = image(c, static_cast<std::size_t>(iy) * width + static_cast<std::size_t>(ix));
+            }
+            cols(row, oy * out_w + ox) = v;
+          }
+        }
+      }
+    }
+  }
+  return cols;
+}
+
+Matrix col2im(const Matrix& cols, std::size_t channels, std::size_t height,
+              std::size_t width, std::size_t kh, std::size_t kw, std::size_t stride,
+              std::size_t pad) {
+  ENW_CHECK(stride > 0 && kh > 0 && kw > 0);
+  const std::size_t out_h = (height + 2 * pad - kh) / stride + 1;
+  const std::size_t out_w = (width + 2 * pad - kw) / stride + 1;
+  ENW_CHECK_MSG(cols.rows() == channels * kh * kw && cols.cols() == out_h * out_w,
+                "col2im shape mismatch");
+  Matrix image(channels, height * width);
+  for (std::size_t c = 0; c < channels; ++c) {
+    for (std::size_t ky = 0; ky < kh; ++ky) {
+      for (std::size_t kx = 0; kx < kw; ++kx) {
+        const std::size_t row = (c * kh + ky) * kw + kx;
+        for (std::size_t oy = 0; oy < out_h; ++oy) {
+          const std::ptrdiff_t iy =
+              static_cast<std::ptrdiff_t>(oy * stride + ky) - static_cast<std::ptrdiff_t>(pad);
+          if (iy < 0 || iy >= static_cast<std::ptrdiff_t>(height)) continue;
+          for (std::size_t ox = 0; ox < out_w; ++ox) {
+            const std::ptrdiff_t ix =
+                static_cast<std::ptrdiff_t>(ox * stride + kx) - static_cast<std::ptrdiff_t>(pad);
+            if (ix < 0 || ix >= static_cast<std::ptrdiff_t>(width)) continue;
+            image(c, static_cast<std::size_t>(iy) * width + static_cast<std::size_t>(ix)) +=
+                cols(row, oy * out_w + ox);
+          }
+        }
+      }
+    }
+  }
+  return image;
+}
+
+}  // namespace enw

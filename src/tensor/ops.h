@@ -1,0 +1,60 @@
+// Linear-algebra kernels on Matrix / Vector.
+//
+// These are the digital reference implementations that the analog crossbar
+// models are validated against: matvec here is the "exact" counterpart of
+// the Ohm's-law/Kirchhoff's-law readout in src/analog.
+#pragma once
+
+#include <span>
+
+#include "tensor/matrix.h"
+
+namespace enw {
+
+/// y = A x. A is (m x n), x has n elements, y gets m elements.
+Vector matvec(const Matrix& a, std::span<const float> x);
+
+/// y = A^T x. A is (m x n), x has m elements, y gets n elements.
+Vector matvec_transposed(const Matrix& a, std::span<const float> x);
+
+/// C = A B.
+Matrix matmul(const Matrix& a, const Matrix& b);
+
+/// A += scale * u v^T (rank-1 update; digital counterpart of the analog
+/// parallel outer-product update in Fig. 1 of the paper).
+void rank1_update(Matrix& a, std::span<const float> u, std::span<const float> v,
+                  float scale);
+
+Matrix transpose(const Matrix& a);
+
+/// Element-wise vector helpers.
+Vector add(std::span<const float> a, std::span<const float> b);
+Vector sub(std::span<const float> a, std::span<const float> b);
+Vector hadamard(std::span<const float> a, std::span<const float> b);
+Vector scale(std::span<const float> a, float s);
+float dot(std::span<const float> a, std::span<const float> b);
+float l2_norm(std::span<const float> a);
+float l1_norm(std::span<const float> a);
+float max_abs(std::span<const float> a);
+float sum(std::span<const float> a);
+
+/// Numerically stable softmax.
+Vector softmax(std::span<const float> logits);
+/// Softmax with temperature beta: softmax(beta * logits).
+Vector softmax(std::span<const float> logits, float beta);
+
+/// Index of the maximum element (first on ties). Requires non-empty input.
+std::size_t argmax(std::span<const float> a);
+
+/// im2col for 2-D convolution on a single-channel-major image tensor.
+/// Input image: channels x (height * width) row-major per channel.
+/// Output: (channels * kh * kw) rows, (out_h * out_w) columns.
+Matrix im2col(const Matrix& image, std::size_t height, std::size_t width,
+              std::size_t kh, std::size_t kw, std::size_t stride, std::size_t pad);
+
+/// Adjoint of im2col: scatter-add columns back into image layout.
+Matrix col2im(const Matrix& cols, std::size_t channels, std::size_t height,
+              std::size_t width, std::size_t kh, std::size_t kw, std::size_t stride,
+              std::size_t pad);
+
+}  // namespace enw

@@ -1,0 +1,55 @@
+// Analytical cost models for the X-MANN vs GPU comparison (Sec. III-B).
+//
+// XmannCostModel prices the three differentiable-memory primitives on the
+// tiled crossbar architecture; GpuCostModel prices the same primitives on a
+// DRAM-backed GPU (bandwidth-bound streaming of the M x D state plus kernel
+// launch overhead). Both scale to memories far larger than the functional
+// simulator can hold — capacity sweeps are exactly the point of the paper's
+// "diverse memory capacities" suite.
+#pragma once
+
+#include <cstddef>
+
+#include "perf/op_counter.h"
+#include "perf/tech_constants.h"
+
+namespace enw::xmann {
+
+struct XmannCostModel {
+  std::size_t tile_rows = 128;
+  std::size_t tile_cols = 128;
+  std::size_t total_tiles = 4096;  // across all banks
+
+  /// Number of tiles a (slots x dim) memory occupies.
+  std::size_t tiles_needed(std::size_t slots, std::size_t dim) const;
+  /// Sequential passes when the memory exceeds the tile budget.
+  std::size_t passes(std::size_t slots, std::size_t dim) const;
+
+  perf::Cost similarity_cost(std::size_t slots, std::size_t dim) const;
+  perf::Cost soft_read_cost(std::size_t slots, std::size_t dim) const;
+  perf::Cost soft_write_cost(std::size_t slots, std::size_t dim,
+                             double touched_fraction = 0.05) const;
+
+  /// One MANN timestep: addressing (similarity + softmax) for each head,
+  /// one soft read, one soft write.
+  perf::Cost step_cost(std::size_t slots, std::size_t dim) const;
+
+ private:
+  perf::Cost crossbar_pass_cost(std::size_t ops_per_tile, std::size_t tiles,
+                                std::size_t n_passes, std::size_t sfu_ops,
+                                std::size_t reduce_bytes) const;
+};
+
+struct GpuCostModel {
+  perf::GpuConstants gpu = perf::kGpu;
+
+  perf::Cost similarity_cost(std::size_t slots, std::size_t dim) const;
+  perf::Cost soft_read_cost(std::size_t slots, std::size_t dim) const;
+  perf::Cost soft_write_cost(std::size_t slots, std::size_t dim) const;
+  perf::Cost step_cost(std::size_t slots, std::size_t dim) const;
+
+ private:
+  perf::Cost streaming_kernel(double flops, double bytes) const;
+};
+
+}  // namespace enw::xmann

@@ -1,0 +1,172 @@
+#include "xmann/tcpt.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/check.h"
+#include "perf/tech_constants.h"
+#include "tensor/ops.h"
+
+namespace enw::xmann {
+
+namespace {
+std::size_t ceil_div(std::size_t a, std::size_t b) { return (a + b - 1) / b; }
+}  // namespace
+
+XmannAccelerator::XmannAccelerator(std::size_t slots, std::size_t dim,
+                                   const XmannConfig& config)
+    : slots_(slots),
+      dim_(dim),
+      config_(config),
+      grid_rows_(ceil_div(slots, config.tile_rows)),
+      grid_cols_(ceil_div(dim, config.tile_cols)),
+      mirror_(slots, dim),
+      l1_cache_(slots, 0.0f) {
+  ENW_CHECK(slots > 0 && dim > 0);
+  ENW_CHECK_MSG(grid_rows_ * grid_cols_ <= config.total_tiles,
+                "memory does not fit in the configured tile budget; "
+                "use XmannCostModel for capacity studies");
+  tiles_.reserve(grid_rows_ * grid_cols_);
+  for (std::size_t gr = 0; gr < grid_rows_; ++gr) {
+    for (std::size_t gc = 0; gc < grid_cols_; ++gc) {
+      analog::AnalogMatrixConfig ac = config_.array;
+      ac.seed = config_.array.seed + gr * 1000003ULL + gc * 7919ULL;
+      tiles_.emplace_back(config_.tile_rows, config_.tile_cols, ac);
+    }
+  }
+}
+
+void XmannAccelerator::load_memory(const Matrix& memory) {
+  ENW_CHECK_MSG(memory.rows() == slots_ && memory.cols() == dim_,
+                "memory shape mismatch");
+  mirror_ = memory;
+  for (std::size_t gr = 0; gr < grid_rows_; ++gr) {
+    for (std::size_t gc = 0; gc < grid_cols_; ++gc) {
+      Matrix block(config_.tile_rows, config_.tile_cols, 0.0f);
+      for (std::size_t r = 0; r < config_.tile_rows; ++r) {
+        const std::size_t mr = gr * config_.tile_rows + r;
+        if (mr >= slots_) break;
+        for (std::size_t c = 0; c < config_.tile_cols; ++c) {
+          const std::size_t mc = gc * config_.tile_cols + c;
+          if (mc >= dim_) break;
+          block(r, c) = memory(mr, mc);
+        }
+      }
+      tile(gr, gc).program(block);
+    }
+  }
+  for (std::size_t i = 0; i < slots_; ++i) l1_cache_[i] = l1_norm(mirror_.row(i));
+}
+
+void XmannAccelerator::charge_crossbar_ops(std::size_t ops_per_tile,
+                                           std::size_t tiles_touched,
+                                           std::size_t sfu_ops,
+                                           std::size_t reduce_bytes) {
+  const auto& k = perf::kCrossbar;
+  perf::Cost c;
+  // Tiles operate in parallel; sequential depth is ops_per_tile.
+  c.latency_ns = static_cast<double>(ops_per_tile) * k.array_read_latency_ns +
+                 static_cast<double>(sfu_ops) / k.sfu_ops_per_ns +
+                 static_cast<double>(reduce_bytes) / k.bus_bandwidth_gbps;
+  const double cells =
+      static_cast<double>(config_.tile_rows) * static_cast<double>(config_.tile_cols);
+  c.energy_pj =
+      static_cast<double>(tiles_touched) * static_cast<double>(ops_per_tile) *
+          (cells * k.crossbar_energy_pj_per_cell +
+           static_cast<double>(config_.tile_cols) * k.dac_energy_pj +
+           static_cast<double>(config_.tile_rows) * k.adc_energy_pj) +
+      static_cast<double>(sfu_ops) * k.sfu_op_energy_pj +
+      static_cast<double>(reduce_bytes) * k.bus_energy_pj_per_byte;
+  ledger_ += c;
+}
+
+Vector XmannAccelerator::similarity(std::span<const float> key) {
+  ENW_CHECK_MSG(key.size() == dim_, "key dimension mismatch");
+  Vector dots(slots_, 0.0f);
+  // Key is driven along the columns of every tile row-block: the tile's
+  // "forward" direction scores all its resident memory rows at once.
+  for (std::size_t gr = 0; gr < grid_rows_; ++gr) {
+    for (std::size_t gc = 0; gc < grid_cols_; ++gc) {
+      Vector xin(config_.tile_cols, 0.0f);
+      for (std::size_t c = 0; c < config_.tile_cols; ++c) {
+        const std::size_t mc = gc * config_.tile_cols + c;
+        if (mc < dim_) xin[c] = key[mc];
+      }
+      Vector out(config_.tile_rows, 0.0f);
+      tile(gr, gc).forward(xin, out);
+      for (std::size_t r = 0; r < config_.tile_rows; ++r) {
+        const std::size_t mr = gr * config_.tile_rows + r;
+        if (mr < slots_) dots[mr] += out[r];  // global reduce across column blocks
+      }
+    }
+  }
+  // Two crossbar ops per tile (dot products + L1 norms); normalization in
+  // the SFU. The L1 read is modeled through the cached norms (functionally
+  // identical to driving all-ones, without double-counting read noise).
+  for (std::size_t i = 0; i < slots_; ++i) {
+    dots[i] /= (l1_cache_[i] + 1e-6f);
+  }
+  charge_crossbar_ops(/*ops_per_tile=*/2, grid_rows_ * grid_cols_,
+                      /*sfu_ops=*/slots_ * 2,
+                      /*reduce_bytes=*/grid_cols_ > 1 ? slots_ * sizeof(float) : 0);
+  return dots;
+}
+
+Vector XmannAccelerator::soft_read(std::span<const float> weights) {
+  ENW_CHECK_MSG(weights.size() == slots_, "weights dimension mismatch");
+  Vector out(dim_, 0.0f);
+  for (std::size_t gr = 0; gr < grid_rows_; ++gr) {
+    for (std::size_t gc = 0; gc < grid_cols_; ++gc) {
+      Vector win(config_.tile_rows, 0.0f);
+      for (std::size_t r = 0; r < config_.tile_rows; ++r) {
+        const std::size_t mr = gr * config_.tile_rows + r;
+        if (mr < slots_) win[r] = weights[mr];
+      }
+      Vector col(config_.tile_cols, 0.0f);
+      tile(gr, gc).backward(win, col);  // weights drive rows, read columns
+      for (std::size_t c = 0; c < config_.tile_cols; ++c) {
+        const std::size_t mc = gc * config_.tile_cols + c;
+        if (mc < dim_) out[mc] += col[c];
+      }
+    }
+  }
+  charge_crossbar_ops(/*ops_per_tile=*/1, grid_rows_ * grid_cols_,
+                      /*sfu_ops=*/dim_,
+                      /*reduce_bytes=*/grid_rows_ > 1 ? dim_ * sizeof(float) : 0);
+  return out;
+}
+
+void XmannAccelerator::soft_write(std::span<const float> weights,
+                                  std::span<const float> erase,
+                                  std::span<const float> add, float threshold) {
+  ENW_CHECK(weights.size() == slots_);
+  ENW_CHECK(erase.size() == dim_ && add.size() == dim_);
+  std::size_t touched_rows = 0;
+  for (std::size_t i = 0; i < slots_; ++i) {
+    const float w = weights[i];
+    if (std::abs(w) <= threshold) continue;
+    ++touched_rows;
+    float* row = mirror_.data() + i * dim_;
+    for (std::size_t j = 0; j < dim_; ++j) {
+      row[j] = row[j] * (1.0f - w * erase[j]) + w * add[j];
+    }
+    l1_cache_[i] = l1_norm(mirror_.row(i));
+    // Refresh the tile cells of this row.
+    const std::size_t gr = i / config_.tile_rows;
+    const std::size_t tr = i % config_.tile_rows;
+    for (std::size_t gc = 0; gc < grid_cols_; ++gc) {
+      analog::AnalogMatrix& t = tile(gr, gc);
+      for (std::size_t c = 0; c < config_.tile_cols; ++c) {
+        const std::size_t mc = gc * config_.tile_cols + c;
+        if (mc < dim_) t.set_state(tr, c, row[mc]);
+      }
+    }
+  }
+  // One update op on every touched row block + SFU work to compute the
+  // erase/add combination.
+  const std::size_t tiles_touched = std::max<std::size_t>(touched_rows, 1) * grid_cols_;
+  charge_crossbar_ops(/*ops_per_tile=*/1, tiles_touched,
+                      /*sfu_ops=*/touched_rows * dim_ * 3, /*reduce_bytes=*/0);
+}
+
+}  // namespace enw::xmann

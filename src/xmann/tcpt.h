@@ -1,0 +1,97 @@
+// Transposable Crossbar-based Processing Tile and the X-MANN functional
+// model (Sec. III-A, Fig. 4).
+//
+// The differentiable-memory state is partitioned across crossbar tiles.
+// Because the array is transposable (inputs can drive rows OR columns), one
+// tile supports:
+//
+//   similarity : key driven along columns, dot products read along rows,
+//                then an all-ones column vector produces L1 norms — the
+//                whole memory is scored in TWO crossbar operations.
+//   soft read  : attention weights driven along rows, the read vector
+//                appears along columns — ONE crossbar operation.
+//   soft write : realized as a row-targeted refresh through the write
+//                peripheral (counted as one update operation per touched
+//                row block).
+//
+// Functionally the tile is an AnalogMatrix (src/analog), so reads include
+// ADC quantization and read noise — the accuracy impact of the analog
+// substrate is real in this model, not assumed away.
+#pragma once
+
+#include <vector>
+
+#include "analog/analog_matrix.h"
+#include "perf/op_counter.h"
+#include "tensor/matrix.h"
+
+namespace enw::xmann {
+
+struct XmannConfig {
+  std::size_t tile_rows = 128;      // memory slots per tile
+  std::size_t tile_cols = 128;      // vector dimensions per tile
+  std::size_t total_tiles = 256;    // tiles available across all banks
+  analog::AnalogMatrixConfig array; // device/read model for every tile
+
+  XmannConfig() {
+    array.device = analog::ideal_device();
+    array.read_noise_std = 0.002;
+    array.adc_bits = 9;
+    array.adc_range = 16.0;
+  }
+};
+
+/// Functional X-MANN accelerator holding an M x D differentiable-memory
+/// state on a grid of transposable tiles, with a cost ledger.
+class XmannAccelerator {
+ public:
+  XmannAccelerator(std::size_t slots, std::size_t dim, const XmannConfig& config);
+
+  std::size_t slots() const { return slots_; }
+  std::size_t dim() const { return dim_; }
+  std::size_t tile_grid_rows() const { return grid_rows_; }
+  std::size_t tile_grid_cols() const { return grid_cols_; }
+
+  /// Program the full memory state into the tiles.
+  void load_memory(const Matrix& memory);
+
+  /// X-MANN similarity: dot(key, M_i) normalized by the L1 norm of M_i
+  /// (dot products and L1 norms each take one crossbar op per tile column
+  /// pass; the division happens in the SFU).
+  Vector similarity(std::span<const float> key);
+
+  /// Soft read: r = sum_i w_i M_i (one crossbar op per tile).
+  Vector soft_read(std::span<const float> weights);
+
+  /// Soft write (erase/add): rows with attention above `threshold` are
+  /// refreshed through the write peripheral; the exact update is applied to
+  /// the mirrored state and re-programmed row-wise.
+  void soft_write(std::span<const float> weights, std::span<const float> erase,
+                  std::span<const float> add, float threshold = 1e-3f);
+
+  /// Accumulated model cost of all operations so far.
+  const perf::Cost& ledger() const { return ledger_; }
+  void reset_ledger() { ledger_ = {}; }
+
+  /// The mirrored (ideal) state, for validation against the tile reads.
+  const Matrix& mirror() const { return mirror_; }
+
+ private:
+  analog::AnalogMatrix& tile(std::size_t gr, std::size_t gc) {
+    return tiles_[gr * grid_cols_ + gc];
+  }
+  void charge_crossbar_ops(std::size_t ops_per_tile, std::size_t tiles_touched,
+                           std::size_t sfu_ops, std::size_t reduce_bytes);
+
+  std::size_t slots_;
+  std::size_t dim_;
+  XmannConfig config_;
+  std::size_t grid_rows_;
+  std::size_t grid_cols_;
+  std::vector<analog::AnalogMatrix> tiles_;
+  Matrix mirror_;
+  Vector l1_cache_;  // SFU-side cached L1 norms (refreshed on write)
+  perf::Cost ledger_;
+};
+
+}  // namespace enw::xmann

@@ -1,0 +1,59 @@
+#include "xmann/workloads.h"
+
+namespace enw::xmann {
+
+std::vector<MannWorkload> xmann_benchmark_suite() {
+  return {
+      // Algorithmic NTM tasks: small memories, long sequences.
+      {"ntm-copy", 128, 20, 40, 1, 1, 100},
+      {"ntm-assoc-recall", 128, 36, 60, 1, 1, 100},
+      {"ntm-priority-sort", 256, 32, 80, 5, 5, 200},
+      // DNC-style structured tasks: mid-size memories.
+      {"dnc-graph-traversal", 2048, 64, 200, 2, 1, 256},
+      {"dnc-babi-qa", 8192, 64, 150, 4, 1, 256},
+      // Few-shot / lifelong memory: large key stores.
+      {"mann-omniglot-5w1s", 16384, 128, 20, 1, 1, 128},
+      {"kaiser-rare-events", 65536, 256, 10, 1, 1, 128},
+  };
+}
+
+SpeedupRow compare_platforms(const MannWorkload& w, const XmannCostModel& xm,
+                             const GpuCostModel& gpu) {
+  SpeedupRow row;
+  row.workload = w;
+
+  const auto heads_cost = [&](auto&& model) {
+    perf::Cost c;
+    for (std::size_t h = 0; h < w.read_heads; ++h) {
+      c += model.similarity_cost(w.slots, w.dim);
+      c += model.soft_read_cost(w.slots, w.dim);
+    }
+    for (std::size_t h = 0; h < w.write_heads; ++h) {
+      c += model.similarity_cost(w.slots, w.dim);
+      c += model.soft_write_cost(w.slots, w.dim);
+    }
+    return c;
+  };
+
+  row.gpu = heads_cost(gpu);
+  row.xmann = heads_cost(xm);
+  row.gpu.latency_ns *= static_cast<double>(w.steps);
+  row.gpu.energy_pj *= static_cast<double>(w.steps);
+  row.xmann.latency_ns *= static_cast<double>(w.steps);
+  row.xmann.energy_pj *= static_cast<double>(w.steps);
+
+  row.speedup = row.gpu.latency_ns / row.xmann.latency_ns;
+  row.energy_reduction = row.gpu.energy_pj / row.xmann.energy_pj;
+  return row;
+}
+
+std::vector<SpeedupRow> compare_suite(const XmannCostModel& xm,
+                                      const GpuCostModel& gpu) {
+  std::vector<SpeedupRow> rows;
+  for (const auto& w : xmann_benchmark_suite()) {
+    rows.push_back(compare_platforms(w, xm, gpu));
+  }
+  return rows;
+}
+
+}  // namespace enw::xmann

@@ -1,0 +1,49 @@
+// MANN benchmark suite with diverse memory capacities (Sec. III-B).
+//
+// X-MANN is evaluated on a suite of memory-augmented workloads spanning
+// small algorithmic tasks (NTM copy / associative recall / priority sort)
+// to large-memory applications (few-shot classification, QA over stories,
+// graph traversal a la DNC). What the accelerator comparison needs from
+// each is its memory geometry (slots x dim) and per-step memory-op mix.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "perf/op_counter.h"
+#include "xmann/cost_model.h"
+
+namespace enw::xmann {
+
+struct MannWorkload {
+  std::string name;
+  std::size_t slots = 128;          // memory locations (M)
+  std::size_t dim = 20;             // vector width (D)
+  std::size_t steps = 100;          // timesteps per inference
+  std::size_t read_heads = 1;
+  std::size_t write_heads = 1;
+  std::size_t controller_dim = 100; // LSTM width (runs on the DNN engine)
+};
+
+/// The evaluation suite: small -> large memory capacity.
+std::vector<MannWorkload> xmann_benchmark_suite();
+
+struct SpeedupRow {
+  MannWorkload workload;
+  perf::Cost gpu;
+  perf::Cost xmann;
+  double speedup = 0.0;
+  double energy_reduction = 0.0;
+};
+
+/// Per-step cost of a workload on each platform (memory ops only — the
+/// controller runs on a DNN engine in both designs and cancels out of the
+/// comparison, as in the X-MANN evaluation).
+SpeedupRow compare_platforms(const MannWorkload& w, const XmannCostModel& xm,
+                             const GpuCostModel& gpu);
+
+std::vector<SpeedupRow> compare_suite(const XmannCostModel& xm,
+                                      const GpuCostModel& gpu);
+
+}  // namespace enw::xmann

@@ -1,0 +1,318 @@
+// Tests for src/cam: TCAM arrays, LSH, BRGC range encoding, search backends.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "cam/cam_search.h"
+#include "cam/lsh.h"
+#include "cam/range_encoding.h"
+#include "cam/tcam.h"
+#include "tensor/distance.h"
+#include "tensor/ops.h"
+
+namespace enw::cam {
+namespace {
+
+BitVector make_bits(std::initializer_list<int> bits) {
+  BitVector b(bits.size());
+  std::size_t i = 0;
+  for (int v : bits) b.set(i++, v != 0);
+  return b;
+}
+
+TEST(Tcam, ExactMatchFindsOnlyEqualRows) {
+  TcamArray tcam(4);
+  tcam.store(make_bits({1, 0, 1, 0}));
+  tcam.store(make_bits({1, 1, 1, 1}));
+  TernaryWord q(4);
+  q.set(0, true);
+  q.set(1, false);
+  q.set(2, true);
+  q.set(3, false);
+  const auto hits = tcam.search_match(q);
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(hits[0], 0u);
+}
+
+TEST(Tcam, StoredDontCareMatchesEitherValue) {
+  TcamArray tcam(3);
+  TernaryWord row(3);
+  row.set(0, true);
+  row.set_dont_care(1);
+  row.set(2, false);
+  tcam.store(row);
+  TernaryWord q1(3), q2(3);
+  q1.set(0, true); q1.set(1, false); q1.set(2, false);
+  q2.set(0, true); q2.set(1, true);  q2.set(2, false);
+  EXPECT_EQ(tcam.search_match(q1).size(), 1u);
+  EXPECT_EQ(tcam.search_match(q2).size(), 1u);
+}
+
+TEST(Tcam, QueryDontCareMasksColumn) {
+  TcamArray tcam(3);
+  tcam.store(make_bits({1, 0, 0}));
+  tcam.store(make_bits({1, 1, 0}));
+  TernaryWord q(3);
+  q.set(0, true);
+  q.set_dont_care(1);  // either value allowed
+  q.set(2, false);
+  EXPECT_EQ(tcam.search_match(q).size(), 2u);
+}
+
+TEST(Tcam, NearestMatchReturnsMinimumHamming) {
+  TcamArray tcam(8);
+  tcam.store(make_bits({1, 1, 1, 1, 0, 0, 0, 0}));
+  tcam.store(make_bits({1, 1, 0, 0, 0, 0, 0, 0}));
+  tcam.store(make_bits({0, 0, 0, 0, 1, 1, 1, 1}));
+  const BitVector q = make_bits({1, 1, 1, 0, 0, 0, 0, 0});
+  const NearestMatch m = tcam.search_nearest(q);
+  EXPECT_EQ(m.row, 0u);  // distance 1 vs 1? row0: differs at bit3 -> 1;
+  // row1 differs at bit2 -> 1. Tie -> first found. Distance must be 1.
+  EXPECT_EQ(m.distance, 1u);
+}
+
+TEST(Tcam, SenseNoiseCanScrambleCloseDecisions) {
+  Rng rng(1);
+  TcamArray tcam(16);
+  tcam.store(make_bits({1, 1, 1, 1, 1, 1, 1, 1, 0, 0, 0, 0, 0, 0, 0, 0}));
+  tcam.store(make_bits({1, 1, 1, 1, 1, 1, 1, 0, 0, 0, 0, 0, 0, 0, 0, 0}));
+  const BitVector q = make_bits({1, 1, 1, 1, 1, 1, 1, 1, 0, 0, 0, 0, 0, 0, 0, 0});
+  // Noise-free: always row 0 (distance 0 vs 1).
+  EXPECT_EQ(tcam.search_nearest(q).row, 0u);
+  // Heavy sensing noise flips some decisions.
+  int flips = 0;
+  for (int i = 0; i < 200; ++i) {
+    if (tcam.search_nearest(q, 2.0, &rng).row != 0) ++flips;
+  }
+  EXPECT_GT(flips, 10);
+}
+
+TEST(Tcam, CostScalesWithCellsAndTech) {
+  TcamArray cmos(64, CellTech::kCmos16T);
+  TcamArray fefet(64, CellTech::kFeFet2T);
+  for (int i = 0; i < 32; ++i) {
+    cmos.store(BitVector(64));
+    fefet.store(BitVector(64));
+  }
+  EXPECT_GT(cmos.search_cost().energy_pj, fefet.search_cost().energy_pj);
+  EXPECT_GT(cmos.search_cost().latency_ns, fefet.search_cost().latency_ns);
+  TcamArray big(64, CellTech::kCmos16T);
+  for (int i = 0; i < 64; ++i) big.store(BitVector(64));
+  EXPECT_GT(big.search_cost().energy_pj, cmos.search_cost().energy_pj);
+}
+
+TEST(Tcam, StatsAccumulateSearches) {
+  TcamArray tcam(4);
+  tcam.store(make_bits({1, 0, 1, 0}));
+  tcam.search_nearest(make_bits({1, 0, 1, 0}));
+  tcam.search_match(TernaryWord(4));
+  EXPECT_EQ(tcam.stats().searches, 2u);
+  EXPECT_GT(tcam.stats().total.energy_pj, 0.0);
+}
+
+TEST(Lsh, IdenticalVectorsShareSignature) {
+  Rng rng(2);
+  LshEncoder enc(64, 16, rng);
+  Vector v(16);
+  for (auto& x : v) x = static_cast<float>(rng.normal());
+  EXPECT_EQ(enc.encode(v).hamming(enc.encode(v)), 0u);
+}
+
+TEST(Lsh, OppositeVectorsMaximallyDistant) {
+  Rng rng(3);
+  LshEncoder enc(64, 16, rng);
+  Vector v(16), neg(16);
+  for (std::size_t i = 0; i < 16; ++i) {
+    v[i] = static_cast<float>(rng.normal());
+    neg[i] = -v[i];
+  }
+  EXPECT_EQ(enc.encode(v).hamming(enc.encode(neg)), 64u);
+}
+
+TEST(Lsh, HammingTracksAngle) {
+  // Empirical Hamming distance ~ planes * angle / pi over random pairs.
+  Rng rng(4);
+  LshEncoder enc(256, 32, rng);
+  for (int trial = 0; trial < 10; ++trial) {
+    Vector a(32), b(32);
+    for (std::size_t i = 0; i < 32; ++i) {
+      a[i] = static_cast<float>(rng.normal());
+      b[i] = static_cast<float>(rng.normal());
+    }
+    const double expected = enc.expected_hamming(a, b);
+    const double got = static_cast<double>(enc.encode(a).hamming(enc.encode(b)));
+    EXPECT_NEAR(got, expected, 32.0);  // 4 sigma-ish for 256 planes
+  }
+}
+
+TEST(Lsh, MorePlanesReduceRelativeVariance) {
+  Rng rng(5);
+  Vector a(16), b(16);
+  for (std::size_t i = 0; i < 16; ++i) {
+    a[i] = static_cast<float>(rng.normal());
+    b[i] = static_cast<float>(rng.normal());
+  }
+  auto rel_err = [&](std::size_t planes) {
+    double err = 0.0;
+    for (int t = 0; t < 20; ++t) {
+      LshEncoder enc(planes, 16, rng);
+      const double e = enc.expected_hamming(a, b);
+      const double g = static_cast<double>(enc.encode(a).hamming(enc.encode(b)));
+      err += std::abs(g - e) / static_cast<double>(planes);
+    }
+    return err / 20.0;
+  };
+  EXPECT_LT(rel_err(512), rel_err(16) + 1e-9);
+}
+
+TEST(RangeEncoding, PointEncodingRoundTripsGrayCode) {
+  RangeEncoder enc(4, 2, 0.0, 1.0);
+  Vector x{0.0f, 1.0f};
+  const TernaryWord w = enc.encode_point(x);
+  EXPECT_EQ(w.width(), 8u);
+  // Coordinate 0 quantizes to 0 -> gray 0000; coordinate 1 to 15 -> gray 1000.
+  for (int i = 0; i < 4; ++i) EXPECT_FALSE(w.bits.get(static_cast<std::size_t>(i)));
+  EXPECT_TRUE(w.bits.get(4));
+  for (int i = 5; i < 8; ++i) EXPECT_FALSE(w.bits.get(static_cast<std::size_t>(i)));
+}
+
+TEST(RangeEncoding, CubeMasksLowGrayBits) {
+  RangeEncoder enc(4, 1, 0.0, 1.0);
+  Vector x{0.5f};
+  const TernaryWord cube = enc.encode_cube(x, 2);
+  EXPECT_TRUE(cube.cared(0));
+  EXPECT_TRUE(cube.cared(1));
+  EXPECT_FALSE(cube.cared(2));
+  EXPECT_FALSE(cube.cared(3));
+}
+
+TEST(RangeEncoding, CubeMatchesAlignedNeighborhood) {
+  // All values in the same aligned 2^m block must match the cube query.
+  RangeEncoder enc(4, 1, 0.0, 15.0);  // quantization = identity on 0..15
+  TcamArray tcam(enc.word_width());
+  for (int v = 0; v < 16; ++v) {
+    tcam.store(enc.encode_point(Vector{static_cast<float>(v)}));
+  }
+  // Query 5 with mask 2 -> aligned block {4,5,6,7}.
+  const TernaryWord cube = enc.encode_cube(Vector{5.0f}, 2);
+  const auto hits = tcam.search_match(cube);
+  ASSERT_EQ(hits.size(), 4u);
+  EXPECT_EQ(hits[0], 4u);
+  EXPECT_EQ(hits[3], 7u);
+}
+
+TEST(RangeEncoding, ZeroMaskIsExactMatch) {
+  RangeEncoder enc(4, 2, 0.0, 1.0);
+  TcamArray tcam(enc.word_width());
+  tcam.store(enc.encode_point(Vector{0.3f, 0.7f}));
+  tcam.store(enc.encode_point(Vector{0.9f, 0.1f}));
+  const auto hits = tcam.search_match(enc.encode_cube(Vector{0.3f, 0.7f}, 0));
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(hits[0], 0u);
+}
+
+TEST(LshTcamSearch, RecoversNearestUnderCosine) {
+  Rng rng(6);
+  LshTcamSearch search(256, 16, rng);
+  // Three well-separated unit directions.
+  Vector a(16, 0.0f), b(16, 0.0f), c(16, 0.0f);
+  a[0] = 1.0f;
+  b[5] = 1.0f;
+  c[10] = 1.0f;
+  search.add(a, 0);
+  search.add(b, 1);
+  search.add(c, 2);
+  Vector q(16, 0.0f);
+  q[5] = 0.9f;
+  q[6] = 0.1f;
+  EXPECT_EQ(search.predict(q), 1u);
+  EXPECT_EQ(search.size(), 3u);
+}
+
+TEST(LshTcamSearch, CostIsOneParallelSearch) {
+  Rng rng(7);
+  LshTcamSearch search(128, 8, rng);
+  for (int i = 0; i < 32; ++i) search.add(Vector(8, 0.5f), 0);
+  const perf::Cost c = search.query_cost();
+  EXPECT_GT(c.energy_pj, 0.0);
+  EXPECT_LT(c.latency_ns, 10.0);  // nanoseconds, not the GPU's microseconds
+}
+
+TEST(ReneTcamSearch, ExactMatchShortCircuits) {
+  ReneTcamSearch search(4, 4, 0.0, 1.0);
+  Vector a{0.1f, 0.2f, 0.3f, 0.4f};
+  Vector b{0.9f, 0.8f, 0.7f, 0.6f};
+  search.add(a, 0);
+  search.add(b, 1);
+  EXPECT_EQ(search.predict(a), 0u);
+  EXPECT_EQ(search.predict(b), 1u);
+  // Exact hits need one lookup each.
+  EXPECT_NEAR(search.mean_searches_per_query(), 1.0, 1e-9);
+}
+
+TEST(ReneTcamSearch, ExpandingCubeFindsApproximateNeighbor) {
+  ReneTcamSearch search(4, 2, 0.0, 1.0);
+  search.add(Vector{0.2f, 0.2f}, 0);
+  search.add(Vector{0.8f, 0.8f}, 1);
+  EXPECT_EQ(search.predict(Vector{0.25f, 0.15f}), 0u);
+  EXPECT_EQ(search.predict(Vector{0.75f, 0.85f}), 1u);
+  EXPECT_GT(search.mean_searches_per_query(), 1.0);
+}
+
+TEST(ReneTcamSearch, L2RefinementBreaksCubeTies) {
+  // Two stored points land in the same first non-empty cube; L2 must pick
+  // the truly closer one.
+  ReneTcamSearch refined(4, 1, 0.0, 15.0, CellTech::kCmos16T, true);
+  refined.add(Vector{4.0f}, 0);
+  refined.add(Vector{7.0f}, 1);
+  // Query 6: mask-2 cube {4..7} catches both; L2 picks 7 (label 1).
+  EXPECT_EQ(refined.predict(Vector{6.0f}), 1u);
+}
+
+TEST(ReneTcamSearch, CostCountsMultipleLookups) {
+  ReneTcamSearch search(4, 2, 0.0, 1.0);
+  search.add(Vector{0.9f, 0.9f}, 0);
+  // Distant query forces several expansions before matching.
+  search.predict(Vector{0.05f, 0.05f});
+  EXPECT_GT(search.mean_searches_per_query(), 2.0);
+  EXPECT_GT(search.query_cost().latency_ns, 2.0);
+}
+
+// Property sweep: over random stored sets, the LSH-TCAM prediction agrees
+// with exact cosine prediction most of the time, and agreement improves
+// with more hash planes.
+class LshAgreementTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(LshAgreementTest, AgreesWithCosineOften) {
+  const std::size_t planes = GetParam();
+  Rng rng(100 + planes);
+  mann::ExactSearch exact(8, Metric::kCosineSimilarity);
+  LshTcamSearch lsh(planes, 8, rng);
+  int agree = 0;
+  const int trials = 60;
+  for (int t = 0; t < trials; ++t) {
+    exact.clear();
+    lsh.clear();
+    for (std::size_t i = 0; i < 5; ++i) {
+      Vector v(8);
+      for (auto& x : v) x = static_cast<float>(rng.normal());
+      exact.add(v, i);
+      lsh.add(v, i);
+    }
+    Vector q(8);
+    for (auto& x : q) x = static_cast<float>(rng.normal());
+    if (exact.predict(q) == lsh.predict(q)) ++agree;
+  }
+  const double rate = static_cast<double>(agree) / trials;
+  if (planes >= 256) {
+    EXPECT_GT(rate, 0.8);
+  } else {
+    EXPECT_GT(rate, 0.35);  // well above the 0.2 chance level
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(PlaneSweep, LshAgreementTest,
+                         ::testing::Values(32u, 64u, 256u, 512u));
+
+}  // namespace
+}  // namespace enw::cam

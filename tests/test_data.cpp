@@ -1,0 +1,182 @@
+// Tests for src/data: synthetic dataset generators.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "data/click_log.h"
+#include "data/synthetic_mnist.h"
+#include "data/synthetic_omniglot.h"
+#include "tensor/distance.h"
+#include "tensor/ops.h"
+
+namespace enw::data {
+namespace {
+
+TEST(SyntheticMnist, ShapesAndLabelBalance) {
+  SyntheticMnist gen;
+  const Dataset ds = gen.train_set(100);
+  EXPECT_EQ(ds.features.rows(), 100u);
+  EXPECT_EQ(ds.features.cols(), 28u * 28u);
+  std::vector<int> counts(10, 0);
+  for (auto l : ds.labels) counts[l]++;
+  for (int c : counts) EXPECT_EQ(c, 10);
+}
+
+TEST(SyntheticMnist, PixelsInUnitRange) {
+  SyntheticMnist gen;
+  const Dataset ds = gen.train_set(20);
+  for (std::size_t i = 0; i < ds.features.size(); ++i) {
+    EXPECT_GE(ds.features.data()[i], 0.0f);
+    EXPECT_LE(ds.features.data()[i], 1.0f);
+  }
+}
+
+TEST(SyntheticMnist, Deterministic) {
+  SyntheticMnist a, b;
+  const Dataset da = a.train_set(10);
+  const Dataset db = b.train_set(10);
+  for (std::size_t i = 0; i < da.features.size(); ++i)
+    EXPECT_FLOAT_EQ(da.features.data()[i], db.features.data()[i]);
+}
+
+TEST(SyntheticMnist, TrainTestDiffer) {
+  SyntheticMnist gen;
+  const Dataset tr = gen.train_set(10);
+  const Dataset te = gen.test_set(10);
+  float diff = 0.0f;
+  for (std::size_t i = 0; i < tr.features.size(); ++i)
+    diff += std::abs(tr.features.data()[i] - te.features.data()[i]);
+  EXPECT_GT(diff, 1.0f);
+}
+
+TEST(SyntheticMnist, IntraClassCloserThanInterClass) {
+  // The whole point of the generator: same-class samples must be more
+  // similar than cross-class samples, or no classifier could work.
+  SyntheticMnist gen;
+  const Dataset ds = gen.train_set(200);
+  double intra = 0.0, inter = 0.0;
+  int n_intra = 0, n_inter = 0;
+  for (std::size_t i = 0; i < 50; ++i) {
+    for (std::size_t j = i + 1; j < 50; ++j) {
+      const float d = l2_distance(ds.features.row(i), ds.features.row(j));
+      if (ds.labels[i] == ds.labels[j]) {
+        intra += d;
+        ++n_intra;
+      } else {
+        inter += d;
+        ++n_inter;
+      }
+    }
+  }
+  ASSERT_GT(n_intra, 0);
+  ASSERT_GT(n_inter, 0);
+  EXPECT_LT(intra / n_intra, inter / n_inter);
+}
+
+TEST(SyntheticOmniglot, EpisodeShapes) {
+  SyntheticOmniglot gen;
+  Rng rng(1);
+  const Episode ep = gen.sample_episode(5, 1, 3, 100, 200, rng);
+  EXPECT_EQ(ep.support.rows(), 5u);
+  EXPECT_EQ(ep.query.rows(), 15u);
+  EXPECT_EQ(ep.support_labels.size(), 5u);
+  EXPECT_EQ(ep.query_labels.size(), 15u);
+  for (auto l : ep.support_labels) EXPECT_LT(l, 5u);
+  for (auto l : ep.query_labels) EXPECT_LT(l, 5u);
+}
+
+TEST(SyntheticOmniglot, EpisodeUsesDistinctClasses) {
+  SyntheticOmniglot gen;
+  Rng rng(2);
+  const Episode ep = gen.sample_episode(5, 2, 1, 0, 50, rng);
+  // 5 ways x 2 shots: labels 0..4 twice each.
+  std::vector<int> counts(5, 0);
+  for (auto l : ep.support_labels) counts[l]++;
+  for (int c : counts) EXPECT_EQ(c, 2);
+}
+
+TEST(SyntheticOmniglot, TooFewClassesThrows) {
+  SyntheticOmniglot gen;
+  Rng rng(3);
+  EXPECT_THROW(gen.sample_episode(10, 1, 1, 0, 5, rng), std::invalid_argument);
+}
+
+TEST(SyntheticOmniglot, IntraClassSimilarityHolds) {
+  SyntheticOmniglot gen;
+  Rng rng(4);
+  Vector a(gen.feature_dim()), b(gen.feature_dim()), c(gen.feature_dim());
+  double intra = 0.0, inter = 0.0;
+  for (int trial = 0; trial < 30; ++trial) {
+    gen.render(7, rng, a);
+    gen.render(7, rng, b);
+    gen.render(90, rng, c);
+    intra += l2_distance(a, b);
+    inter += l2_distance(a, c);
+  }
+  EXPECT_LT(intra, inter);
+}
+
+TEST(SyntheticOmniglot, BackgroundSetLayout) {
+  SyntheticOmniglot gen;
+  Rng rng(5);
+  const Dataset ds = gen.background_set(3, 10, rng);
+  EXPECT_EQ(ds.size(), 30u);
+  EXPECT_EQ(ds.labels[0], 0u);
+  EXPECT_EQ(ds.labels[29], 9u);
+}
+
+TEST(ClickLog, SampleShapes) {
+  ClickLogGenerator gen;
+  Rng rng(6);
+  const ClickSample s = gen.sample(rng);
+  EXPECT_EQ(s.dense.size(), gen.config().num_dense);
+  EXPECT_EQ(s.sparse.size(), gen.config().num_tables);
+  for (const auto& lookups : s.sparse) {
+    EXPECT_EQ(lookups.size(), gen.config().lookups_per_table);
+    for (auto idx : lookups) EXPECT_LT(idx, gen.config().rows_per_table);
+  }
+  EXPECT_TRUE(s.label == 0.0f || s.label == 1.0f);
+}
+
+TEST(ClickLog, CtrIsRealistic) {
+  ClickLogGenerator gen;
+  Rng rng(7);
+  const double ctr = gen.planted_ctr(4000, rng);
+  EXPECT_GT(ctr, 0.02);
+  EXPECT_LT(ctr, 0.7);
+}
+
+TEST(ClickLog, LookupsAreSkewed) {
+  ClickLogConfig cfg;
+  cfg.rows_per_table = 100000;
+  ClickLogGenerator gen(cfg);
+  Rng rng(8);
+  std::size_t head = 0, total = 0;
+  for (int i = 0; i < 500; ++i) {
+    const ClickSample s = gen.sample(rng);
+    for (const auto& lookups : s.sparse)
+      for (auto idx : lookups) {
+        ++total;
+        if (idx < 1000) ++head;  // top 1%
+      }
+  }
+  EXPECT_GT(static_cast<double>(head) / static_cast<double>(total), 0.3);
+}
+
+TEST(ClickLog, LabelsCorrelateWithPlantedModel) {
+  // Samples with identical sparse indices but shifted dense features should
+  // show different click propensities — i.e., the label is not pure noise.
+  ClickLogGenerator gen;
+  Rng rng(9);
+  double clicks = 0.0;
+  const int n = 3000;
+  for (int i = 0; i < n; ++i) clicks += gen.sample(rng).label;
+  const double base = clicks / n;
+  // Non-degenerate: neither all-zero nor all-one.
+  EXPECT_GT(base, 0.01);
+  EXPECT_LT(base, 0.99);
+}
+
+}  // namespace
+}  // namespace enw::data

@@ -1,0 +1,270 @@
+// Tests for the extension modules: 2T-1FeFET hybrid cell, TCAM K-NN,
+// LSTM history pooling, Wide & Deep.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "analog/hybrid_cell.h"
+#include "cam/cam_search.h"
+#include "cam/tcam.h"
+#include "data/click_log.h"
+#include "data/sequence_log.h"
+#include "nn/mlp.h"
+#include "recsys/sequence_model.h"
+#include "recsys/wide_and_deep.h"
+#include "tensor/ops.h"
+
+namespace enw {
+namespace {
+
+// ------------------------------------------------------- 2T-1FeFET hybrid
+
+analog::HybridCellConfig quiet_hybrid() {
+  analog::HybridCellConfig cfg;
+  cfg.fefet.sigma_ctoc = 0.0;
+  cfg.fefet.dtod_dw = 0.0;
+  cfg.fefet.dtod_bounds = 0.0;
+  return cfg;
+}
+
+TEST(HybridCell, CapacitorAbsorbsSmallUpdates) {
+  Rng rng(1);
+  analog::Hybrid2T1FLinear lin(3, 3, quiet_hybrid(), rng);
+  const Matrix fefet_before = lin.fefet_array().weights_snapshot();
+  Vector x{1.0f, 0.0f, 0.0f}, dy{-1.0f, 0.0f, 0.0f};
+  lin.update(x, dy, 0.001f);  // small: stays on the capacitor
+  EXPECT_EQ(lin.transfers_done(), 0u);
+  EXPECT_GT(lin.capacitor()(0, 0), 0.0f);
+  const Matrix fefet_after = lin.fefet_array().weights_snapshot();
+  for (std::size_t i = 0; i < fefet_before.size(); ++i)
+    EXPECT_FLOAT_EQ(fefet_after.data()[i], fefet_before.data()[i]);
+}
+
+TEST(HybridCell, RepeatedUpdatesTriggerTransfer) {
+  Rng rng(2);
+  analog::Hybrid2T1FLinear lin(2, 2, quiet_hybrid(), rng);
+  Vector x{1.0f, 0.0f}, dy{-1.0f, 0.0f};
+  for (int i = 0; i < 400; ++i) lin.update(x, dy, 0.005f);
+  EXPECT_GT(lin.transfers_done(), 0u);
+  // Effective weight moved against the gradient.
+  EXPECT_GT(lin.weights()(0, 0), 0.02f);
+}
+
+TEST(HybridCell, ForwardSumsBothParts) {
+  Rng rng(3);
+  analog::Hybrid2T1FLinear lin(2, 2, quiet_hybrid(), rng);
+  lin.set_weights(Matrix(2, 2, 0.0f));
+  Vector x{1.0f, 1.0f};
+  Vector y(2, 0.0f);
+  lin.forward(x, y);
+  const float base = std::abs(y[0]) + std::abs(y[1]);
+  EXPECT_LT(base, 0.1f);  // ~zero weights read back ~zero (program residual)
+  // Charge a capacitor and observe it in the read.
+  Vector dy{-1.0f, 0.0f};
+  Vector ex{1.0f, 0.0f};
+  for (int i = 0; i < 40; ++i) lin.update(ex, dy, 0.002f);
+  lin.forward(x, y);
+  EXPECT_GT(y[0], 0.01f);
+}
+
+TEST(HybridCell, EnduranceFreezesWornCells) {
+  analog::HybridCellConfig cfg = quiet_hybrid();
+  cfg.endurance = 2;  // two transfers then dead
+  Rng rng(4);
+  analog::Hybrid2T1FLinear lin(1, 1, cfg, rng);
+  Vector x{1.0f}, dy{-1.0f};
+  for (int i = 0; i < 3000; ++i) lin.update(x, dy, 0.01f);
+  EXPECT_EQ(lin.worn_out_cells(), 1u);
+  // Weight growth stopped near 2 transfers worth + capacitor range.
+  EXPECT_LT(lin.weights()(0, 0), 0.5f);
+}
+
+TEST(HybridCell, TrainsBlobsLikeAnIdealDevice) {
+  Rng rng(5);
+  nn::MlpConfig cfg;
+  cfg.dims = {4, 16, 3};
+  analog::HybridCellConfig hcfg;  // realistic FeFET noise
+  nn::Mlp net(cfg, analog::Hybrid2T1FLinear::factory(hcfg, rng));
+  Matrix features(60, 4);
+  std::vector<std::size_t> labels(60);
+  for (std::size_t i = 0; i < 60; ++i) {
+    const std::size_t c = i % 3;
+    labels[i] = c;
+    for (std::size_t d = 0; d < 4; ++d)
+      features(i, d) =
+          static_cast<float>(rng.normal(0.0, 0.5)) + static_cast<float>(c) * 2.0f;
+  }
+  const auto order = Rng(6).permutation(60);
+  for (int e = 0; e < 25; ++e)
+    nn::train_epoch(net, features, labels, order, 0.03f);
+  EXPECT_GT(net.accuracy(features, labels), 0.8);
+}
+
+// ------------------------------------------------------------- TCAM K-NN
+
+BitVector bits_of(std::initializer_list<int> v) {
+  BitVector b(v.size());
+  std::size_t i = 0;
+  for (int x : v) b.set(i++, x != 0);
+  return b;
+}
+
+TEST(TcamKnn, ReturnsOrderedDistinctNeighbours) {
+  cam::TcamArray tcam(8);
+  tcam.store(bits_of({1, 1, 1, 1, 0, 0, 0, 0}));  // d=0 to query
+  tcam.store(bits_of({1, 1, 1, 0, 0, 0, 0, 0}));  // d=1
+  tcam.store(bits_of({0, 0, 0, 0, 1, 1, 1, 1}));  // d=8
+  const auto knn = tcam.search_knn(bits_of({1, 1, 1, 1, 0, 0, 0, 0}), 2);
+  ASSERT_EQ(knn.size(), 2u);
+  EXPECT_EQ(knn[0].row, 0u);
+  EXPECT_EQ(knn[0].distance, 0u);
+  EXPECT_EQ(knn[1].row, 1u);
+  EXPECT_EQ(knn[1].distance, 1u);
+}
+
+TEST(TcamKnn, CostsKSearches) {
+  cam::TcamArray tcam(8);
+  for (int i = 0; i < 5; ++i) tcam.store(BitVector(8));
+  tcam.reset_stats();
+  tcam.search_knn(BitVector(8), 3);
+  EXPECT_EQ(tcam.stats().searches, 3u);
+}
+
+TEST(TcamKnn, ClampsKToRows) {
+  cam::TcamArray tcam(4);
+  tcam.store(BitVector(4));
+  const auto knn = tcam.search_knn(BitVector(4), 10);
+  EXPECT_EQ(knn.size(), 1u);
+}
+
+TEST(LshKnnSearch, MajorityVoteFixesNoisyNearest) {
+  // Stored: 3 copies of class A around one direction, 1 outlier of class B
+  // very near the query. 3-NN vote recovers A where 1-NN picks B.
+  Rng rng(7);
+  cam::LshTcamSearch nn1(256, 8, rng, cam::CellTech::kCmos16T, 0.0, 1);
+  Rng rng2(7);
+  cam::LshTcamSearch nn3(256, 8, rng2, cam::CellTech::kCmos16T, 0.0, 3);
+  Vector a1(8, 0.0f), a2(8, 0.0f), a3(8, 0.0f), b(8, 0.0f), q(8, 0.0f);
+  a1[0] = 1.0f; a1[1] = 0.15f;
+  a2[0] = 1.0f; a2[1] = -0.15f;
+  a3[0] = 1.0f; a3[2] = 0.15f;
+  b[0] = 1.0f; b[3] = 0.22f;
+  q[0] = 1.0f; q[3] = 0.20f;  // closest single neighbour: b
+  for (auto* s : {&nn1, &nn3}) {
+    s->add(a1, 0);
+    s->add(a2, 0);
+    s->add(a3, 0);
+    s->add(b, 1);
+  }
+  EXPECT_EQ(nn1.predict(q), 1u);
+  EXPECT_EQ(nn3.predict(q), 0u);
+  // And the modeled cost is 3x.
+  EXPECT_NEAR(nn3.query_cost().latency_ns, 3.0 * nn1.query_cost().latency_ns, 1e-9);
+}
+
+// ------------------------------------------------------- LSTM pooling
+
+TEST(LstmPooling, ForwardAndTrainingWork) {
+  recsys::SequenceModelConfig cfg;
+  cfg.num_items = 100;
+  cfg.embed_dim = 8;
+  cfg.mlp_hidden = {16};
+  cfg.pooling = recsys::HistoryPooling::kLstm;
+  Rng rng(8);
+  recsys::SequenceRecModel model(cfg, rng);
+
+  data::SequenceLogConfig lcfg;
+  lcfg.num_items = 100;
+  lcfg.history_length = 6;
+  data::SequenceLogGenerator gen(lcfg);
+  Rng drng(9);
+  const auto test = gen.batch(300, drng);
+  const double loss0 = model.mean_loss(test);
+  const auto train = gen.batch(2000, drng);
+  for (int e = 0; e < 2; ++e)
+    for (const auto& s : train) model.train_step(s, 0.01f);
+  EXPECT_LT(model.mean_loss(test), loss0 + 0.05);  // stable (no divergence)
+  for (const auto& s : test) {
+    const float p = model.predict(s);
+    ASSERT_GE(p, 0.0f);
+    ASSERT_LE(p, 1.0f);
+  }
+  EXPECT_TRUE(model.last_attention().empty());  // no attention cache in LSTM mode
+}
+
+TEST(LstmPooling, NamesAreDistinct) {
+  EXPECT_STREQ(recsys::pooling_name(recsys::HistoryPooling::kMean), "mean");
+  EXPECT_STREQ(recsys::pooling_name(recsys::HistoryPooling::kAttention), "attention");
+  EXPECT_STREQ(recsys::pooling_name(recsys::HistoryPooling::kLstm), "lstm");
+}
+
+// -------------------------------------------------------- Wide & Deep
+
+recsys::WideAndDeepConfig small_wd() {
+  recsys::WideAndDeepConfig cfg;
+  cfg.num_dense = 4;
+  cfg.num_tables = 3;
+  cfg.rows_per_table = 100;
+  cfg.embed_dim = 4;
+  cfg.deep_hidden = {16};
+  return cfg;
+}
+
+data::ClickLogConfig small_wd_log() {
+  data::ClickLogConfig cfg;
+  cfg.num_dense = 4;
+  cfg.num_tables = 3;
+  cfg.rows_per_table = 100;
+  cfg.lookups_per_table = 2;
+  return cfg;
+}
+
+TEST(WideAndDeep, PredictInUnitInterval) {
+  Rng rng(10);
+  recsys::WideAndDeep model(small_wd(), rng);
+  data::ClickLogGenerator gen(small_wd_log());
+  Rng drng(11);
+  for (int i = 0; i < 10; ++i) {
+    const float p = model.predict(gen.sample(drng));
+    EXPECT_GE(p, 0.0f);
+    EXPECT_LE(p, 1.0f);
+  }
+}
+
+TEST(WideAndDeep, LearnsClickSignal) {
+  Rng rng(12);
+  recsys::WideAndDeep model(small_wd(), rng);
+  data::ClickLogGenerator gen(small_wd_log());
+  Rng drng(13);
+  const auto train = gen.batch(2500, drng);
+  const auto test = gen.batch(500, drng);
+  const double loss0 = model.mean_loss(test);
+  for (int e = 0; e < 4; ++e)
+    for (const auto& s : train) model.train_step(s, 0.02f);
+  EXPECT_LT(model.mean_loss(test), loss0);
+  EXPECT_GT(model.auc(test), 0.65);
+}
+
+TEST(WideAndDeep, EmbeddingsDominateCapacity) {
+  Rng rng(14);
+  recsys::WideAndDeepConfig cfg = small_wd();
+  cfg.rows_per_table = 50000;
+  recsys::WideAndDeep model(cfg, rng);
+  EXPECT_GT(model.embedding_bytes(), model.deep_mlp_bytes());
+  EXPECT_GT(model.embedding_bytes(), model.wide_bytes());
+  // Wide part is one scalar per row vs embed_dim floats per row.
+  EXPECT_NEAR(static_cast<double>(model.embedding_bytes()) / model.wide_bytes(),
+              static_cast<double>(cfg.embed_dim), 0.5);
+}
+
+TEST(WideAndDeep, ValidatesShapes) {
+  Rng rng(15);
+  recsys::WideAndDeep model(small_wd(), rng);
+  data::ClickSample bad;
+  bad.dense.assign(2, 0.0f);  // wrong dense count
+  bad.sparse.assign(3, {0});
+  EXPECT_THROW(model.predict(bad), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace enw

@@ -1,0 +1,277 @@
+// Tests for the analog inference pipeline: bit-sliced arrays, programming
+// noise, retention, stuck devices, drop-connect hardware-aware training,
+// and crossbar convolution.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "analog/crossbar_conv.h"
+#include "analog/inference.h"
+#include "nn/digital_linear.h"
+#include "nn/mlp.h"
+#include "tensor/ops.h"
+
+namespace enw::analog {
+namespace {
+
+InferenceArrayConfig quiet_config() {
+  InferenceArrayConfig cfg;
+  cfg.write_noise_std = 0.0;
+  cfg.read_noise_std = 0.0;
+  cfg.stuck_fraction = 0.0;
+  return cfg;
+}
+
+TEST(BitSliced, ProgramDecodeRoundTrip) {
+  BitSlicedInferenceArray arr(4, 5, quiet_config());
+  Rng rng(1);
+  const Matrix target = Matrix::uniform(4, 5, -0.7f, 0.7f, rng);
+  arr.program(target);
+  const Matrix got = arr.weights_snapshot();
+  // 4 slices x 2 bits = 8 magnitude bits: fine resolution.
+  for (std::size_t r = 0; r < 4; ++r)
+    for (std::size_t c = 0; c < 5; ++c)
+      EXPECT_NEAR(got(r, c), target(r, c), 0.7 * 2.0 / 255.0 + 1e-4);
+}
+
+class SliceParamTest
+    : public ::testing::TestWithParam<std::pair<int, int>> {};  // (bits, slices)
+
+TEST_P(SliceParamTest, ResolutionScalesWithTotalBits) {
+  const auto [bits, slices] = GetParam();
+  InferenceArrayConfig cfg = quiet_config();
+  cfg.slice_bits = bits;
+  cfg.num_slices = slices;
+  BitSlicedInferenceArray arr(8, 8, cfg);
+  Rng rng(2);
+  const Matrix target = Matrix::uniform(8, 8, -1.0f, 1.0f, rng);
+  arr.program(target);
+  const Matrix got = arr.weights_snapshot();
+  const double full_levels = std::pow(2.0, bits * slices) - 1.0;
+  const double tol = 1.0 / full_levels + 1e-4;
+  for (std::size_t i = 0; i < target.size(); ++i) {
+    EXPECT_NEAR(got.data()[i], target.data()[i], tol)
+        << bits << "b x" << slices;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Geometries, SliceParamTest,
+                         ::testing::Values(std::pair{1, 2}, std::pair{2, 2},
+                                           std::pair{2, 4}, std::pair{4, 2},
+                                           std::pair{1, 8}));
+
+TEST(BitSliced, ForwardMatchesDecodedWeights) {
+  BitSlicedInferenceArray arr(3, 4, quiet_config());
+  Rng rng(3);
+  const Matrix target = Matrix::uniform(3, 4, -0.5f, 0.5f, rng);
+  arr.program(target);
+  Vector x{0.2f, -0.4f, 0.6f, 0.8f};
+  Vector y(3, 0.0f);
+  arr.forward(x, y);
+  const Vector ref = matvec(arr.weights_snapshot(), x);
+  for (std::size_t i = 0; i < 3; ++i) EXPECT_NEAR(y[i], ref[i], 1e-4f);
+}
+
+TEST(BitSliced, WriteNoiseSpreadsDecodedWeights) {
+  InferenceArrayConfig cfg = quiet_config();
+  cfg.write_noise_std = 0.05;
+  BitSlicedInferenceArray arr(6, 6, cfg);
+  const Matrix target = Matrix::constant(6, 6, 0.5f);
+  arr.program(target);
+  const Matrix got = arr.weights_snapshot();
+  double spread = 0.0;
+  for (std::size_t i = 0; i < got.size(); ++i)
+    spread += std::abs(got.data()[i] - 0.5);
+  EXPECT_GT(spread / got.size(), 0.001);
+}
+
+TEST(BitSliced, RetentionDecaysTowardZeroWeight) {
+  InferenceArrayConfig cfg = quiet_config();
+  cfg.retention_tau_s = 1e4;
+  BitSlicedInferenceArray arr(2, 2, cfg);
+  arr.program(Matrix::constant(2, 2, 0.8f));
+  const float before = arr.weights_snapshot()(0, 0);
+  arr.advance_time(1e4);  // one time constant
+  const float after = arr.weights_snapshot()(0, 0);
+  EXPECT_LT(std::abs(after), std::abs(before));
+  // Differential pairs relax symmetrically, so the decoded weight shrinks
+  // by ~exp(-1).
+  EXPECT_NEAR(after / before, std::exp(-1.0f), 0.05f);
+}
+
+TEST(BitSliced, StuckDevicesResistProgramming) {
+  InferenceArrayConfig cfg = quiet_config();
+  cfg.stuck_fraction = 1.0;
+  BitSlicedInferenceArray arr(3, 3, cfg);
+  const Matrix before = arr.weights_snapshot();
+  // Target max-abs of 1.0 keeps the digital full-scale register unchanged,
+  // isolating the (frozen) device states.
+  arr.program(Matrix::constant(3, 3, 1.0f));
+  const Matrix after = arr.weights_snapshot();
+  for (std::size_t i = 0; i < before.size(); ++i)
+    EXPECT_FLOAT_EQ(after.data()[i], before.data()[i]);
+}
+
+TEST(InferenceLinear, UpdateIsNoOp) {
+  Rng rng(4);
+  InferenceLinear lin(3, 3, quiet_config(), rng);
+  const Matrix before = lin.weights();
+  Vector x(3, 1.0f), dy(3, 1.0f);
+  lin.update(x, dy, 0.5f);
+  const Matrix after = lin.weights();
+  for (std::size_t i = 0; i < before.size(); ++i)
+    EXPECT_FLOAT_EQ(after.data()[i], before.data()[i]);
+}
+
+TEST(InferenceLinear, DigitalTrainThenProgramPreservesAccuracy) {
+  // The deployment flow of Sec. II inference: train digitally, program the
+  // trained weights onto (noisy) inference arrays, accuracy survives.
+  Rng rng(5);
+  nn::MlpConfig cfg;
+  cfg.dims = {4, 16, 3};
+  nn::Mlp digital(cfg, nn::DigitalLinear::factory(rng));
+  Matrix features(60, 4);
+  std::vector<std::size_t> labels(60);
+  for (std::size_t i = 0; i < 60; ++i) {
+    const std::size_t c = i % 3;
+    labels[i] = c;
+    for (std::size_t d = 0; d < 4; ++d)
+      features(i, d) =
+          static_cast<float>(rng.normal(0.0, 0.5)) + static_cast<float>(c) * 2.0f;
+  }
+  auto order = rng.permutation(60);
+  for (int e = 0; e < 30; ++e)
+    nn::train_epoch(digital, features, labels, order, 0.05f);
+  ASSERT_GT(digital.accuracy(features, labels), 0.9);
+
+  InferenceArrayConfig icfg;
+  icfg.write_noise_std = 0.02;
+  icfg.read_noise_std = 0.005;
+  Rng irng(6);
+  nn::Mlp analog_twin(cfg, InferenceLinear::factory(icfg, irng));
+  for (std::size_t l = 0; l < cfg.dims.size() - 1; ++l) {
+    analog_twin.layer(l).ops().set_weights(digital.layer(l).ops().weights());
+    analog_twin.layer(l).set_bias(
+        Vector(digital.layer(l).bias().begin(), digital.layer(l).bias().end()));
+  }
+  EXPECT_GT(analog_twin.accuracy(features, labels), 0.85);
+}
+
+TEST(DropConnect, MaskChangesAcrossForwards) {
+  Rng rng(7);
+  DropConnectLinear lin(4, 4, 0.5, rng);
+  Vector x(4, 1.0f), y1(4, 0.0f), y2(4, 0.0f);
+  lin.forward(x, y1);
+  lin.forward(x, y2);
+  float diff = 0.0f;
+  for (std::size_t i = 0; i < 4; ++i) diff += std::abs(y1[i] - y2[i]);
+  EXPECT_GT(diff, 1e-6f);
+}
+
+TEST(DropConnect, ZeroProbMatchesDigital) {
+  Rng rng(8);
+  DropConnectLinear lin(3, 3, 0.0, rng);
+  lin.set_weights(Matrix{{1.0f, 0.0f, 0.0f}, {0.0f, 1.0f, 0.0f}, {0.0f, 0.0f, 1.0f}});
+  Vector x{1.0f, 2.0f, 3.0f}, y(3, 0.0f);
+  lin.forward(x, y);
+  EXPECT_FLOAT_EQ(y[0], 1.0f);
+  EXPECT_FLOAT_EQ(y[2], 3.0f);
+}
+
+TEST(DropConnect, HardwareAwareTrainingToleratesDefects) {
+  // Train two nets — vanilla and drop-connect — and program both onto the
+  // SAME defective inference array population. The drop-connect one should
+  // hold up at least as well (the [33] claim).
+  Rng rng(9);
+  Matrix features(90, 4);
+  std::vector<std::size_t> labels(90);
+  for (std::size_t i = 0; i < 90; ++i) {
+    const std::size_t c = i % 3;
+    labels[i] = c;
+    for (std::size_t d = 0; d < 4; ++d)
+      features(i, d) =
+          static_cast<float>(rng.normal(0.0, 0.6)) + static_cast<float>(c) * 2.0f;
+  }
+  auto order = rng.permutation(90);
+  nn::MlpConfig cfg;
+  cfg.dims = {4, 24, 3};
+
+  const auto run = [&](const nn::LinearOpsFactory& f) {
+    nn::Mlp net(cfg, f);
+    for (int e = 0; e < 30; ++e)
+      nn::train_epoch(net, features, labels, order, 0.05f);
+    // Program onto defective arrays (10% stuck devices).
+    InferenceArrayConfig icfg;
+    icfg.stuck_fraction = 0.10;
+    icfg.write_noise_std = 0.02;
+    icfg.seed = 777;  // same defect population for both
+    Rng irng(10);
+    nn::Mlp twin(cfg, InferenceLinear::factory(icfg, irng));
+    for (std::size_t l = 0; l < cfg.dims.size() - 1; ++l) {
+      twin.layer(l).ops().set_weights(net.layer(l).ops().weights());
+      twin.layer(l).set_bias(
+          Vector(net.layer(l).bias().begin(), net.layer(l).bias().end()));
+    }
+    return twin.accuracy(features, labels);
+  };
+
+  Rng r1(11), r2(12);
+  const double vanilla = run(nn::DigitalLinear::factory(r1));
+  const double hw_aware = run(DropConnectLinear::factory(0.10, r2));
+  EXPECT_GE(hw_aware, vanilla - 0.05);
+  EXPECT_GT(hw_aware, 0.6);
+}
+
+TEST(CrossbarConv, ForwardShapeAndAgreementWithDigitalTwin) {
+  Rng rng(13);
+  nn::ConvSpec spec;
+  spec.in_channels = 1;
+  spec.out_channels = 3;
+  spec.height = 6;
+  spec.width = 6;
+  AnalogMatrixConfig acfg;
+  acfg.device = ideal_device();
+  acfg.read_noise_std = 0.0;
+  CrossbarConv2d conv(spec, acfg, rng);
+
+  const Matrix img = Matrix::uniform(1, 36, 0.0f, 1.0f, rng);
+  const Matrix out = conv.forward(img);
+  EXPECT_EQ(out.rows(), 3u);
+  EXPECT_EQ(out.cols(), spec.out_height() * spec.out_width());
+
+  // Digital twin: same kernel applied via im2col + matmul (+ReLU, zero bias).
+  const Matrix cols = im2col(img, 6, 6, 3, 3, 2, 1);
+  Matrix ref = matmul(conv.kernel_snapshot(), cols);
+  for (std::size_t i = 0; i < ref.rows(); ++i)
+    for (std::size_t j = 0; j < ref.cols(); ++j)
+      ref(i, j) = std::max(ref(i, j), 0.0f);
+  for (std::size_t i = 0; i < ref.size(); ++i)
+    EXPECT_NEAR(out.data()[i], ref.data()[i], 0.05f);
+}
+
+TEST(CrossbarConv, BackwardUpdatesKernelAgainstGradient) {
+  Rng rng(14);
+  nn::ConvSpec spec;
+  spec.in_channels = 1;
+  spec.out_channels = 2;
+  spec.height = 4;
+  spec.width = 4;
+  AnalogMatrixConfig acfg;
+  acfg.device = ideal_device();
+  CrossbarConv2d conv(spec, acfg, rng);
+  const Matrix img = Matrix::constant(1, 16, 1.0f);
+  const Matrix before = conv.kernel_snapshot();
+  const Matrix out = conv.forward(img);
+  Matrix d_out(out.rows(), out.cols(), 1.0f);  // push outputs down
+  const Matrix dx = conv.backward(d_out, 0.05f);
+  EXPECT_EQ(dx.rows(), 1u);
+  EXPECT_EQ(dx.cols(), 16u);
+  const Matrix after = conv.kernel_snapshot();
+  double mean_change = 0.0;
+  for (std::size_t i = 0; i < after.size(); ++i)
+    mean_change += after.data()[i] - before.data()[i];
+  EXPECT_LT(mean_change / after.size(), 0.0);  // weights moved down on average
+}
+
+}  // namespace
+}  // namespace enw::analog

@@ -1,0 +1,258 @@
+// Cross-module integration tests: whole pipelines from the paper, end to
+// end — dataset -> model -> (analog/CAM/crossbar) hardware -> metric.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "analog/analog_linear.h"
+#include "analog/pcm.h"
+#include "cam/cam_search.h"
+#include "data/synthetic_mnist.h"
+#include "data/synthetic_omniglot.h"
+#include "mann/fewshot.h"
+#include "mann/kv_memory.h"
+#include "mann/ntm.h"
+#include "nn/conv.h"
+#include "nn/digital_linear.h"
+#include "nn/mlp.h"
+#include "recsys/dlrm.h"
+#include "recsys/embedding_table.h"
+#include "tensor/ops.h"
+#include "xmann/tcpt.h"
+
+namespace enw {
+namespace {
+
+TEST(Integration, AnalogMlpTrainsOnSyntheticMnist) {
+  data::SyntheticMnistConfig dcfg;
+  dcfg.image_size = 10;
+  dcfg.jitter_pixels = 0.5f;
+  dcfg.pixel_noise = 0.08f;
+  data::SyntheticMnist gen(dcfg);
+  const auto train = gen.train_set(400);
+  const auto test = gen.test_set(100);
+
+  analog::AnalogMatrixConfig acfg;
+  acfg.device = analog::ideal_device();
+  acfg.read_noise_std = 0.01;
+  acfg.dac_bits = 7;
+  acfg.adc_bits = 9;
+  Rng rng(1);
+  nn::MlpConfig mcfg;
+  mcfg.dims = {train.feature_dim(), 32, 10};
+  nn::Mlp net(mcfg, analog::AnalogLinear::factory(acfg, rng));
+  const auto order = Rng(2).permutation(train.size());
+  for (int e = 0; e < 5; ++e)
+    nn::train_epoch(net, train.features, train.labels, order, 0.02f);
+  EXPECT_GT(net.accuracy(test.features, test.labels), 0.7);
+}
+
+TEST(Integration, XmannServesAsAttentionalMemoryBackend) {
+  // Store key vectors in the X-MANN accelerator and verify its similarity
+  // ranking matches an exact nearest-neighbour search over the same keys.
+  Rng rng(3);
+  const std::size_t M = 24, D = 16;
+  Matrix keys(M, D);
+  for (std::size_t r = 0; r < M; ++r) {
+    for (std::size_t c = 0; c < D; ++c) keys(r, c) = static_cast<float>(rng.normal());
+    const float n = l2_norm(keys.row(r));
+    for (auto& v : keys.row(r)) v /= n;
+  }
+  xmann::XmannConfig cfg;
+  cfg.tile_rows = 32;
+  cfg.tile_cols = 32;
+  cfg.total_tiles = 4;
+  cfg.array.read_noise_std = 0.002;
+  xmann::XmannAccelerator acc(M, D, cfg);
+  acc.load_memory(keys);
+
+  mann::ExactSearch exact(D, Metric::kDot);
+  for (std::size_t r = 0; r < M; ++r) exact.add(keys.row(r), r);
+
+  int agree = 0;
+  for (int t = 0; t < 30; ++t) {
+    const std::size_t probe = rng.index(M);
+    Vector q(keys.row(probe).begin(), keys.row(probe).end());
+    for (auto& v : q) v += static_cast<float>(rng.normal(0.0, 0.05));
+    const Vector scores = acc.similarity(q);
+    if (argmax(scores) == exact.predict(q)) ++agree;
+  }
+  EXPECT_GE(agree, 26);  // near-perfect agreement despite analog reads
+}
+
+TEST(Integration, FewShotTcamAgreesWithExactCosineOnEasyEpisodes) {
+  data::SyntheticOmniglotConfig dcfg;
+  dcfg.num_classes = 40;
+  dcfg.jitter_pixels = 0.3f;
+  dcfg.pixel_noise = 0.02f;
+  data::SyntheticOmniglot dataset(dcfg);
+  Rng rng(4);
+  nn::EmbeddingNet::Config ecfg;
+  ecfg.image_height = dataset.image_size();
+  ecfg.image_width = dataset.image_size();
+  ecfg.channels1 = 4;
+  ecfg.channels2 = 8;
+  ecfg.embed_dim = 16;
+  ecfg.num_classes = 20;
+  nn::EmbeddingNet net(ecfg, rng);
+  Rng drng(5);
+  const auto bg = dataset.background_set(8, 20, drng);
+  const auto order = rng.permutation(bg.size());
+  for (int e = 0; e < 3; ++e)
+    for (std::size_t i : order) net.train_step(bg.features.row(i), bg.labels[i], 0.02f);
+
+  const mann::EmbedFn embed = [&net](std::span<const float> img) {
+    return net.embed(img);
+  };
+  mann::FewShotConfig fcfg;
+  fcfg.n_way = 5;
+  fcfg.k_shot = 1;
+  fcfg.queries_per_class = 2;
+  fcfg.episodes = 25;
+  fcfg.class_lo = 20;
+  fcfg.class_hi = 40;
+
+  mann::ExactSearch cosine(16, Metric::kCosineSimilarity);
+  Rng lsh_rng(6);
+  cam::LshTcamSearch lsh(256, 16, lsh_rng);
+
+  Rng ep1(777), ep2(777);  // identical episodes
+  const auto r_cos = mann::evaluate_fewshot(dataset, embed, cosine, fcfg, ep1);
+  const auto r_lsh = mann::evaluate_fewshot(dataset, embed, lsh, fcfg, ep2);
+  EXPECT_GT(r_cos.accuracy, 0.75);
+  EXPECT_GT(r_lsh.accuracy, r_cos.accuracy - 0.10);  // within a small gap
+  // And the TCAM search is modeled as far cheaper.
+  EXPECT_LT(r_lsh.search_cost_per_query.latency_ns,
+            r_cos.search_cost_per_query.latency_ns / 100.0);
+}
+
+TEST(Integration, DlrmSurvivesPostTrainingTableQuantization) {
+  data::ClickLogConfig lcfg;
+  lcfg.num_tables = 4;
+  lcfg.rows_per_table = 300;
+  lcfg.lookups_per_table = 2;
+  data::ClickLogGenerator gen(lcfg);
+  recsys::DlrmConfig mcfg;
+  mcfg.num_dense = lcfg.num_dense;
+  mcfg.num_tables = 4;
+  mcfg.rows_per_table = 300;
+  mcfg.embed_dim = 8;
+  mcfg.bottom_hidden = {16};
+  mcfg.top_hidden = {16};
+  Rng rng(7);
+  recsys::Dlrm model(mcfg, rng);
+  Rng drng(8);
+  const auto train = gen.batch(2000, drng);
+  const auto test = gen.batch(500, drng);
+  for (int e = 0; e < 3; ++e)
+    for (const auto& s : train) model.train_step(s, 0.02f);
+  const double auc_fp32 = model.auc(test);
+  ASSERT_GT(auc_fp32, 0.6);
+
+  // Quantize every table to int4 in place and re-evaluate.
+  for (auto& table : model.tables()) {
+    const recsys::QuantizedEmbeddingTable q(table, 4);
+    for (std::size_t r = 0; r < table.rows(); ++r) {
+      const Vector row = q.row(r);
+      auto dst = table.data().row(r);
+      std::copy(row.begin(), row.end(), dst.begin());
+    }
+  }
+  EXPECT_GT(model.auc(test), auc_fp32 - 0.02);
+}
+
+TEST(Integration, NtmDrivenXmannLedgerGrowsPerStep) {
+  // Execute NTM-style memory traffic through the accelerator and check the
+  // cost ledger advances monotonically with work.
+  Rng rng(9);
+  xmann::XmannConfig cfg;
+  cfg.tile_rows = 32;
+  cfg.tile_cols = 32;
+  cfg.total_tiles = 4;
+  xmann::XmannAccelerator acc(32, 16, cfg);
+  acc.load_memory(Matrix::uniform(32, 16, -0.3f, 0.3f, rng));
+
+  double prev = 0.0;
+  for (int step = 0; step < 3; ++step) {
+    Vector key(16);
+    for (auto& v : key) v = static_cast<float>(rng.normal(0.0, 0.3));
+    const Vector w = softmax(acc.similarity(key), 8.0f);
+    acc.soft_read(w);
+    Vector erase(16, 0.5f), add(16, 0.1f);
+    acc.soft_write(w, erase, add);
+    EXPECT_GT(acc.ledger().energy_pj, prev);
+    EXPECT_GT(acc.ledger().latency_ns, 0.0);
+    prev = acc.ledger().energy_pj;
+  }
+}
+
+TEST(Integration, PcmDriftCompensationEndToEnd) {
+  // Train on PCM, drift the arrays, verify compensation recovers accuracy.
+  data::SyntheticMnistConfig dcfg;
+  dcfg.image_size = 10;
+  dcfg.jitter_pixels = 0.5f;
+  dcfg.pixel_noise = 0.08f;
+  data::SyntheticMnist gen(dcfg);
+  const auto train = gen.train_set(400);
+  const auto test = gen.test_set(100);
+
+  const auto run = [&](bool compensate) {
+    analog::PcmLinear::Config cfg;
+    cfg.reset_every = 500;
+    cfg.drift_compensation = compensate;
+    cfg.array.drift_nu_dtod = 0.0;
+    Rng rng(10);
+    nn::MlpConfig mcfg;
+    mcfg.dims = {train.feature_dim(), 32, 10};
+    nn::Mlp net(mcfg, analog::PcmLinear::factory(cfg, rng));
+    const auto order = Rng(11).permutation(train.size());
+    for (int e = 0; e < 5; ++e)
+      nn::train_epoch(net, train.features, train.labels, order, 0.02f);
+    for (std::size_t l = 0; l < net.layer_count(); ++l) {
+      dynamic_cast<analog::PcmLinear&>(net.layer(l).ops()).array().advance_time(3e6);
+    }
+    return net.accuracy(test.features, test.labels);
+  };
+  const double bare = run(false);
+  const double comp = run(true);
+  EXPECT_GT(comp, bare);
+}
+
+TEST(Integration, EmbeddingNetFeaturesFeedKvMemoryOnline) {
+  // The full Fig. 5 loop: CNN features -> key-value memory with the Kaiser
+  // update, online over a class stream; hit rate must rise well above the
+  // first-encounter floor.
+  data::SyntheticOmniglotConfig dcfg;
+  dcfg.num_classes = 30;
+  dcfg.jitter_pixels = 0.4f;
+  data::SyntheticOmniglot dataset(dcfg);
+  Rng rng(12);
+  nn::EmbeddingNet::Config ecfg;
+  ecfg.image_height = dataset.image_size();
+  ecfg.image_width = dataset.image_size();
+  ecfg.channels1 = 4;
+  ecfg.channels2 = 8;
+  ecfg.embed_dim = 16;
+  ecfg.num_classes = 15;
+  nn::EmbeddingNet net(ecfg, rng);
+  Rng drng(13);
+  const auto bg = dataset.background_set(6, 15, drng);
+  const auto order = rng.permutation(bg.size());
+  for (int e = 0; e < 3; ++e)
+    for (std::size_t i : order) net.train_step(bg.features.row(i), bg.labels[i], 0.02f);
+
+  mann::KeyValueMemory memory(128, 16);
+  Rng stream(14);
+  Vector img(dataset.feature_dim());
+  std::size_t hits = 0, total = 0;
+  for (int step = 0; step < 300; ++step) {
+    const std::size_t cls = 15 + stream.index(15);  // held-out classes
+    dataset.render(cls, stream, img);
+    if (memory.update(net.embed(img), cls)) ++hits;
+    ++total;
+  }
+  EXPECT_GT(static_cast<double>(hits) / static_cast<double>(total), 0.5);
+}
+
+}  // namespace
+}  // namespace enw

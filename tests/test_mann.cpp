@@ -1,0 +1,265 @@
+// Tests for src/mann: differentiable memory, NTM, key-value memory,
+// similarity search, few-shot harness.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "data/synthetic_omniglot.h"
+#include "mann/differentiable_memory.h"
+#include "mann/fewshot.h"
+#include "mann/kv_memory.h"
+#include "mann/ntm.h"
+#include "mann/similarity_search.h"
+#include "tensor/ops.h"
+
+namespace enw::mann {
+namespace {
+
+TEST(DifferentiableMemory, AddressIsSoftmaxOverSimilarity) {
+  DifferentiableMemory mem(4, 3);
+  mem.data() = Matrix{{1.0f, 0.0f, 0.0f},
+                      {0.0f, 1.0f, 0.0f},
+                      {0.0f, 0.0f, 1.0f},
+                      {0.6f, 0.6f, 0.0f}};
+  Vector key{1.0f, 0.0f, 0.0f};
+  const Vector w = mem.address(key, 5.0f);
+  EXPECT_NEAR(sum(w), 1.0f, 1e-5f);
+  EXPECT_EQ(argmax(w), 0u);  // exact match wins
+}
+
+TEST(DifferentiableMemory, SharpeningConcentratesWeights) {
+  DifferentiableMemory mem(3, 2);
+  mem.data() = Matrix{{1.0f, 0.0f}, {0.6f, 0.6f}, {0.0f, 1.0f}};
+  Vector key{1.0f, 0.0f};
+  const Vector soft = mem.address(key, 1.0f);
+  const Vector sharp = mem.address(key, 50.0f);
+  EXPECT_GT(sharp[0], soft[0]);
+  EXPECT_GT(sharp[0], 0.9f);
+}
+
+TEST(DifferentiableMemory, SoftReadBlendsRows) {
+  DifferentiableMemory mem(2, 2);
+  mem.data() = Matrix{{2.0f, 0.0f}, {0.0f, 4.0f}};
+  Vector w{0.5f, 0.5f};
+  const Vector r = mem.soft_read(w);
+  EXPECT_FLOAT_EQ(r[0], 1.0f);
+  EXPECT_FLOAT_EQ(r[1], 2.0f);
+}
+
+TEST(DifferentiableMemory, SoftWriteEraseAndAdd) {
+  DifferentiableMemory mem(2, 2);
+  mem.data() = Matrix{{1.0f, 1.0f}, {1.0f, 1.0f}};
+  Vector w{1.0f, 0.0f};  // write only to row 0
+  Vector erase{1.0f, 0.0f};
+  Vector add{0.0f, 3.0f};
+  mem.soft_write(w, erase, add);
+  EXPECT_FLOAT_EQ(mem.data()(0, 0), 0.0f);  // fully erased
+  EXPECT_FLOAT_EQ(mem.data()(0, 1), 4.0f);  // 1 + 3
+  EXPECT_FLOAT_EQ(mem.data()(1, 0), 1.0f);  // untouched row
+}
+
+TEST(DifferentiableMemory, SoftWriteWithPartialAttention) {
+  DifferentiableMemory mem(1, 1);
+  mem.data()(0, 0) = 1.0f;
+  Vector w{0.5f};
+  Vector erase{1.0f};
+  Vector add{2.0f};
+  mem.soft_write(w, erase, add);
+  // 1 * (1 - 0.5) + 0.5 * 2 = 1.5.
+  EXPECT_FLOAT_EQ(mem.data()(0, 0), 1.5f);
+}
+
+TEST(DifferentiableMemory, OpCountsScaleWithGeometry) {
+  DifferentiableMemory small(128, 20);
+  DifferentiableMemory big(1024, 20);
+  EXPECT_GT(big.address_ops().flops, 7 * small.address_ops().flops);
+  EXPECT_EQ(small.read_ops().dram_bytes, 128u * 20u * sizeof(float));
+  EXPECT_EQ(small.write_ops().dram_bytes, 2u * 128u * 20u * sizeof(float));
+}
+
+TEST(Ntm, StepProducesOutputAndWritesMemory) {
+  Rng rng(1);
+  NtmConfig cfg;
+  cfg.input_dim = 4;
+  cfg.output_dim = 4;
+  cfg.controller_dim = 16;
+  cfg.memory_slots = 16;
+  cfg.memory_dim = 8;
+  Ntm ntm(cfg, rng);
+  Vector x{1.0f, 0.0f, 0.5f, -0.5f};
+  const Vector y = ntm.step(x);
+  EXPECT_EQ(y.size(), 4u);
+  // The write head must have deposited something.
+  float mem_mass = 0.0f;
+  for (std::size_t i = 0; i < ntm.memory().data().size(); ++i)
+    mem_mass += std::abs(ntm.memory().data().data()[i]);
+  EXPECT_GT(mem_mass, 0.0f);
+}
+
+TEST(Ntm, HeadWeightsRemainDistribution) {
+  Rng rng(2);
+  NtmConfig cfg;
+  cfg.input_dim = 3;
+  cfg.output_dim = 3;
+  cfg.controller_dim = 12;
+  cfg.memory_slots = 8;
+  cfg.memory_dim = 6;
+  Ntm ntm(cfg, rng);
+  for (int t = 0; t < 5; ++t) {
+    Vector x{0.1f * t, -0.2f, 0.3f};
+    ntm.step(x);
+    const Vector& w = ntm.read_head().weights;
+    float s = 0.0f;
+    for (float v : w) {
+      EXPECT_GE(v, 0.0f);
+      s += v;
+    }
+    EXPECT_NEAR(s, 1.0f, 1e-4f);
+  }
+}
+
+TEST(Ntm, ResetClearsState) {
+  Rng rng(3);
+  NtmConfig cfg;
+  cfg.input_dim = 2;
+  cfg.output_dim = 2;
+  cfg.controller_dim = 8;
+  cfg.memory_slots = 8;
+  cfg.memory_dim = 4;
+  Ntm ntm(cfg, rng);
+  Vector x{1.0f, -1.0f};
+  const Vector y1 = ntm.step(x);
+  ntm.reset();
+  const Vector y2 = ntm.step(x);
+  for (std::size_t i = 0; i < y1.size(); ++i) EXPECT_FLOAT_EQ(y1[i], y2[i]);
+}
+
+TEST(Ntm, MemoryOpsDominateForLargeMemories) {
+  Rng rng(4);
+  NtmConfig cfg;
+  cfg.memory_slots = 4096;
+  cfg.memory_dim = 64;
+  cfg.controller_dim = 64;
+  Ntm ntm(cfg, rng);
+  EXPECT_GT(ntm.memory_step_ops().flops, ntm.controller_step_ops().flops);
+  EXPECT_GT(ntm.memory_step_ops().dram_bytes, ntm.controller_step_ops().sram_bytes);
+}
+
+TEST(KeyValueMemory, QueryEmptyReturnsNullopt) {
+  KeyValueMemory mem(8, 4);
+  Vector k{1.0f, 0.0f, 0.0f, 0.0f};
+  EXPECT_FALSE(mem.query(k).has_value());
+}
+
+TEST(KeyValueMemory, InsertAndRetrieve) {
+  KeyValueMemory mem(8, 3);
+  mem.insert(Vector{1.0f, 0.0f, 0.0f}, 7);
+  mem.insert(Vector{0.0f, 1.0f, 0.0f}, 9);
+  EXPECT_EQ(mem.query(Vector{0.9f, 0.1f, 0.0f}).value(), 7u);
+  EXPECT_EQ(mem.query(Vector{0.0f, 0.8f, 0.1f}).value(), 9u);
+}
+
+TEST(KeyValueMemory, UpdateConsolidatesOnCorrectHit) {
+  KeyValueMemory mem(8, 2);
+  mem.update(Vector{1.0f, 0.0f}, 3);
+  const bool correct = mem.update(Vector{0.8f, 0.6f}, 3);
+  EXPECT_TRUE(correct);
+  EXPECT_EQ(mem.size(), 1u);  // consolidated, not inserted
+  // Stored key moved toward the second query.
+  EXPECT_GT(mem.keys()(0, 1), 0.1f);
+}
+
+TEST(KeyValueMemory, UpdateInsertsOnMiss) {
+  KeyValueMemory mem(8, 2);
+  mem.update(Vector{1.0f, 0.0f}, 3);
+  const bool correct = mem.update(Vector{0.0f, 1.0f}, 5);
+  EXPECT_FALSE(correct);
+  EXPECT_EQ(mem.size(), 2u);
+}
+
+TEST(KeyValueMemory, EvictsOldestWhenFull) {
+  KeyValueMemory mem(2, 2);
+  mem.insert(Vector{1.0f, 0.0f}, 1);
+  mem.insert(Vector{0.0f, 1.0f}, 2);
+  mem.insert(Vector{-1.0f, 0.0f}, 3);  // evicts label-1 slot (oldest)
+  EXPECT_EQ(mem.size(), 2u);
+  EXPECT_EQ(mem.query(Vector{-0.9f, 0.1f}).value(), 3u);
+  // Label 1's direction now maps to whatever is closest among {2, 3}.
+  const auto l = mem.query(Vector{1.0f, 0.0f}).value();
+  EXPECT_NE(l, 1u);
+}
+
+TEST(ExactSearch, PredictsNearestLabel) {
+  ExactSearch s(3, Metric::kCosineSimilarity);
+  s.add(Vector{1.0f, 0.0f, 0.0f}, 0);
+  s.add(Vector{0.0f, 1.0f, 0.0f}, 1);
+  s.add(Vector{0.0f, 0.0f, 1.0f}, 2);
+  EXPECT_EQ(s.predict(Vector{0.9f, 0.1f, 0.0f}), 0u);
+  EXPECT_EQ(s.predict(Vector{0.1f, 0.0f, 0.9f}), 2u);
+  EXPECT_EQ(s.size(), 3u);
+  s.clear();
+  EXPECT_EQ(s.size(), 0u);
+  EXPECT_THROW(s.predict(Vector{1.0f, 0.0f, 0.0f}), std::invalid_argument);
+}
+
+TEST(ExactSearch, QueryCostGrowsWithMemory) {
+  ExactSearch small(16), large(16);
+  for (int i = 0; i < 8; ++i) small.add(Vector(16, 0.1f), 0);
+  for (int i = 0; i < 800; ++i) large.add(Vector(16, 0.1f), 0);
+  EXPECT_GT(large.query_cost().energy_pj, 50.0 * small.query_cost().energy_pj);
+}
+
+TEST(KnnMajority, MajorityWinsOverSingleNearest) {
+  // Nearest single neighbour has label 9, but labels 2 dominate the top-3.
+  Matrix keys{{1.00f, 0.0f}, {0.95f, 0.1f}, {0.94f, 0.1f}, {0.0f, 1.0f}};
+  std::vector<std::size_t> labels{9, 2, 2, 5};
+  Vector q{1.0f, 0.05f};
+  EXPECT_EQ(knn_majority(Metric::kL2, keys, labels, q, 1), 9u);
+  EXPECT_EQ(knn_majority(Metric::kL2, keys, labels, q, 3), 2u);
+  EXPECT_THROW(knn_majority(Metric::kL2, keys, labels, q, 0), std::invalid_argument);
+}
+
+TEST(FewShot, PerfectEmbeddingGivesPerfectAccuracy) {
+  // Identity "embedding" on trivially separable synthetic features: use the
+  // class-consistent raw pixels via a prototype-revealing embed function.
+  data::SyntheticOmniglotConfig dcfg;
+  dcfg.num_classes = 30;
+  dcfg.jitter_pixels = 0.1f;   // nearly noise-free
+  dcfg.pixel_noise = 0.0f;
+  data::SyntheticOmniglot dataset(dcfg);
+  ExactSearch search(dataset.feature_dim(), Metric::kL2);
+  FewShotConfig cfg;
+  cfg.n_way = 5;
+  cfg.k_shot = 1;
+  cfg.queries_per_class = 2;
+  cfg.episodes = 20;
+  cfg.class_lo = 0;
+  cfg.class_hi = 30;
+  Rng rng(5);
+  const auto embed = [](std::span<const float> img) {
+    return Vector(img.begin(), img.end());
+  };
+  const FewShotResult res = evaluate_fewshot(dataset, embed, search, cfg, rng);
+  EXPECT_GT(res.accuracy, 0.9);
+  EXPECT_EQ(res.total_queries, 20u * 5u * 2u);
+}
+
+TEST(FewShot, RandomEmbeddingIsChance) {
+  data::SyntheticOmniglot dataset;
+  ExactSearch search(8, Metric::kCosineSimilarity);
+  FewShotConfig cfg;
+  cfg.n_way = 5;
+  cfg.episodes = 40;
+  Rng rng(6);
+  Rng embed_rng(7);
+  const auto embed = [&embed_rng](std::span<const float>) {
+    Vector v(8);
+    for (auto& x : v) x = static_cast<float>(embed_rng.normal());
+    return v;
+  };
+  const FewShotResult res = evaluate_fewshot(dataset, embed, search, cfg, rng);
+  EXPECT_NEAR(res.accuracy, 0.2, 0.1);  // 1/n_way
+}
+
+}  // namespace
+}  // namespace enw::mann

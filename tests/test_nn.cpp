@@ -1,0 +1,424 @@
+// Tests for src/nn: activations, losses, backends, gradient checks,
+// end-to-end learning on small synthetic problems, quantization, fp8.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "nn/activation.h"
+#include "nn/conv.h"
+#include "nn/dense_layer.h"
+#include "nn/digital_linear.h"
+#include "nn/fp8.h"
+#include "nn/loss.h"
+#include "nn/lstm.h"
+#include "nn/mlp.h"
+#include "nn/quant.h"
+#include "tensor/ops.h"
+
+namespace enw::nn {
+namespace {
+
+TEST(Activation, Values) {
+  EXPECT_FLOAT_EQ(activate(Activation::kRelu, -1.0f), 0.0f);
+  EXPECT_FLOAT_EQ(activate(Activation::kRelu, 2.0f), 2.0f);
+  EXPECT_NEAR(activate(Activation::kSigmoid, 0.0f), 0.5f, 1e-6f);
+  EXPECT_NEAR(activate(Activation::kTanh, 0.0f), 0.0f, 1e-6f);
+  EXPECT_FLOAT_EQ(activate(Activation::kIdentity, 3.5f), 3.5f);
+}
+
+TEST(Activation, GradientsFromOutput) {
+  // sigmoid: y=0.5 -> grad 0.25; tanh: y=0 -> grad 1.
+  EXPECT_NEAR(activate_grad_from_output(Activation::kSigmoid, 0.5f), 0.25f, 1e-6f);
+  EXPECT_NEAR(activate_grad_from_output(Activation::kTanh, 0.0f), 1.0f, 1e-6f);
+  EXPECT_FLOAT_EQ(activate_grad_from_output(Activation::kRelu, 0.0f), 0.0f);
+  EXPECT_FLOAT_EQ(activate_grad_from_output(Activation::kRelu, 1.0f), 1.0f);
+}
+
+TEST(Loss, SoftmaxCrossEntropyGradientSumsToZero) {
+  Vector logits{0.2f, -1.0f, 3.0f};
+  Vector grad(3, 0.0f);
+  const float loss = softmax_cross_entropy(logits, 2, grad);
+  EXPECT_GT(loss, 0.0f);
+  EXPECT_NEAR(grad[0] + grad[1] + grad[2], 0.0f, 1e-6f);
+  EXPECT_LT(grad[2], 0.0f);  // pull up the true class
+}
+
+TEST(Loss, SoftmaxCrossEntropyFiniteDifference) {
+  Vector logits{0.5f, -0.3f, 1.2f, 0.0f};
+  Vector grad(4, 0.0f);
+  softmax_cross_entropy(logits, 1, grad);
+  const float eps = 1e-3f;
+  for (std::size_t i = 0; i < 4; ++i) {
+    Vector lp = logits, lm = logits;
+    lp[i] += eps;
+    lm[i] -= eps;
+    Vector g(4);
+    const float fp = softmax_cross_entropy(lp, 1, g);
+    const float fm = softmax_cross_entropy(lm, 1, g);
+    EXPECT_NEAR(grad[i], (fp - fm) / (2 * eps), 1e-3f);
+  }
+}
+
+TEST(Loss, MseZeroAtTarget) {
+  Vector pred{1.0f, 2.0f};
+  Vector grad(2);
+  EXPECT_FLOAT_EQ(mse(pred, pred, grad), 0.0f);
+  EXPECT_FLOAT_EQ(grad[0], 0.0f);
+}
+
+TEST(Loss, BinaryCrossEntropyGradientSign) {
+  float g = 0.0f;
+  binary_cross_entropy_logit(2.0f, 0.0f, g);
+  EXPECT_GT(g, 0.0f);  // predicted high, label 0 -> push down
+  binary_cross_entropy_logit(-2.0f, 1.0f, g);
+  EXPECT_LT(g, 0.0f);
+}
+
+TEST(DigitalLinear, ForwardBackwardUpdate) {
+  DigitalLinear lin(Matrix{{1.0f, 2.0f}, {3.0f, 4.0f}});
+  Vector x{1.0f, 1.0f};
+  Vector y(2, 0.0f);
+  lin.forward(x, y);
+  EXPECT_FLOAT_EQ(y[0], 3.0f);
+  EXPECT_FLOAT_EQ(y[1], 7.0f);
+
+  Vector dy{1.0f, 0.0f};
+  Vector dx(2, 0.0f);
+  lin.backward(dy, dx);
+  EXPECT_FLOAT_EQ(dx[0], 1.0f);
+  EXPECT_FLOAT_EQ(dx[1], 2.0f);
+
+  lin.update(x, dy, 0.5f);  // W -= 0.5 * dy x^T
+  const Matrix w = lin.weights();
+  EXPECT_FLOAT_EQ(w(0, 0), 0.5f);
+  EXPECT_FLOAT_EQ(w(1, 0), 3.0f);
+}
+
+TEST(DenseLayer, GradientCheckAgainstFiniteDifference) {
+  Rng rng(1);
+  DenseLayer layer(std::make_unique<DigitalLinear>(3, 4, rng), Activation::kTanh);
+  Vector x{0.3f, -0.2f, 0.5f, 0.1f};
+
+  // Loss = sum(output); its gradient w.r.t. output is all-ones.
+  const Vector y0 = layer.forward(x);
+  (void)y0;
+  Vector ones(3, 1.0f);
+  const Vector dx = layer.backward_no_update(ones);
+
+  const float eps = 1e-3f;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    Vector xp = x, xm = x;
+    xp[i] += eps;
+    xm[i] -= eps;
+    const float fp = sum(layer.forward(xp));
+    const float fm = sum(layer.forward(xm));
+    EXPECT_NEAR(dx[i], (fp - fm) / (2 * eps), 1e-2f) << "input " << i;
+  }
+}
+
+TEST(Mlp, LearnsXor) {
+  Rng rng(2);
+  MlpConfig cfg;
+  cfg.dims = {2, 8, 2};
+  cfg.hidden_activation = Activation::kTanh;
+  Mlp net(cfg, DigitalLinear::factory(rng));
+
+  const Matrix inputs{{0.0f, 0.0f}, {0.0f, 1.0f}, {1.0f, 0.0f}, {1.0f, 1.0f}};
+  const std::vector<std::size_t> labels{0, 1, 1, 0};
+  for (int epoch = 0; epoch < 2000; ++epoch) {
+    for (std::size_t i = 0; i < 4; ++i) net.train_step(inputs.row(i), labels[i], 0.1f);
+  }
+  EXPECT_DOUBLE_EQ(net.accuracy(inputs, labels), 1.0);
+}
+
+TEST(Mlp, LossDecreasesDuringTraining) {
+  Rng rng(3);
+  MlpConfig cfg;
+  cfg.dims = {4, 16, 3};
+  Mlp net(cfg, DigitalLinear::factory(rng));
+  // Three Gaussian blobs.
+  Matrix features(90, 4);
+  std::vector<std::size_t> labels(90);
+  for (std::size_t i = 0; i < 90; ++i) {
+    const std::size_t c = i % 3;
+    labels[i] = c;
+    for (std::size_t d = 0; d < 4; ++d)
+      features(i, d) =
+          static_cast<float>(rng.normal()) + static_cast<float>(c) * 2.5f;
+  }
+  const double loss0 = net.mean_loss(features, labels);
+  auto order = rng.permutation(90);
+  for (int e = 0; e < 20; ++e) train_epoch(net, features, labels, order, 0.05f);
+  const double loss1 = net.mean_loss(features, labels);
+  EXPECT_LT(loss1, loss0 * 0.5);
+  EXPECT_GT(net.accuracy(features, labels), 0.9);
+}
+
+TEST(Mlp, MseRegressionFitsLinearTarget) {
+  Rng rng(4);
+  MlpConfig cfg;
+  cfg.dims = {2, 8, 1};
+  cfg.hidden_activation = Activation::kTanh;
+  Mlp net(cfg, DigitalLinear::factory(rng));
+  float last = 1e9f;
+  for (int e = 0; e < 500; ++e) {
+    float loss = 0.0f;
+    for (int i = 0; i < 8; ++i) {
+      Vector x{static_cast<float>(rng.uniform(-1, 1)),
+               static_cast<float>(rng.uniform(-1, 1))};
+      Vector t{0.5f * x[0] - 0.25f * x[1]};
+      loss += net.train_step_mse(x, t, 0.05f);
+    }
+    last = loss / 8.0f;
+  }
+  EXPECT_LT(last, 0.01f);
+}
+
+TEST(Conv2d, OutputShapeAndReluNonNegative) {
+  Rng rng(5);
+  ConvSpec spec;
+  spec.in_channels = 1;
+  spec.out_channels = 4;
+  spec.height = 8;
+  spec.width = 8;
+  Conv2dLayer conv(spec, rng);
+  const Matrix img = Matrix::normal(1, 64, 0.0f, 1.0f, rng);
+  const Matrix out = conv.forward(img);
+  EXPECT_EQ(out.rows(), 4u);
+  EXPECT_EQ(out.cols(), spec.out_height() * spec.out_width());
+  for (std::size_t i = 0; i < out.size(); ++i) EXPECT_GE(out.data()[i], 0.0f);
+}
+
+TEST(Conv2d, BackwardShapesMatchInput) {
+  Rng rng(6);
+  ConvSpec spec;
+  spec.in_channels = 2;
+  spec.out_channels = 3;
+  spec.height = 6;
+  spec.width = 6;
+  Conv2dLayer conv(spec, rng);
+  const Matrix img = Matrix::normal(2, 36, 0.0f, 1.0f, rng);
+  const Matrix out = conv.forward(img);
+  Matrix d_out(out.rows(), out.cols(), 0.1f);
+  const Matrix dx = conv.backward(d_out, 0.01f);
+  EXPECT_EQ(dx.rows(), 2u);
+  EXPECT_EQ(dx.cols(), 36u);
+}
+
+TEST(EmbeddingNet, EmbeddingIsUnitNorm) {
+  Rng rng(7);
+  EmbeddingNet::Config cfg;
+  cfg.image_height = 12;
+  cfg.image_width = 12;
+  cfg.channels1 = 4;
+  cfg.channels2 = 4;
+  cfg.embed_dim = 16;
+  cfg.num_classes = 5;
+  EmbeddingNet net(cfg, rng);
+  Vector img(144);
+  for (auto& v : img) v = static_cast<float>(rng.uniform());
+  const Vector e = net.embed(img);
+  EXPECT_EQ(e.size(), 16u);
+  EXPECT_NEAR(l2_norm(e), 1.0f, 1e-4f);
+}
+
+TEST(EmbeddingNet, TrainingReducesLossOnToyClasses) {
+  Rng rng(8);
+  EmbeddingNet::Config cfg;
+  cfg.image_height = 12;
+  cfg.image_width = 12;
+  cfg.channels1 = 4;
+  cfg.channels2 = 8;
+  cfg.embed_dim = 16;
+  cfg.num_classes = 3;
+  EmbeddingNet net(cfg, rng);
+
+  // Three trivially separable images: top / middle / bottom bands.
+  Matrix imgs(3, 144);
+  for (int c = 0; c < 3; ++c)
+    for (int y = 0; y < 12; ++y)
+      for (int x = 0; x < 12; ++x)
+        imgs(c, y * 12 + x) = (y / 4 == c) ? 1.0f : 0.0f;
+  const std::vector<std::size_t> labels{0, 1, 2};
+
+  float first = 0.0f, last = 0.0f;
+  for (int e = 0; e < 60; ++e) {
+    float loss = 0.0f;
+    for (int i = 0; i < 3; ++i)
+      loss += net.train_step(imgs.row(i), labels[i], 0.05f);
+    if (e == 0) first = loss;
+    last = loss;
+  }
+  EXPECT_LT(last, first * 0.5f);
+  EXPECT_GT(net.accuracy(imgs, labels), 0.66);
+}
+
+TEST(Lstm, StepShapesAndStatePersistence) {
+  Rng rng(9);
+  Lstm lstm(3, 5, rng);
+  Vector x{0.1f, 0.2f, 0.3f};
+  const Vector h1 = lstm.step(x);
+  EXPECT_EQ(h1.size(), 5u);
+  const Vector h2 = lstm.step(x);
+  // Same input, evolving state: outputs should differ.
+  float diff = 0.0f;
+  for (std::size_t i = 0; i < 5; ++i) diff += std::abs(h1[i] - h2[i]);
+  EXPECT_GT(diff, 1e-6f);
+  lstm.reset();
+  const Vector h3 = lstm.step(x);
+  for (std::size_t i = 0; i < 5; ++i) EXPECT_FLOAT_EQ(h3[i], h1[i]);
+}
+
+TEST(Lstm, BackwardRequiresMatchingForward) {
+  Rng rng(10);
+  Lstm lstm(2, 3, rng);
+  lstm.forward_sequence({Vector{1.0f, 0.0f}});
+  std::vector<Vector> wrong(2, Vector(3, 0.0f));
+  EXPECT_THROW(lstm.backward_sequence(wrong, 0.01f), std::invalid_argument);
+}
+
+TEST(Lstm, LearnsToRememberFirstToken) {
+  // Task: after a 4-step sequence, output sign of the first input.
+  Rng rng(11);
+  Lstm lstm(1, 8, rng);
+  DenseLayer readout(std::make_unique<DigitalLinear>(2, 8, rng), Activation::kIdentity);
+
+  double acc = 0.0;
+  for (int iter = 0; iter < 1500; ++iter) {
+    const bool positive = rng.bernoulli(0.5);
+    std::vector<Vector> xs;
+    xs.push_back(Vector{positive ? 1.0f : -1.0f});
+    for (int t = 1; t < 4; ++t)
+      xs.push_back(Vector{static_cast<float>(rng.normal(0.0, 0.3))});
+    const auto hs = lstm.forward_sequence(xs);
+    const Vector logits = readout.forward(hs.back());
+    Vector grad(2, 0.0f);
+    softmax_cross_entropy(logits, positive ? 1u : 0u, grad);
+    const Vector dh = readout.backward(grad, 0.05f);
+    std::vector<Vector> d_hs(xs.size(), Vector(8, 0.0f));
+    d_hs.back() = dh;
+    lstm.backward_sequence(d_hs, 0.05f);
+    if (iter >= 1300) {
+      acc += (argmax(logits) == (positive ? 1u : 0u)) ? 1.0 : 0.0;
+    }
+  }
+  EXPECT_GT(acc / 200.0, 0.9);
+}
+
+TEST(Quant, SawbScalePositiveAndOrdered) {
+  Rng rng(12);
+  Vector w(1000);
+  for (auto& v : w) v = static_cast<float>(rng.normal(0.0, 0.5));
+  const float a2 = sawb_clip_scale(w, 2);
+  const float a8 = sawb_clip_scale(w, 8);
+  EXPECT_GT(a2, 0.0f);
+  EXPECT_GT(a8, 0.0f);
+  // 8-bit clip (≈3 sigma) should exceed the aggressive 2-bit clip.
+  EXPECT_GT(a8, a2);
+}
+
+TEST(Quant, SymmetricQuantizeLevels) {
+  // 2 bits -> values in {-a, 0, +a}.
+  const float a = 1.0f;
+  EXPECT_FLOAT_EQ(quantize_symmetric(0.9f, a, 2), 1.0f);
+  EXPECT_FLOAT_EQ(quantize_symmetric(-0.9f, a, 2), -1.0f);
+  EXPECT_FLOAT_EQ(quantize_symmetric(0.2f, a, 2), 0.0f);
+  EXPECT_FLOAT_EQ(quantize_symmetric(3.0f, a, 2), 1.0f);  // clip
+}
+
+TEST(Quant, PactForwardClampsAndQuantizes) {
+  PactActivation p;
+  p.alpha = 1.0f;
+  p.bits = 2;  // levels {0, 1/3, 2/3, 1}
+  EXPECT_FLOAT_EQ(p.forward(-1.0f), 0.0f);
+  EXPECT_FLOAT_EQ(p.forward(2.0f), 1.0f);
+  EXPECT_NEAR(p.forward(0.34f), 1.0f / 3.0f, 1e-6f);
+}
+
+TEST(Quant, PactBackwardAccumulatesAlphaGrad) {
+  PactActivation p;
+  p.alpha = 1.0f;
+  float ag = 0.0f;
+  EXPECT_FLOAT_EQ(p.backward(0.5f, 2.0f, ag), 2.0f);  // pass-through
+  EXPECT_FLOAT_EQ(ag, 0.0f);
+  EXPECT_FLOAT_EQ(p.backward(1.5f, 2.0f, ag), 0.0f);  // saturated
+  EXPECT_FLOAT_EQ(ag, 2.0f);
+  EXPECT_FLOAT_EQ(p.backward(-0.5f, 2.0f, ag), 0.0f);  // cut off
+}
+
+TEST(Quant, QatMlpTrainsOnBlobs) {
+  Rng rng(13);
+  QatConfig cfg;
+  cfg.dims = {4, 24, 3};
+  cfg.weight_bits = 2;
+  cfg.act_bits = 2;
+  QatMlp net(cfg, rng);
+  Matrix features(60, 4);
+  std::vector<std::size_t> labels(60);
+  for (std::size_t i = 0; i < 60; ++i) {
+    const std::size_t c = i % 3;
+    labels[i] = c;
+    for (std::size_t d = 0; d < 4; ++d)
+      features(i, d) =
+          static_cast<float>(rng.normal(0.0, 0.6)) + static_cast<float>(c) * 2.0f;
+  }
+  for (int e = 0; e < 40; ++e)
+    for (std::size_t i = 0; i < 60; ++i)
+      net.train_step(features.row(i), labels[i], 0.02f);
+  EXPECT_GT(net.accuracy(features, labels), 0.85);
+}
+
+TEST(Quant, EdgeLayersKeepHighPrecision) {
+  Rng rng(14);
+  QatConfig cfg;
+  cfg.dims = {4, 8, 8, 3};
+  cfg.weight_bits = 2;
+  QatMlp net(cfg, rng);
+  EXPECT_EQ(net.layer_weight_bits(0), 8);
+  EXPECT_EQ(net.layer_weight_bits(1), 2);
+  EXPECT_EQ(net.layer_weight_bits(2), 8);
+}
+
+TEST(Fp8, RoundingExactForRepresentable) {
+  // 1.5 = 1.1b is representable in any format with >= 1 mantissa bit.
+  EXPECT_FLOAT_EQ(round_fp8(1.5f, kFp8Forward), 1.5f);
+  EXPECT_FLOAT_EQ(round_fp8(-1.5f, kFp8Forward), -1.5f);
+  EXPECT_FLOAT_EQ(round_fp8(0.0f, kFp8Forward), 0.0f);
+}
+
+TEST(Fp8, RelativeErrorBounded) {
+  Rng rng(15);
+  for (int i = 0; i < 1000; ++i) {
+    const float x = static_cast<float>(rng.normal(0.0, 2.0));
+    const float r = round_fp8(x, kFp8Forward);
+    if (std::abs(x) > 0.1f && std::abs(x) < fp8_max(kFp8Forward)) {
+      EXPECT_LE(std::abs(r - x) / std::abs(x), 1.0f / 16.0f + 1e-3f);
+    }
+  }
+}
+
+TEST(Fp8, SaturatesAtMax) {
+  const float m = fp8_max(kFp8Forward);
+  EXPECT_FLOAT_EQ(round_fp8(m * 10.0f, kFp8Forward), m);
+  EXPECT_FLOAT_EQ(round_fp8(-m * 10.0f, kFp8Forward), -m);
+}
+
+TEST(Fp8, GradientFormatHasMoreRange) {
+  EXPECT_GT(fp8_max(kFp8Gradient), fp8_max(kFp8Forward));
+}
+
+TEST(Fp8, LinearTrainsXor) {
+  Rng rng(16);
+  MlpConfig cfg;
+  cfg.dims = {2, 12, 2};
+  cfg.hidden_activation = Activation::kTanh;
+  Mlp net(cfg, Fp8Linear::factory(rng));
+  const Matrix inputs{{0.0f, 0.0f}, {0.0f, 1.0f}, {1.0f, 0.0f}, {1.0f, 1.0f}};
+  const std::vector<std::size_t> labels{0, 1, 1, 0};
+  for (int epoch = 0; epoch < 3000; ++epoch)
+    for (std::size_t i = 0; i < 4; ++i) net.train_step(inputs.row(i), labels[i], 0.05f);
+  EXPECT_GE(net.accuracy(inputs, labels), 0.75);
+}
+
+}  // namespace
+}  // namespace enw::nn

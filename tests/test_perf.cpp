@@ -1,0 +1,126 @@
+// Tests for src/perf: op counting, roofline classification, LRU cache.
+#include <gtest/gtest.h>
+
+#include "core/rng.h"
+#include "perf/lru_cache.h"
+#include "perf/op_counter.h"
+#include "perf/roofline.h"
+#include "perf/tech_constants.h"
+
+namespace enw::perf {
+namespace {
+
+TEST(OpCounter, AddAccumulates) {
+  OpCounter a, b;
+  a.flops = 10;
+  a.dram_bytes = 5;
+  b.flops = 1;
+  b.tcam_searches = 2;
+  a.add(b);
+  EXPECT_EQ(a.flops, 11u);
+  EXPECT_EQ(a.tcam_searches, 2u);
+  EXPECT_DOUBLE_EQ(a.compute_intensity(), 11.0 / 5.0);
+}
+
+TEST(OpCounter, IntensityZeroWithoutBytes) {
+  OpCounter a;
+  a.flops = 100;
+  EXPECT_DOUBLE_EQ(a.compute_intensity(), 0.0);
+}
+
+TEST(Cost, Addition) {
+  Cost a{10.0, 5.0};
+  Cost b{1.0, 2.0};
+  const Cost c = a + b;
+  EXPECT_DOUBLE_EQ(c.latency_ns, 11.0);
+  EXPECT_DOUBLE_EQ(c.energy_pj, 7.0);
+}
+
+TEST(Roofline, RidgePoint) {
+  Machine m;
+  m.peak_flops_per_ns = 100.0;
+  m.dram_bytes_per_ns = 10.0;
+  EXPECT_DOUBLE_EQ(ridge_point(m), 10.0);
+}
+
+TEST(Roofline, MemoryBoundClassification) {
+  Machine m;
+  m.peak_flops_per_ns = 100.0;
+  m.dram_bytes_per_ns = 10.0;
+  OpCounter low;  // intensity 1 << ridge 10
+  low.flops = 100;
+  low.dram_bytes = 100;
+  const RooflinePoint p = evaluate(m, low);
+  EXPECT_TRUE(p.memory_bound);
+  EXPECT_DOUBLE_EQ(p.cost.latency_ns, 10.0);  // bytes / bw dominates
+
+  OpCounter high;  // intensity 100 >> ridge
+  high.flops = 10000;
+  high.dram_bytes = 100;
+  const RooflinePoint q = evaluate(m, high);
+  EXPECT_FALSE(q.memory_bound);
+  EXPECT_DOUBLE_EQ(q.cost.latency_ns, 100.0);  // flops / peak dominates
+}
+
+TEST(Roofline, AttainedNeverExceedsPeak) {
+  Machine m;
+  Rng rng(1);
+  for (int i = 0; i < 100; ++i) {
+    OpCounter ops;
+    ops.flops = static_cast<std::uint64_t>(rng.uniform(1, 1e7));
+    ops.dram_bytes = static_cast<std::uint64_t>(rng.uniform(1, 1e7));
+    const RooflinePoint p = evaluate(m, ops);
+    EXPECT_LE(p.attained_flops_per_ns, m.peak_flops_per_ns * (1.0 + 1e-9));
+  }
+}
+
+TEST(LruCache, HitsAfterWarmup) {
+  LruCache cache(4);
+  EXPECT_FALSE(cache.access(1));
+  EXPECT_FALSE(cache.access(2));
+  EXPECT_TRUE(cache.access(1));
+  EXPECT_EQ(cache.hits(), 1u);
+  EXPECT_EQ(cache.misses(), 2u);
+}
+
+TEST(LruCache, EvictsLeastRecentlyUsed) {
+  LruCache cache(2);
+  cache.access(1);
+  cache.access(2);
+  cache.access(1);      // 1 is now MRU
+  cache.access(3);      // evicts 2
+  EXPECT_TRUE(cache.access(1));
+  EXPECT_FALSE(cache.access(2));  // was evicted
+  EXPECT_EQ(cache.size(), 2u);
+}
+
+TEST(LruCache, CapacityRespected) {
+  LruCache cache(8);
+  for (int i = 0; i < 100; ++i) cache.access(static_cast<std::uint64_t>(i));
+  EXPECT_EQ(cache.size(), 8u);
+  EXPECT_THROW(LruCache(0), std::invalid_argument);
+}
+
+TEST(LruCache, ZipfTrafficGetsHighHitRate) {
+  // A small cache in front of Zipf traffic should absorb most accesses —
+  // the effect the embedding-caching study relies on.
+  LruCache cache(1000);
+  Rng rng(2);
+  ZipfSampler zipf(100000, 1.1);
+  for (int i = 0; i < 20000; ++i) cache.access(zipf.sample(rng));
+  cache.reset_stats();
+  for (int i = 0; i < 20000; ++i) cache.access(zipf.sample(rng));
+  EXPECT_GT(cache.hit_rate(), 0.5);
+}
+
+TEST(TechConstants, SanityRelations) {
+  // FeFET TCAM should beat CMOS TCAM on search energy (~2.4x) and be
+  // slightly faster, per Ni et al.
+  EXPECT_LT(kFeFetTcam.cell_search_energy_fj, kCmosTcam.cell_search_energy_fj);
+  EXPECT_LT(kFeFetTcam.search_latency_ns, kCmosTcam.search_latency_ns);
+  // DRAM energy per byte far above on-chip SRAM.
+  EXPECT_GT(kDram.energy_pj_per_byte, kGpu.sram_energy_pj_per_byte);
+}
+
+}  // namespace
+}  // namespace enw::perf

@@ -1,0 +1,193 @@
+// Tests for src/xmann: functional TCPT accelerator, cost models, workloads.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "mann/differentiable_memory.h"
+#include "tensor/ops.h"
+#include "xmann/cost_model.h"
+#include "xmann/tcpt.h"
+#include "xmann/workloads.h"
+
+namespace enw::xmann {
+namespace {
+
+XmannConfig small_config() {
+  XmannConfig cfg;
+  cfg.tile_rows = 32;
+  cfg.tile_cols = 32;
+  cfg.total_tiles = 64;
+  cfg.array.read_noise_std = 0.0;
+  cfg.array.adc_bits = 0;
+  return cfg;
+}
+
+Matrix random_memory(std::size_t slots, std::size_t dim, Rng& rng) {
+  return Matrix::uniform(slots, dim, -0.5f, 0.5f, rng);
+}
+
+TEST(Xmann, RejectsMemoryBeyondTileBudget) {
+  XmannConfig cfg = small_config();
+  cfg.total_tiles = 1;
+  EXPECT_THROW(XmannAccelerator(64, 64, cfg), std::invalid_argument);
+}
+
+TEST(Xmann, SoftReadMatchesDigitalReference) {
+  Rng rng(1);
+  XmannAccelerator acc(48, 40, small_config());  // 2x2 tile grid, ragged
+  const Matrix mem = random_memory(48, 40, rng);
+  acc.load_memory(mem);
+  Vector w(48, 0.0f);
+  w[3] = 0.7f;
+  w[45] = 0.3f;
+  const Vector got = acc.soft_read(w);
+  const Vector ref = matvec_transposed(mem, w);
+  for (std::size_t i = 0; i < ref.size(); ++i) EXPECT_NEAR(got[i], ref[i], 0.02f);
+}
+
+TEST(Xmann, SimilarityRanksTrueNearestFirst) {
+  Rng rng(2);
+  XmannAccelerator acc(32, 16, small_config());
+  Matrix mem(32, 16);
+  for (std::size_t r = 0; r < 32; ++r)
+    for (std::size_t c = 0; c < 16; ++c)
+      mem(r, c) = static_cast<float>(rng.normal(0.0, 0.3));
+  acc.load_memory(mem);
+  // Query near row 7.
+  Vector key(mem.row(7).begin(), mem.row(7).end());
+  const Vector scores = acc.similarity(key);
+  EXPECT_EQ(argmax(scores), 7u);
+}
+
+TEST(Xmann, SoftWriteUpdatesMirrorAndTiles) {
+  Rng rng(3);
+  XmannAccelerator acc(32, 16, small_config());
+  Matrix mem(32, 16, 0.1f);
+  acc.load_memory(mem);
+  Vector w(32, 0.0f);
+  w[5] = 1.0f;
+  Vector erase(16, 1.0f);
+  Vector add(16, 0.9f);
+  acc.soft_write(w, erase, add);
+  EXPECT_NEAR(acc.mirror()(5, 0), 0.9f, 1e-5f);
+  EXPECT_NEAR(acc.mirror()(6, 0), 0.1f, 1e-5f);
+  // A subsequent read sees the new value.
+  Vector rw(32, 0.0f);
+  rw[5] = 1.0f;
+  const Vector r = acc.soft_read(rw);
+  EXPECT_NEAR(r[0], 0.9f, 0.02f);
+}
+
+TEST(Xmann, LedgerAccumulatesCosts) {
+  Rng rng(4);
+  XmannAccelerator acc(32, 16, small_config());
+  acc.load_memory(random_memory(32, 16, rng));
+  acc.reset_ledger();
+  Vector key(16, 0.1f);
+  acc.similarity(key);
+  const double after_sim = acc.ledger().energy_pj;
+  EXPECT_GT(after_sim, 0.0);
+  Vector w(32, 1.0f / 32.0f);
+  acc.soft_read(w);
+  EXPECT_GT(acc.ledger().energy_pj, after_sim);
+}
+
+TEST(Xmann, MatchesDifferentiableMemorySemantics) {
+  // The accelerator's read path must agree with the algorithmic memory.
+  Rng rng(5);
+  mann::DifferentiableMemory dm(32, 16);
+  for (std::size_t r = 0; r < 32; ++r)
+    for (std::size_t c = 0; c < 16; ++c)
+      dm.data()(r, c) = static_cast<float>(rng.normal(0.0, 0.3));
+  XmannAccelerator acc(32, 16, small_config());
+  acc.load_memory(dm.data());
+  Vector weights(32, 1.0f / 32.0f);
+  const Vector a = dm.soft_read(weights);
+  const Vector b = acc.soft_read(weights);
+  for (std::size_t i = 0; i < a.size(); ++i) EXPECT_NEAR(a[i], b[i], 0.02f);
+}
+
+TEST(CostModel, TileCountsAndPasses) {
+  XmannCostModel xm;
+  xm.tile_rows = 128;
+  xm.tile_cols = 128;
+  xm.total_tiles = 4;
+  EXPECT_EQ(xm.tiles_needed(128, 128), 1u);
+  EXPECT_EQ(xm.tiles_needed(129, 128), 2u);
+  EXPECT_EQ(xm.tiles_needed(256, 256), 4u);
+  EXPECT_EQ(xm.passes(256, 256), 1u);
+  EXPECT_EQ(xm.passes(512, 256), 2u);
+}
+
+TEST(CostModel, XmannLatencyIndependentOfSlotsWithinBudget) {
+  // O(1) array ops: similarity latency is flat until the tile budget forces
+  // extra passes — the paper's central scaling claim.
+  XmannCostModel xm;
+  const double small = xm.similarity_cost(128, 64).latency_ns;
+  const double large = xm.similarity_cost(16384, 64).latency_ns;
+  EXPECT_LT(large, small * 3.0);  // softmax SFU part grows mildly
+  const GpuCostModel gpu;
+  const double gsmall = gpu.similarity_cost(128, 64).latency_ns;
+  const double glarge = gpu.similarity_cost(16384, 64).latency_ns;
+  EXPECT_GT(glarge / gsmall, 1.0);  // GPU cost grows with memory
+}
+
+TEST(CostModel, GpuMemoryBoundForLargeMemories) {
+  GpuCostModel gpu;
+  const auto c1 = gpu.soft_read_cost(1 << 14, 128);
+  const auto c2 = gpu.soft_read_cost(1 << 15, 128);
+  // Doubling the memory doubles the (bandwidth-bound) latency beyond launch
+  // overhead.
+  const double l1 = c1.latency_ns - gpu.gpu.kernel_launch_overhead_ns;
+  const double l2 = c2.latency_ns - gpu.gpu.kernel_launch_overhead_ns;
+  EXPECT_NEAR(l2 / l1, 2.0, 0.2);
+}
+
+TEST(CostModel, XmannBeatsGpuOnEveryPrimitive) {
+  XmannCostModel xm;
+  GpuCostModel gpu;
+  for (std::size_t slots : {256u, 4096u, 65536u}) {
+    EXPECT_GT(gpu.similarity_cost(slots, 64).latency_ns,
+              xm.similarity_cost(slots, 64).latency_ns);
+    EXPECT_GT(gpu.soft_read_cost(slots, 64).energy_pj,
+              xm.soft_read_cost(slots, 64).energy_pj);
+  }
+}
+
+TEST(Workloads, SuiteHasDiverseCapacities) {
+  const auto suite = xmann_benchmark_suite();
+  ASSERT_GE(suite.size(), 5u);
+  std::size_t min_m = suite.front().slots, max_m = suite.front().slots;
+  for (const auto& w : suite) {
+    min_m = std::min(min_m, w.slots);
+    max_m = std::max(max_m, w.slots);
+  }
+  EXPECT_GE(max_m / min_m, 100u);  // orders of magnitude apart
+}
+
+TEST(Workloads, SpeedupsInPaperBallpark) {
+  // The paper reports 23.7x-45.7x speedup and 75.1x-267.1x energy reduction
+  // across the suite. Our simulator needs to land in that regime (single
+  // order of magnitude agreement), with every workload favoring X-MANN.
+  const auto rows = compare_suite(XmannCostModel{}, GpuCostModel{});
+  for (const auto& r : rows) {
+    EXPECT_GT(r.speedup, 5.0) << r.workload.name;
+    EXPECT_LT(r.speedup, 500.0) << r.workload.name;
+    EXPECT_GT(r.energy_reduction, 10.0) << r.workload.name;
+    EXPECT_LT(r.energy_reduction, 3000.0) << r.workload.name;
+  }
+}
+
+TEST(Workloads, MultiHeadWorkloadsCostMore) {
+  XmannCostModel xm;
+  GpuCostModel gpu;
+  MannWorkload one{"one", 1024, 64, 10, 1, 1, 128};
+  MannWorkload four{"four", 1024, 64, 10, 4, 1, 128};
+  const auto r1 = compare_platforms(one, xm, gpu);
+  const auto r4 = compare_platforms(four, xm, gpu);
+  EXPECT_GT(r4.xmann.latency_ns, r1.xmann.latency_ns);
+  EXPECT_GT(r4.gpu.latency_ns, r1.gpu.latency_ns);
+}
+
+}  // namespace
+}  // namespace enw::xmann
