@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_embedding_compress.dir/bench_embedding_compress.cpp.o"
+  "CMakeFiles/bench_embedding_compress.dir/bench_embedding_compress.cpp.o.d"
+  "bench_embedding_compress"
+  "bench_embedding_compress.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_embedding_compress.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig1_crossbar.dir/bench_fig1_crossbar.cpp.o"
+  "CMakeFiles/bench_fig1_crossbar.dir/bench_fig1_crossbar.cpp.o.d"
+  "bench_fig1_crossbar"
+  "bench_fig1_crossbar.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig1_crossbar.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

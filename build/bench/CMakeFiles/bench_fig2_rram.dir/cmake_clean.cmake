@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2_rram.dir/bench_fig2_rram.cpp.o"
+  "CMakeFiles/bench_fig2_rram.dir/bench_fig2_rram.cpp.o.d"
+  "bench_fig2_rram"
+  "bench_fig2_rram.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_rram.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_fewshot.dir/bench_fig5_fewshot.cpp.o"
+  "CMakeFiles/bench_fig5_fewshot.dir/bench_fig5_fewshot.cpp.o.d"
+  "bench_fig5_fewshot"
+  "bench_fig5_fewshot.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_fewshot.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_pcm_training.dir/bench_pcm_training.cpp.o"
+  "CMakeFiles/bench_pcm_training.dir/bench_pcm_training.cpp.o.d"
+  "bench_pcm_training"
+  "bench_pcm_training.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_pcm_training.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_quant2bit.dir/bench_quant2bit.cpp.o"
+  "CMakeFiles/bench_quant2bit.dir/bench_quant2bit.cpp.o.d"
+  "bench_quant2bit"
+  "bench_quant2bit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_quant2bit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

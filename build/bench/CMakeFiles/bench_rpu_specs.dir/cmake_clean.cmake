@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_rpu_specs.dir/bench_rpu_specs.cpp.o"
+  "CMakeFiles/bench_rpu_specs.dir/bench_rpu_specs.cpp.o.d"
+  "bench_rpu_specs"
+  "bench_rpu_specs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_rpu_specs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_seq_recommender.dir/bench_seq_recommender.cpp.o"
+  "CMakeFiles/bench_seq_recommender.dir/bench_seq_recommender.cpp.o.d"
+  "bench_seq_recommender"
+  "bench_seq_recommender.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_seq_recommender.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

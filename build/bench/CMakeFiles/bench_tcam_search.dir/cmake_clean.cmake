@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tcam_search.dir/bench_tcam_search.cpp.o"
+  "CMakeFiles/bench_tcam_search.dir/bench_tcam_search.cpp.o.d"
+  "bench_tcam_search"
+  "bench_tcam_search.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tcam_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

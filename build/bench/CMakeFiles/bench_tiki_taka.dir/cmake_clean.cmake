@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tiki_taka.dir/bench_tiki_taka.cpp.o"
+  "CMakeFiles/bench_tiki_taka.dir/bench_tiki_taka.cpp.o.d"
+  "bench_tiki_taka"
+  "bench_tiki_taka.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tiki_taka.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

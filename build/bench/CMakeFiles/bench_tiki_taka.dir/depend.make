@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_tiki_taka.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_xmann_speedup.cpp" "bench/CMakeFiles/bench_xmann_speedup.dir/bench_xmann_speedup.cpp.o" "gcc" "bench/CMakeFiles/bench_xmann_speedup.dir/bench_xmann_speedup.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/xmann/CMakeFiles/enw_xmann.dir/DependInfo.cmake"
+  "/root/repo/build/src/analog/CMakeFiles/enw_analog.dir/DependInfo.cmake"
+  "/root/repo/build/src/mann/CMakeFiles/enw_mann.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/enw_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/enw_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/perf/CMakeFiles/enw_perf.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/enw_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/enw_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_xmann_speedup.dir/bench_xmann_speedup.cpp.o"
+  "CMakeFiles/bench_xmann_speedup.dir/bench_xmann_speedup.cpp.o.d"
+  "bench_xmann_speedup"
+  "bench_xmann_speedup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_xmann_speedup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

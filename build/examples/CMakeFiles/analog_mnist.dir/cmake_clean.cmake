@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/analog_mnist.dir/analog_mnist.cpp.o"
+  "CMakeFiles/analog_mnist.dir/analog_mnist.cpp.o.d"
+  "analog_mnist"
+  "analog_mnist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/analog_mnist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dnc_structures.dir/dnc_structures.cpp.o"
+  "CMakeFiles/dnc_structures.dir/dnc_structures.cpp.o.d"
+  "dnc_structures"
+  "dnc_structures.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dnc_structures.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fewshot_tcam.dir/fewshot_tcam.cpp.o"
+  "CMakeFiles/fewshot_tcam.dir/fewshot_tcam.cpp.o.d"
+  "fewshot_tcam"
+  "fewshot_tcam.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fewshot_tcam.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ntm_copy.dir/ntm_copy.cpp.o"
+  "CMakeFiles/ntm_copy.dir/ntm_copy.cpp.o.d"
+  "ntm_copy"
+  "ntm_copy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ntm_copy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

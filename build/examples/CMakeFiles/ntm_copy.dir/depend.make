@@ -1,0 +1,2 @@
+# Empty dependencies file for ntm_copy.
+# This may be replaced when dependencies are built.

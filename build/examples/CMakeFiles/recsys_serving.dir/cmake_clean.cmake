@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/recsys_serving.dir/recsys_serving.cpp.o"
+  "CMakeFiles/recsys_serving.dir/recsys_serving.cpp.o.d"
+  "recsys_serving"
+  "recsys_serving.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/recsys_serving.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

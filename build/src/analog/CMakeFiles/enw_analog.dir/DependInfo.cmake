@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analog/analog_linear.cpp" "src/analog/CMakeFiles/enw_analog.dir/analog_linear.cpp.o" "gcc" "src/analog/CMakeFiles/enw_analog.dir/analog_linear.cpp.o.d"
+  "/root/repo/src/analog/analog_matrix.cpp" "src/analog/CMakeFiles/enw_analog.dir/analog_matrix.cpp.o" "gcc" "src/analog/CMakeFiles/enw_analog.dir/analog_matrix.cpp.o.d"
+  "/root/repo/src/analog/crossbar_conv.cpp" "src/analog/CMakeFiles/enw_analog.dir/crossbar_conv.cpp.o" "gcc" "src/analog/CMakeFiles/enw_analog.dir/crossbar_conv.cpp.o.d"
+  "/root/repo/src/analog/device.cpp" "src/analog/CMakeFiles/enw_analog.dir/device.cpp.o" "gcc" "src/analog/CMakeFiles/enw_analog.dir/device.cpp.o.d"
+  "/root/repo/src/analog/hybrid_cell.cpp" "src/analog/CMakeFiles/enw_analog.dir/hybrid_cell.cpp.o" "gcc" "src/analog/CMakeFiles/enw_analog.dir/hybrid_cell.cpp.o.d"
+  "/root/repo/src/analog/inference.cpp" "src/analog/CMakeFiles/enw_analog.dir/inference.cpp.o" "gcc" "src/analog/CMakeFiles/enw_analog.dir/inference.cpp.o.d"
+  "/root/repo/src/analog/pcm.cpp" "src/analog/CMakeFiles/enw_analog.dir/pcm.cpp.o" "gcc" "src/analog/CMakeFiles/enw_analog.dir/pcm.cpp.o.d"
+  "/root/repo/src/analog/tiki_taka.cpp" "src/analog/CMakeFiles/enw_analog.dir/tiki_taka.cpp.o" "gcc" "src/analog/CMakeFiles/enw_analog.dir/tiki_taka.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/nn/CMakeFiles/enw_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/enw_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/enw_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/enw_analog.dir/analog_linear.cpp.o"
+  "CMakeFiles/enw_analog.dir/analog_linear.cpp.o.d"
+  "CMakeFiles/enw_analog.dir/analog_matrix.cpp.o"
+  "CMakeFiles/enw_analog.dir/analog_matrix.cpp.o.d"
+  "CMakeFiles/enw_analog.dir/crossbar_conv.cpp.o"
+  "CMakeFiles/enw_analog.dir/crossbar_conv.cpp.o.d"
+  "CMakeFiles/enw_analog.dir/device.cpp.o"
+  "CMakeFiles/enw_analog.dir/device.cpp.o.d"
+  "CMakeFiles/enw_analog.dir/hybrid_cell.cpp.o"
+  "CMakeFiles/enw_analog.dir/hybrid_cell.cpp.o.d"
+  "CMakeFiles/enw_analog.dir/inference.cpp.o"
+  "CMakeFiles/enw_analog.dir/inference.cpp.o.d"
+  "CMakeFiles/enw_analog.dir/pcm.cpp.o"
+  "CMakeFiles/enw_analog.dir/pcm.cpp.o.d"
+  "CMakeFiles/enw_analog.dir/tiki_taka.cpp.o"
+  "CMakeFiles/enw_analog.dir/tiki_taka.cpp.o.d"
+  "libenw_analog.a"
+  "libenw_analog.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/enw_analog.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/enw_cam.dir/cam_search.cpp.o"
+  "CMakeFiles/enw_cam.dir/cam_search.cpp.o.d"
+  "CMakeFiles/enw_cam.dir/lsh.cpp.o"
+  "CMakeFiles/enw_cam.dir/lsh.cpp.o.d"
+  "CMakeFiles/enw_cam.dir/range_encoding.cpp.o"
+  "CMakeFiles/enw_cam.dir/range_encoding.cpp.o.d"
+  "CMakeFiles/enw_cam.dir/tcam.cpp.o"
+  "CMakeFiles/enw_cam.dir/tcam.cpp.o.d"
+  "libenw_cam.a"
+  "libenw_cam.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/enw_cam.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

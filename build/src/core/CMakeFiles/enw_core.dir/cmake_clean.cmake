@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/enw_core.dir/rng.cpp.o"
+  "CMakeFiles/enw_core.dir/rng.cpp.o.d"
+  "libenw_core.a"
+  "libenw_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/enw_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

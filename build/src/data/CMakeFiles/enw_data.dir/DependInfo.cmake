@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/data/click_log.cpp" "src/data/CMakeFiles/enw_data.dir/click_log.cpp.o" "gcc" "src/data/CMakeFiles/enw_data.dir/click_log.cpp.o.d"
+  "/root/repo/src/data/sequence_log.cpp" "src/data/CMakeFiles/enw_data.dir/sequence_log.cpp.o" "gcc" "src/data/CMakeFiles/enw_data.dir/sequence_log.cpp.o.d"
+  "/root/repo/src/data/synthetic_mnist.cpp" "src/data/CMakeFiles/enw_data.dir/synthetic_mnist.cpp.o" "gcc" "src/data/CMakeFiles/enw_data.dir/synthetic_mnist.cpp.o.d"
+  "/root/repo/src/data/synthetic_omniglot.cpp" "src/data/CMakeFiles/enw_data.dir/synthetic_omniglot.cpp.o" "gcc" "src/data/CMakeFiles/enw_data.dir/synthetic_omniglot.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tensor/CMakeFiles/enw_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/enw_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

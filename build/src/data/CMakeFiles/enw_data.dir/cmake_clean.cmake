@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/enw_data.dir/click_log.cpp.o"
+  "CMakeFiles/enw_data.dir/click_log.cpp.o.d"
+  "CMakeFiles/enw_data.dir/sequence_log.cpp.o"
+  "CMakeFiles/enw_data.dir/sequence_log.cpp.o.d"
+  "CMakeFiles/enw_data.dir/synthetic_mnist.cpp.o"
+  "CMakeFiles/enw_data.dir/synthetic_mnist.cpp.o.d"
+  "CMakeFiles/enw_data.dir/synthetic_omniglot.cpp.o"
+  "CMakeFiles/enw_data.dir/synthetic_omniglot.cpp.o.d"
+  "libenw_data.a"
+  "libenw_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/enw_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

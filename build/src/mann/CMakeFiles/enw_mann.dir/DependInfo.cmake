@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mann/differentiable_memory.cpp" "src/mann/CMakeFiles/enw_mann.dir/differentiable_memory.cpp.o" "gcc" "src/mann/CMakeFiles/enw_mann.dir/differentiable_memory.cpp.o.d"
+  "/root/repo/src/mann/dnc_memory.cpp" "src/mann/CMakeFiles/enw_mann.dir/dnc_memory.cpp.o" "gcc" "src/mann/CMakeFiles/enw_mann.dir/dnc_memory.cpp.o.d"
+  "/root/repo/src/mann/fewshot.cpp" "src/mann/CMakeFiles/enw_mann.dir/fewshot.cpp.o" "gcc" "src/mann/CMakeFiles/enw_mann.dir/fewshot.cpp.o.d"
+  "/root/repo/src/mann/kv_memory.cpp" "src/mann/CMakeFiles/enw_mann.dir/kv_memory.cpp.o" "gcc" "src/mann/CMakeFiles/enw_mann.dir/kv_memory.cpp.o.d"
+  "/root/repo/src/mann/ntm.cpp" "src/mann/CMakeFiles/enw_mann.dir/ntm.cpp.o" "gcc" "src/mann/CMakeFiles/enw_mann.dir/ntm.cpp.o.d"
+  "/root/repo/src/mann/similarity_search.cpp" "src/mann/CMakeFiles/enw_mann.dir/similarity_search.cpp.o" "gcc" "src/mann/CMakeFiles/enw_mann.dir/similarity_search.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/nn/CMakeFiles/enw_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/enw_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/perf/CMakeFiles/enw_perf.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/enw_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/enw_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

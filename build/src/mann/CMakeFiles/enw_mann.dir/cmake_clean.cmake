@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/enw_mann.dir/differentiable_memory.cpp.o"
+  "CMakeFiles/enw_mann.dir/differentiable_memory.cpp.o.d"
+  "CMakeFiles/enw_mann.dir/dnc_memory.cpp.o"
+  "CMakeFiles/enw_mann.dir/dnc_memory.cpp.o.d"
+  "CMakeFiles/enw_mann.dir/fewshot.cpp.o"
+  "CMakeFiles/enw_mann.dir/fewshot.cpp.o.d"
+  "CMakeFiles/enw_mann.dir/kv_memory.cpp.o"
+  "CMakeFiles/enw_mann.dir/kv_memory.cpp.o.d"
+  "CMakeFiles/enw_mann.dir/ntm.cpp.o"
+  "CMakeFiles/enw_mann.dir/ntm.cpp.o.d"
+  "CMakeFiles/enw_mann.dir/similarity_search.cpp.o"
+  "CMakeFiles/enw_mann.dir/similarity_search.cpp.o.d"
+  "libenw_mann.a"
+  "libenw_mann.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/enw_mann.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

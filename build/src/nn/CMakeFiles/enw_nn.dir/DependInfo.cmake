@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nn/activation.cpp" "src/nn/CMakeFiles/enw_nn.dir/activation.cpp.o" "gcc" "src/nn/CMakeFiles/enw_nn.dir/activation.cpp.o.d"
+  "/root/repo/src/nn/conv.cpp" "src/nn/CMakeFiles/enw_nn.dir/conv.cpp.o" "gcc" "src/nn/CMakeFiles/enw_nn.dir/conv.cpp.o.d"
+  "/root/repo/src/nn/dense_layer.cpp" "src/nn/CMakeFiles/enw_nn.dir/dense_layer.cpp.o" "gcc" "src/nn/CMakeFiles/enw_nn.dir/dense_layer.cpp.o.d"
+  "/root/repo/src/nn/digital_linear.cpp" "src/nn/CMakeFiles/enw_nn.dir/digital_linear.cpp.o" "gcc" "src/nn/CMakeFiles/enw_nn.dir/digital_linear.cpp.o.d"
+  "/root/repo/src/nn/fp8.cpp" "src/nn/CMakeFiles/enw_nn.dir/fp8.cpp.o" "gcc" "src/nn/CMakeFiles/enw_nn.dir/fp8.cpp.o.d"
+  "/root/repo/src/nn/loss.cpp" "src/nn/CMakeFiles/enw_nn.dir/loss.cpp.o" "gcc" "src/nn/CMakeFiles/enw_nn.dir/loss.cpp.o.d"
+  "/root/repo/src/nn/lstm.cpp" "src/nn/CMakeFiles/enw_nn.dir/lstm.cpp.o" "gcc" "src/nn/CMakeFiles/enw_nn.dir/lstm.cpp.o.d"
+  "/root/repo/src/nn/mlp.cpp" "src/nn/CMakeFiles/enw_nn.dir/mlp.cpp.o" "gcc" "src/nn/CMakeFiles/enw_nn.dir/mlp.cpp.o.d"
+  "/root/repo/src/nn/quant.cpp" "src/nn/CMakeFiles/enw_nn.dir/quant.cpp.o" "gcc" "src/nn/CMakeFiles/enw_nn.dir/quant.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tensor/CMakeFiles/enw_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/enw_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/enw_nn.dir/activation.cpp.o"
+  "CMakeFiles/enw_nn.dir/activation.cpp.o.d"
+  "CMakeFiles/enw_nn.dir/conv.cpp.o"
+  "CMakeFiles/enw_nn.dir/conv.cpp.o.d"
+  "CMakeFiles/enw_nn.dir/dense_layer.cpp.o"
+  "CMakeFiles/enw_nn.dir/dense_layer.cpp.o.d"
+  "CMakeFiles/enw_nn.dir/digital_linear.cpp.o"
+  "CMakeFiles/enw_nn.dir/digital_linear.cpp.o.d"
+  "CMakeFiles/enw_nn.dir/fp8.cpp.o"
+  "CMakeFiles/enw_nn.dir/fp8.cpp.o.d"
+  "CMakeFiles/enw_nn.dir/loss.cpp.o"
+  "CMakeFiles/enw_nn.dir/loss.cpp.o.d"
+  "CMakeFiles/enw_nn.dir/lstm.cpp.o"
+  "CMakeFiles/enw_nn.dir/lstm.cpp.o.d"
+  "CMakeFiles/enw_nn.dir/mlp.cpp.o"
+  "CMakeFiles/enw_nn.dir/mlp.cpp.o.d"
+  "CMakeFiles/enw_nn.dir/quant.cpp.o"
+  "CMakeFiles/enw_nn.dir/quant.cpp.o.d"
+  "libenw_nn.a"
+  "libenw_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/enw_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/enw_perf.dir/lru_cache.cpp.o"
+  "CMakeFiles/enw_perf.dir/lru_cache.cpp.o.d"
+  "CMakeFiles/enw_perf.dir/roofline.cpp.o"
+  "CMakeFiles/enw_perf.dir/roofline.cpp.o.d"
+  "libenw_perf.a"
+  "libenw_perf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/enw_perf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

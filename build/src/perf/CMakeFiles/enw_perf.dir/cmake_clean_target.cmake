@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libenw_perf.a"
+)

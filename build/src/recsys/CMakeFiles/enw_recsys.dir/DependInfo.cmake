@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/recsys/characterize.cpp" "src/recsys/CMakeFiles/enw_recsys.dir/characterize.cpp.o" "gcc" "src/recsys/CMakeFiles/enw_recsys.dir/characterize.cpp.o.d"
+  "/root/repo/src/recsys/dlrm.cpp" "src/recsys/CMakeFiles/enw_recsys.dir/dlrm.cpp.o" "gcc" "src/recsys/CMakeFiles/enw_recsys.dir/dlrm.cpp.o.d"
+  "/root/repo/src/recsys/embedding_table.cpp" "src/recsys/CMakeFiles/enw_recsys.dir/embedding_table.cpp.o" "gcc" "src/recsys/CMakeFiles/enw_recsys.dir/embedding_table.cpp.o.d"
+  "/root/repo/src/recsys/sequence_model.cpp" "src/recsys/CMakeFiles/enw_recsys.dir/sequence_model.cpp.o" "gcc" "src/recsys/CMakeFiles/enw_recsys.dir/sequence_model.cpp.o.d"
+  "/root/repo/src/recsys/wide_and_deep.cpp" "src/recsys/CMakeFiles/enw_recsys.dir/wide_and_deep.cpp.o" "gcc" "src/recsys/CMakeFiles/enw_recsys.dir/wide_and_deep.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/nn/CMakeFiles/enw_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/enw_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/perf/CMakeFiles/enw_perf.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/enw_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/enw_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

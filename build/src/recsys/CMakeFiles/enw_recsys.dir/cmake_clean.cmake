@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/enw_recsys.dir/characterize.cpp.o"
+  "CMakeFiles/enw_recsys.dir/characterize.cpp.o.d"
+  "CMakeFiles/enw_recsys.dir/dlrm.cpp.o"
+  "CMakeFiles/enw_recsys.dir/dlrm.cpp.o.d"
+  "CMakeFiles/enw_recsys.dir/embedding_table.cpp.o"
+  "CMakeFiles/enw_recsys.dir/embedding_table.cpp.o.d"
+  "CMakeFiles/enw_recsys.dir/sequence_model.cpp.o"
+  "CMakeFiles/enw_recsys.dir/sequence_model.cpp.o.d"
+  "CMakeFiles/enw_recsys.dir/wide_and_deep.cpp.o"
+  "CMakeFiles/enw_recsys.dir/wide_and_deep.cpp.o.d"
+  "libenw_recsys.a"
+  "libenw_recsys.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/enw_recsys.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

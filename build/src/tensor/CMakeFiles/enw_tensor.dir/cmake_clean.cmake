@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/enw_tensor.dir/distance.cpp.o"
+  "CMakeFiles/enw_tensor.dir/distance.cpp.o.d"
+  "CMakeFiles/enw_tensor.dir/matrix.cpp.o"
+  "CMakeFiles/enw_tensor.dir/matrix.cpp.o.d"
+  "CMakeFiles/enw_tensor.dir/ops.cpp.o"
+  "CMakeFiles/enw_tensor.dir/ops.cpp.o.d"
+  "libenw_tensor.a"
+  "libenw_tensor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/enw_tensor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

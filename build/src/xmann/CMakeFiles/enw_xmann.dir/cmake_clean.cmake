@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/enw_xmann.dir/cost_model.cpp.o"
+  "CMakeFiles/enw_xmann.dir/cost_model.cpp.o.d"
+  "CMakeFiles/enw_xmann.dir/tcpt.cpp.o"
+  "CMakeFiles/enw_xmann.dir/tcpt.cpp.o.d"
+  "CMakeFiles/enw_xmann.dir/workloads.cpp.o"
+  "CMakeFiles/enw_xmann.dir/workloads.cpp.o.d"
+  "libenw_xmann.a"
+  "libenw_xmann.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/enw_xmann.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dnc.dir/test_dnc.cpp.o"
+  "CMakeFiles/test_dnc.dir/test_dnc.cpp.o.d"
+  "test_dnc"
+  "test_dnc.pdb"
+  "test_dnc[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dnc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mann.dir/test_mann.cpp.o"
+  "CMakeFiles/test_mann.dir/test_mann.cpp.o.d"
+  "test_mann"
+  "test_mann.pdb"
+  "test_mann[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mann.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

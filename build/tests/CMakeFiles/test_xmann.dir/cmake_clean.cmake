@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_xmann.dir/test_xmann.cpp.o"
+  "CMakeFiles/test_xmann.dir/test_xmann.cpp.o.d"
+  "test_xmann"
+  "test_xmann.pdb"
+  "test_xmann[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_xmann.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

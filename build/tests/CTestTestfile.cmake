@@ -1,0 +1,23 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_core[1]_include.cmake")
+include("/root/repo/build/tests/test_tensor[1]_include.cmake")
+include("/root/repo/build/tests/test_nn[1]_include.cmake")
+include("/root/repo/build/tests/test_data[1]_include.cmake")
+include("/root/repo/build/tests/test_perf[1]_include.cmake")
+include("/root/repo/build/tests/test_analog[1]_include.cmake")
+include("/root/repo/build/tests/test_mann[1]_include.cmake")
+include("/root/repo/build/tests/test_cam[1]_include.cmake")
+include("/root/repo/build/tests/test_xmann[1]_include.cmake")
+include("/root/repo/build/tests/test_recsys[1]_include.cmake")
+include("/root/repo/build/tests/test_dnc[1]_include.cmake")
+include("/root/repo/build/tests/test_inference[1]_include.cmake")
+include("/root/repo/build/tests/test_sequence[1]_include.cmake")
+include("/root/repo/build/tests/test_integration[1]_include.cmake")
+include("/root/repo/build/tests/test_properties[1]_include.cmake")
+include("/root/repo/build/tests/test_extensions[1]_include.cmake")
+include("/root/repo/build/tests/test_edge_cases[1]_include.cmake")
