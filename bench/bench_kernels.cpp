@@ -1,0 +1,198 @@
+// bench_kernels — Google Benchmark microbenchmarks for the tensor kernel
+// layer: naive reference vs. cache-blocked kernels, 1-thread vs. N-thread.
+//
+// Regenerate the committed machine-readable record with:
+//   ./scripts/run_bench_kernels.sh         (writes BENCH_kernels.json)
+// The *_Reference benchmarks are the before; the blocked kernels at
+// threads=1 isolate the cache-blocking win; higher thread counts add the
+// parallel_for scaling on top.
+#include <benchmark/benchmark.h>
+
+#include <cstddef>
+
+#include "core/parallel.h"
+#include "core/rng.h"
+#include "tensor/matrix.h"
+#include "tensor/ops.h"
+
+namespace {
+
+using enw::Matrix;
+using enw::Rng;
+using enw::Vector;
+
+Matrix random_matrix(std::size_t r, std::size_t c, unsigned seed) {
+  Rng rng(seed);
+  Matrix m(r, c);
+  for (std::size_t i = 0; i < m.size(); ++i)
+    m.data()[i] = static_cast<float>(rng.normal());
+  return m;
+}
+
+Vector random_vector(std::size_t n, unsigned seed) {
+  Rng rng(seed);
+  Vector v(n);
+  for (auto& x : v) x = static_cast<float>(rng.normal());
+  return v;
+}
+
+// --- matmul -----------------------------------------------------------------
+
+void BM_MatmulReference(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const Matrix a = random_matrix(n, n, 1);
+  const Matrix b = random_matrix(n, n, 2);
+  for (auto _ : state) benchmark::DoNotOptimize(enw::matmul_reference(a, b));
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 2 * n * n * n);
+}
+BENCHMARK(BM_MatmulReference)->Arg(64)->Arg(256)->Arg(512)->Unit(benchmark::kMillisecond);
+
+void BM_MatmulBlocked(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  enw::parallel::set_thread_count(static_cast<std::size_t>(state.range(1)));
+  const Matrix a = random_matrix(n, n, 1);
+  const Matrix b = random_matrix(n, n, 2);
+  for (auto _ : state) benchmark::DoNotOptimize(enw::matmul(a, b));
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 2 * n * n * n);
+  enw::parallel::set_thread_count(1);
+}
+BENCHMARK(BM_MatmulBlocked)
+    ->ArgNames({"n", "threads"})
+    ->Args({64, 1})
+    ->Args({256, 1})
+    ->Args({512, 1})
+    ->Args({64, 4})
+    ->Args({256, 4})
+    ->Args({512, 4})
+    ->Unit(benchmark::kMillisecond);
+
+// --- matvec -----------------------------------------------------------------
+
+void BM_MatvecReference(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const Matrix a = random_matrix(n, n, 3);
+  const Vector x = random_vector(n, 4);
+  for (auto _ : state) benchmark::DoNotOptimize(enw::matvec_reference(a, x));
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 2 * n * n);
+}
+BENCHMARK(BM_MatvecReference)->Arg(128)->Arg(512)->Arg(2048)->Unit(benchmark::kMicrosecond);
+
+void BM_MatvecBlocked(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  enw::parallel::set_thread_count(static_cast<std::size_t>(state.range(1)));
+  const Matrix a = random_matrix(n, n, 3);
+  const Vector x = random_vector(n, 4);
+  for (auto _ : state) benchmark::DoNotOptimize(enw::matvec(a, x));
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 2 * n * n);
+  enw::parallel::set_thread_count(1);
+}
+BENCHMARK(BM_MatvecBlocked)
+    ->ArgNames({"n", "threads"})
+    ->Args({128, 1})
+    ->Args({512, 1})
+    ->Args({2048, 1})
+    ->Args({128, 4})
+    ->Args({512, 4})
+    ->Args({2048, 4})
+    ->Unit(benchmark::kMicrosecond);
+
+// --- matvec_transposed ------------------------------------------------------
+
+void BM_MatvecTransposedReference(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const Matrix a = random_matrix(n, n, 5);
+  const Vector x = random_vector(n, 6);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(enw::matvec_transposed_reference(a, x));
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 2 * n * n);
+}
+BENCHMARK(BM_MatvecTransposedReference)
+    ->Arg(128)
+    ->Arg(512)
+    ->Arg(2048)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_MatvecTransposedBlocked(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  enw::parallel::set_thread_count(static_cast<std::size_t>(state.range(1)));
+  const Matrix a = random_matrix(n, n, 5);
+  const Vector x = random_vector(n, 6);
+  for (auto _ : state) benchmark::DoNotOptimize(enw::matvec_transposed(a, x));
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 2 * n * n);
+  enw::parallel::set_thread_count(1);
+}
+BENCHMARK(BM_MatvecTransposedBlocked)
+    ->ArgNames({"n", "threads"})
+    ->Args({128, 1})
+    ->Args({512, 1})
+    ->Args({2048, 1})
+    ->Args({128, 4})
+    ->Args({512, 4})
+    ->Args({2048, 4})
+    ->Unit(benchmark::kMicrosecond);
+
+// --- transpose --------------------------------------------------------------
+
+void BM_TransposeReference(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const Matrix a = random_matrix(n, n, 7);
+  for (auto _ : state) benchmark::DoNotOptimize(enw::transpose_reference(a));
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * n * n);
+}
+BENCHMARK(BM_TransposeReference)->Arg(128)->Arg(512)->Arg(2048)->Unit(benchmark::kMicrosecond);
+
+void BM_TransposeBlocked(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  enw::parallel::set_thread_count(static_cast<std::size_t>(state.range(1)));
+  const Matrix a = random_matrix(n, n, 7);
+  for (auto _ : state) benchmark::DoNotOptimize(enw::transpose(a));
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * n * n);
+  enw::parallel::set_thread_count(1);
+}
+BENCHMARK(BM_TransposeBlocked)
+    ->ArgNames({"n", "threads"})
+    ->Args({128, 1})
+    ->Args({512, 1})
+    ->Args({2048, 1})
+    ->Args({2048, 4})
+    ->Unit(benchmark::kMicrosecond);
+
+// --- rank1_update -----------------------------------------------------------
+
+void BM_Rank1UpdateReference(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Matrix a = random_matrix(n, n, 8);
+  const Vector u = random_vector(n, 9);
+  const Vector v = random_vector(n, 10);
+  for (auto _ : state) {
+    enw::rank1_update_reference(a, u, v, 1e-6f);
+    benchmark::DoNotOptimize(a.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 2 * n * n);
+}
+BENCHMARK(BM_Rank1UpdateReference)->Arg(128)->Arg(512)->Arg(2048)->Unit(benchmark::kMicrosecond);
+
+void BM_Rank1UpdateBlocked(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  enw::parallel::set_thread_count(static_cast<std::size_t>(state.range(1)));
+  Matrix a = random_matrix(n, n, 8);
+  const Vector u = random_vector(n, 9);
+  const Vector v = random_vector(n, 10);
+  for (auto _ : state) {
+    enw::rank1_update(a, u, v, 1e-6f);
+    benchmark::DoNotOptimize(a.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 2 * n * n);
+  enw::parallel::set_thread_count(1);
+}
+BENCHMARK(BM_Rank1UpdateBlocked)
+    ->ArgNames({"n", "threads"})
+    ->Args({128, 1})
+    ->Args({512, 1})
+    ->Args({2048, 1})
+    ->Args({2048, 4})
+    ->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,20 @@
+#!/usr/bin/env sh
+# Regenerate BENCH_kernels.json — the machine-readable kernel-perf record
+# that PRs use to track the perf trajectory of the tensor kernel layer.
+#
+# Usage: ./scripts/run_bench_kernels.sh [build-dir] [extra benchmark args...]
+set -eu
+
+BUILD_DIR="${1:-build}"
+[ $# -gt 0 ] && shift
+
+if [ ! -x "$BUILD_DIR/bench/bench_kernels" ]; then
+  echo "error: $BUILD_DIR/bench/bench_kernels not built (cmake --build $BUILD_DIR --target bench_kernels)" >&2
+  exit 1
+fi
+
+exec "$BUILD_DIR/bench/bench_kernels" \
+  --benchmark_format=json \
+  --benchmark_out=BENCH_kernels.json \
+  --benchmark_out_format=json \
+  "$@"

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "core/check.h"
+#include "core/parallel.h"
 #include "tensor/ops.h"
 
 namespace enw::analog {
@@ -53,19 +54,43 @@ void AnalogMatrix::forward(std::span<const float> x, std::span<float> y) {
   // Noise management: scale inputs so the DAC range [-1, 1] is fully used.
   const float x_scale = std::max(max_abs(x), 1e-12f);
   const float x_norm = l2_norm(x);
-  for (std::size_t r = 0; r < rows_; ++r) {
-    float acc = 0.0f;
-    const float* row = w_.data() + r * cols_;
-    for (std::size_t c = 0; c < cols_; ++c) {
-      const float xin = quantize_signed(x[c] / x_scale, config_.dac_bits, 1.0f);
-      acc += row[c] * attenuation(r, c) * xin;
-    }
-    if (config_.read_noise_std > 0.0) {
-      acc += static_cast<float>(config_.read_noise_std * rng_.normal()) * x_norm / x_scale;
-    }
-    acc = quantize_signed(acc, config_.adc_bits, static_cast<float>(config_.adc_range));
-    y[r] = acc * x_scale;
+  // The DAC code for column c is identical for every row — hoist it out of
+  // the row loop instead of re-quantizing rows_ times.
+  std::vector<float> xin(cols_);
+  for (std::size_t c = 0; c < cols_; ++c) {
+    xin[c] = quantize_signed(x[c] / x_scale, config_.dac_bits, 1.0f);
   }
+  // Read-noise draws advance the shared RNG; draw them up front in row order
+  // so the stream matches a fully sequential readout, then the accumulation
+  // itself can run on any thread without touching the RNG.
+  std::vector<float> noise;
+  if (config_.read_noise_std > 0.0) {
+    noise.resize(rows_);
+    for (std::size_t r = 0; r < rows_; ++r) {
+      noise[r] =
+          static_cast<float>(config_.read_noise_std * rng_.normal()) * x_norm / x_scale;
+    }
+  }
+  const float adc_range = static_cast<float>(config_.adc_range);
+  const bool ideal_wires = config_.ir_drop <= 0.0;
+  const std::size_t grain = std::max<std::size_t>(8, 16384 / std::max<std::size_t>(1, cols_));
+  parallel::parallel_for(0, rows_, grain, [&](std::size_t r0, std::size_t r1) {
+    for (std::size_t r = r0; r < r1; ++r) {
+      float acc = 0.0f;
+      const float* row = w_.data() + r * cols_;
+      if (ideal_wires) {
+        // attenuation == 1.0f exactly; multiplying by it is the identity.
+        for (std::size_t c = 0; c < cols_; ++c) acc += row[c] * xin[c];
+      } else {
+        for (std::size_t c = 0; c < cols_; ++c) {
+          acc += row[c] * attenuation(r, c) * xin[c];
+        }
+      }
+      if (!noise.empty()) acc += noise[r];
+      acc = quantize_signed(acc, config_.adc_bits, adc_range);
+      y[r] = acc * x_scale;
+    }
+  });
 }
 
 void AnalogMatrix::backward(std::span<const float> dy, std::span<float> dx) {
@@ -76,14 +101,34 @@ void AnalogMatrix::backward(std::span<const float> dy, std::span<float> dx) {
   for (std::size_t r = 0; r < rows_; ++r) {
     din[r] = quantize_signed(dy[r] / d_scale, config_.dac_bits, 1.0f);
   }
-  for (std::size_t c = 0; c < cols_; ++c) dx[c] = 0.0f;
-  for (std::size_t r = 0; r < rows_; ++r) {
-    const float* row = w_.data() + r * cols_;
-    const float dr = din[r];
-    if (dr == 0.0f) continue;
-    for (std::size_t c = 0; c < cols_; ++c) {
-      dx[c] += row[c] * attenuation(r, c) * dr;
+  // Column-chunked transposed readout: each chunk owns a disjoint slice of
+  // dx and accumulates over rows in fixed order; dx[c]'s summation order is
+  // independent of the chunk layout, so every thread count (including the
+  // full-width single-thread branch) produces identical bits. The dr == 0
+  // skip is exact here: din is a quantized DAC code and the device states
+  // are clamped finite.
+  const bool ideal_wires = config_.ir_drop <= 0.0;
+  const auto accumulate = [&](std::size_t c0, std::size_t c1) {
+    for (std::size_t c = c0; c < c1; ++c) dx[c] = 0.0f;
+    for (std::size_t r = 0; r < rows_; ++r) {
+      const float* row = w_.data() + r * cols_;
+      const float dr = din[r];
+      if (dr == 0.0f) continue;
+      if (ideal_wires) {
+        for (std::size_t c = c0; c < c1; ++c) dx[c] += row[c] * dr;
+      } else {
+        for (std::size_t c = c0; c < c1; ++c) {
+          dx[c] += row[c] * attenuation(r, c) * dr;
+        }
+      }
     }
+  };
+  if (parallel::thread_count() <= 1) {
+    accumulate(0, cols_);
+  } else {
+    const std::size_t grain =
+        std::max<std::size_t>(256, 16384 / std::max<std::size_t>(1, rows_));
+    parallel::parallel_for(0, cols_, grain, accumulate);
   }
   for (std::size_t c = 0; c < cols_; ++c) {
     float acc = dx[c];

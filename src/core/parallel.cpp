@@ -1,0 +1,179 @@
+#include "core/parallel.h"
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <cstdlib>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace enw::parallel {
+
+namespace {
+
+// Set while a pool worker executes chunks; nested parallel_for calls from
+// inside a kernel then degrade to inline execution instead of deadlocking
+// on the single shared job slot.
+thread_local bool t_in_worker = false;
+
+struct Pool {
+  std::mutex m;
+  std::condition_variable cv_job;   // workers: a new job generation exists
+  std::condition_variable cv_done;  // caller: all chunks of the job finished
+
+  // Job slot (one parallel_for at a time; guarded by m unless noted).
+  std::uint64_t generation = 0;
+  bool job_active = false;
+  const std::function<void(std::size_t, std::size_t)>* fn = nullptr;
+  std::size_t begin = 0;
+  std::size_t grain = 1;
+  std::size_t nchunks = 0;
+  std::size_t end = 0;
+  std::size_t job_workers = 0;          // workers allowed on this job
+  std::atomic<std::size_t> next{0};     // next chunk index to claim
+  std::atomic<bool> aborted{false};     // an exception was recorded
+  std::size_t completed = 0;            // chunks accounted for (guarded by m)
+  std::exception_ptr error;             // first exception (guarded by m)
+
+  std::vector<std::thread> workers;
+  std::size_t configured_threads = 1;  // workers.size() + 1 usable threads
+
+  // Claims chunks of the current job until none remain. Every claimed chunk
+  // is counted exactly once (even after an exception, when remaining chunks
+  // are claimed but skipped), so `completed` reliably reaches nchunks.
+  // Returns the number of chunks this thread accounted for.
+  std::size_t drain() {
+    std::size_t did = 0;
+    for (;;) {
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= nchunks) break;
+      if (!aborted.load(std::memory_order_relaxed)) {
+        const std::size_t lo = begin + i * grain;
+        const std::size_t hi = std::min(end, lo + grain);
+        try {
+          (*fn)(lo, hi);
+        } catch (...) {
+          std::lock_guard<std::mutex> lk(m);
+          if (!error) error = std::current_exception();
+          aborted.store(true, std::memory_order_relaxed);
+        }
+      }
+      ++did;
+    }
+    return did;
+  }
+
+  void worker_loop(std::size_t id) {
+    t_in_worker = true;
+    std::unique_lock<std::mutex> lk(m);
+    std::uint64_t seen = 0;
+    for (;;) {
+      cv_job.wait(lk, [&] { return generation != seen && id < job_workers; });
+      seen = generation;
+      lk.unlock();
+      const std::size_t did = drain();
+      lk.lock();
+      completed += did;
+      if (completed == nchunks) cv_done.notify_all();
+    }
+  }
+};
+
+Pool& pool() {
+  // Leaked on purpose: workers may still be parked in cv_job.wait at process
+  // exit, and destroying their std::thread objects would call terminate().
+  static Pool* p = [] {
+    auto* pl = new Pool();
+    std::size_t n = std::thread::hardware_concurrency();
+    if (n == 0) n = 1;
+    if (const char* env = std::getenv("ENW_THREADS")) {
+      char* endp = nullptr;
+      const long v = std::strtol(env, &endp, 10);
+      if (endp != env && v > 0) n = static_cast<std::size_t>(v);
+    }
+    pl->configured_threads = n;
+    for (std::size_t id = 0; id + 1 < n; ++id) {
+      pl->workers.emplace_back([pl, id] { pl->worker_loop(id); });
+      pl->workers.back().detach();
+    }
+    return pl;
+  }();
+  return *p;
+}
+
+}  // namespace
+
+std::size_t thread_count() {
+  Pool& p = pool();
+  std::lock_guard<std::mutex> lk(p.m);
+  return p.configured_threads;
+}
+
+void set_thread_count(std::size_t n) {
+  if (n == 0) n = 1;
+  Pool& p = pool();
+  std::lock_guard<std::mutex> lk(p.m);
+  p.configured_threads = n;
+  // Grow the pool if the new count needs more parked workers; shrinking just
+  // leaves extras parked (job_workers caps participation per job).
+  while (p.workers.size() + 1 < n) {
+    const std::size_t id = p.workers.size();
+    p.workers.emplace_back([pl = &p, id] { pl->worker_loop(id); });
+    p.workers.back().detach();
+  }
+}
+
+void parallel_for(std::size_t begin, std::size_t end, std::size_t grain,
+                  const std::function<void(std::size_t, std::size_t)>& fn) {
+  if (end <= begin) return;
+  if (grain == 0) grain = 1;
+  const std::size_t n = end - begin;
+  const std::size_t nchunks = (n + grain - 1) / grain;
+
+  Pool& p = pool();
+  std::unique_lock<std::mutex> lk(p.m);
+  const std::size_t threads = p.configured_threads;
+  // Inline path: single-threaded config, a single chunk, nested call from a
+  // worker, or the job slot already busy (concurrent external callers).
+  // Chunks still run in index order, which is the same arithmetic the
+  // parallel path performs, so results are identical.
+  if (threads <= 1 || nchunks <= 1 || t_in_worker || p.job_active) {
+    lk.unlock();
+    for (std::size_t i = 0; i < nchunks; ++i) {
+      const std::size_t lo = begin + i * grain;
+      fn(lo, std::min(end, lo + grain));
+    }
+    return;
+  }
+
+  p.job_active = true;
+  p.fn = &fn;
+  p.begin = begin;
+  p.end = end;
+  p.grain = grain;
+  p.nchunks = nchunks;
+  p.job_workers = std::min(threads - 1, p.workers.size());
+  p.next.store(0, std::memory_order_relaxed);
+  p.aborted.store(false, std::memory_order_relaxed);
+  p.completed = 0;
+  p.error = nullptr;
+  ++p.generation;
+  lk.unlock();
+  p.cv_job.notify_all();
+
+  const std::size_t did = p.drain();  // caller participates
+
+  lk.lock();
+  p.completed += did;
+  p.cv_done.wait(lk, [&] { return p.completed == p.nchunks; });
+  p.job_active = false;
+  const std::exception_ptr err = p.error;
+  p.error = nullptr;
+  lk.unlock();
+  if (err) std::rethrow_exception(err);
+}
+
+}  // namespace enw::parallel

@@ -1,0 +1,37 @@
+// enw::parallel — a lazily-initialized persistent thread pool with a
+// deterministic parallel_for.
+//
+// Design constraints (see DESIGN.md "determinism"):
+//  * Chunk boundaries depend only on (begin, end, grain) — never on the
+//    thread count — so a kernel whose chunks write disjoint outputs (or
+//    reduce strictly in chunk-index order) produces bitwise-identical
+//    results under ENW_THREADS=1 and ENW_THREADS=64 alike.
+//  * The pool is created on first use. Its size comes from the ENW_THREADS
+//    environment variable, defaulting to std::thread::hardware_concurrency.
+//  * parallel_for issued from inside a worker (nested parallelism) runs
+//    inline on the calling thread; the kernels never rely on nesting.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+namespace enw::parallel {
+
+/// Number of threads parallel_for may use (pool workers + the caller).
+/// First call initializes the pool from ENW_THREADS / hardware_concurrency.
+std::size_t thread_count();
+
+/// Override the thread count at runtime (used by benches and determinism
+/// tests; grows the pool if needed). n is clamped to >= 1.
+void set_thread_count(std::size_t n);
+
+/// Invoke fn(chunk_begin, chunk_end) over a partition of [begin, end) into
+/// contiguous chunks of `grain` indices (last chunk may be short). Chunks
+/// may run on any thread in any order; the partition itself is a pure
+/// function of (begin, end, grain). Exceptions thrown by fn are captured
+/// and the first one is rethrown on the calling thread after all in-flight
+/// chunks drain; remaining chunks are abandoned.
+void parallel_for(std::size_t begin, std::size_t end, std::size_t grain,
+                  const std::function<void(std::size_t, std::size_t)>& fn);
+
+}  // namespace enw::parallel

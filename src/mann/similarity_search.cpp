@@ -4,6 +4,7 @@
 #include <map>
 
 #include "core/check.h"
+#include "core/parallel.h"
 #include "perf/tech_constants.h"
 #include "tensor/ops.h"
 
@@ -28,13 +29,23 @@ std::size_t ExactSearch::predict(std::span<const float> key) {
   ENW_CHECK_MSG(!labels_.empty(), "predict on empty memory");
   ENW_CHECK(key.size() == dim_);
   const float sign = is_similarity(metric_) ? 1.0f : -1.0f;
+  // Batched distance computation: score every stored key in parallel (each
+  // entry is independent), then reduce sequentially so ties keep the
+  // first-stored-wins semantics regardless of thread count.
+  const std::size_t n = labels_.size();
+  std::vector<float> scores(n);
+  const std::size_t grain = std::max<std::size_t>(8, 16384 / std::max<std::size_t>(1, dim_));
+  parallel::parallel_for(0, n, grain, [&](std::size_t i0, std::size_t i1) {
+    for (std::size_t i = i0; i < i1; ++i) {
+      const std::span<const float> row(keys_.data() + i * dim_, dim_);
+      scores[i] = sign * metric_value(metric_, row, key);
+    }
+  });
   std::size_t best = 0;
   float best_score = -1e30f;
-  for (std::size_t i = 0; i < labels_.size(); ++i) {
-    const std::span<const float> row(keys_.data() + i * dim_, dim_);
-    const float s = sign * metric_value(metric_, row, key);
-    if (s > best_score) {
-      best_score = s;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (scores[i] > best_score) {
+      best_score = scores[i];
       best = i;
     }
   }

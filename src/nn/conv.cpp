@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "core/check.h"
+#include "core/parallel.h"
 #include "nn/digital_linear.h"
 #include "nn/loss.h"
 #include "tensor/ops.h"
@@ -24,12 +25,17 @@ Matrix Conv2dLayer::forward(const Matrix& input) {
   last_cols_ = im2col(input, spec_.height, spec_.width, spec_.kernel, spec_.kernel,
                       spec_.stride, spec_.pad);
   Matrix out = matmul(w_, last_cols_);
-  for (std::size_t oc = 0; oc < out.rows(); ++oc) {
-    for (std::size_t p = 0; p < out.cols(); ++p) {
-      float v = out(oc, p) + bias_[oc];
-      out(oc, p) = v > 0.0f ? v : 0.0f;  // ReLU
+  parallel::parallel_for(0, out.rows(), 1, [&](std::size_t oc0, std::size_t oc1) {
+    const std::size_t pixels = out.cols();
+    for (std::size_t oc = oc0; oc < oc1; ++oc) {
+      float* orow = out.data() + oc * pixels;
+      const float b = bias_[oc];
+      for (std::size_t p = 0; p < pixels; ++p) {
+        const float v = orow[p] + b;
+        orow[p] = v > 0.0f ? v : 0.0f;  // ReLU
+      }
     }
-  }
+  });
   last_output_ = out;
   return out;
 }
@@ -39,17 +45,29 @@ Matrix Conv2dLayer::backward(const Matrix& d_out, float lr) {
                 "conv backward called without a matching forward");
   // ReLU gradient.
   Matrix delta = d_out;
-  for (std::size_t i = 0; i < delta.rows(); ++i)
-    for (std::size_t j = 0; j < delta.cols(); ++j)
-      if (last_output_(i, j) <= 0.0f) delta(i, j) = 0.0f;
+  parallel::parallel_for(0, delta.rows(), 1, [&](std::size_t i0, std::size_t i1) {
+    const std::size_t pixels = delta.cols();
+    for (std::size_t i = i0; i < i1; ++i) {
+      float* drow = delta.data() + i * pixels;
+      const float* orow = last_output_.data() + i * pixels;
+      for (std::size_t j = 0; j < pixels; ++j)
+        if (orow[j] <= 0.0f) drow[j] = 0.0f;
+    }
+  });
 
   // dW = delta * cols^T ; dx = W^T delta (then col2im).
   const Matrix cols_t = transpose(last_cols_);
   const Matrix dw = matmul(delta, cols_t);
   const Matrix dx_cols = matmul(transpose(w_), delta);
 
-  for (std::size_t i = 0; i < w_.rows(); ++i)
-    for (std::size_t j = 0; j < w_.cols(); ++j) w_(i, j) -= lr * dw(i, j);
+  parallel::parallel_for(0, w_.rows(), 1, [&](std::size_t i0, std::size_t i1) {
+    const std::size_t cols = w_.cols();
+    for (std::size_t i = i0; i < i1; ++i) {
+      float* wrow = w_.data() + i * cols;
+      const float* dwrow = dw.data() + i * cols;
+      for (std::size_t j = 0; j < cols; ++j) wrow[j] -= lr * dwrow[j];
+    }
+  });
   for (std::size_t oc = 0; oc < spec_.out_channels; ++oc) {
     float acc = 0.0f;
     for (std::size_t p = 0; p < delta.cols(); ++p) acc += delta(oc, p);

@@ -20,13 +20,15 @@ void DigitalLinear::forward(std::span<const float> x, std::span<float> y) {
 
 void DigitalLinear::backward(std::span<const float> dy, std::span<float> dx) {
   ENW_CHECK(dy.size() == out_dim() && dx.size() == in_dim());
-  const Vector out = matvec_transposed(w_, dy);
+  // Deltas arrive ReLU-sparse and the weights are finite by construction, so
+  // opt into the zero-input skip (exact for finite operands).
+  const Vector out = matvec_transposed(w_, dy, ZeroSkip::kSkipZeroInputs);
   std::copy(out.begin(), out.end(), dx.begin());
 }
 
 void DigitalLinear::update(std::span<const float> x, std::span<const float> dy,
                            float lr) {
-  rank1_update(w_, dy, x, -lr);
+  rank1_update(w_, dy, x, -lr, ZeroSkip::kSkipZeroInputs);
 }
 
 void DigitalLinear::set_weights(const Matrix& w) {

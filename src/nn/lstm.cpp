@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "core/check.h"
+#include "core/parallel.h"
 #include "tensor/ops.h"
 
 namespace enw::nn {
@@ -113,9 +114,14 @@ std::vector<Vector> Lstm::backward_sequence(const std::vector<Vector>& d_hs, flo
     for (std::size_t j = 0; j < H; ++j) dc_next[j] = dc[j] * sc.f[j];
   }
 
-  for (std::size_t i = 0; i < w_.rows(); ++i)
-    for (std::size_t j = 0; j < w_.cols(); ++j)
-      w_(i, j) -= lr * clipv(dw(i, j), clip);
+  parallel::parallel_for(0, w_.rows(), 16, [&](std::size_t r0, std::size_t r1) {
+    const std::size_t cols = w_.cols();
+    for (std::size_t i = r0; i < r1; ++i) {
+      float* wrow = w_.data() + i * cols;
+      const float* dwrow = dw.data() + i * cols;
+      for (std::size_t j = 0; j < cols; ++j) wrow[j] -= lr * clipv(dwrow[j], clip);
+    }
+  });
   for (std::size_t k = 0; k < b_.size(); ++k) b_[k] -= lr * clipv(db[k], clip);
 
   cache_.clear();

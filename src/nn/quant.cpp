@@ -136,8 +136,8 @@ float QatMlp::train_step(std::span<const float> x, std::size_t label, float lr) 
 
     // dx through the *quantized* weights (that's what the forward used);
     // master-weight update uses STE: dW = d_pre * input^T applied to fp32 W.
-    g = matvec_transposed(lc.wq, d_pre);
-    rank1_update(weights_[l - 1], d_pre, lc.input, -lr);
+    g = matvec_transposed(lc.wq, d_pre, ZeroSkip::kSkipZeroInputs);
+    rank1_update(weights_[l - 1], d_pre, lc.input, -lr, ZeroSkip::kSkipZeroInputs);
     for (std::size_t i = 0; i < biases_[l - 1].size(); ++i)
       biases_[l - 1][i] -= lr * d_pre[i];
   }

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "core/parallel.h"
 #include "tensor/ops.h"
 
 namespace enw {
@@ -67,9 +68,15 @@ float metric_value(Metric m, std::span<const float> a, std::span<const float> b)
 Vector similarity_scores(Metric m, const Matrix& memory, std::span<const float> query) {
   Vector scores(memory.rows());
   const float sign = is_similarity(m) ? 1.0f : -1.0f;
-  for (std::size_t r = 0; r < memory.rows(); ++r) {
-    scores[r] = sign * metric_value(m, memory.row(r), query);
-  }
+  // Rows are scored independently into disjoint slots — deterministic under
+  // any thread count.
+  const std::size_t grain =
+      std::max<std::size_t>(8, 16384 / std::max<std::size_t>(1, memory.cols()));
+  parallel::parallel_for(0, memory.rows(), grain, [&](std::size_t r0, std::size_t r1) {
+    for (std::size_t r = r0; r < r1; ++r) {
+      scores[r] = sign * metric_value(m, memory.row(r), query);
+    }
+  });
   return scores;
 }
 

@@ -3,9 +3,21 @@
 #include <algorithm>
 #include <cmath>
 
+#include "core/parallel.h"
+
 namespace enw {
 
-Vector matvec(const Matrix& a, std::span<const float> x) {
+// ---------------------------------------------------------------------------
+// Naive reference kernels.
+//
+// These are the textbook scalar triple loops. They define the bitwise ground
+// truth: the blocked/parallel kernels below perform the exact same sequence
+// of float operations per output element (accumulation strictly in k/row
+// order, no zero-skips, and this TU is built with -ffp-contract=off so no
+// FMA contraction), so equivalence tests can assert exact equality.
+// ---------------------------------------------------------------------------
+
+Vector matvec_reference(const Matrix& a, std::span<const float> x) {
   ENW_CHECK_MSG(a.cols() == x.size(), "matvec dimension mismatch");
   Vector y(a.rows(), 0.0f);
   for (std::size_t r = 0; r < a.rows(); ++r) {
@@ -17,49 +29,207 @@ Vector matvec(const Matrix& a, std::span<const float> x) {
   return y;
 }
 
-Vector matvec_transposed(const Matrix& a, std::span<const float> x) {
+Vector matvec_transposed_reference(const Matrix& a, std::span<const float> x) {
   ENW_CHECK_MSG(a.rows() == x.size(), "matvec_transposed dimension mismatch");
   Vector y(a.cols(), 0.0f);
   for (std::size_t r = 0; r < a.rows(); ++r) {
     const float* row = a.data() + r * a.cols();
     const float xr = x[r];
-    if (xr == 0.0f) continue;
     for (std::size_t c = 0; c < a.cols(); ++c) y[c] += row[c] * xr;
   }
   return y;
 }
 
-Matrix matmul(const Matrix& a, const Matrix& b) {
+Matrix matmul_reference(const Matrix& a, const Matrix& b) {
   ENW_CHECK_MSG(a.cols() == b.rows(), "matmul dimension mismatch");
   Matrix c(a.rows(), b.cols());
   for (std::size_t i = 0; i < a.rows(); ++i) {
-    float* crow = c.data() + i * c.cols();
-    for (std::size_t k = 0; k < a.cols(); ++k) {
-      const float aik = a(i, k);
-      if (aik == 0.0f) continue;
-      const float* brow = b.data() + k * b.cols();
-      for (std::size_t j = 0; j < b.cols(); ++j) crow[j] += aik * brow[j];
+    for (std::size_t j = 0; j < b.cols(); ++j) {
+      float acc = 0.0f;
+      for (std::size_t k = 0; k < a.cols(); ++k) acc += a(i, k) * b(k, j);
+      c(i, j) = acc;
     }
   }
   return c;
 }
 
-void rank1_update(Matrix& a, std::span<const float> u, std::span<const float> v,
-                  float scale) {
+void rank1_update_reference(Matrix& a, std::span<const float> u,
+                            std::span<const float> v, float scale) {
   ENW_CHECK_MSG(a.rows() == u.size() && a.cols() == v.size(),
                 "rank1_update dimension mismatch");
   for (std::size_t r = 0; r < a.rows(); ++r) {
     const float s = scale * u[r];
-    if (s == 0.0f) continue;
     float* row = a.data() + r * a.cols();
     for (std::size_t c = 0; c < a.cols(); ++c) row[c] += s * v[c];
   }
 }
 
-Matrix transpose(const Matrix& a) {
+Matrix transpose_reference(const Matrix& a) {
   Matrix t(a.cols(), a.rows());
   for (std::size_t r = 0; r < a.rows(); ++r)
     for (std::size_t c = 0; c < a.cols(); ++c) t(c, r) = a(r, c);
+  return t;
+}
+
+// ---------------------------------------------------------------------------
+// Blocked / parallel kernels.
+//
+// Grain sizes are pure functions of the problem shape (never of the thread
+// count), so parallel_for's chunk partition — and therefore the result — is
+// identical for every ENW_THREADS setting.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// Rows per chunk targeting ~16K elements of work per task.
+std::size_t row_grain(std::size_t inner, std::size_t floor_rows) {
+  return std::max(floor_rows, 16384 / std::max<std::size_t>(1, inner));
+}
+
+}  // namespace
+
+Vector matvec(const Matrix& a, std::span<const float> x) {
+  ENW_CHECK_MSG(a.cols() == x.size(), "matvec dimension mismatch");
+  const std::size_t m = a.rows(), n = a.cols();
+  Vector y(m, 0.0f);
+  parallel::parallel_for(0, m, row_grain(n, 8), [&](std::size_t r0, std::size_t r1) {
+    std::size_t r = r0;
+    // 4-row blocks share the streamed x vector from L1.
+    for (; r + 4 <= r1; r += 4) {
+      const float* p0 = a.data() + r * n;
+      const float* p1 = p0 + n;
+      const float* p2 = p1 + n;
+      const float* p3 = p2 + n;
+      float acc0 = 0.0f, acc1 = 0.0f, acc2 = 0.0f, acc3 = 0.0f;
+      for (std::size_t c = 0; c < n; ++c) {
+        const float xc = x[c];
+        acc0 += p0[c] * xc;
+        acc1 += p1[c] * xc;
+        acc2 += p2[c] * xc;
+        acc3 += p3[c] * xc;
+      }
+      y[r] = acc0;
+      y[r + 1] = acc1;
+      y[r + 2] = acc2;
+      y[r + 3] = acc3;
+    }
+    for (; r < r1; ++r) {
+      const float* row = a.data() + r * n;
+      float acc = 0.0f;
+      for (std::size_t c = 0; c < n; ++c) acc += row[c] * x[c];
+      y[r] = acc;
+    }
+  });
+  return y;
+}
+
+Vector matvec_transposed(const Matrix& a, std::span<const float> x, ZeroSkip skip) {
+  ENW_CHECK_MSG(a.rows() == x.size(), "matvec_transposed dimension mismatch");
+  const std::size_t m = a.rows(), n = a.cols();
+  Vector y(n, 0.0f);
+  // Column-chunked: each chunk owns a disjoint slice of y and accumulates
+  // over rows in fixed order — no partials to merge. y[c]'s summation order
+  // does not depend on the chunk layout at all, so both branches below (and
+  // any thread count) produce identical bits. Single-threaded, full-width
+  // row streaming beats strided column passes, so skip the chunking there.
+  if (parallel::thread_count() <= 1) {
+    for (std::size_t r = 0; r < m; ++r) {
+      const float xr = x[r];
+      if (skip == ZeroSkip::kSkipZeroInputs && xr == 0.0f) continue;
+      const float* row = a.data() + r * n;
+      for (std::size_t c = 0; c < n; ++c) y[c] += row[c] * xr;
+    }
+    return y;
+  }
+  const std::size_t grain = std::max<std::size_t>(256, 16384 / std::max<std::size_t>(1, m));
+  parallel::parallel_for(0, n, grain, [&](std::size_t c0, std::size_t c1) {
+    for (std::size_t r = 0; r < m; ++r) {
+      const float xr = x[r];
+      if (skip == ZeroSkip::kSkipZeroInputs && xr == 0.0f) continue;
+      const float* row = a.data() + r * n;
+      for (std::size_t c = c0; c < c1; ++c) y[c] += row[c] * xr;
+    }
+  });
+  return y;
+}
+
+Matrix matmul(const Matrix& a, const Matrix& b) {
+  ENW_CHECK_MSG(a.cols() == b.rows(), "matmul dimension mismatch");
+  const std::size_t m = a.rows(), k = a.cols(), n = b.cols();
+  Matrix c(m, n);
+  constexpr std::size_t kKc = 256;  // k-panel: keeps a b-panel resident in L2
+  const std::size_t grain = std::max<std::size_t>(4, 16384 / std::max<std::size_t>(1, k * n / 8 + 1));
+  parallel::parallel_for(0, m, grain, [&](std::size_t i0, std::size_t i1) {
+    for (std::size_t kk = 0; kk < k; kk += kKc) {
+      const std::size_t kend = std::min(kk + kKc, k);
+      std::size_t i = i0;
+      // Register-blocked 4-row micro-kernel: one streamed b row updates four
+      // c rows, quadrupling reuse of the b panel.
+      for (; i + 4 <= i1; i += 4) {
+        float* c0 = c.data() + i * n;
+        float* c1 = c0 + n;
+        float* c2 = c1 + n;
+        float* c3 = c2 + n;
+        const float* a0 = a.data() + i * k;
+        const float* a1 = a0 + k;
+        const float* a2 = a1 + k;
+        const float* a3 = a2 + k;
+        for (std::size_t kx = kk; kx < kend; ++kx) {
+          const float av0 = a0[kx], av1 = a1[kx], av2 = a2[kx], av3 = a3[kx];
+          const float* br = b.data() + kx * n;
+          for (std::size_t j = 0; j < n; ++j) {
+            const float bv = br[j];
+            c0[j] += av0 * bv;
+            c1[j] += av1 * bv;
+            c2[j] += av2 * bv;
+            c3[j] += av3 * bv;
+          }
+        }
+      }
+      for (; i < i1; ++i) {
+        float* crow = c.data() + i * n;
+        const float* arow = a.data() + i * k;
+        for (std::size_t kx = kk; kx < kend; ++kx) {
+          const float av = arow[kx];
+          const float* br = b.data() + kx * n;
+          for (std::size_t j = 0; j < n; ++j) crow[j] += av * br[j];
+        }
+      }
+    }
+  });
+  return c;
+}
+
+void rank1_update(Matrix& a, std::span<const float> u, std::span<const float> v,
+                  float scale, ZeroSkip skip) {
+  ENW_CHECK_MSG(a.rows() == u.size() && a.cols() == v.size(),
+                "rank1_update dimension mismatch");
+  const std::size_t n = a.cols();
+  parallel::parallel_for(0, a.rows(), row_grain(n, 16),
+                         [&](std::size_t r0, std::size_t r1) {
+    for (std::size_t r = r0; r < r1; ++r) {
+      const float s = scale * u[r];
+      if (skip == ZeroSkip::kSkipZeroInputs && s == 0.0f) continue;
+      float* row = a.data() + r * n;
+      for (std::size_t c = 0; c < n; ++c) row[c] += s * v[c];
+    }
+  });
+}
+
+Matrix transpose(const Matrix& a) {
+  const std::size_t m = a.rows(), n = a.cols();
+  Matrix t(n, m);
+  constexpr std::size_t kTile = 64;  // 64x64 float tile = 16 KiB, L1-resident
+  parallel::parallel_for(0, n, kTile, [&](std::size_t c0, std::size_t c1) {
+    for (std::size_t r0 = 0; r0 < m; r0 += kTile) {
+      const std::size_t r1 = std::min(r0 + kTile, m);
+      for (std::size_t cx = c0; cx < c1; ++cx) {
+        float* trow = t.data() + cx * m;
+        const float* src = a.data() + r0 * n + cx;
+        for (std::size_t r = r0; r < r1; ++r, src += n) trow[r] = *src;
+      }
+    }
+  });
   return t;
 }
 
@@ -151,7 +321,10 @@ Matrix im2col(const Matrix& image, std::size_t height, std::size_t width,
   const std::size_t out_h = (height + 2 * pad - kh) / stride + 1;
   const std::size_t out_w = (width + 2 * pad - kw) / stride + 1;
   Matrix cols(channels * kh * kw, out_h * out_w);
-  for (std::size_t c = 0; c < channels; ++c) {
+  // Each channel owns rows [c*kh*kw, (c+1)*kh*kw) of the output — disjoint
+  // writes, so channel-parallel execution is trivially deterministic.
+  parallel::parallel_for(0, channels, 1, [&](std::size_t cb, std::size_t ce) {
+  for (std::size_t c = cb; c < ce; ++c) {
     for (std::size_t ky = 0; ky < kh; ++ky) {
       for (std::size_t kx = 0; kx < kw; ++kx) {
         const std::size_t row = (c * kh + ky) * kw + kx;
@@ -172,6 +345,7 @@ Matrix im2col(const Matrix& image, std::size_t height, std::size_t width,
       }
     }
   }
+  });
   return cols;
 }
 
@@ -184,7 +358,10 @@ Matrix col2im(const Matrix& cols, std::size_t channels, std::size_t height,
   ENW_CHECK_MSG(cols.rows() == channels * kh * kw && cols.cols() == out_h * out_w,
                 "col2im shape mismatch");
   Matrix image(channels, height * width);
-  for (std::size_t c = 0; c < channels; ++c) {
+  // Scatter-adds for channel c only touch image row c; per-pixel accumulation
+  // order (ky, kx, oy, ox) is fixed, so channel-parallel stays bitwise stable.
+  parallel::parallel_for(0, channels, 1, [&](std::size_t cb, std::size_t ce) {
+  for (std::size_t c = cb; c < ce; ++c) {
     for (std::size_t ky = 0; ky < kh; ++ky) {
       for (std::size_t kx = 0; kx < kw; ++kx) {
         const std::size_t row = (c * kh + ky) * kw + kx;
@@ -203,6 +380,7 @@ Matrix col2im(const Matrix& cols, std::size_t channels, std::size_t height,
       }
     }
   }
+  });
   return image;
 }
 

@@ -11,21 +11,49 @@
 
 namespace enw {
 
+/// Whether a kernel may skip work for exactly-zero input elements.
+///
+/// Skipping is NOT a pure optimization: `acc += 0.0f * row[c]` propagates
+/// NaN/Inf from `row` and can flip -0.0 to +0.0, while skipping leaves acc
+/// untouched. The default is therefore kNone (exact IEEE semantics); callers
+/// that know their operands are finite (e.g. SGD backprop through ReLU-
+/// sparse deltas) opt in for the sparsity win.
+enum class ZeroSkip { kNone, kSkipZeroInputs };
+
 /// y = A x. A is (m x n), x has n elements, y gets m elements.
+/// Cache-blocked and row-parallel; bitwise-identical to matvec_reference
+/// for every thread count.
 Vector matvec(const Matrix& a, std::span<const float> x);
 
 /// y = A^T x. A is (m x n), x has m elements, y gets n elements.
-Vector matvec_transposed(const Matrix& a, std::span<const float> x);
+/// Column-chunked and parallel; each output column accumulates over rows in
+/// fixed order, so results are bitwise deterministic across thread counts.
+Vector matvec_transposed(const Matrix& a, std::span<const float> x,
+                         ZeroSkip skip = ZeroSkip::kNone);
 
-/// C = A B.
+/// C = A B. Cache-blocked (k-panels, 4-row register blocking) and parallel
+/// over row blocks; bitwise-identical to matmul_reference for every thread
+/// count (per-element accumulation stays in k order, no FMA contraction).
 Matrix matmul(const Matrix& a, const Matrix& b);
 
 /// A += scale * u v^T (rank-1 update; digital counterpart of the analog
-/// parallel outer-product update in Fig. 1 of the paper).
+/// parallel outer-product update in Fig. 1 of the paper). Row-parallel.
 void rank1_update(Matrix& a, std::span<const float> u, std::span<const float> v,
-                  float scale);
+                  float scale, ZeroSkip skip = ZeroSkip::kNone);
 
+/// Blocked tile transpose, parallel over output-row blocks.
 Matrix transpose(const Matrix& a);
+
+/// Naive scalar triple-loop reference kernels. Retained on purpose: the
+/// equivalence tests assert the blocked/parallel kernels above are
+/// bitwise-identical to these, and bench_kernels reports blocked-vs-naive
+/// speedups against them. Do not "optimize" these.
+Vector matvec_reference(const Matrix& a, std::span<const float> x);
+Vector matvec_transposed_reference(const Matrix& a, std::span<const float> x);
+Matrix matmul_reference(const Matrix& a, const Matrix& b);
+void rank1_update_reference(Matrix& a, std::span<const float> u,
+                            std::span<const float> v, float scale);
+Matrix transpose_reference(const Matrix& a);
 
 /// Element-wise vector helpers.
 Vector add(std::span<const float> a, std::span<const float> b);

@@ -1,0 +1,120 @@
+// Tests for enw::parallel — pool sizing, partition semantics, exceptions.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <mutex>
+#include <set>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+#include "core/parallel.h"
+
+namespace enw::parallel {
+namespace {
+
+// Most tests force a multi-threaded pool so the non-inline path is covered
+// even on single-core CI machines; each restores the entry thread count.
+class ThreadCountGuard {
+ public:
+  ThreadCountGuard() : saved_(thread_count()) {}
+  ~ThreadCountGuard() { set_thread_count(saved_); }
+
+ private:
+  std::size_t saved_;
+};
+
+TEST(ParallelFor, EmptyRangeNeverInvokes) {
+  std::atomic<int> calls{0};
+  parallel_for(5, 5, 1, [&](std::size_t, std::size_t) { ++calls; });
+  parallel_for(7, 3, 1, [&](std::size_t, std::size_t) { ++calls; });
+  EXPECT_EQ(calls.load(), 0);
+}
+
+TEST(ParallelFor, GrainLargerThanRangeIsOneChunk) {
+  std::mutex m;
+  std::vector<std::pair<std::size_t, std::size_t>> chunks;
+  parallel_for(2, 9, 100, [&](std::size_t lo, std::size_t hi) {
+    std::lock_guard<std::mutex> lk(m);
+    chunks.emplace_back(lo, hi);
+  });
+  ASSERT_EQ(chunks.size(), 1u);
+  EXPECT_EQ(chunks[0].first, 2u);
+  EXPECT_EQ(chunks[0].second, 9u);
+}
+
+TEST(ParallelFor, CoversEveryIndexExactlyOnce) {
+  ThreadCountGuard guard;
+  set_thread_count(4);
+  constexpr std::size_t kN = 1000;
+  std::vector<std::atomic<int>> hits(kN);
+  for (auto& h : hits) h = 0;
+  parallel_for(0, kN, 7, [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) hits[i]++;
+  });
+  for (std::size_t i = 0; i < kN; ++i) EXPECT_EQ(hits[i].load(), 1) << i;
+}
+
+TEST(ParallelFor, PartitionIndependentOfThreadCount) {
+  ThreadCountGuard guard;
+  auto collect = [](std::size_t threads) {
+    set_thread_count(threads);
+    std::mutex m;
+    std::set<std::pair<std::size_t, std::size_t>> chunks;
+    parallel_for(3, 130, 16, [&](std::size_t lo, std::size_t hi) {
+      std::lock_guard<std::mutex> lk(m);
+      chunks.emplace(lo, hi);
+    });
+    return chunks;
+  };
+  const auto one = collect(1);
+  const auto many = collect(8);
+  EXPECT_EQ(one, many);
+}
+
+TEST(ParallelFor, ZeroGrainTreatedAsOne) {
+  std::atomic<std::size_t> total{0};
+  parallel_for(0, 10, 0, [&](std::size_t lo, std::size_t hi) { total += hi - lo; });
+  EXPECT_EQ(total.load(), 10u);
+}
+
+TEST(ParallelFor, ExceptionPropagatesToCaller) {
+  ThreadCountGuard guard;
+  for (const std::size_t threads : {std::size_t{1}, std::size_t{4}}) {
+    set_thread_count(threads);
+    EXPECT_THROW(
+        parallel_for(0, 64, 1,
+                     [&](std::size_t lo, std::size_t) {
+                       if (lo == 13) throw std::runtime_error("chunk 13");
+                     }),
+        std::runtime_error)
+        << "threads=" << threads;
+    // The pool must stay usable after an exception.
+    std::atomic<std::size_t> total{0};
+    parallel_for(0, 32, 4, [&](std::size_t lo, std::size_t hi) { total += hi - lo; });
+    EXPECT_EQ(total.load(), 32u);
+  }
+}
+
+TEST(ParallelFor, NestedCallsRunInlineWithoutDeadlock) {
+  ThreadCountGuard guard;
+  set_thread_count(4);
+  std::atomic<std::size_t> inner_total{0};
+  parallel_for(0, 8, 1, [&](std::size_t, std::size_t) {
+    parallel_for(0, 4, 1, [&](std::size_t lo, std::size_t hi) {
+      inner_total += hi - lo;
+    });
+  });
+  EXPECT_EQ(inner_total.load(), 32u);
+}
+
+TEST(ThreadCount, SetAndQuery) {
+  ThreadCountGuard guard;
+  set_thread_count(3);
+  EXPECT_EQ(thread_count(), 3u);
+  set_thread_count(0);  // clamps to 1
+  EXPECT_EQ(thread_count(), 1u);
+}
+
+}  // namespace
+}  // namespace enw::parallel

@@ -2,13 +2,39 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstring>
+#include <limits>
 
+#include "core/parallel.h"
 #include "tensor/distance.h"
 #include "tensor/matrix.h"
 #include "tensor/ops.h"
 
 namespace enw {
 namespace {
+
+bool bitwise_equal(std::span<const float> a, std::span<const float> b) {
+  return a.size() == b.size() &&
+         std::memcmp(a.data(), b.data(), a.size() * sizeof(float)) == 0;
+}
+
+bool bitwise_equal(const Matrix& a, const Matrix& b) {
+  return a.rows() == b.rows() && a.cols() == b.cols() &&
+         std::memcmp(a.data(), b.data(), a.size() * sizeof(float)) == 0;
+}
+
+Matrix random_matrix(std::size_t r, std::size_t c, Rng& rng) {
+  Matrix m(r, c);
+  for (std::size_t i = 0; i < m.size(); ++i)
+    m.data()[i] = static_cast<float>(rng.normal());
+  return m;
+}
+
+Vector random_vector(std::size_t n, Rng& rng) {
+  Vector v(n);
+  for (auto& x : v) x = static_cast<float>(rng.normal());
+  return v;
+}
 
 TEST(Matrix, InitializerListAndAccess) {
   Matrix m{{1.0f, 2.0f}, {3.0f, 4.0f}};
@@ -195,6 +221,139 @@ TEST(Ops, Col2ImIsAdjointOfIm2Col) {
   for (std::size_t i = 0; i < cx.size(); ++i) lhs += cx.data()[i] * y.data()[i];
   for (std::size_t i = 0; i < x.size(); ++i) rhs += x.data()[i] * aty.data()[i];
   EXPECT_NEAR(lhs, rhs, 1e-3);
+}
+
+// --------------------------------------------------------------------------
+// Blocked/parallel kernels vs. naive references: the optimized kernels are
+// documented to be *bitwise* identical (same per-element accumulation order,
+// -ffp-contract=off on the kernel TU), including on ragged shapes that
+// exercise every remainder path of the blocking.
+// --------------------------------------------------------------------------
+
+struct KernelShape {
+  std::size_t m, k, n;
+};
+
+class KernelEquivalenceTest : public ::testing::TestWithParam<KernelShape> {};
+
+TEST_P(KernelEquivalenceTest, MatmulMatchesReferenceBitwise) {
+  const auto [m, k, n] = GetParam();
+  Rng rng(101);
+  const Matrix a = random_matrix(m, k, rng);
+  const Matrix b = random_matrix(k, n, rng);
+  EXPECT_TRUE(bitwise_equal(matmul(a, b), matmul_reference(a, b)));
+}
+
+TEST_P(KernelEquivalenceTest, MatvecMatchesReferenceBitwise) {
+  const auto [m, k, n] = GetParam();
+  (void)n;
+  Rng rng(102);
+  const Matrix a = random_matrix(m, k, rng);
+  const Vector x = random_vector(k, rng);
+  EXPECT_TRUE(bitwise_equal(matvec(a, x), matvec_reference(a, x)));
+}
+
+TEST_P(KernelEquivalenceTest, MatvecTransposedMatchesReferenceBitwise) {
+  const auto [m, k, n] = GetParam();
+  (void)n;
+  Rng rng(103);
+  const Matrix a = random_matrix(m, k, rng);
+  const Vector x = random_vector(m, rng);
+  EXPECT_TRUE(bitwise_equal(matvec_transposed(a, x),
+                            matvec_transposed_reference(a, x)));
+}
+
+TEST_P(KernelEquivalenceTest, Rank1UpdateMatchesReferenceBitwise) {
+  const auto [m, k, n] = GetParam();
+  (void)n;
+  Rng rng(104);
+  Matrix a = random_matrix(m, k, rng);
+  Matrix a_ref = a;
+  const Vector u = random_vector(m, rng);
+  const Vector v = random_vector(k, rng);
+  rank1_update(a, u, v, 0.37f);
+  rank1_update_reference(a_ref, u, v, 0.37f);
+  EXPECT_TRUE(bitwise_equal(a, a_ref));
+}
+
+TEST_P(KernelEquivalenceTest, TransposeMatchesReferenceBitwise) {
+  const auto [m, k, n] = GetParam();
+  (void)n;
+  Rng rng(105);
+  const Matrix a = random_matrix(m, k, rng);
+  EXPECT_TRUE(bitwise_equal(transpose(a), transpose_reference(a)));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RaggedAndSquare, KernelEquivalenceTest,
+    ::testing::Values(KernelShape{1, 1, 1}, KernelShape{3, 129, 17},
+                      KernelShape{257, 63, 31}, KernelShape{5, 1, 9},
+                      KernelShape{1, 300, 1}, KernelShape{64, 64, 64},
+                      KernelShape{130, 70, 129}));
+
+// ENW_THREADS=1 and ENW_THREADS=8 must produce bitwise-identical outputs:
+// chunk partitions are a pure function of the shape, and every chunk writes
+// a disjoint output slice.
+TEST(KernelDeterminism, ThreadCountDoesNotChangeBits) {
+  Rng rng(77);
+  const Matrix a = random_matrix(130, 67, rng);
+  const Matrix b = random_matrix(67, 33, rng);
+  const Vector x = random_vector(67, rng);
+  const Vector xt = random_vector(130, rng);
+
+  const std::size_t saved = parallel::thread_count();
+  parallel::set_thread_count(1);
+  const Matrix mm1 = matmul(a, b);
+  const Vector mv1 = matvec(a, x);
+  const Vector mt1 = matvec_transposed(a, xt);
+  const Matrix tr1 = transpose(a);
+  Matrix r1 = a;
+  rank1_update(r1, xt, x, -0.01f);
+
+  parallel::set_thread_count(8);
+  const Matrix mm8 = matmul(a, b);
+  const Vector mv8 = matvec(a, x);
+  const Vector mt8 = matvec_transposed(a, xt);
+  const Matrix tr8 = transpose(a);
+  Matrix r8 = a;
+  rank1_update(r8, xt, x, -0.01f);
+  parallel::set_thread_count(saved);
+
+  EXPECT_TRUE(bitwise_equal(mm1, mm8));
+  EXPECT_TRUE(bitwise_equal(mv1, mv8));
+  EXPECT_TRUE(bitwise_equal(mt1, mt8));
+  EXPECT_TRUE(bitwise_equal(tr1, tr8));
+  EXPECT_TRUE(bitwise_equal(r1, r8));
+}
+
+// The seed's matvec_transposed skipped rows where x[r] == 0, silently
+// swallowing NaN/Inf in those rows. The default path must propagate them;
+// the skip is opt-in.
+TEST(Ops, MatvecTransposedPropagatesNonFiniteByDefault) {
+  constexpr float kNan = std::numeric_limits<float>::quiet_NaN();
+  constexpr float kInf = std::numeric_limits<float>::infinity();
+  Matrix a{{kNan, kInf}, {1.0f, 2.0f}};
+  const Vector x{0.0f, 1.0f};  // zero weight on the non-finite row
+  const Vector y = matvec_transposed(a, x);
+  EXPECT_TRUE(std::isnan(y[0]));  // 0 * NaN
+  EXPECT_TRUE(std::isnan(y[1]));  // 0 * Inf
+  const Vector y_skip = matvec_transposed(a, x, ZeroSkip::kSkipZeroInputs);
+  EXPECT_FLOAT_EQ(y_skip[0], 1.0f);
+  EXPECT_FLOAT_EQ(y_skip[1], 2.0f);
+}
+
+TEST(Ops, Rank1UpdatePropagatesNonFiniteByDefault) {
+  constexpr float kInf = std::numeric_limits<float>::infinity();
+  Matrix a{{1.0f}, {2.0f}};
+  const Vector u{0.0f, 1.0f};
+  const Vector v{kInf};
+  Matrix exact = a;
+  rank1_update(exact, u, v, 1.0f);
+  EXPECT_TRUE(std::isnan(exact(0, 0)));  // 1 + 0 * Inf
+  Matrix skipped = a;
+  rank1_update(skipped, u, v, 1.0f, ZeroSkip::kSkipZeroInputs);
+  EXPECT_FLOAT_EQ(skipped(0, 0), 1.0f);
+  EXPECT_TRUE(std::isinf(skipped(1, 0)));
 }
 
 TEST(Distance, CosineBasics) {
