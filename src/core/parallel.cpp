@@ -19,6 +19,12 @@ namespace {
 // on the single shared job slot.
 thread_local bool t_in_worker = false;
 
+// Set by an atexit handler once static destruction begins. The pool itself
+// is leaked, but its detached workers could otherwise be handed work whose
+// fn touches globals that are being destroyed; after shutdown every
+// parallel_for runs inline on the calling thread instead.
+std::atomic<bool> g_shutdown{false};
+
 struct Pool {
   std::mutex m;
   std::condition_variable cv_job;   // workers: a new job generation exists
@@ -36,6 +42,8 @@ struct Pool {
   std::atomic<std::size_t> next{0};     // next chunk index to claim
   std::atomic<bool> aborted{false};     // an exception was recorded
   std::size_t completed = 0;            // chunks accounted for (guarded by m)
+  std::size_t active_workers = 0;       // workers checked in, not yet checked
+                                        // out of drain() (guarded by m)
   std::exception_ptr error;             // first exception (guarded by m)
 
   std::vector<std::thread> workers;
@@ -73,11 +81,18 @@ struct Pool {
     for (;;) {
       cv_job.wait(lk, [&] { return generation != seen && id < job_workers; });
       seen = generation;
+      // Check in before releasing the mutex: the job slot (fn/begin/end/
+      // grain/nchunks) must not be recycled while this thread may still be
+      // inside drain() reading those plain fields. The caller waits for
+      // active_workers == 0 before returning, and a new parallel_for falls
+      // back to the inline path while a stale worker is still checked in.
+      ++active_workers;
       lk.unlock();
       const std::size_t did = drain();
       lk.lock();
       completed += did;
-      if (completed == nchunks) cv_done.notify_all();
+      --active_workers;
+      if (completed == nchunks && active_workers == 0) cv_done.notify_all();
     }
   }
 };
@@ -87,6 +102,9 @@ Pool& pool() {
   // exit, and destroying their std::thread objects would call terminate().
   static Pool* p = [] {
     auto* pl = new Pool();
+    // Force the inline path once shutdown begins; registered here so it runs
+    // before the destructors of any static constructed earlier than the pool.
+    std::atexit([] { g_shutdown.store(true, std::memory_order_relaxed); });
     std::size_t n = std::thread::hardware_concurrency();
     if (n == 0) n = 1;
     if (const char* env = std::getenv("ENW_THREADS")) {
@@ -137,10 +155,14 @@ void parallel_for(std::size_t begin, std::size_t end, std::size_t grain,
   std::unique_lock<std::mutex> lk(p.m);
   const std::size_t threads = p.configured_threads;
   // Inline path: single-threaded config, a single chunk, nested call from a
-  // worker, or the job slot already busy (concurrent external callers).
+  // worker, the job slot already busy (concurrent external callers), a
+  // stale worker from a previous generation still checked in (its drain()
+  // reads the slot fields, so they must not be rewritten yet), or process
+  // shutdown has begun (workers may race static destruction after main).
   // Chunks still run in index order, which is the same arithmetic the
   // parallel path performs, so results are identical.
-  if (threads <= 1 || nchunks <= 1 || t_in_worker || p.job_active) {
+  if (threads <= 1 || nchunks <= 1 || t_in_worker || p.job_active ||
+      p.active_workers != 0 || g_shutdown.load(std::memory_order_relaxed)) {
     lk.unlock();
     for (std::size_t i = 0; i < nchunks; ++i) {
       const std::size_t lo = begin + i * grain;
@@ -168,7 +190,14 @@ void parallel_for(std::size_t begin, std::size_t end, std::size_t grain,
 
   lk.lock();
   p.completed += did;
-  p.cv_done.wait(lk, [&] { return p.completed == p.nchunks; });
+  // Wait for every checked-in worker to leave drain(), not just for all
+  // chunks to complete: a worker woken for this generation but preempted
+  // before claiming a chunk may still be about to read the job slot, and
+  // returning earlier would let the next parallel_for rewrite it (torn
+  // begin/end/nchunks, dangling fn) under that worker.
+  p.cv_done.wait(lk, [&] {
+    return p.completed == p.nchunks && p.active_workers == 0;
+  });
   p.job_active = false;
   const std::exception_ptr err = p.error;
   p.error = nullptr;

@@ -10,6 +10,9 @@
 //    environment variable, defaulting to std::thread::hardware_concurrency.
 //  * parallel_for issued from inside a worker (nested parallelism) runs
 //    inline on the calling thread; the kernels never rely on nesting.
+//  * Once main() returns (static destruction), parallel_for degrades to
+//    inline execution on the calling thread: pool workers are detached and
+//    must not be handed work that may touch globals being destroyed.
 #pragma once
 
 #include <cstddef>

@@ -108,6 +108,28 @@ TEST(ParallelFor, NestedCallsRunInlineWithoutDeadlock) {
   EXPECT_EQ(inner_total.load(), 32u);
 }
 
+// Regression stress for the job-slot recycling race: a worker woken for one
+// generation but slow to start draining must not observe the slot rewritten
+// by a later parallel_for (torn bounds, dangling fn). Back-to-back tiny jobs
+// maximize the window; each generation checks its own chunks were the only
+// ones run against its local buffer.
+TEST(ParallelFor, BackToBackGenerationsDoNotRecycleSlotEarly) {
+  ThreadCountGuard guard;
+  set_thread_count(4);
+  for (int gen = 0; gen < 2000; ++gen) {
+    const std::size_t n = 1 + static_cast<std::size_t>(gen % 7);
+    std::vector<std::atomic<int>> hits(n);
+    for (auto& h : hits) h = 0;
+    parallel_for(0, n, 1, [&](std::size_t lo, std::size_t hi) {
+      for (std::size_t i = lo; i < hi; ++i) {
+        ASSERT_LT(i, n);
+        hits[i]++;
+      }
+    });
+    for (std::size_t i = 0; i < n; ++i) ASSERT_EQ(hits[i].load(), 1) << i;
+  }
+}
+
 TEST(ThreadCount, SetAndQuery) {
   ThreadCountGuard guard;
   set_thread_count(3);
