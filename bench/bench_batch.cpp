@@ -1,0 +1,241 @@
+// bench_batch — per-sample vs batched execution throughput across the four
+// workloads the batched minibatch path touches:
+//
+//   mlp_infer   784-256-10 MLP inference     (matvec loop  -> one GEMM/layer)
+//   mlp_train   784-256-10 MLP training      (per-sample SGD -> minibatch SGD)
+//   dlrm_serve  DLRM CTR serving             (per-sample MLPs -> batched MLPs)
+//   mann_score  ExactSearch cosine scoring   (matvec per query -> one GEMM)
+//
+// This is a paired harness, not Google Benchmark: each row times the
+// per-sample loop and the batched path on the SAME model and inputs, so the
+// speedup column is apples-to-apples. Regenerate the committed record with:
+//   ./scripts/run_bench_batch.sh            (writes BENCH_batch.json)
+// CI runs `bench_batch --smoke` to catch harness crashes cheaply.
+#include <cstdio>
+#include <cstring>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "core/parallel.h"
+#include "core/rng.h"
+#include "data/click_log.h"
+#include "mann/similarity_search.h"
+#include "nn/digital_linear.h"
+#include "nn/mlp.h"
+#include "recsys/dlrm.h"
+#include "tensor/matrix.h"
+
+namespace {
+
+using enw::Matrix;
+using enw::Rng;
+using enw::Vector;
+
+struct Options {
+  bool smoke = false;
+  std::string out_path;  // empty = don't write JSON
+};
+
+struct Row {
+  const char* workload;
+  std::size_t batch;
+  double per_sample_sps = 0.0;  // samples (or queries) per second
+  double batched_sps = 0.0;
+  double speedup() const {
+    return per_sample_sps > 0.0 ? batched_sps / per_sample_sps : 0.0;
+  }
+};
+
+/// Run fn (which processes `samples` samples) repeatedly for at least
+/// min_seconds; return samples/second.
+double throughput(std::size_t samples, double min_seconds,
+                  const std::function<void()>& fn) {
+  fn();  // warm-up (first-touch, pool spin-up)
+  std::size_t iters = 0;
+  enw::bench::Timer t;
+  do {
+    fn();
+    ++iters;
+  } while (t.seconds() < min_seconds);
+  return static_cast<double>(iters * samples) / t.seconds();
+}
+
+Matrix random_matrix(std::size_t r, std::size_t c, unsigned seed) {
+  Rng rng(seed);
+  Matrix m(r, c);
+  for (std::size_t i = 0; i < m.size(); ++i)
+    m.data()[i] = static_cast<float>(rng.normal());
+  return m;
+}
+
+// --- workloads --------------------------------------------------------------
+
+Row bench_mlp_infer(std::size_t batch, double min_seconds) {
+  Rng rng(1);
+  enw::nn::MlpConfig cfg;
+  cfg.dims = {784, 256, 10};
+  cfg.hidden_activation = enw::nn::Activation::kRelu;
+  enw::nn::Mlp net(cfg, enw::nn::DigitalLinear::factory(rng));
+  const Matrix x = random_matrix(batch, 784, 2);
+
+  Row row{"mlp_infer", batch};
+  row.per_sample_sps = throughput(batch, min_seconds, [&] {
+    for (std::size_t s = 0; s < batch; ++s) {
+      volatile std::size_t sink = net.predict(x.row(s));
+      (void)sink;
+    }
+  });
+  row.batched_sps = throughput(batch, min_seconds, [&] {
+    const std::vector<std::size_t> preds = net.predict_batch(x);
+    volatile std::size_t sink = preds[0];
+    (void)sink;
+  });
+  return row;
+}
+
+Row bench_mlp_train(std::size_t batch, double min_seconds) {
+  Rng rng(3);
+  enw::nn::MlpConfig cfg;
+  cfg.dims = {784, 256, 10};
+  cfg.hidden_activation = enw::nn::Activation::kRelu;
+  enw::nn::Mlp net(cfg, enw::nn::DigitalLinear::factory(rng));
+  const Matrix x = random_matrix(batch, 784, 4);
+  std::vector<std::size_t> labels(batch);
+  for (std::size_t s = 0; s < batch; ++s) labels[s] = s % 10;
+  const float lr = 1e-4f;  // tiny: keep weights in-range while looping
+
+  Row row{"mlp_train", batch};
+  row.per_sample_sps = throughput(batch, min_seconds, [&] {
+    for (std::size_t s = 0; s < batch; ++s) {
+      volatile float sink = net.train_step(x.row(s), labels[s], lr);
+      (void)sink;
+    }
+  });
+  row.batched_sps = throughput(batch, min_seconds, [&] {
+    volatile float sink = net.train_batch(x, labels, lr);
+    (void)sink;
+  });
+  return row;
+}
+
+Row bench_dlrm_serve(std::size_t batch, double min_seconds, bool smoke) {
+  Rng rng(5);
+  enw::recsys::DlrmConfig cfg;  // default: 13 dense, 8 tables, 64/32 MLPs
+  if (smoke) cfg.rows_per_table = 500;
+  enw::recsys::Dlrm model(cfg, rng);
+  enw::data::ClickLogConfig log_cfg;
+  log_cfg.num_dense = cfg.num_dense;
+  log_cfg.num_tables = cfg.num_tables;
+  log_cfg.rows_per_table = cfg.rows_per_table;
+  enw::data::ClickLogGenerator gen(log_cfg);
+  Rng data_rng(6);
+  const std::vector<enw::data::ClickSample> samples = gen.batch(batch, data_rng);
+
+  Row row{"dlrm_serve", batch};
+  row.per_sample_sps = throughput(batch, min_seconds, [&] {
+    for (const auto& s : samples) {
+      volatile float sink = model.predict(s);
+      (void)sink;
+    }
+  });
+  row.batched_sps = throughput(batch, min_seconds, [&] {
+    const std::vector<float> probs = model.predict_batch(samples);
+    volatile float sink = probs[0];
+    (void)sink;
+  });
+  return row;
+}
+
+Row bench_mann_score(std::size_t batch, double min_seconds) {
+  const std::size_t dim = 64;
+  const std::size_t memory = 512;
+  enw::mann::ExactSearch search(dim, enw::Metric::kCosineSimilarity);
+  const Matrix keys = random_matrix(memory, dim, 7);
+  for (std::size_t i = 0; i < memory; ++i) search.add(keys.row(i), i % 5);
+  const Matrix queries = random_matrix(batch, dim, 8);
+
+  Row row{"mann_score", batch};
+  row.per_sample_sps = throughput(batch, min_seconds, [&] {
+    for (std::size_t s = 0; s < batch; ++s) {
+      volatile std::size_t sink = search.predict(queries.row(s));
+      (void)sink;
+    }
+  });
+  std::vector<std::size_t> preds(batch);
+  row.batched_sps = throughput(batch, min_seconds, [&] {
+    search.predict_batch(queries, preds);
+    volatile std::size_t sink = preds[0];
+    (void)sink;
+  });
+  return row;
+}
+
+void write_json(const std::string& path, const std::vector<Row>& rows) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "error: cannot write %s\n", path.c_str());
+    std::exit(1);
+  }
+  std::fprintf(f, "{\n  \"context\": {\n    \"threads\": %zu,\n",
+               enw::parallel::thread_count());
+  std::fprintf(f, "    \"unit\": \"samples_per_second\"\n  },\n");
+  std::fprintf(f, "  \"benchmarks\": [\n");
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const Row& r = rows[i];
+    std::fprintf(f,
+                 "    {\"workload\": \"%s\", \"batch\": %zu, "
+                 "\"per_sample_sps\": %.1f, \"batched_sps\": %.1f, "
+                 "\"speedup\": %.3f}%s\n",
+                 r.workload, r.batch, r.per_sample_sps, r.batched_sps, r.speedup(),
+                 i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("\nwrote %s\n", path.c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opt;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      opt.smoke = true;
+    } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      opt.out_path = argv[++i];
+    } else {
+      std::fprintf(stderr, "usage: %s [--smoke] [--out FILE]\n", argv[0]);
+      return 1;
+    }
+  }
+
+  const double min_seconds = opt.smoke ? 0.002 : 0.2;
+  const std::vector<std::size_t> batches =
+      opt.smoke ? std::vector<std::size_t>{1, 8}
+                : std::vector<std::size_t>{1, 8, 64, 256};
+
+  enw::bench::header("batch", "per-sample vs batched execution",
+                     "minibatch GEMM execution amortizes weight traffic that "
+                     "per-sample matvec re-streams for every input");
+
+  std::vector<Row> rows;
+  for (std::size_t b : batches) rows.push_back(bench_mlp_infer(b, min_seconds));
+  for (std::size_t b : batches) rows.push_back(bench_mlp_train(b, min_seconds));
+  for (std::size_t b : batches)
+    rows.push_back(bench_dlrm_serve(b, min_seconds, opt.smoke));
+  for (std::size_t b : batches) rows.push_back(bench_mann_score(b, min_seconds));
+
+  enw::bench::section("throughput (samples/s)");
+  enw::bench::Table table({"workload", "batch", "per-sample", "batched", "speedup"});
+  for (const Row& r : rows) {
+    table.row({r.workload, std::to_string(r.batch),
+               enw::bench::fmt(r.per_sample_sps, 0), enw::bench::fmt(r.batched_sps, 0),
+               enw::bench::fmt(r.speedup(), 2) + "x"});
+  }
+  table.print();
+
+  if (!opt.out_path.empty()) write_json(opt.out_path, rows);
+  return 0;
+}

@@ -1,0 +1,17 @@
+#!/usr/bin/env sh
+# Regenerate BENCH_batch.json — the machine-readable record of per-sample vs
+# batched execution throughput (MLP inference/training, DLRM serving, MANN
+# scoring) that PRs use to track the batched-path win.
+#
+# Usage: ./scripts/run_bench_batch.sh [build-dir] [extra bench_batch args...]
+set -eu
+
+BUILD_DIR="${1:-build}"
+[ $# -gt 0 ] && shift
+
+if [ ! -x "$BUILD_DIR/bench/bench_batch" ]; then
+  echo "error: $BUILD_DIR/bench/bench_batch not built (cmake --build $BUILD_DIR --target bench_batch)" >&2
+  exit 1
+fi
+
+exec "$BUILD_DIR/bench/bench_batch" --out BENCH_batch.json "$@"

@@ -46,6 +46,21 @@ void AnalogLinear::forward(std::span<const float> x, std::span<float> y) {
   }
 }
 
+void AnalogLinear::forward_batch(const Matrix& x, Matrix& y) {
+  ENW_CHECK(x.cols() == in_dim() && y.rows() == x.rows() && y.cols() == out_dim());
+  array_.forward_batch(x, y);
+  if (zero_shift_) {
+    // ref.row(s) = reference_ * x.row(s), bitwise equal to the per-sample
+    // matvec (see matmul_nt's kernel contract).
+    const Matrix ref = matmul_nt(x, reference_);
+    for (std::size_t s = 0; s < y.rows(); ++s) {
+      float* yrow = y.data() + s * y.cols();
+      const float* rrow = ref.data() + s * ref.cols();
+      for (std::size_t i = 0; i < y.cols(); ++i) yrow[i] -= rrow[i];
+    }
+  }
+}
+
 void AnalogLinear::backward(std::span<const float> dy, std::span<float> dx) {
   array_.backward(dy, dx);
   if (zero_shift_) {

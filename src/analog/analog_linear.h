@@ -37,6 +37,11 @@ class AnalogLinear final : public nn::LinearOps {
   void backward(std::span<const float> dy, std::span<float> dx) override;
   void update(std::span<const float> x, std::span<const float> dy, float lr) override;
 
+  /// Batched crossbar read: one AnalogMatrix::forward_batch (noise drawn per
+  /// (sample, row) in sample-major order, matching the sequential RNG
+  /// stream), with the differential-reference subtraction done as one GEMM.
+  void forward_batch(const Matrix& x, Matrix& y) override;
+
   Matrix weights() const override;
   void set_weights(const Matrix& w) override;
 

@@ -93,6 +93,60 @@ void AnalogMatrix::forward(std::span<const float> x, std::span<float> y) {
   });
 }
 
+void AnalogMatrix::forward_batch(const Matrix& x, Matrix& y) {
+  ENW_CHECK(x.cols() == cols_ && y.rows() == x.rows() && y.cols() == rows_);
+  const std::size_t batch = x.rows();
+  if (batch == 0) return;
+  // Per-sample noise management + DAC codes, hoisted for the whole batch.
+  Matrix xin(batch, cols_);
+  Vector xscale(batch);
+  for (std::size_t s = 0; s < batch; ++s) {
+    const auto row = x.row(s);
+    xscale[s] = std::max(max_abs(row), 1e-12f);
+    float* code = xin.data() + s * cols_;
+    for (std::size_t c = 0; c < cols_; ++c) {
+      code[c] = quantize_signed(row[c] / xscale[s], config_.dac_bits, 1.0f);
+    }
+  }
+  // One noise draw per (sample, row), sample-major — the same RNG stream a
+  // sequential per-sample readout would consume.
+  Matrix noise;
+  if (config_.read_noise_std > 0.0) {
+    noise = Matrix(batch, rows_);
+    for (std::size_t s = 0; s < batch; ++s) {
+      const float x_norm = l2_norm(x.row(s));
+      for (std::size_t r = 0; r < rows_; ++r) {
+        noise(s, r) = static_cast<float>(config_.read_noise_std * rng_.normal()) *
+                      x_norm / xscale[s];
+      }
+    }
+  }
+  const float adc_range = static_cast<float>(config_.adc_range);
+  const bool ideal_wires = config_.ir_drop <= 0.0;
+  // Flatten (sample, row) into one index space so the whole batch fills the
+  // pool in a single parallel region; the partition is a pure shape function.
+  const std::size_t grain = std::max<std::size_t>(8, 16384 / std::max<std::size_t>(1, cols_));
+  parallel::parallel_for(0, batch * rows_, grain, [&](std::size_t i0, std::size_t i1) {
+    for (std::size_t i = i0; i < i1; ++i) {
+      const std::size_t s = i / rows_;
+      const std::size_t r = i % rows_;
+      const float* code = xin.data() + s * cols_;
+      const float* row = w_.data() + r * cols_;
+      float acc = 0.0f;
+      if (ideal_wires) {
+        for (std::size_t c = 0; c < cols_; ++c) acc += row[c] * code[c];
+      } else {
+        for (std::size_t c = 0; c < cols_; ++c) {
+          acc += row[c] * attenuation(r, c) * code[c];
+        }
+      }
+      if (!noise.empty()) acc += noise(s, r);
+      acc = quantize_signed(acc, config_.adc_bits, adc_range);
+      y(s, r) = acc * xscale[s];
+    }
+  });
+}
+
 void AnalogMatrix::backward(std::span<const float> dy, std::span<float> dx) {
   ENW_CHECK(dy.size() == rows_ && dx.size() == cols_);
   const float d_scale = std::max(max_abs(dy), 1e-12f);

@@ -68,6 +68,14 @@ class AnalogMatrix {
   /// y = W x with analog non-idealities (row-wise read).
   void forward(std::span<const float> x, std::span<float> y);
 
+  /// Batched readout: y.row(s) = W x.row(s) for every sample row of x, with
+  /// the same non-idealities. Noise is drawn once per (sample, row) in
+  /// sample-major row order — the exact order a sequential per-sample
+  /// readout consumes the RNG — so the stream (and therefore the result) is
+  /// bitwise-identical to looping forward(), while the accumulation work for
+  /// all samples lands in one parallel region.
+  void forward_batch(const Matrix& x, Matrix& y);
+
   /// dx = W^T dy with analog non-idealities (column-wise read).
   void backward(std::span<const float> dy, std::span<float> dx);
 

@@ -19,9 +19,22 @@ FewShotResult evaluate_fewshot(const data::SyntheticOmniglot& dataset,
     for (std::size_t i = 0; i < ep.support.rows(); ++i) {
       search.add(embed(ep.support.row(i)), ep.support_labels[i]);
     }
-    for (std::size_t i = 0; i < ep.query.rows(); ++i) {
-      const std::size_t pred = search.predict(embed(ep.query.row(i)));
-      if (pred == ep.query_labels[i]) ++correct;
+    // Embed every episode query, then classify them all in one batched
+    // lookup — ExactSearch turns the episode's scoring into a single
+    // (queries x memory) GEMM instead of one matvec per query.
+    const std::size_t nq = ep.query.rows();
+    if (nq == 0) continue;
+    Matrix queries;
+    for (std::size_t i = 0; i < nq; ++i) {
+      const Vector f = embed(ep.query.row(i));
+      if (i == 0) queries = Matrix(nq, f.size());
+      ENW_CHECK_MSG(f.size() == queries.cols(), "embedding width changed mid-episode");
+      std::copy(f.begin(), f.end(), queries.row(i).begin());
+    }
+    std::vector<std::size_t> preds(nq);
+    search.predict_batch(queries, preds);
+    for (std::size_t i = 0; i < nq; ++i) {
+      if (preds[i] == ep.query_labels[i]) ++correct;
       ++result.total_queries;
     }
   }

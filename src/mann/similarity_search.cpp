@@ -25,6 +25,12 @@ void ExactSearch::add(std::span<const float> key, std::size_t label) {
   labels_.push_back(label);
 }
 
+void SimilaritySearch::predict_batch(const Matrix& queries,
+                                     std::span<std::size_t> out) {
+  ENW_CHECK_MSG(queries.rows() == out.size(), "predict_batch output size mismatch");
+  for (std::size_t s = 0; s < queries.rows(); ++s) out[s] = predict(queries.row(s));
+}
+
 std::size_t ExactSearch::predict(std::span<const float> key) {
   ENW_CHECK_MSG(!labels_.empty(), "predict on empty memory");
   ENW_CHECK(key.size() == dim_);
@@ -50,6 +56,65 @@ std::size_t ExactSearch::predict(std::span<const float> key) {
     }
   }
   return labels_[best];
+}
+
+void ExactSearch::predict_batch(const Matrix& queries, std::span<std::size_t> out) {
+  ENW_CHECK_MSG(!labels_.empty(), "predict_batch on empty memory");
+  ENW_CHECK_MSG(queries.cols() == dim_, "query dimension mismatch");
+  ENW_CHECK_MSG(queries.rows() == out.size(), "predict_batch output size mismatch");
+  const std::size_t q = queries.rows();
+  const std::size_t n = labels_.size();
+  Matrix scores(q, n);
+
+  if (metric_ == Metric::kDot || metric_ == Metric::kCosineSimilarity) {
+    // All (query, key) dots in one GEMM. Each output element is a k-order
+    // dot, so it is bitwise-identical to the per-query metric_value call.
+    Matrix keys(n, dim_);
+    std::copy(keys_.begin(), keys_.end(), keys.data());
+    scores = matmul_nt(queries, keys);
+    if (metric_ == Metric::kCosineSimilarity) {
+      Vector key_norm(n);
+      for (std::size_t i = 0; i < n; ++i) key_norm[i] = l2_norm(keys.row(i));
+      for (std::size_t s = 0; s < q; ++s) {
+        const float query_norm = l2_norm(queries.row(s));
+        float* srow = scores.data() + s * n;
+        for (std::size_t i = 0; i < n; ++i) {
+          // Matches cosine_similarity exactly, zero-norm guard included.
+          srow[i] = (key_norm[i] == 0.0f || query_norm == 0.0f)
+                        ? 0.0f
+                        : srow[i] / (key_norm[i] * query_norm);
+        }
+      }
+    }
+  } else {
+    // Elementwise metrics: one parallel sweep over all (query, key) pairs,
+    // each scored independently into its own slot (deterministic under any
+    // thread count). Sign-flip so higher is always closer, like predict().
+    const std::size_t grain =
+        std::max<std::size_t>(8, 16384 / std::max<std::size_t>(1, dim_));
+    parallel::parallel_for(0, q * n, grain, [&](std::size_t i0, std::size_t i1) {
+      for (std::size_t i = i0; i < i1; ++i) {
+        const std::size_t s = i / n;
+        const std::size_t k = i % n;
+        const std::span<const float> row(keys_.data() + k * dim_, dim_);
+        scores.data()[i] = -metric_value(metric_, row, queries.row(s));
+      }
+    });
+  }
+
+  // Same sequential first-stored-wins reduction as predict().
+  for (std::size_t s = 0; s < q; ++s) {
+    const float* srow = scores.data() + s * n;
+    std::size_t best = 0;
+    float best_score = -1e30f;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (srow[i] > best_score) {
+        best_score = srow[i];
+        best = i;
+      }
+    }
+    out[s] = labels_[best];
+  }
 }
 
 const char* ExactSearch::name() const {

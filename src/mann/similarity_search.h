@@ -31,6 +31,11 @@ class SimilaritySearch {
   /// Label of the stored entry most similar to the query.
   virtual std::size_t predict(std::span<const float> key) = 0;
 
+  /// Labels for a whole batch of queries (one per row). The default loops
+  /// predict(); backends override it to score all queries against the stored
+  /// memory at once. Must return exactly what per-query predict() would.
+  virtual void predict_batch(const Matrix& queries, std::span<std::size_t> out);
+
   /// Human-readable name for report tables.
   virtual const char* name() const = 0;
 
@@ -49,6 +54,9 @@ class ExactSearch final : public SimilaritySearch {
   void clear() override;
   void add(std::span<const float> key, std::size_t label) override;
   std::size_t predict(std::span<const float> key) override;
+  /// Dot/cosine queries collapse into one (queries x memory) GEMM; the
+  /// elementwise metrics score all (query, key) pairs in one parallel sweep.
+  void predict_batch(const Matrix& queries, std::span<std::size_t> out) override;
   const char* name() const override;
   perf::Cost query_cost() const override;
   std::size_t size() const override { return labels_.size(); }

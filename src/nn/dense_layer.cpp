@@ -23,13 +23,61 @@ Vector DenseLayer::forward(std::span<const float> x) {
 
 Vector DenseLayer::infer(std::span<const float> x) const {
   Vector y(out_dim(), 0.0f);
-  // forward() on the backend is non-const because analog reads consume RNG
-  // state (read noise); a const_cast would hide that, so we snapshot-free
-  // call through a mutable reference obtained from the unique_ptr.
+  // ops_ is a const unique_ptr, but its pointee is not const, so calling the
+  // non-const forward() through it is fine. It has to be non-const: analog
+  // backends consume RNG state on every read (read noise), so even
+  // inference advances the backend's noise stream.
   ops_->forward(x, y);
   for (std::size_t i = 0; i < y.size(); ++i) y[i] += bias_[i];
   activate(act_, y);
   return y;
+}
+
+Matrix DenseLayer::forward_batch(const Matrix& x) {
+  ENW_CHECK_MSG(x.cols() == in_dim(), "forward_batch input width mismatch");
+  last_input_batch_ = x;
+  Matrix y(x.rows(), out_dim());
+  ops_->forward_batch(x, y);
+  for (std::size_t s = 0; s < y.rows(); ++s) {
+    auto row = y.row(s);
+    for (std::size_t i = 0; i < row.size(); ++i) row[i] += bias_[i];
+    activate(act_, row);
+  }
+  last_output_batch_ = y;
+  return y;
+}
+
+Matrix DenseLayer::infer_batch(const Matrix& x) const {
+  ENW_CHECK_MSG(x.cols() == in_dim(), "infer_batch input width mismatch");
+  Matrix y(x.rows(), out_dim());
+  // Same non-const pointee call as infer(); analog batched reads consume RNG
+  // state too.
+  ops_->forward_batch(x, y);
+  for (std::size_t s = 0; s < y.rows(); ++s) {
+    auto row = y.row(s);
+    for (std::size_t i = 0; i < row.size(); ++i) row[i] += bias_[i];
+    activate(act_, row);
+  }
+  return y;
+}
+
+Matrix DenseLayer::backward_batch(const Matrix& dy, float lr) {
+  ENW_CHECK_MSG(last_output_batch_.same_shape(dy),
+                "backward_batch called without a matching forward_batch");
+  Matrix delta = dy;
+  for (std::size_t s = 0; s < delta.rows(); ++s) {
+    scale_by_activation_grad(act_, last_output_batch_.row(s), delta.row(s));
+  }
+  Matrix dx(delta.rows(), in_dim());
+  ops_->backward_batch(delta, dx);
+  ops_->update_batch(last_input_batch_, delta, lr);
+  // Bias folds the batch in sample order (matches the accumulated weight
+  // update's ordering contract).
+  for (std::size_t s = 0; s < delta.rows(); ++s) {
+    const float* drow = delta.data() + s * delta.cols();
+    for (std::size_t i = 0; i < bias_.size(); ++i) bias_[i] -= lr * drow[i];
+  }
+  return dx;
 }
 
 Vector DenseLayer::backward(std::span<const float> dy, float lr) {

@@ -35,6 +35,23 @@ class DenseLayer {
   /// layers). Returns dLoss/dInput.
   Vector backward_no_update(std::span<const float> dy) const;
 
+  // -- Batched path (rows are samples) --------------------------------------
+
+  /// Batched forward; caches the whole input/output batch for
+  /// backward_batch. Returns (x.rows() x out_dim).
+  Matrix forward_batch(const Matrix& x);
+
+  /// Inference-only batched forward (no caching).
+  Matrix infer_batch(const Matrix& x) const;
+
+  /// Minibatch backward from dLoss/dOutput rows. Applies ONE accumulated
+  /// weight/bias update for the whole batch (W -= lr * sum_s dy_s x_s^T) —
+  /// minibatch SGD, mathematically distinct from calling backward() per
+  /// sample, where each sample's gradient sees the previous samples'
+  /// updates. Returns dLoss/dInput rows (computed against the pre-update
+  /// weights for every sample).
+  Matrix backward_batch(const Matrix& dy, float lr);
+
   LinearOps& ops() { return *ops_; }
   const LinearOps& ops() const { return *ops_; }
   const Vector& bias() const { return bias_; }
@@ -47,6 +64,9 @@ class DenseLayer {
   // Cached from the last forward() for use in backward().
   Vector last_input_;
   Vector last_output_;
+  // Cached from the last forward_batch() for use in backward_batch().
+  Matrix last_input_batch_;
+  Matrix last_output_batch_;
 };
 
 }  // namespace enw::nn

@@ -31,6 +31,23 @@ void DigitalLinear::update(std::span<const float> x, std::span<const float> dy,
   rank1_update(w_, dy, x, -lr, ZeroSkip::kSkipZeroInputs);
 }
 
+void DigitalLinear::forward_batch(const Matrix& x, Matrix& y) {
+  ENW_CHECK(x.cols() == in_dim() && y.rows() == x.rows() && y.cols() == out_dim());
+  y = matmul_nt(x, w_);
+}
+
+void DigitalLinear::backward_batch(const Matrix& dy, Matrix& dx) {
+  ENW_CHECK(dy.cols() == out_dim() && dx.rows() == dy.rows() && dx.cols() == in_dim());
+  // Same delta-sparsity skip as the per-sample backward (exact for our
+  // finite weights), so each row matches matvec_transposed bitwise.
+  dx = matmul(dy, w_, ZeroSkip::kSkipZeroInputs);
+}
+
+void DigitalLinear::update_batch(const Matrix& x, const Matrix& dy, float lr) {
+  ENW_CHECK(x.cols() == in_dim() && dy.cols() == out_dim() && x.rows() == dy.rows());
+  matmul_tn_acc(w_, dy, x, -lr, ZeroSkip::kSkipZeroInputs);
+}
+
 void DigitalLinear::set_weights(const Matrix& w) {
   ENW_CHECK_MSG(w.rows() == w_.rows() && w.cols() == w_.cols(),
                 "set_weights shape mismatch");

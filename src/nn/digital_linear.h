@@ -21,6 +21,12 @@ class DigitalLinear final : public LinearOps {
   void backward(std::span<const float> dy, std::span<float> dx) override;
   void update(std::span<const float> x, std::span<const float> dy, float lr) override;
 
+  // Whole-batch GEMM realizations of the per-sample primitives, bitwise
+  // identical to looping them (see tensor/ops.h kernel contracts).
+  void forward_batch(const Matrix& x, Matrix& y) override;
+  void backward_batch(const Matrix& dy, Matrix& dx) override;
+  void update_batch(const Matrix& x, const Matrix& dy, float lr) override;
+
   Matrix weights() const override { return w_; }
   void set_weights(const Matrix& w) override;
 

@@ -40,6 +40,40 @@ class LinearOps {
   virtual void update(std::span<const float> x, std::span<const float> dy,
                       float lr) = 0;
 
+  // -- Batched (minibatch) path ---------------------------------------------
+  //
+  // Rows are samples: x is (batch x in_dim), y/dy are (batch x out_dim). The
+  // defaults loop the per-sample virtuals above, so every backend supports
+  // batches out of the box; backends with a faster whole-batch realization
+  // (DigitalLinear -> one GEMM, AnalogLinear -> one batched crossbar read)
+  // override them. Overrides must preserve the per-sample semantics: same
+  // math per row, and for stateful backends (RNG-consuming analog reads) the
+  // same state-consumption order as the sequential loop.
+
+  /// Y = X W^T, row by row: y.row(s) = W x.row(s). y must be pre-sized to
+  /// (x.rows() x out_dim()).
+  virtual void forward_batch(const Matrix& x, Matrix& y) {
+    ENW_CHECK(x.cols() == in_dim() && y.rows() == x.rows() && y.cols() == out_dim());
+    for (std::size_t s = 0; s < x.rows(); ++s) forward(x.row(s), y.row(s));
+  }
+
+  /// dX = dY W, row by row: dx.row(s) = W^T dy.row(s). dx must be pre-sized
+  /// to (dy.rows() x in_dim()).
+  virtual void backward_batch(const Matrix& dy, Matrix& dx) {
+    ENW_CHECK(dy.cols() == out_dim() && dx.rows() == dy.rows() && dx.cols() == in_dim());
+    for (std::size_t s = 0; s < dy.rows(); ++s) backward(dy.row(s), dx.row(s));
+  }
+
+  /// Accumulated minibatch update: W -= lr * dY^T X, folding samples in row
+  /// order. The default applies the per-sample rank-1 update sequentially —
+  /// the analog-native granularity — which computes the same sum; digital
+  /// overrides realize it as one accumulated outer-product GEMM that is
+  /// bitwise-identical to that sequential loop.
+  virtual void update_batch(const Matrix& x, const Matrix& dy, float lr) {
+    ENW_CHECK(x.cols() == in_dim() && dy.cols() == out_dim() && x.rows() == dy.rows());
+    for (std::size_t s = 0; s < x.rows(); ++s) update(x.row(s), dy.row(s), lr);
+  }
+
   /// Snapshot of the effective weight matrix (for tests/inspection). Analog
   /// backends return the decoded conductance state, without read noise.
   virtual Matrix weights() const = 0;

@@ -19,6 +19,12 @@ float softmax_cross_entropy(std::span<const float> logits, std::size_t label,
   return -std::log(std::max(p[label], 1e-12f));
 }
 
+float softmax_cross_entropy(std::span<const float> logits, std::size_t label) {
+  ENW_CHECK(label < logits.size());
+  const Vector p = softmax(logits);
+  return -std::log(std::max(p[label], 1e-12f));
+}
+
 float mse(std::span<const float> pred, std::span<const float> target,
           std::span<float> grad) {
   ENW_CHECK(pred.size() == target.size() && grad.size() == pred.size());

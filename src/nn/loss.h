@@ -13,6 +13,10 @@ namespace enw::nn {
 float softmax_cross_entropy(std::span<const float> logits, std::size_t label,
                             std::span<float> grad);
 
+/// Evaluation-only overload: the loss alone, no gradient materialized (for
+/// mean-loss sweeps that would otherwise compute and discard dL/dLogits).
+float softmax_cross_entropy(std::span<const float> logits, std::size_t label);
+
 /// Mean squared error 0.5 * ||pred - target||^2 / n.
 /// Writes dLoss/dPred into grad.
 float mse(std::span<const float> pred, std::span<const float> target,

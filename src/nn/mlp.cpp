@@ -46,24 +46,84 @@ std::size_t Mlp::predict(std::span<const float> x) const {
   return argmax(h);
 }
 
+Matrix Mlp::forward_batch(const Matrix& x) {
+  Matrix h = x;
+  for (auto& layer : layers_) h = layer.forward_batch(h);
+  return h;
+}
+
+Matrix Mlp::infer_batch(const Matrix& x) const {
+  Matrix h = x;
+  for (const auto& layer : layers_) h = layer.infer_batch(h);
+  return h;
+}
+
+std::vector<std::size_t> Mlp::predict_batch(const Matrix& x) const {
+  const Matrix logits = infer_batch(x);
+  std::vector<std::size_t> preds(x.rows());
+  for (std::size_t s = 0; s < logits.rows(); ++s) preds[s] = argmax(logits.row(s));
+  return preds;
+}
+
+float Mlp::train_batch(const Matrix& x, std::span<const std::size_t> labels,
+                       float lr) {
+  ENW_CHECK(x.rows() == labels.size());
+  ENW_CHECK_MSG(!labels.empty(), "train_batch on an empty batch");
+  const Matrix logits = forward_batch(x);
+  Matrix grad(logits.rows(), logits.cols());
+  const float inv_b = 1.0f / static_cast<float>(x.rows());
+  double total = 0.0;
+  for (std::size_t s = 0; s < logits.rows(); ++s) {
+    auto grow = grad.row(s);
+    total += softmax_cross_entropy(logits.row(s), labels[s], grow);
+    // Mean-gradient scaling: the accumulated update applies sum_s grad_s / B.
+    for (float& g : grow) g *= inv_b;
+  }
+  Matrix g = grad;
+  for (std::size_t i = layers_.size(); i > 0; --i) g = layers_[i - 1].backward_batch(g, lr);
+  return static_cast<float>(total / static_cast<double>(labels.size()));
+}
+
+namespace {
+
+/// Dataset rows [begin, begin + count) as a dense minibatch.
+Matrix dataset_chunk(const Matrix& features, std::size_t begin, std::size_t count) {
+  Matrix chunk(count, features.cols());
+  std::copy(features.data() + begin * features.cols(),
+            features.data() + (begin + count) * features.cols(), chunk.data());
+  return chunk;
+}
+
+/// Chunk size for dataset-wide evaluation sweeps: big enough to amortize the
+/// GEMM, small enough to keep per-layer activation batches cache-friendly.
+constexpr std::size_t kEvalChunk = 256;
+
+}  // namespace
+
 double Mlp::accuracy(const Matrix& features, std::span<const std::size_t> labels) const {
   ENW_CHECK(features.rows() == labels.size());
   if (labels.empty()) return 0.0;
   std::size_t correct = 0;
-  for (std::size_t i = 0; i < features.rows(); ++i) {
-    if (predict(features.row(i)) == labels[i]) ++correct;
+  for (std::size_t start = 0; start < features.rows(); start += kEvalChunk) {
+    const std::size_t count = std::min(kEvalChunk, features.rows() - start);
+    const Matrix logits = infer_batch(dataset_chunk(features, start, count));
+    for (std::size_t s = 0; s < count; ++s) {
+      if (argmax(logits.row(s)) == labels[start + s]) ++correct;
+    }
   }
   return static_cast<double>(correct) / static_cast<double>(labels.size());
 }
 
-double Mlp::mean_loss(const Matrix& features, std::span<const std::size_t> labels) {
+double Mlp::mean_loss(const Matrix& features, std::span<const std::size_t> labels) const {
   ENW_CHECK(features.rows() == labels.size());
   if (labels.empty()) return 0.0;
   double total = 0.0;
-  for (std::size_t i = 0; i < features.rows(); ++i) {
-    const Vector logits = forward(features.row(i));
-    Vector grad(logits.size(), 0.0f);
-    total += softmax_cross_entropy(logits, labels[i], grad);
+  for (std::size_t start = 0; start < features.rows(); start += kEvalChunk) {
+    const std::size_t count = std::min(kEvalChunk, features.rows() - start);
+    const Matrix logits = infer_batch(dataset_chunk(features, start, count));
+    for (std::size_t s = 0; s < count; ++s) {
+      total += softmax_cross_entropy(logits.row(s), labels[start + s]);
+    }
   }
   return total / static_cast<double>(labels.size());
 }

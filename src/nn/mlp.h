@@ -45,11 +45,33 @@ class Mlp {
   /// Predicted class of x (argmax of logits), without caching.
   std::size_t predict(std::span<const float> x) const;
 
+  // -- Batched path (rows are samples) --------------------------------------
+
+  /// Batched forward producing one logits row per sample; caches per-layer
+  /// batch activations for train_batch.
+  Matrix forward_batch(const Matrix& x);
+
+  /// Inference-only batched forward (no caching).
+  Matrix infer_batch(const Matrix& x) const;
+
+  /// Predicted classes for every row of x.
+  std::vector<std::size_t> predict_batch(const Matrix& x) const;
+
+  /// One minibatch SGD step with softmax cross-entropy: every sample's
+  /// gradient is taken against the SAME pre-step weights and the mean
+  /// gradient is applied as one accumulated update per layer. This is
+  /// standard minibatch SGD — mathematically distinct from train_epoch's
+  /// per-sample SGD, where sample s+1 already sees sample s's update (the
+  /// analog-native granularity). Returns the mean loss before the update.
+  float train_batch(const Matrix& x, std::span<const std::size_t> labels, float lr);
+
   /// Fraction of samples classified correctly. features is (n x input_dim).
+  /// Runs the batched inference path in fixed-size chunks.
   double accuracy(const Matrix& features, std::span<const std::size_t> labels) const;
 
-  /// Mean softmax-CE loss over a dataset (no updates).
-  double mean_loss(const Matrix& features, std::span<const std::size_t> labels);
+  /// Mean softmax-CE loss over a dataset (no updates, no gradient
+  /// materialization); batched like accuracy().
+  double mean_loss(const Matrix& features, std::span<const std::size_t> labels) const;
 
  private:
   std::vector<DenseLayer> layers_;

@@ -146,12 +146,56 @@ float QatMlp::train_step(std::span<const float> x, std::size_t label, float lr) 
 
 std::size_t QatMlp::predict(std::span<const float> x) { return argmax(forward(x)); }
 
-double QatMlp::accuracy(const Matrix& features, std::span<const std::size_t> labels) {
+Matrix QatMlp::infer_batch(const Matrix& x) const {
+  ENW_CHECK_MSG(x.cols() == input_dim(), "infer_batch input width mismatch");
+  Matrix h = x;
+  const std::size_t L = weights_.size();
+  for (std::size_t l = 0; l < L; ++l) {
+    const int wbits = layer_weight_bits(l);
+    const Matrix& w = weights_[l];
+    const float alpha_w =
+        sawb_clip_scale(std::span<const float>(w.data(), w.size()), wbits);
+    Matrix wq = w;
+    for (std::size_t i = 0; i < wq.rows(); ++i)
+      for (std::size_t j = 0; j < wq.cols(); ++j)
+        wq(i, j) = quantize_symmetric(w(i, j), alpha_w, wbits);
+
+    Matrix pre = matmul_nt(h, wq);
+    for (std::size_t s = 0; s < pre.rows(); ++s) {
+      auto row = pre.row(s);
+      for (std::size_t i = 0; i < row.size(); ++i) row[i] += biases_[l][i];
+      if (l + 1 < L) {
+        for (float& v : row) v = pacts_[l].forward(v);
+      }
+    }
+    h = std::move(pre);
+  }
+  return h;
+}
+
+std::vector<std::size_t> QatMlp::predict_batch(const Matrix& x) const {
+  const Matrix logits = infer_batch(x);
+  std::vector<std::size_t> preds(x.rows());
+  for (std::size_t s = 0; s < logits.rows(); ++s) preds[s] = argmax(logits.row(s));
+  return preds;
+}
+
+double QatMlp::accuracy(const Matrix& features,
+                        std::span<const std::size_t> labels) const {
   ENW_CHECK(features.rows() == labels.size());
   if (labels.empty()) return 0.0;
+  constexpr std::size_t kChunk = 256;
   std::size_t correct = 0;
-  for (std::size_t i = 0; i < features.rows(); ++i)
-    if (predict(features.row(i)) == labels[i]) ++correct;
+  for (std::size_t start = 0; start < features.rows(); start += kChunk) {
+    const std::size_t count = std::min(kChunk, features.rows() - start);
+    Matrix chunk(count, features.cols());
+    std::copy(features.data() + start * features.cols(),
+              features.data() + (start + count) * features.cols(), chunk.data());
+    const Matrix logits = infer_batch(chunk);
+    for (std::size_t s = 0; s < count; ++s) {
+      if (argmax(logits.row(s)) == labels[start + s]) ++correct;
+    }
+  }
   return static_cast<double>(correct) / static_cast<double>(labels.size());
 }
 

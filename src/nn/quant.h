@@ -63,7 +63,18 @@ class QatMlp {
   float train_step(std::span<const float> x, std::size_t label, float lr);
 
   std::size_t predict(std::span<const float> x);
-  double accuracy(const Matrix& features, std::span<const std::size_t> labels);
+
+  /// Batched inference: quantizes each layer's weights ONCE per batch instead
+  /// of once per sample, then runs one GEMM per layer. Bitwise identical to
+  /// per-sample forward() (quantization is deterministic, so re-quantizing per
+  /// sample produced the same codes anyway — batching just stops paying for it).
+  Matrix infer_batch(const Matrix& x) const;
+
+  /// Predicted classes for every row of x via infer_batch.
+  std::vector<std::size_t> predict_batch(const Matrix& x) const;
+
+  /// Batched, chunked accuracy sweep (does not touch the training cache).
+  double accuracy(const Matrix& features, std::span<const std::size_t> labels) const;
 
   /// Effective weight bits of layer i (edges may be 8).
   int layer_weight_bits(std::size_t i) const;

@@ -62,6 +62,11 @@ Vector run_backward(std::vector<nn::DenseLayer>& layers, std::span<const float> 
   return g;
 }
 
+Matrix run_infer_batch(const std::vector<nn::DenseLayer>& layers, Matrix x) {
+  for (const auto& layer : layers) x = layer.infer_batch(x);
+  return x;
+}
+
 }  // namespace
 
 Dlrm::Dlrm(const DlrmConfig& config, Rng& rng) : config_(config) {
@@ -117,6 +122,57 @@ float Dlrm::predict(const data::ClickSample& sample) {
   return 1.0f / (1.0f + std::exp(-logit));
 }
 
+std::vector<float> Dlrm::logits_batch(std::span<const data::ClickSample> batch) const {
+  const std::size_t b = batch.size();
+  Matrix dense(b, config_.num_dense);
+  for (std::size_t s = 0; s < b; ++s) {
+    ENW_CHECK_MSG(batch[s].dense.size() == config_.num_dense, "dense feature mismatch");
+    ENW_CHECK_MSG(batch[s].sparse.size() == config_.num_tables,
+                  "sparse feature mismatch");
+    std::copy(batch[s].dense.begin(), batch[s].dense.end(), dense.row(s).begin());
+  }
+  const Matrix bottom_out = run_infer_batch(bottom_, std::move(dense));
+
+  // One (batch x embed_dim) pooled block per table; the ragged per-sample
+  // index lists are only rebound, not copied.
+  std::vector<Matrix> pooled;
+  pooled.reserve(config_.num_tables);
+  std::vector<std::span<const std::size_t>> lists(b);
+  for (std::size_t t = 0; t < config_.num_tables; ++t) {
+    for (std::size_t s = 0; s < b; ++s) lists[s] = batch[s].sparse[t];
+    Matrix p(b, config_.embed_dim);
+    tables_[t].lookup_sum_batch(lists, p);
+    pooled.push_back(std::move(p));
+  }
+
+  Matrix inter(b, interaction_dim());
+  const std::size_t n = config_.num_tables + 1;
+  for (std::size_t s = 0; s < b; ++s) {
+    auto irow = inter.row(s);
+    const auto vec = [&](std::size_t i) -> std::span<const float> {
+      return i == 0 ? bottom_out.row(s) : pooled[i - 1].row(s);
+    };
+    std::copy(vec(0).begin(), vec(0).end(), irow.begin());
+    std::size_t k = config_.embed_dim;
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = i + 1; j < n; ++j) {
+        irow[k++] = dot(vec(i), vec(j));
+      }
+    }
+  }
+
+  const Matrix out = run_infer_batch(top_, std::move(inter));
+  std::vector<float> logits(b);
+  for (std::size_t s = 0; s < b; ++s) logits[s] = out(s, 0);
+  return logits;
+}
+
+std::vector<float> Dlrm::predict_batch(std::span<const data::ClickSample> batch) const {
+  std::vector<float> probs = logits_batch(batch);
+  for (float& p : probs) p = 1.0f / (1.0f + std::exp(-p));
+  return probs;
+}
+
 float Dlrm::train_step(const data::ClickSample& sample, float lr) {
   ForwardCache cache;
   const float logit = forward(sample, cache);
@@ -152,32 +208,33 @@ float Dlrm::train_step(const data::ClickSample& sample, float lr) {
   return loss;
 }
 
-double Dlrm::mean_loss(std::span<const data::ClickSample> batch) {
+double Dlrm::mean_loss(std::span<const data::ClickSample> batch) const {
   if (batch.empty()) return 0.0;
+  const std::vector<float> logits = logits_batch(batch);
   double total = 0.0;
-  for (const auto& s : batch) {
-    ForwardCache cache;
-    const float logit = forward(s, cache);
+  for (std::size_t s = 0; s < batch.size(); ++s) {
     float g = 0.0f;
-    total += nn::binary_cross_entropy_logit(logit, s.label, g);
+    total += nn::binary_cross_entropy_logit(logits[s], batch[s].label, g);
   }
   return total / static_cast<double>(batch.size());
 }
 
-double Dlrm::accuracy(std::span<const data::ClickSample> batch) {
+double Dlrm::accuracy(std::span<const data::ClickSample> batch) const {
   if (batch.empty()) return 0.0;
+  const std::vector<float> probs = predict_batch(batch);
   std::size_t correct = 0;
-  for (const auto& s : batch) {
-    const float p = predict(s);
-    if ((p >= 0.5f) == (s.label >= 0.5f)) ++correct;
+  for (std::size_t s = 0; s < batch.size(); ++s) {
+    if ((probs[s] >= 0.5f) == (batch[s].label >= 0.5f)) ++correct;
   }
   return static_cast<double>(correct) / static_cast<double>(batch.size());
 }
 
-double Dlrm::auc(std::span<const data::ClickSample> batch) {
+double Dlrm::auc(std::span<const data::ClickSample> batch) const {
+  const std::vector<float> probs = predict_batch(batch);
   std::vector<std::pair<float, float>> scored;  // (prob, label)
   scored.reserve(batch.size());
-  for (const auto& s : batch) scored.emplace_back(predict(s), s.label);
+  for (std::size_t s = 0; s < batch.size(); ++s)
+    scored.emplace_back(probs[s], batch[s].label);
   std::sort(scored.begin(), scored.end(),
             [](const auto& a, const auto& b) { return a.first < b.first; });
   // Rank-sum (Mann-Whitney) AUC.

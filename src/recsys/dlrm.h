@@ -50,17 +50,23 @@ class Dlrm {
   /// Predicted click probability for one sample.
   float predict(const data::ClickSample& sample);
 
+  /// Batched serving: one click probability per sample. The bottom and top
+  /// MLPs run as one GEMM each over the whole batch; embedding lookups pool
+  /// per sample (they are gathers — batching them is the ragged
+  /// lookup_sum_batch, not a GEMM).
+  std::vector<float> predict_batch(std::span<const data::ClickSample> batch) const;
+
   /// One SGD step with binary cross-entropy. Returns the loss.
   float train_step(const data::ClickSample& sample, float lr);
 
-  /// Mean BCE over a batch (no updates).
-  double mean_loss(std::span<const data::ClickSample> batch);
+  /// Mean BCE over a batch (no updates); uses the batched serving path.
+  double mean_loss(std::span<const data::ClickSample> batch) const;
 
-  /// Binary classification accuracy at threshold 0.5.
-  double accuracy(std::span<const data::ClickSample> batch);
+  /// Binary classification accuracy at threshold 0.5 (batched).
+  double accuracy(std::span<const data::ClickSample> batch) const;
 
-  /// Model AUC over a batch (rank-based, ties broken by order).
-  double auc(std::span<const data::ClickSample> batch);
+  /// Model AUC over a batch (rank-based, ties broken by order; batched).
+  double auc(std::span<const data::ClickSample> batch) const;
 
   const std::vector<EmbeddingTable>& tables() const { return tables_; }
   std::vector<EmbeddingTable>& tables() { return tables_; }
@@ -79,6 +85,9 @@ class Dlrm {
   };
 
   float forward(const data::ClickSample& sample, ForwardCache& cache);
+
+  /// Pre-sigmoid logits for every sample in the batch (serving path).
+  std::vector<float> logits_batch(std::span<const data::ClickSample> batch) const;
 
   DlrmConfig config_;
   std::vector<nn::DenseLayer> bottom_;

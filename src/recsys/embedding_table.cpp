@@ -15,11 +15,25 @@ EmbeddingTable::EmbeddingTable(std::size_t rows, std::size_t dim, Rng& rng)
 void EmbeddingTable::lookup_sum(std::span<const std::size_t> indices,
                                 std::span<float> out) const {
   ENW_CHECK_MSG(out.size() == dim(), "output size mismatch");
-  std::fill(out.begin(), out.end(), 0.0f);
+  // Validate up front so the gather loop below stays branch-free on the
+  // bandwidth-bound path (the table is the capacity problem; every cycle in
+  // the inner loop is a cycle not spent streaming rows).
   for (std::size_t idx : indices) {
     ENW_CHECK_MSG(idx < rows(), "embedding index out of range");
+  }
+  std::fill(out.begin(), out.end(), 0.0f);
+  for (std::size_t idx : indices) {
     const float* r = table_.data() + idx * dim();
     for (std::size_t j = 0; j < dim(); ++j) out[j] += r[j];
+  }
+}
+
+void EmbeddingTable::lookup_sum_batch(
+    std::span<const std::span<const std::size_t>> index_lists, Matrix& out) const {
+  ENW_CHECK_MSG(out.rows() == index_lists.size() && out.cols() == dim(),
+                "lookup_sum_batch output shape mismatch");
+  for (std::size_t s = 0; s < index_lists.size(); ++s) {
+    lookup_sum(index_lists[s], out.row(s));
   }
 }
 
@@ -28,6 +42,8 @@ void EmbeddingTable::apply_gradient(std::span<const std::size_t> indices,
   ENW_CHECK_MSG(grad.size() == dim(), "gradient size mismatch");
   for (std::size_t idx : indices) {
     ENW_CHECK(idx < rows());
+  }
+  for (std::size_t idx : indices) {
     float* r = table_.data() + idx * dim();
     for (std::size_t j = 0; j < dim(); ++j) r[j] -= lr * grad[j];
   }

@@ -29,6 +29,12 @@ class EmbeddingTable {
   /// Sum-pool the rows named by indices into out (out.size() == dim).
   void lookup_sum(std::span<const std::size_t> indices, std::span<float> out) const;
 
+  /// Batched sum-pool: row s of out is lookup_sum(index_lists[s]). The
+  /// per-sample index lists stay as spans because multi-hot features are
+  /// ragged — samples reference different numbers of rows.
+  void lookup_sum_batch(std::span<const std::span<const std::size_t>> index_lists,
+                        Matrix& out) const;
+
   /// Sparse SGD: row[idx] -= lr * grad for every idx in indices.
   void apply_gradient(std::span<const std::size_t> indices,
                       std::span<const float> grad, float lr);

@@ -64,6 +64,44 @@ float WideAndDeep::predict(const data::ClickSample& sample) {
   return 1.0f / (1.0f + std::exp(-forward(sample)));
 }
 
+std::vector<float> WideAndDeep::logits_batch(
+    std::span<const data::ClickSample> batch) const {
+  const std::size_t b = batch.size();
+  const std::size_t D = config_.embed_dim;
+  Matrix deep_in(b, config_.num_dense + config_.num_tables * D);
+  std::vector<float> wide(b, wide_bias_);
+  for (std::size_t s = 0; s < b; ++s) {
+    const auto& sample = batch[s];
+    ENW_CHECK_MSG(sample.dense.size() == config_.num_dense, "dense mismatch");
+    ENW_CHECK_MSG(sample.sparse.size() == config_.num_tables, "sparse mismatch");
+    auto row = deep_in.row(s);
+    std::copy(sample.dense.begin(), sample.dense.end(), row.begin());
+    for (std::size_t i = 0; i < sample.dense.size(); ++i) {
+      wide[s] += wide_dense_[i] * sample.dense[i];
+    }
+    for (std::size_t t = 0; t < config_.num_tables; ++t) {
+      std::span<float> slot(row.data() + config_.num_dense + t * D, D);
+      tables_[t].lookup_sum(sample.sparse[t], slot);
+      for (std::size_t idx : sample.sparse[t]) {
+        ENW_CHECK(idx < config_.rows_per_table);
+        wide[s] += wide_[t][idx];
+      }
+    }
+  }
+
+  Matrix h = std::move(deep_in);
+  for (const auto& layer : deep_) h = layer.infer_batch(h);
+  for (std::size_t s = 0; s < b; ++s) wide[s] += h(s, 0);
+  return wide;
+}
+
+std::vector<float> WideAndDeep::predict_batch(
+    std::span<const data::ClickSample> batch) const {
+  std::vector<float> probs = logits_batch(batch);
+  for (float& p : probs) p = 1.0f / (1.0f + std::exp(-p));
+  return probs;
+}
+
 float WideAndDeep::train_step(const data::ClickSample& sample, float lr) {
   const float logit = forward(sample);
   float dlogit = 0.0f;
@@ -89,10 +127,12 @@ float WideAndDeep::train_step(const data::ClickSample& sample, float lr) {
   return loss;
 }
 
-double WideAndDeep::auc(std::span<const data::ClickSample> batch) {
+double WideAndDeep::auc(std::span<const data::ClickSample> batch) const {
+  const std::vector<float> probs = predict_batch(batch);
   std::vector<std::pair<float, float>> scored;
   scored.reserve(batch.size());
-  for (const auto& s : batch) scored.emplace_back(predict(s), s.label);
+  for (std::size_t s = 0; s < batch.size(); ++s)
+    scored.emplace_back(probs[s], batch[s].label);
   std::sort(scored.begin(), scored.end(),
             [](const auto& a, const auto& b) { return a.first < b.first; });
   double pos = 0.0, neg = 0.0, rank_sum = 0.0;
@@ -108,13 +148,13 @@ double WideAndDeep::auc(std::span<const data::ClickSample> batch) {
   return (rank_sum - pos * (pos + 1.0) / 2.0) / (pos * neg);
 }
 
-double WideAndDeep::mean_loss(std::span<const data::ClickSample> batch) {
+double WideAndDeep::mean_loss(std::span<const data::ClickSample> batch) const {
   if (batch.empty()) return 0.0;
+  const std::vector<float> logits = logits_batch(batch);
   double total = 0.0;
-  for (const auto& s : batch) {
-    const float logit = forward(s);
+  for (std::size_t s = 0; s < batch.size(); ++s) {
     float g = 0.0f;
-    total += nn::binary_cross_entropy_logit(logit, s.label, g);
+    total += nn::binary_cross_entropy_logit(logits[s], batch[s].label, g);
   }
   return total / static_cast<double>(batch.size());
 }

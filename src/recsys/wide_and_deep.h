@@ -31,9 +31,14 @@ class WideAndDeep {
   const WideAndDeepConfig& config() const { return config_; }
 
   float predict(const data::ClickSample& sample);
+
+  /// Batched serving: one click probability per sample. The deep MLP runs as
+  /// one GEMM per layer; the wide gathers and embedding pools stay per-sample.
+  std::vector<float> predict_batch(std::span<const data::ClickSample> batch) const;
+
   float train_step(const data::ClickSample& sample, float lr);
-  double auc(std::span<const data::ClickSample> batch);
-  double mean_loss(std::span<const data::ClickSample> batch);
+  double auc(std::span<const data::ClickSample> batch) const;
+  double mean_loss(std::span<const data::ClickSample> batch) const;
 
   /// Parameter footprint split (the wide part is tiny; embeddings dominate
   /// exactly as in DLRM).
@@ -49,6 +54,9 @@ class WideAndDeep {
   };
 
   float forward(const data::ClickSample& sample);
+
+  /// Pre-sigmoid logits for the whole batch (no caching, serving path).
+  std::vector<float> logits_batch(std::span<const data::ClickSample> batch) const;
 
   WideAndDeepConfig config_;
   // Wide part: one scalar weight per categorical value, plus a dense linear.

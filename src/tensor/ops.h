@@ -34,7 +34,25 @@ Vector matvec_transposed(const Matrix& a, std::span<const float> x,
 /// C = A B. Cache-blocked (k-panels, 4-row register blocking) and parallel
 /// over row blocks; bitwise-identical to matmul_reference for every thread
 /// count (per-element accumulation stays in k order, no FMA contraction).
-Matrix matmul(const Matrix& a, const Matrix& b);
+/// With kSkipZeroInputs, terms whose A(i,k) is exactly zero are skipped —
+/// the batched counterpart of matvec_transposed's delta-sparsity skip.
+Matrix matmul(const Matrix& a, const Matrix& b, ZeroSkip skip = ZeroSkip::kNone);
+
+/// C = A B^T. A is (m x k), B is (n x k), C gets (m x n). The minibatch
+/// forward GEMM: row i of C holds matvec(B, A.row(i)), and each element
+/// accumulates over k in index order, so C.row(i) is bitwise-identical to
+/// the per-sample matvec for every thread count.
+Matrix matmul_nt(const Matrix& a, const Matrix& b);
+
+/// C += scale * A^T B. A is (batch x m), B is (batch x n), C is (m x n) —
+/// the accumulated-outer-product (minibatch weight-gradient) kernel. Each
+/// element folds samples in batch order as C(r,c) += (scale*A(s,r))*B(s,c),
+/// exactly the operation sequence of `batch` successive rank1_update calls,
+/// so it is bitwise-identical to the per-sample update loop. kSkipZeroInputs
+/// skips samples whose scale*A(s,r) is exactly zero (same contract as
+/// rank1_update).
+void matmul_tn_acc(Matrix& c, const Matrix& a, const Matrix& b, float scale,
+                   ZeroSkip skip = ZeroSkip::kNone);
 
 /// A += scale * u v^T (rank-1 update; digital counterpart of the analog
 /// parallel outer-product update in Fig. 1 of the paper). Row-parallel.
@@ -51,6 +69,8 @@ Matrix transpose(const Matrix& a);
 Vector matvec_reference(const Matrix& a, std::span<const float> x);
 Vector matvec_transposed_reference(const Matrix& a, std::span<const float> x);
 Matrix matmul_reference(const Matrix& a, const Matrix& b);
+Matrix matmul_nt_reference(const Matrix& a, const Matrix& b);
+void matmul_tn_acc_reference(Matrix& c, const Matrix& a, const Matrix& b, float scale);
 void rank1_update_reference(Matrix& a, std::span<const float> u,
                             std::span<const float> v, float scale);
 Matrix transpose_reference(const Matrix& a);

@@ -276,6 +276,73 @@ TEST_P(KernelEquivalenceTest, Rank1UpdateMatchesReferenceBitwise) {
   EXPECT_TRUE(bitwise_equal(a, a_ref));
 }
 
+TEST_P(KernelEquivalenceTest, MatmulNtMatchesReferenceBitwise) {
+  const auto [m, k, n] = GetParam();
+  Rng rng(106);
+  const Matrix a = random_matrix(m, k, rng);
+  const Matrix b = random_matrix(n, k, rng);
+  EXPECT_TRUE(bitwise_equal(matmul_nt(a, b), matmul_nt_reference(a, b)));
+}
+
+// The batched-forward contract: row i of A B^T is exactly matvec(B, A.row(i)).
+TEST_P(KernelEquivalenceTest, MatmulNtRowsMatchMatvec) {
+  const auto [m, k, n] = GetParam();
+  Rng rng(107);
+  const Matrix a = random_matrix(m, k, rng);
+  const Matrix b = random_matrix(n, k, rng);
+  const Matrix c = matmul_nt(a, b);
+  for (std::size_t i = 0; i < m; ++i) {
+    EXPECT_TRUE(bitwise_equal(c.row(i), matvec(b, a.row(i))));
+  }
+}
+
+TEST_P(KernelEquivalenceTest, MatmulTnAccMatchesReferenceBitwise) {
+  const auto [m, k, n] = GetParam();
+  Rng rng(108);
+  const Matrix a = random_matrix(m, k, rng);  // batch = m samples, k outputs
+  const Matrix b = random_matrix(m, n, rng);
+  Matrix c = random_matrix(k, n, rng);
+  Matrix c_ref = c;
+  matmul_tn_acc(c, a, b, -0.13f);
+  matmul_tn_acc_reference(c_ref, a, b, -0.13f);
+  EXPECT_TRUE(bitwise_equal(c, c_ref));
+}
+
+// The batched-update contract: one matmul_tn_acc folds the batch exactly like
+// the sequential per-sample rank1_update loop — including the zero-skip.
+TEST_P(KernelEquivalenceTest, MatmulTnAccMatchesSequentialRank1Updates) {
+  const auto [m, k, n] = GetParam();
+  Rng rng(109);
+  Matrix a = random_matrix(m, k, rng);
+  const Matrix b = random_matrix(m, n, rng);
+  // Sprinkle exact zeros so the skip path actually triggers.
+  for (std::size_t i = 0; i < a.size(); i += 3) a.data()[i] = 0.0f;
+  Matrix c = random_matrix(k, n, rng);
+  Matrix c_seq = c;
+  matmul_tn_acc(c, a, b, -0.02f, ZeroSkip::kSkipZeroInputs);
+  for (std::size_t s = 0; s < m; ++s) {
+    rank1_update(c_seq, a.row(s), b.row(s), -0.02f, ZeroSkip::kSkipZeroInputs);
+  }
+  EXPECT_TRUE(bitwise_equal(c, c_seq));
+}
+
+// Zero-skip is exact for finite operands: skipping a_ik == 0 terms must give
+// the same bits as the dense path, and each matmul row must equal the
+// per-sample matvec_transposed call with the same skip.
+TEST_P(KernelEquivalenceTest, MatmulZeroSkipMatchesDenseAndPerSample) {
+  const auto [m, k, n] = GetParam();
+  Rng rng(110);
+  Matrix a = random_matrix(m, k, rng);
+  for (std::size_t i = 0; i < a.size(); i += 2) a.data()[i] = 0.0f;
+  const Matrix b = random_matrix(k, n, rng);
+  const Matrix skipped = matmul(a, b, ZeroSkip::kSkipZeroInputs);
+  EXPECT_TRUE(bitwise_equal(skipped, matmul_reference(a, b)));
+  for (std::size_t s = 0; s < m; ++s) {
+    EXPECT_TRUE(bitwise_equal(
+        skipped.row(s), matvec_transposed(b, a.row(s), ZeroSkip::kSkipZeroInputs)));
+  }
+}
+
 TEST_P(KernelEquivalenceTest, TransposeMatchesReferenceBitwise) {
   const auto [m, k, n] = GetParam();
   (void)n;
@@ -301,29 +368,40 @@ TEST(KernelDeterminism, ThreadCountDoesNotChangeBits) {
   const Vector x = random_vector(67, rng);
   const Vector xt = random_vector(130, rng);
 
+  const Matrix bt = random_matrix(33, 67, rng);  // for matmul_nt (n x k)
+  const Matrix d = random_matrix(130, 29, rng);  // for matmul_tn_acc (batch x n)
+
   const std::size_t saved = parallel::thread_count();
   parallel::set_thread_count(1);
   const Matrix mm1 = matmul(a, b);
+  const Matrix nt1 = matmul_nt(a, bt);
   const Vector mv1 = matvec(a, x);
   const Vector mt1 = matvec_transposed(a, xt);
   const Matrix tr1 = transpose(a);
   Matrix r1 = a;
   rank1_update(r1, xt, x, -0.01f);
+  Matrix acc1(67, 29);
+  matmul_tn_acc(acc1, a, d, -0.01f);
 
   parallel::set_thread_count(8);
   const Matrix mm8 = matmul(a, b);
+  const Matrix nt8 = matmul_nt(a, bt);
   const Vector mv8 = matvec(a, x);
   const Vector mt8 = matvec_transposed(a, xt);
   const Matrix tr8 = transpose(a);
   Matrix r8 = a;
   rank1_update(r8, xt, x, -0.01f);
+  Matrix acc8(67, 29);
+  matmul_tn_acc(acc8, a, d, -0.01f);
   parallel::set_thread_count(saved);
 
   EXPECT_TRUE(bitwise_equal(mm1, mm8));
+  EXPECT_TRUE(bitwise_equal(nt1, nt8));
   EXPECT_TRUE(bitwise_equal(mv1, mv8));
   EXPECT_TRUE(bitwise_equal(mt1, mt8));
   EXPECT_TRUE(bitwise_equal(tr1, tr8));
   EXPECT_TRUE(bitwise_equal(r1, r8));
+  EXPECT_TRUE(bitwise_equal(acc1, acc8));
 }
 
 // The seed's matvec_transposed skipped rows where x[r] == 0, silently
