@@ -279,6 +279,12 @@ float AnalogMatrix::state(std::size_t r, std::size_t c) const {
   return w_(r, c);
 }
 
+void AnalogMatrix::inject_stuck(std::size_t r, std::size_t c, float value) {
+  ENW_CHECK(r < rows_ && c < cols_);
+  devices_[r * cols_ + c].stuck = true;
+  w_(r, c) = value;  // intentionally unclipped: shorts read out of range
+}
+
 void AnalogMatrix::set_state(std::size_t r, std::size_t c, float w) {
   ENW_CHECK(r < rows_ && c < cols_);
   const DeviceInstance& d = devices_[r * cols_ + c];

@@ -104,6 +104,13 @@ class AnalogMatrix {
   float state(std::size_t r, std::size_t c) const;
   void set_state(std::size_t r, std::size_t c, float w);
 
+  /// Fault-injection hook (testkit): freeze crosspoint (r, c) at `value`.
+  /// The device is marked stuck, so every subsequent pulse and program() pass
+  /// leaves it untouched — a persistent stuck-at-conductance yield defect.
+  /// `value` is deliberately NOT clipped to the device bounds: defects such
+  /// as shorted cells read far outside the logical weight range.
+  void inject_stuck(std::size_t r, std::size_t c, float value);
+
   Rng& rng() { return rng_; }
 
  private:

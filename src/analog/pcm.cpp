@@ -97,6 +97,14 @@ void PcmPairArray::advance_time(double dt_seconds) {
   time_s_ = t_new;
 }
 
+void PcmPairArray::inject_extra_drift(double dnu) {
+  for (std::size_t r = 0; r < rows(); ++r) {
+    for (std::size_t c = 0; c < cols(); ++c) {
+      nu_(r, c) += static_cast<float>(dnu);
+    }
+  }
+}
+
 double PcmPairArray::saturation_fraction() const {
   std::size_t saturated = 0;
   for (std::size_t r = 0; r < rows(); ++r) {

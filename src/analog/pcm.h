@@ -66,6 +66,15 @@ class PcmPairArray {
 
   double elapsed_seconds() const { return time_s_; }
 
+  /// Fault-injection hook (testkit): add `dnu` to every pair's drift
+  /// exponent — a missing projection liner or anomalously fast structural
+  /// relaxation. Takes effect on the next advance_time().
+  void inject_extra_drift(double dnu);
+
+  /// Access the half-arrays (fault injection targets individual devices).
+  AnalogMatrix& gplus() { return gplus_; }
+  AnalogMatrix& gminus() { return gminus_; }
+
  private:
   PcmArrayConfig config_;
   AnalogMatrix gplus_;

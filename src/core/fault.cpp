@@ -1,0 +1,47 @@
+#include "core/fault.h"
+
+#include <new>
+
+namespace enw::fault {
+
+namespace detail {
+
+std::atomic<std::uint32_t> g_armed{0};
+std::atomic<std::int64_t> g_alloc_countdown{0};
+std::atomic<std::uint32_t> g_delay_us{0};
+
+void alloc_hook(std::size_t /*bytes*/) {
+  // fetch_sub returns the pre-decrement value: countdown n means n more
+  // allocations succeed, then the (n+1)-th throws. Concurrent allocators
+  // each decrement once, so exactly one of them observes 0 and fires.
+  if (g_alloc_countdown.fetch_sub(1, std::memory_order_relaxed) <= 0) {
+    g_armed.fetch_and(~static_cast<std::uint32_t>(kAllocFail),
+                      std::memory_order_relaxed);
+    throw std::bad_alloc();
+  }
+}
+
+}  // namespace detail
+
+void arm_pool_reverse() {
+  detail::g_armed.fetch_or(kPoolReverse, std::memory_order_relaxed);
+}
+
+void arm_pool_delay(std::uint32_t micros) {
+  detail::g_delay_us.store(micros, std::memory_order_relaxed);
+  detail::g_armed.fetch_or(kPoolDelay, std::memory_order_relaxed);
+}
+
+void arm_alloc_failure(std::int64_t successes_before_failure) {
+  detail::g_alloc_countdown.store(successes_before_failure,
+                                  std::memory_order_relaxed);
+  detail::g_armed.fetch_or(kAllocFail, std::memory_order_relaxed);
+}
+
+void disarm_all() {
+  detail::g_armed.store(0, std::memory_order_relaxed);
+  detail::g_alloc_countdown.store(0, std::memory_order_relaxed);
+  detail::g_delay_us.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace enw::fault

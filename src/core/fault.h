@@ -1,0 +1,80 @@
+// Deterministic process-level fault-injection hooks (enw::fault).
+//
+// A handful of production sites — the thread pool's chunk scheduler and the
+// Matrix allocator — consult this registry so robustness claims ("results
+// are bitwise-identical under any chunk schedule", "allocation failure is
+// fail-stop, not corrupting") become executable tests instead of comments.
+// See src/testkit/fault.h for the campaign layer that drives these, and the
+// analog device models for the object-scoped hooks (AnalogMatrix::
+// inject_stuck, PcmPairArray::inject_extra_drift).
+//
+// Design constraints:
+//  * Zero measurable cost when disarmed: every hook's fast path is a single
+//    relaxed atomic load of an armed-sites bitmask that is 0 in production.
+//  * Deterministic: hooks never draw randomness; the fault *parameters*
+//    (which allocation fails, how long workers stall) are fixed at arm time,
+//    so a campaign replays bit-for-bit under a fixed seed.
+//  * Race-free: arming/disarming and every hook read are atomics, so the
+//    hooks themselves are clean under TSan even when pool workers race.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+
+namespace enw::fault {
+
+enum Site : std::uint32_t {
+  /// Thread pool claims chunks in reverse index order (worst-case schedule
+  /// for code that accidentally depends on chunk completion order).
+  kPoolReverse = 1u << 0,
+  /// Pool threads stall for a fixed number of microseconds before each
+  /// chunk, widening race windows between workers and the caller.
+  kPoolDelay = 1u << 1,
+  /// Matrix allocations throw std::bad_alloc once a countdown of successful
+  /// allocations expires. One-shot: the site disarms itself when it fires,
+  /// so recovery paths can be exercised immediately after the failure.
+  kAllocFail = 1u << 2,
+};
+
+namespace detail {
+extern std::atomic<std::uint32_t> g_armed;
+extern std::atomic<std::int64_t> g_alloc_countdown;
+extern std::atomic<std::uint32_t> g_delay_us;
+/// Slow path of check_alloc: decrements the countdown and throws
+/// std::bad_alloc (after disarming kAllocFail) when it expires.
+void alloc_hook(std::size_t bytes);
+}  // namespace detail
+
+inline bool armed(Site s) {
+  return (detail::g_armed.load(std::memory_order_relaxed) & s) != 0;
+}
+
+inline bool any_armed() {
+  return detail::g_armed.load(std::memory_order_relaxed) != 0;
+}
+
+/// Arm the reverse-order chunk schedule.
+void arm_pool_reverse();
+
+/// Arm a per-chunk stall of `micros` microseconds in pool code.
+void arm_pool_delay(std::uint32_t micros);
+
+/// Arm a one-shot allocation failure after `successes_before_failure` more
+/// Matrix allocations succeed (0 = the very next allocation throws).
+void arm_alloc_failure(std::int64_t successes_before_failure);
+
+/// Disarm every site (idempotent; the normal end-of-test cleanup).
+void disarm_all();
+
+/// Current per-chunk stall (only meaningful while kPoolDelay is armed).
+inline std::uint32_t pool_delay_us() {
+  return detail::g_delay_us.load(std::memory_order_relaxed);
+}
+
+/// Allocation-site hook: no-op unless kAllocFail is armed.
+inline void check_alloc(std::size_t bytes) {
+  if (armed(kAllocFail)) detail::alloc_hook(bytes);
+}
+
+}  // namespace enw::fault

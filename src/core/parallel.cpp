@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <cstdlib>
@@ -9,6 +10,8 @@
 #include <mutex>
 #include <thread>
 #include <vector>
+
+#include "core/fault.h"
 
 namespace enw::parallel {
 
@@ -55,9 +58,23 @@ struct Pool {
   // Returns the number of chunks this thread accounted for.
   std::size_t drain() {
     std::size_t did = 0;
+    // Fault hooks (testkit): a reversed claim order and/or a per-chunk stall.
+    // Chunk boundaries are untouched — the partition stays a pure function of
+    // (begin, end, grain) — so deterministic kernels must produce identical
+    // bits under either schedule; the fault campaign asserts exactly that.
+    const bool reverse =
+        fault::any_armed() && fault::armed(fault::kPoolReverse);
+    const std::uint32_t delay_us =
+        fault::any_armed() && fault::armed(fault::kPoolDelay)
+            ? fault::pool_delay_us()
+            : 0;
     for (;;) {
-      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
-      if (i >= nchunks) break;
+      const std::size_t claim = next.fetch_add(1, std::memory_order_relaxed);
+      if (claim >= nchunks) break;
+      const std::size_t i = reverse ? nchunks - 1 - claim : claim;
+      if (delay_us != 0) {
+        std::this_thread::sleep_for(std::chrono::microseconds(delay_us));
+      }
       if (!aborted.load(std::memory_order_relaxed)) {
         const std::size_t lo = begin + i * grain;
         const std::size_t hi = std::min(end, lo + grain);
@@ -164,7 +181,12 @@ void parallel_for(std::size_t begin, std::size_t end, std::size_t grain,
   if (threads <= 1 || nchunks <= 1 || t_in_worker || p.job_active ||
       p.active_workers != 0 || g_shutdown.load(std::memory_order_relaxed)) {
     lk.unlock();
-    for (std::size_t i = 0; i < nchunks; ++i) {
+    // The reverse-order fault applies here too, so reordering coverage does
+    // not silently vanish on single-threaded configurations.
+    const bool reverse =
+        fault::any_armed() && fault::armed(fault::kPoolReverse);
+    for (std::size_t c = 0; c < nchunks; ++c) {
+      const std::size_t i = reverse ? nchunks - 1 - c : c;
       const std::size_t lo = begin + i * grain;
       fn(lo, std::min(end, lo + grain));
     }

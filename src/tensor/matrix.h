@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "core/check.h"
+#include "core/fault.h"
 #include "core/rng.h"
 
 namespace enw {
@@ -23,7 +24,7 @@ class Matrix {
  public:
   Matrix() = default;
   Matrix(std::size_t rows, std::size_t cols, float fill = 0.0f)
-      : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+      : rows_(rows), cols_(cols), data_(checked_alloc(rows, cols), fill) {}
 
   /// Build from nested initializer list (for tests and small examples).
   Matrix(std::initializer_list<std::initializer_list<float>> rows);
@@ -81,6 +82,15 @@ class Matrix {
   static Matrix kaiming(std::size_t rows, std::size_t cols, std::size_t fan_in, Rng& rng);
 
  private:
+  // Failing-allocation shim: routes the element count through the fault
+  // registry so tests can prove Matrix-allocating paths are fail-stop
+  // (std::bad_alloc propagates before any state is touched). Free when no
+  // fault is armed — one relaxed atomic load.
+  static std::size_t checked_alloc(std::size_t rows, std::size_t cols) {
+    fault::check_alloc(rows * cols * sizeof(float));
+    return rows * cols;
+  }
+
   std::size_t rows_ = 0;
   std::size_t cols_ = 0;
   std::vector<float> data_;

@@ -1,0 +1,117 @@
+#include "testkit/fault.h"
+
+#include <cstdio>
+#include <iterator>
+
+#include "core/check.h"
+#include "core/fault.h"
+
+namespace enw::testkit {
+
+const char* fault_kind_name(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kAnalogStuckCell: return "analog.stuck_cell";
+    case FaultKind::kAnalogStuckShort: return "analog.stuck_short";
+    case FaultKind::kPcmExtraDrift: return "pcm.extra_drift";
+    case FaultKind::kPoolReverseOrder: return "pool.reverse_order";
+    case FaultKind::kPoolDelay: return "pool.delay";
+    case FaultKind::kAllocFail: return "alloc.fail";
+  }
+  return "unknown";
+}
+
+std::string FaultSpec::describe() const {
+  char buf[160];
+  switch (kind) {
+    case FaultKind::kAnalogStuckCell:
+    case FaultKind::kAnalogStuckShort:
+      std::snprintf(buf, sizeof(buf), "%s cell=(%zu,%zu) value=%a",
+                    fault_kind_name(kind), row, col,
+                    static_cast<double>(stuck_value));
+      break;
+    case FaultKind::kPcmExtraDrift:
+      std::snprintf(buf, sizeof(buf), "%s extra_nu=%a", fault_kind_name(kind),
+                    extra_nu);
+      break;
+    case FaultKind::kPoolReverseOrder:
+      std::snprintf(buf, sizeof(buf), "%s", fault_kind_name(kind));
+      break;
+    case FaultKind::kPoolDelay:
+      std::snprintf(buf, sizeof(buf), "%s delay_us=%u", fault_kind_name(kind),
+                    delay_us);
+      break;
+    case FaultKind::kAllocFail:
+      std::snprintf(buf, sizeof(buf), "%s countdown=%lld", fault_kind_name(kind),
+                    static_cast<long long>(alloc_countdown));
+      break;
+  }
+  return buf;
+}
+
+std::vector<FaultSpec> fault_campaign(std::uint64_t master_seed, std::size_t n,
+                                      std::size_t rows, std::size_t cols) {
+  ENW_CHECK(rows > 0 && cols > 0);
+  Rng master(master_seed);
+  std::vector<FaultSpec> specs;
+  specs.reserve(n);
+  constexpr std::size_t kKinds = std::size(kAllFaultKinds);
+  for (std::size_t i = 0; i < n; ++i) {
+    Rng rng = master.fork();  // per-fault stream: prefix-stable in n
+    FaultSpec s;
+    s.kind = kAllFaultKinds[i % kKinds];
+    s.id = i;
+    switch (s.kind) {
+      case FaultKind::kAnalogStuckCell:
+        s.row = rng.index(rows);
+        s.col = rng.index(cols);
+        // Well away from the programmed weight (campaign weights live in
+        // [-0.5, 0.5]) but inside the logical range, so detection exercises
+        // the differential threshold rather than a trivial blowup.
+        s.stuck_value = static_cast<float>(
+            (rng.bernoulli(0.5) ? 1.0 : -1.0) * rng.uniform(0.7, 1.0));
+        break;
+      case FaultKind::kAnalogStuckShort:
+        s.row = rng.index(rows);
+        s.col = rng.index(cols);
+        s.stuck_value =
+            static_cast<float>((rng.bernoulli(0.5) ? 1.0 : -1.0) *
+                               rng.uniform(4.0, 16.0));  // far out of range
+        break;
+      case FaultKind::kPcmExtraDrift:
+        s.extra_nu = rng.uniform(0.1, 0.3);  // vs healthy mean nu ~0.05
+        break;
+      case FaultKind::kPoolReverseOrder:
+        break;  // parameter-free
+      case FaultKind::kPoolDelay:
+        s.delay_us = static_cast<std::uint32_t>(rng.integer(20, 200));
+        break;
+      case FaultKind::kAllocFail:
+        // The campaign workload performs well over 8 Matrix allocations, so
+        // any countdown in [0, 7] is guaranteed to fire.
+        s.alloc_countdown = rng.integer(0, 7);
+        break;
+    }
+    specs.push_back(s);
+  }
+  return specs;
+}
+
+ScopedProcessFault::ScopedProcessFault(const FaultSpec& spec) {
+  switch (spec.kind) {
+    case FaultKind::kPoolReverseOrder:
+      fault::arm_pool_reverse();
+      break;
+    case FaultKind::kPoolDelay:
+      fault::arm_pool_delay(spec.delay_us);
+      break;
+    case FaultKind::kAllocFail:
+      fault::arm_alloc_failure(spec.alloc_countdown);
+      break;
+    default:
+      break;  // device-level: applied by the driver to its model objects
+  }
+}
+
+ScopedProcessFault::~ScopedProcessFault() { fault::disarm_all(); }
+
+}  // namespace enw::testkit

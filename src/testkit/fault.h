@@ -1,0 +1,90 @@
+// Deterministic fault-campaign specs (enw::testkit).
+//
+// A fault campaign is a seeded sweep of injected faults, each of which must
+// end in one of two defensible outcomes:
+//
+//   DETECTED — the differential harness flags the corruption (e.g. a stuck
+//              crosspoint shifts the crossbar readout away from the digital
+//              reference), or the failure is fail-stop (a clean bad_alloc
+//              with no state corruption);
+//   BENIGN   — the fault provably cannot change results (e.g. reordering or
+//              delaying thread-pool chunks, which the determinism contract
+//              says is invisible), verified by a bitwise differential check.
+//
+// Anything else — silent corruption — fails the campaign. The specs here are
+// pure data derived from a master seed, so a campaign replays bit-for-bit.
+// Applying a spec is split by scope: process-level faults (pool schedule,
+// allocator) arm enw::fault via the RAII ScopedProcessFault; device-level
+// faults are applied by the campaign driver to its model objects through the
+// injection hooks (AnalogMatrix::inject_stuck, PcmPairArray::
+// inject_extra_drift).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/rng.h"
+
+namespace enw::testkit {
+
+enum class FaultKind {
+  kAnalogStuckCell,   // crosspoint frozen at an in-range conductance
+  kAnalogStuckShort,  // crosspoint shorted: reads far outside logical range
+  kPcmExtraDrift,     // extra drift exponent on every PCM pair
+  kPoolReverseOrder,  // thread pool claims chunks in reverse order
+  kPoolDelay,         // pool threads stall before each chunk
+  kAllocFail,         // one-shot Matrix allocation failure
+};
+
+inline constexpr FaultKind kAllFaultKinds[] = {
+    FaultKind::kAnalogStuckCell, FaultKind::kAnalogStuckShort,
+    FaultKind::kPcmExtraDrift,   FaultKind::kPoolReverseOrder,
+    FaultKind::kPoolDelay,       FaultKind::kAllocFail,
+};
+
+const char* fault_kind_name(FaultKind kind);
+
+struct FaultSpec {
+  FaultKind kind = FaultKind::kAnalogStuckCell;
+  std::size_t id = 0;  // position in the campaign
+
+  // Analog faults: target crosspoint and stuck value.
+  std::size_t row = 0;
+  std::size_t col = 0;
+  float stuck_value = 0.0f;
+
+  // kPcmExtraDrift: additional drift exponent.
+  double extra_nu = 0.0;
+
+  // kPoolDelay: per-chunk stall.
+  std::uint32_t delay_us = 0;
+
+  // kAllocFail: successful allocations before the failure fires.
+  std::int64_t alloc_countdown = 0;
+
+  /// Deterministic one-line description (stable across runs; safe to diff).
+  std::string describe() const;
+};
+
+/// Derive a campaign of n specs from a master seed. Kinds cycle round-robin
+/// so every hook class is exercised even for small n; parameters come from a
+/// per-fault forked stream, so campaigns with different n share a prefix.
+/// rows/cols bound the analog fault coordinates.
+std::vector<FaultSpec> fault_campaign(std::uint64_t master_seed, std::size_t n,
+                                      std::size_t rows, std::size_t cols);
+
+/// RAII application of a PROCESS-level fault (kPoolReverseOrder, kPoolDelay,
+/// kAllocFail): arms enw::fault on construction, disarms everything on
+/// destruction. Device-level kinds arm nothing (the driver applies those to
+/// its model objects directly).
+class ScopedProcessFault {
+ public:
+  explicit ScopedProcessFault(const FaultSpec& spec);
+  ~ScopedProcessFault();
+  ScopedProcessFault(const ScopedProcessFault&) = delete;
+  ScopedProcessFault& operator=(const ScopedProcessFault&) = delete;
+};
+
+}  // namespace enw::testkit

@@ -1,0 +1,68 @@
+#include "testkit/generators.h"
+
+#include <iterator>
+
+namespace enw::testkit {
+
+namespace {
+
+// Edge values cycled through by the `specials` option. 1e-41f is subnormal
+// for IEEE binary32; the extremes stay finite so products don't overflow to
+// inf in ordinary accumulation tests.
+constexpr float kSpecials[] = {0.0f,   -0.0f,  1e-41f, -1e-41f,
+                               1e30f,  -1e30f, 1e-30f, -1e-30f};
+
+float draw_entry(Rng& rng, const MatrixGenOptions& opts) {
+  if (opts.zero_fraction > 0.0 && rng.bernoulli(opts.zero_fraction)) return 0.0f;
+  if (opts.specials && rng.bernoulli(0.05)) {
+    return kSpecials[rng.index(std::size(kSpecials))];
+  }
+  return static_cast<float>(opts.scale * rng.normal());
+}
+
+}  // namespace
+
+Matrix random_matrix(Rng& rng, std::size_t rows, std::size_t cols,
+                     const MatrixGenOptions& opts) {
+  Matrix m(rows, cols);
+  for (std::size_t i = 0; i < m.size(); ++i) m.data()[i] = draw_entry(rng, opts);
+  return m;
+}
+
+Vector random_vector(Rng& rng, std::size_t n, const MatrixGenOptions& opts) {
+  Vector v(n);
+  for (auto& x : v) x = draw_entry(rng, opts);
+  return v;
+}
+
+std::size_t random_dim(Rng& rng, std::size_t lo, std::size_t hi) {
+  return static_cast<std::size_t>(
+      rng.integer(static_cast<std::int64_t>(lo), static_cast<std::int64_t>(hi)));
+}
+
+BatchSpec random_batch_spec(Rng& rng, std::size_t max_batch, std::size_t max_dim) {
+  BatchSpec s;
+  s.batch = random_dim(rng, 0, max_batch);
+  s.in_dim = random_dim(rng, 1, max_dim);
+  s.out_dim = random_dim(rng, 1, max_dim);
+  return s;
+}
+
+EpisodeSpec random_episode_spec(Rng& rng) {
+  EpisodeSpec e;
+  e.n_way = random_dim(rng, 2, 5);
+  e.k_shot = random_dim(rng, 1, 3);
+  e.queries_per_class = random_dim(rng, 1, 3);
+  e.episodes = random_dim(rng, 1, 2);
+  e.seed = rng.engine()();
+  return e;
+}
+
+std::vector<std::size_t> random_labels(Rng& rng, std::size_t n,
+                                       std::size_t num_classes) {
+  std::vector<std::size_t> labels(n);
+  for (auto& l : labels) l = rng.index(num_classes);
+  return labels;
+}
+
+}  // namespace enw::testkit

@@ -1,0 +1,70 @@
+// Seeded property-based generators (enw::testkit).
+//
+// Every generator draws from an explicitly passed enw::Rng, so a property
+// test is reproduced bit-for-bit from its seed alone — the same discipline
+// the library imposes on device noise and dataset synthesis. Generators
+// produce the inputs the correctness harness sweeps: random shapes, dense
+// and ReLU-sparse matrices, matrices salted with numerical edge values
+// (denormals, signed zeros, extreme magnitudes), minibatch shape specs, and
+// few-shot episode specs.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "core/rng.h"
+#include "tensor/matrix.h"
+
+namespace enw::testkit {
+
+struct MatrixGenOptions {
+  /// Stddev of the normal entries.
+  float scale = 1.0f;
+  /// Fraction of entries forced to exactly 0.0f — the ReLU-sparse pattern
+  /// the ZeroSkip kernels must honor.
+  double zero_fraction = 0.0;
+  /// Sprinkle numerical edge values (denormals, -0.0f, ±1e30f, ±1e-30f)
+  /// over ~5% of the entries.
+  bool specials = false;
+};
+
+/// (rows x cols) matrix of seeded random entries per the options.
+Matrix random_matrix(Rng& rng, std::size_t rows, std::size_t cols,
+                     const MatrixGenOptions& opts = {});
+
+/// Seeded random vector (same entry distribution as random_matrix).
+Vector random_vector(Rng& rng, std::size_t n, const MatrixGenOptions& opts = {});
+
+/// Uniform dimension in [lo, hi] — shapes for property sweeps.
+std::size_t random_dim(Rng& rng, std::size_t lo, std::size_t hi);
+
+/// Shape of one minibatch workload through a linear layer.
+struct BatchSpec {
+  std::size_t batch = 1;
+  std::size_t in_dim = 1;
+  std::size_t out_dim = 1;
+};
+
+/// Random batch spec with each dimension in [1, max_dim] (batch in
+/// [0, max_batch] — zero-sample batches are a supported edge case).
+BatchSpec random_batch_spec(Rng& rng, std::size_t max_batch = 32,
+                            std::size_t max_dim = 48);
+
+/// Parameters of one N-way K-shot episode (data for a fewshot harness run).
+struct EpisodeSpec {
+  std::size_t n_way = 5;
+  std::size_t k_shot = 1;
+  std::size_t queries_per_class = 2;
+  std::size_t episodes = 1;
+  std::uint64_t seed = 0;
+};
+
+/// Random small episode spec (n_way in [2,5], k_shot in [1,3], ...).
+EpisodeSpec random_episode_spec(Rng& rng);
+
+/// n labels uniform in [0, num_classes).
+std::vector<std::size_t> random_labels(Rng& rng, std::size_t n,
+                                       std::size_t num_classes);
+
+}  // namespace enw::testkit

@@ -1,0 +1,161 @@
+#include "testkit/golden.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "core/check.h"
+
+namespace enw::testkit {
+
+namespace {
+
+std::string format_float(float v) {
+  // %a is exact for every finite binary32 value (and prints "inf"/"nan",
+  // which strtof parses back — NaN payloads are not preserved, which the
+  // comparison policy treats as equal-NaN only under non-bitwise policies).
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%a", static_cast<double>(v));
+  return buf;
+}
+
+[[noreturn]] void parse_fail(const std::string& path, std::size_t line,
+                             const std::string& what) {
+  throw std::runtime_error(path + ":" + std::to_string(line) +
+                           ": bad trace: " + what);
+}
+
+}  // namespace
+
+void Trace::record(const std::string& name, std::span<const float> values) {
+  ENW_CHECK_MSG(name.find_first_of(" \t\n") == std::string::npos,
+                "trace entry names must not contain whitespace");
+  TraceEntry e;
+  e.name = name;
+  e.rows = 1;
+  e.cols = values.size();
+  e.values.assign(values.begin(), values.end());
+  entries_.push_back(std::move(e));
+}
+
+void Trace::record(const std::string& name, const Matrix& m) {
+  ENW_CHECK_MSG(name.find_first_of(" \t\n") == std::string::npos,
+                "trace entry names must not contain whitespace");
+  TraceEntry e;
+  e.name = name;
+  e.rows = m.rows();
+  e.cols = m.cols();
+  e.values.assign(m.data(), m.data() + m.size());
+  entries_.push_back(std::move(e));
+}
+
+void Trace::save(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot open trace file for write: " + path);
+  out << "enw-trace v1\n";
+  for (const auto& e : entries_) {
+    out << "entry " << e.name << " " << e.rows << " " << e.cols << "\n";
+    for (std::size_t r = 0; r < e.rows; ++r) {
+      for (std::size_t c = 0; c < e.cols; ++c) {
+        if (c) out << " ";
+        out << format_float(e.values[r * e.cols + c]);
+      }
+      out << "\n";
+    }
+  }
+  if (!out.flush()) throw std::runtime_error("write failed: " + path);
+}
+
+Trace Trace::load(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open trace file: " + path);
+  Trace t;
+  std::string line;
+  std::size_t lineno = 1;
+  if (!std::getline(in, line) || line != "enw-trace v1") {
+    parse_fail(path, lineno, "missing 'enw-trace v1' header");
+  }
+  while (std::getline(in, line)) {
+    ++lineno;
+    if (line.empty()) continue;
+    std::istringstream hdr(line);
+    std::string tag;
+    TraceEntry e;
+    if (!(hdr >> tag >> e.name >> e.rows >> e.cols) || tag != "entry") {
+      parse_fail(path, lineno, "expected 'entry <name> <rows> <cols>'");
+    }
+    e.values.reserve(e.rows * e.cols);
+    for (std::size_t r = 0; r < e.rows; ++r) {
+      if (!std::getline(in, line)) parse_fail(path, lineno, "truncated entry");
+      ++lineno;
+      const char* p = line.c_str();
+      for (std::size_t c = 0; c < e.cols; ++c) {
+        char* end = nullptr;
+        const float v = std::strtof(p, &end);
+        if (end == p) parse_fail(path, lineno, "expected " +
+                                 std::to_string(e.cols) + " floats");
+        e.values.push_back(v);
+        p = end;
+      }
+    }
+    t.entries_.push_back(std::move(e));
+  }
+  return t;
+}
+
+Divergence compare_traces(const Trace& expected, const Trace& actual,
+                          const TolerancePolicy& policy) {
+  Divergence d;
+  if (expected.entries().size() != actual.entries().size()) {
+    d.diverged = true;
+    d.context = "entry count mismatch: expected " +
+                std::to_string(expected.entries().size()) + " vs actual " +
+                std::to_string(actual.entries().size());
+    return d;
+  }
+  for (std::size_t i = 0; i < expected.entries().size(); ++i) {
+    const TraceEntry& e = expected.entries()[i];
+    const TraceEntry& a = actual.entries()[i];
+    if (e.name != a.name || e.rows != a.rows || e.cols != a.cols) {
+      d.diverged = true;
+      d.context = "entry " + std::to_string(i) + ": expected '" + e.name + "' " +
+                  std::to_string(e.rows) + "x" + std::to_string(e.cols) +
+                  " vs actual '" + a.name + "' " + std::to_string(a.rows) + "x" +
+                  std::to_string(a.cols);
+      return d;
+    }
+    d = first_divergence(std::span<const float>(e.values),
+                         std::span<const float>(a.values), policy);
+    if (d.diverged) {
+      if (e.cols > 0) {
+        d.row = d.index / e.cols;
+        d.col = d.index % e.cols;
+      }
+      d.context = "entry '" + e.name + "'";
+      return d;
+    }
+  }
+  return d;
+}
+
+Divergence golden_check(const std::string& path, const Trace& actual,
+                        const TolerancePolicy& policy) {
+  if (std::getenv("ENW_GOLDEN_UPDATE") != nullptr) {
+    actual.save(path);
+    return {};
+  }
+  std::ifstream probe(path);
+  if (!probe) {
+    Divergence d;
+    d.diverged = true;
+    d.context = "golden file missing: " + path +
+                " (regenerate with ENW_GOLDEN_UPDATE=1)";
+    return d;
+  }
+  probe.close();
+  return compare_traces(Trace::load(path), actual, policy);
+}
+
+}  // namespace enw::testkit

@@ -1,0 +1,66 @@
+// Golden-trace snapshots (enw::testkit).
+//
+// A Trace is an ordered list of named float tensors — typically the layer
+// activations of one forward pass or the loss curve of a short training run.
+// Traces serialize to a line-oriented text format using C hex-float
+// literals, so a committed golden file round-trips every finite float
+// bit-for-bit through text. golden_check() compares a freshly recorded trace
+// against a committed file under a TolerancePolicy and regenerates the file
+// when the ENW_GOLDEN_UPDATE environment variable is set.
+//
+// File format (version 1):
+//   enw-trace v1
+//   entry <name> <rows> <cols>
+//   <cols hex-floats per row, space-separated>
+//   ...
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "tensor/matrix.h"
+#include "testkit/diff.h"
+
+namespace enw::testkit {
+
+struct TraceEntry {
+  std::string name;  // no whitespace
+  std::size_t rows = 0;
+  std::size_t cols = 0;
+  std::vector<float> values;  // rows * cols, row-major
+};
+
+class Trace {
+ public:
+  /// Append a vector entry (recorded as 1 x n).
+  void record(const std::string& name, std::span<const float> values);
+  /// Append a matrix entry.
+  void record(const std::string& name, const Matrix& m);
+
+  const std::vector<TraceEntry>& entries() const { return entries_; }
+  bool empty() const { return entries_.empty(); }
+
+  /// Write to path (throws std::runtime_error on I/O failure).
+  void save(const std::string& path) const;
+  /// Parse from path (throws std::runtime_error on I/O or format errors).
+  static Trace load(const std::string& path);
+
+ private:
+  std::vector<TraceEntry> entries_;
+};
+
+/// Entry-by-entry comparison. Diverges on the first entry whose name, shape,
+/// or values (under the policy) differ; the divergence context carries the
+/// entry name.
+Divergence compare_traces(const Trace& expected, const Trace& actual,
+                          const TolerancePolicy& policy = {});
+
+/// Compare `actual` against the golden file at `path`.
+///  * ENW_GOLDEN_UPDATE set: rewrite the file from `actual`, return ok.
+///  * file missing: diverge with a context explaining how to regenerate.
+///  * otherwise: compare_traces(load(path), actual, policy).
+Divergence golden_check(const std::string& path, const Trace& actual,
+                        const TolerancePolicy& policy = {});
+
+}  // namespace enw::testkit

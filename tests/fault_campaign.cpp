@@ -1,0 +1,267 @@
+// Fault-campaign driver: sweep N deterministically seeded faults through the
+// enw::testkit injection hooks and demand a defensible verdict for each one.
+//
+//   DETECTED — the differential harness flags the corruption (analog faults
+//              diverge from the digital reference; an allocation fault is a
+//              clean fail-stop bad_alloc with state intact afterwards);
+//   BENIGN   — the fault provably cannot change results (pool-schedule
+//              faults), verified bitwise against the clean run;
+//   SILENT   — anything else. One silent fault fails the whole campaign.
+//
+// The report is deterministic (no timings, pointers, or ambient RNG), so two
+// runs with the same --seed/--faults are byte-identical —
+// scripts/run_fault_campaign.sh diffs them to prove it.
+//
+// Usage: fault_campaign [--faults N] [--seed S]   (defaults: 24 faults, seed 7)
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <new>
+#include <string>
+#include <vector>
+
+#include "analog/analog_matrix.h"
+#include "analog/pcm.h"
+#include "core/fault.h"
+#include "core/rng.h"
+#include "tensor/ops.h"
+#include "testkit/diff.h"
+#include "testkit/fault.h"
+#include "testkit/generators.h"
+
+namespace enw {
+namespace {
+
+using testkit::as_row;
+using testkit::Divergence;
+using testkit::FaultKind;
+using testkit::FaultSpec;
+using testkit::first_divergence;
+using testkit::TolerancePolicy;
+
+// Crossbar geometry shared by every analog fault in the campaign. The
+// fault_campaign() generator draws crosspoint coordinates against it.
+constexpr std::size_t kRows = 12;
+constexpr std::size_t kCols = 16;
+
+enum class Verdict { kDetected, kBenign, kSilent };
+
+struct Outcome {
+  Verdict verdict = Verdict::kSilent;
+  std::string detail;
+};
+
+const char* verdict_name(Verdict v) {
+  switch (v) {
+    case Verdict::kDetected: return "DETECTED";
+    case Verdict::kBenign: return "BENIGN";
+    case Verdict::kSilent: return "SILENT";
+  }
+  return "?";
+}
+
+/// Deterministic read vector: nonzero everywhere with alternating sign, so
+/// every crosspoint contributes to the readout and no fault can hide behind
+/// a zero input.
+Vector probe_vector(std::size_t n) {
+  Vector x(n);
+  for (std::size_t c = 0; c < n; ++c) {
+    x[c] = (c % 2 == 0 ? 1.0f : -1.0f) * (0.1f + 0.05f * static_cast<float>(c));
+  }
+  return x;
+}
+
+/// Stuck crosspoint (in-range or shorted): program a zero-noise crossbar,
+/// freeze one cell, and diff the analog readout against the digital
+/// reference under the analog read tolerance. The campaign weights live in
+/// [-0.5, 0.5] and stuck values are ≥0.2 away, so a healthy run passes the
+/// tolerance and a faulted one must not.
+Outcome run_analog_stuck(const FaultSpec& spec) {
+  analog::AnalogMatrixConfig cfg;  // ideal device, zero noise
+  analog::AnalogMatrix array(kRows, kCols, cfg);
+  Rng rng(0xa110c ^ spec.id);
+  Matrix w(kRows, kCols);
+  for (std::size_t r = 0; r < kRows; ++r) {
+    for (std::size_t c = 0; c < kCols; ++c) {
+      w(r, c) = static_cast<float>(rng.uniform(-0.5, 0.5));
+      array.set_state(r, c, w(r, c));
+    }
+  }
+  array.inject_stuck(spec.row, spec.col, spec.stuck_value);
+  const Vector x = probe_vector(kCols);
+  const TolerancePolicy analog_read_tol{256, 1e-4f};
+  const auto clean = first_divergence(
+      as_row(matvec(w, x)), [&] {
+        Vector y(kRows, 0.0f);
+        // Sanity leg: a healthy twin must pass the same tolerance, or the
+        // "detection" below would be meaningless.
+        analog::AnalogMatrix twin(kRows, kCols, cfg);
+        for (std::size_t r = 0; r < kRows; ++r)
+          for (std::size_t c = 0; c < kCols; ++c) twin.set_state(r, c, w(r, c));
+        twin.forward(x, y);
+        return as_row(y);
+      }(),
+      analog_read_tol);
+  if (clean.diverged) {
+    return {Verdict::kSilent, "healthy twin failed tolerance: " + clean.report()};
+  }
+  Vector y(kRows, 0.0f);
+  array.forward(x, y);
+  const Divergence d =
+      first_divergence(as_row(matvec(w, x)), as_row(y), analog_read_tol);
+  if (!d.diverged) return {Verdict::kSilent, "stuck cell not flagged"};
+  return {Verdict::kDetected, d.report()};
+}
+
+/// Extra PCM drift: two arrays with identical config (hence identical device
+/// sampling), one with the drift exponent raised. After time advances, the
+/// weight snapshots must diverge beyond the healthy tolerance.
+Outcome run_pcm_drift(const FaultSpec& spec) {
+  analog::PcmArrayConfig cfg;
+  cfg.read_noise_std = 0.0;
+  Rng rng(0xdc ^ spec.id);
+  Matrix w(kRows, kCols);
+  for (std::size_t r = 0; r < kRows; ++r)
+    for (std::size_t c = 0; c < kCols; ++c)
+      w(r, c) = static_cast<float>(rng.uniform(-0.4, 0.4));
+  analog::PcmPairArray healthy(kRows, kCols, cfg);
+  analog::PcmPairArray faulted(kRows, kCols, cfg);
+  healthy.program(w);
+  faulted.program(w);
+  const Divergence pre =
+      first_divergence(healthy.weights_snapshot(), faulted.weights_snapshot());
+  if (pre.diverged) {
+    return {Verdict::kSilent, "twins differ before fault: " + pre.report()};
+  }
+  faulted.inject_extra_drift(spec.extra_nu);
+  healthy.advance_time(1e4);
+  faulted.advance_time(1e4);
+  const Divergence d =
+      first_divergence(healthy.weights_snapshot(), faulted.weights_snapshot(),
+                       TolerancePolicy{64, 1e-4f});
+  if (!d.diverged) return {Verdict::kSilent, "extra drift not flagged"};
+  return {Verdict::kDetected, d.report()};
+}
+
+/// Pool-schedule faults (reverse claim order, delayed workers): the
+/// determinism contract says the chunk partition is pure, so results must be
+/// BITWISE identical to the clean run. Divergence here is not a detected
+/// fault — it is a real determinism bug, reported as silent corruption.
+Outcome run_pool_fault(const FaultSpec& spec) {
+  testkit::ThreadScope scope(8);
+  Rng rng(0x9001 ^ spec.id);
+  const Matrix a = testkit::random_matrix(rng, 45, 37);
+  const Matrix b = testkit::random_matrix(rng, 37, 29);
+  const Vector x = testkit::random_vector(rng, 37);
+  const Matrix clean_mm = matmul(a, b);
+  const Vector clean_mv = matvec(a, x);
+  Matrix faulted_mm;
+  Vector faulted_mv;
+  {
+    testkit::ScopedProcessFault fault(spec);
+    faulted_mm = matmul(a, b);
+    faulted_mv = matvec(a, x);
+  }
+  const Divergence dm = first_divergence(clean_mm, faulted_mm);
+  if (dm.diverged) {
+    return {Verdict::kSilent, "schedule changed matmul: " + dm.report()};
+  }
+  const Divergence dv = first_divergence(as_row(clean_mv), as_row(faulted_mv));
+  if (dv.diverged) {
+    return {Verdict::kSilent, "schedule changed matvec: " + dv.report()};
+  }
+  return {Verdict::kBenign, "bitwise identical under perturbed schedule"};
+}
+
+/// One-shot allocation failure: the workload must fail stop with a clean
+/// bad_alloc (detected), and a rerun after the fault cleared must reproduce
+/// the clean result bitwise (no state corruption left behind).
+Outcome run_alloc_fault(const FaultSpec& spec) {
+  Rng rng(0xa7 ^ spec.id);
+  const Matrix a = testkit::random_matrix(rng, 21, 17);
+  const Matrix b = testkit::random_matrix(rng, 17, 13);
+  const Matrix clean = matmul(a, b);
+  bool threw = false;
+  {
+    testkit::ScopedProcessFault fault(spec);
+    try {
+      // Each matmul allocates its result matrix, so countdowns in [0, 7]
+      // always fire within this loop.
+      for (int i = 0; i < 10; ++i) {
+        const Matrix c = matmul(a, b);
+        (void)c;
+      }
+    } catch (const std::bad_alloc&) {
+      threw = true;
+    }
+  }
+  if (!threw) return {Verdict::kSilent, "armed allocation fault never fired"};
+  const Matrix after = matmul(a, b);
+  const Divergence d = first_divergence(clean, after);
+  if (d.diverged) {
+    return {Verdict::kSilent, "state corrupted after bad_alloc: " + d.report()};
+  }
+  return {Verdict::kDetected, "clean bad_alloc; rerun bitwise identical"};
+}
+
+Outcome run_fault(const FaultSpec& spec) {
+  switch (spec.kind) {
+    case FaultKind::kAnalogStuckCell:
+    case FaultKind::kAnalogStuckShort:
+      return run_analog_stuck(spec);
+    case FaultKind::kPcmExtraDrift:
+      return run_pcm_drift(spec);
+    case FaultKind::kPoolReverseOrder:
+    case FaultKind::kPoolDelay:
+      return run_pool_fault(spec);
+    case FaultKind::kAllocFail:
+      return run_alloc_fault(spec);
+  }
+  return {Verdict::kSilent, "unknown fault kind"};
+}
+
+int run_campaign(std::uint64_t seed, std::size_t n) {
+  std::printf("enw fault campaign: %zu faults, master seed %llu\n", n,
+              static_cast<unsigned long long>(seed));
+  const std::vector<FaultSpec> specs =
+      testkit::fault_campaign(seed, n, kRows, kCols);
+  std::size_t detected = 0, benign = 0, silent = 0;
+  for (const FaultSpec& spec : specs) {
+    const Outcome out = run_fault(spec);
+    switch (out.verdict) {
+      case Verdict::kDetected: ++detected; break;
+      case Verdict::kBenign: ++benign; break;
+      case Verdict::kSilent: ++silent; break;
+    }
+    std::printf("fault %03zu %-40s -> %-8s %s\n", spec.id,
+                spec.describe().c_str(), verdict_name(out.verdict),
+                out.detail.c_str());
+  }
+  std::printf("summary: %zu detected, %zu benign, %zu silent\n", detected,
+              benign, silent);
+  if (silent != 0) {
+    std::printf("FAIL: %zu fault(s) caused silent corruption\n", silent);
+    return 1;
+  }
+  std::printf("PASS: every fault detected or provably benign\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace enw
+
+int main(int argc, char** argv) {
+  std::size_t faults = 24;
+  std::uint64_t seed = 7;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--faults") == 0 && i + 1 < argc) {
+      faults = static_cast<std::size_t>(std::strtoull(argv[++i], nullptr, 10));
+    } else if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc) {
+      seed = std::strtoull(argv[++i], nullptr, 10);
+    } else {
+      std::fprintf(stderr, "usage: %s [--faults N] [--seed S]\n", argv[0]);
+      return 2;
+    }
+  }
+  return enw::run_campaign(seed, faults);
+}

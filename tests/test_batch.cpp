@@ -26,6 +26,8 @@
 #include "recsys/embedding_table.h"
 #include "recsys/wide_and_deep.h"
 #include "tensor/ops.h"
+#include "testkit/diff.h"
+#include "testkit/generators.h"
 
 namespace enw {
 namespace {
@@ -35,26 +37,29 @@ using nn::DigitalLinear;
 using nn::Mlp;
 using nn::MlpConfig;
 
-bool bitwise_equal(std::span<const float> a, std::span<const float> b) {
-  return a.size() == b.size() &&
-         std::memcmp(a.data(), b.data(), a.size() * sizeof(float)) == 0;
+// Equivalence checks ride on enw::testkit: same bitwise contract as the old
+// hand-rolled memcmp helpers, but a failure now names the first diverging
+// element and its ULP distance instead of printing "false".
+::testing::AssertionResult bitwise_equal(std::span<const float> a,
+                                         std::span<const float> b) {
+  const testkit::Divergence d = testkit::first_divergence(a, b);
+  if (d.ok()) return ::testing::AssertionSuccess();
+  return ::testing::AssertionFailure() << d.report();
 }
 
-bool bitwise_equal(const Matrix& a, const Matrix& b) {
-  return a.rows() == b.rows() && a.cols() == b.cols() &&
-         std::memcmp(a.data(), b.data(), a.size() * sizeof(float)) == 0;
+::testing::AssertionResult bitwise_equal(const Matrix& a, const Matrix& b) {
+  const testkit::Divergence d = testkit::first_divergence(a, b);
+  if (d.ok()) return ::testing::AssertionSuccess();
+  return ::testing::AssertionFailure() << d.report();
 }
 
 Matrix random_matrix(std::size_t r, std::size_t c, Rng& rng) {
-  Matrix m(r, c);
-  for (std::size_t i = 0; i < m.size(); ++i)
-    m.data()[i] = static_cast<float>(rng.normal());
-  return m;
+  return testkit::random_matrix(rng, r, c);
 }
 
-struct ThreadCountGuard {
-  std::size_t saved = parallel::thread_count();
-  ~ThreadCountGuard() { parallel::set_thread_count(saved); }
+// RAII thread-count restore around the per-test thread sweeps.
+struct ThreadCountGuard : testkit::ThreadScope {
+  ThreadCountGuard() : ThreadScope(parallel::thread_count()) {}
 };
 
 constexpr std::size_t kBatchSizes[] = {1, 3, 64};

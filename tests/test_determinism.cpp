@@ -1,0 +1,116 @@
+// Determinism sweep (testkit satellite): train the paper's 784-256-10 MLP
+// and run a few-shot episode under every combination of seed {1, 2, 3} and
+// thread count {1, 2, 8}, and assert that losses, final weights, and episode
+// accuracy are BITWISE identical across thread counts for each seed.
+//
+// This is the library-wide contract the thread pool's pure chunk partition
+// exists to uphold: parallelism is an execution detail, never a numeric one.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "core/rng.h"
+#include "data/dataset.h"
+#include "data/synthetic_mnist.h"
+#include "data/synthetic_omniglot.h"
+#include "mann/fewshot.h"
+#include "mann/similarity_search.h"
+#include "nn/activation.h"
+#include "nn/digital_linear.h"
+#include "nn/mlp.h"
+#include "testkit/diff.h"
+
+namespace enw {
+namespace {
+
+using testkit::as_row;
+using testkit::first_divergence;
+
+constexpr std::uint64_t kSeeds[] = {1, 2, 3};
+constexpr std::size_t kThreadCounts[] = {1, 2, 8};
+constexpr std::size_t kTrainSteps = 3;
+constexpr float kLr = 0.05f;
+
+struct TrainResult {
+  std::vector<float> losses;    // per-step batch loss + final mean loss
+  std::vector<Matrix> weights;  // per-layer final weights
+};
+
+TrainResult run_training(std::uint64_t seed, std::size_t threads,
+                         const data::Dataset& ds) {
+  testkit::ThreadScope scope(threads);
+  nn::MlpConfig cfg;
+  cfg.dims = {784, 256, 10};
+  cfg.hidden_activation = nn::Activation::kRelu;
+  Rng rng(seed);
+  nn::Mlp net(cfg, nn::DigitalLinear::factory(rng));
+  TrainResult r;
+  for (std::size_t step = 0; step < kTrainSteps; ++step) {
+    r.losses.push_back(net.train_batch(ds.features, ds.labels, kLr));
+  }
+  r.losses.push_back(static_cast<float>(net.mean_loss(ds.features, ds.labels)));
+  for (std::size_t l = 0; l < net.layer_count(); ++l) {
+    r.weights.push_back(net.layer(l).ops().weights());
+  }
+  return r;
+}
+
+TEST(Determinism, MlpTrainingBitwiseAcrossSeedsAndThreads) {
+  const data::SyntheticMnist mnist;
+  const data::Dataset ds = mnist.train_set(64);
+  for (std::uint64_t seed : kSeeds) {
+    const TrainResult base = run_training(seed, 1, ds);
+    for (std::size_t threads : kThreadCounts) {
+      if (threads == 1) continue;
+      const TrainResult run = run_training(seed, threads, ds);
+      const auto loss_div = first_divergence(
+          as_row(std::span<const float>(base.losses)),
+          as_row(std::span<const float>(run.losses)));
+      EXPECT_TRUE(loss_div.ok()) << "seed " << seed << " threads " << threads
+                                 << ": " << loss_div.report();
+      ASSERT_EQ(base.weights.size(), run.weights.size());
+      for (std::size_t l = 0; l < base.weights.size(); ++l) {
+        const auto w_div = first_divergence(base.weights[l], run.weights[l]);
+        EXPECT_TRUE(w_div.ok()) << "seed " << seed << " threads " << threads
+                                << " layer " << l << ": " << w_div.report();
+      }
+    }
+  }
+}
+
+double run_fewshot(std::uint64_t seed, std::size_t threads,
+                   const data::SyntheticOmniglot& ds) {
+  testkit::ThreadScope scope(threads);
+  mann::ExactSearch search(ds.feature_dim());
+  mann::FewShotConfig cfg;
+  cfg.n_way = 3;
+  cfg.k_shot = 1;
+  cfg.queries_per_class = 2;
+  cfg.episodes = 2;
+  cfg.class_lo = 0;
+  cfg.class_hi = ds.num_classes();
+  Rng rng(seed);
+  const auto embed = [](std::span<const float> x) {
+    return Vector(x.begin(), x.end());
+  };
+  return mann::evaluate_fewshot(ds, embed, search, cfg, rng).accuracy;
+}
+
+TEST(Determinism, FewshotEpisodeBitwiseAcrossSeedsAndThreads) {
+  data::SyntheticOmniglotConfig ocfg;
+  ocfg.num_classes = 20;
+  ocfg.image_size = 12;
+  const data::SyntheticOmniglot ds(ocfg);
+  for (std::uint64_t seed : kSeeds) {
+    const double base = run_fewshot(seed, 1, ds);
+    for (std::size_t threads : kThreadCounts) {
+      if (threads == 1) continue;
+      const double acc = run_fewshot(seed, threads, ds);
+      EXPECT_EQ(base, acc) << "seed " << seed << " threads " << threads;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace enw

@@ -1,0 +1,195 @@
+// Numerical edge cases for the low-precision paths (testkit satellite):
+// SAWB/PACT quantization at its clip boundaries and int2 extremes, FP8
+// (1-4-3 and 1-5-2) saturation / subnormal flush / round-to-nearest-even,
+// and softmax cross-entropy at saturated logits.
+#include <gtest/gtest.h>
+
+#include <cfloat>
+#include <cmath>
+#include <vector>
+
+#include "nn/fp8.h"
+#include "nn/loss.h"
+#include "nn/quant.h"
+#include "testkit/diff.h"
+
+namespace enw {
+namespace {
+
+using nn::kFp8Forward;
+using nn::kFp8Gradient;
+using nn::round_fp8;
+
+// ---------------------------------------------------------------------------
+// Symmetric weight quantization (SAWB).
+// ---------------------------------------------------------------------------
+
+TEST(QuantEdges, SawbConstantWeightsBits2) {
+  // For |w| == c: E[w^2] = c^2, E[|w|] = c, so alpha = (3.2 - 2.1) c = 1.1 c.
+  const std::vector<float> w = {1.0f, -1.0f, 1.0f, -1.0f};
+  EXPECT_NEAR(nn::sawb_clip_scale(w, 2), 1.1f, 1e-5f);
+  const std::vector<float> w2 = {0.5f, 0.5f, -0.5f, -0.5f};
+  EXPECT_NEAR(nn::sawb_clip_scale(w2, 2), 0.55f, 1e-5f);
+}
+
+TEST(QuantEdges, SawbAllZeroWeightsFloorsAtEpsilon) {
+  const std::vector<float> w(16, 0.0f);
+  EXPECT_FLOAT_EQ(nn::sawb_clip_scale(w, 2), 1e-6f);
+}
+
+TEST(QuantEdges, QuantizeSymmetricInt2Extremes) {
+  // bits=2 -> qmax=1: three levels {-alpha, 0, +alpha}. Anything beyond the
+  // clip collapses onto the boundary level, including float extremes.
+  const float alpha = 0.75f;
+  EXPECT_EQ(nn::quantize_symmetric(1e30f, alpha, 2), alpha);
+  EXPECT_EQ(nn::quantize_symmetric(-1e30f, alpha, 2), -alpha);
+  EXPECT_EQ(nn::quantize_symmetric(FLT_MAX, alpha, 2), alpha);
+  EXPECT_EQ(nn::quantize_symmetric(alpha, alpha, 2), alpha);
+  EXPECT_EQ(nn::quantize_symmetric(-alpha, alpha, 2), -alpha);
+  EXPECT_EQ(nn::quantize_symmetric(0.0f, alpha, 2), 0.0f);
+  // Exactly half a level rounds to even (0); just above rounds away.
+  EXPECT_EQ(nn::quantize_symmetric(alpha / 2.0f, alpha, 2), 0.0f);
+  EXPECT_EQ(nn::quantize_symmetric(std::nextafterf(alpha / 2.0f, 1.0f), alpha, 2),
+            alpha);
+  // Tiny but nonzero values flush to the zero level, preserving sign of
+  // nothing (exact 0.0f).
+  EXPECT_EQ(nn::quantize_symmetric(1e-30f, alpha, 2), 0.0f);
+}
+
+TEST(QuantEdges, QuantizeSymmetricHighBitsBoundary) {
+  const float alpha = 1.0f;
+  // bits=16 -> qmax=32767; the clip boundary is exactly representable.
+  EXPECT_EQ(nn::quantize_symmetric(2.0f, alpha, 16), 1.0f);
+  EXPECT_EQ(nn::quantize_symmetric(-2.0f, alpha, 16), -1.0f);
+  const float step = alpha / 32767.0f;
+  EXPECT_NEAR(nn::quantize_symmetric(step * 0.6f, alpha, 16), step, 1e-9f);
+}
+
+// ---------------------------------------------------------------------------
+// PACT activation clipping.
+// ---------------------------------------------------------------------------
+
+TEST(QuantEdges, PactForwardBoundaries) {
+  nn::PactActivation pact;
+  pact.alpha = 6.0f;
+  pact.bits = 2;  // 3 levels above zero
+  EXPECT_EQ(pact.forward(-1.0f), 0.0f);
+  EXPECT_EQ(pact.forward(0.0f), 0.0f);
+  EXPECT_EQ(pact.forward(6.0f), 6.0f);     // clip boundary is a code point
+  EXPECT_EQ(pact.forward(100.0f), 6.0f);   // saturates at alpha
+  EXPECT_EQ(pact.forward(2.0f), 2.0f);     // 2.0 = 1 * alpha/levels exactly
+}
+
+TEST(QuantEdges, PactBackwardRoutesGradientAtBoundaries) {
+  nn::PactActivation pact;
+  pact.alpha = 6.0f;
+  pact.bits = 2;
+  float alpha_grad = 0.0f;
+  // Below zero: gradient dies, alpha untouched.
+  EXPECT_EQ(pact.backward(-0.5f, 2.0f, alpha_grad), 0.0f);
+  EXPECT_EQ(alpha_grad, 0.0f);
+  // Exactly zero sits on the dead side of the clip.
+  EXPECT_EQ(pact.backward(0.0f, 2.0f, alpha_grad), 0.0f);
+  EXPECT_EQ(alpha_grad, 0.0f);
+  // Interior: straight-through, alpha untouched.
+  EXPECT_EQ(pact.backward(3.0f, 2.0f, alpha_grad), 2.0f);
+  EXPECT_EQ(alpha_grad, 0.0f);
+  // At and above alpha: gradient reroutes to the clip parameter.
+  EXPECT_EQ(pact.backward(6.0f, 2.0f, alpha_grad), 0.0f);
+  EXPECT_EQ(alpha_grad, 2.0f);
+  EXPECT_EQ(pact.backward(9.0f, 0.5f, alpha_grad), 0.0f);
+  EXPECT_EQ(alpha_grad, 2.5f);
+}
+
+// ---------------------------------------------------------------------------
+// FP8 rounding: 1-4-3 (forward) and 1-5-2 (gradient) formats.
+// ---------------------------------------------------------------------------
+
+TEST(Fp8Edges, FormatMaxima) {
+  EXPECT_EQ(nn::fp8_max(kFp8Forward), 240.0f);    // 1.875 * 2^7
+  EXPECT_EQ(nn::fp8_max(kFp8Gradient), 57344.0f); // 1.75  * 2^15
+}
+
+TEST(Fp8Edges, SaturatingOverflow) {
+  EXPECT_EQ(round_fp8(1e6f, kFp8Forward), 240.0f);
+  EXPECT_EQ(round_fp8(-1e6f, kFp8Forward), -240.0f);
+  EXPECT_EQ(round_fp8(240.0f, kFp8Forward), 240.0f);
+  EXPECT_EQ(round_fp8(241.0f, kFp8Forward), 240.0f);
+  EXPECT_EQ(round_fp8(1e30f, kFp8Gradient), 57344.0f);
+  EXPECT_EQ(round_fp8(FLT_MAX, kFp8Gradient), 57344.0f);
+}
+
+TEST(Fp8Edges, SubnormalQuantumAndFlushToZero) {
+  // 1-4-3: emin = -6, subnormal quantum 2^-9.
+  const float q143 = std::ldexp(1.0f, -9);
+  EXPECT_EQ(round_fp8(q143, kFp8Forward), q143);          // exact code point
+  EXPECT_EQ(round_fp8(1.5f * q143, kFp8Forward), 2 * q143);  // 1.5 -> even 2
+  EXPECT_EQ(round_fp8(0.5f * q143, kFp8Forward), 0.0f);   // half rounds to even 0
+  EXPECT_EQ(round_fp8(0.49f * q143, kFp8Forward), 0.0f);  // below half: flush
+  EXPECT_EQ(round_fp8(-0.49f * q143, kFp8Forward), 0.0f);
+  // 1-5-2: emin = -14, subnormal quantum 2^-16.
+  const float q152 = std::ldexp(1.0f, -16);
+  EXPECT_EQ(round_fp8(q152, kFp8Gradient), q152);
+  EXPECT_EQ(round_fp8(0.4f * q152, kFp8Gradient), 0.0f);
+  // A value subnormal in 1-4-3 is still normal in 1-5-2.
+  const float v = std::ldexp(1.0f, -8);
+  EXPECT_EQ(round_fp8(v, kFp8Gradient), v);
+}
+
+TEST(Fp8Edges, RoundsHalfToEvenOnNormals) {
+  // 1-4-3 around 1.0: quantum 2^-3 = 0.125.
+  EXPECT_EQ(round_fp8(1.0625f, kFp8Forward), 1.0f);    // 8.5 quanta -> 8
+  EXPECT_EQ(round_fp8(1.1875f, kFp8Forward), 1.25f);   // 9.5 quanta -> 10
+  EXPECT_EQ(round_fp8(1.0f, kFp8Forward), 1.0f);
+  EXPECT_EQ(round_fp8(-1.0625f, kFp8Forward), -1.0f);  // symmetric in sign
+}
+
+TEST(Fp8Edges, ZeroAndNonFiniteOperands) {
+  EXPECT_EQ(round_fp8(0.0f, kFp8Forward), 0.0f);
+  EXPECT_EQ(round_fp8(-0.0f, kFp8Forward), 0.0f);
+  EXPECT_TRUE(std::isinf(round_fp8(INFINITY, kFp8Forward)));
+  EXPECT_TRUE(std::isnan(round_fp8(std::nanf(""), kFp8Forward)));
+}
+
+// ---------------------------------------------------------------------------
+// Softmax cross-entropy at saturated logits.
+// ---------------------------------------------------------------------------
+
+TEST(LossEdges, SaturatedLogitsStayFinite) {
+  // One logit dominates by 1000: softmax underflows to {0, 1} exactly.
+  const std::vector<float> logits = {0.0f, 1000.0f};
+  Vector grad(2, 0.0f);
+  const float win = nn::softmax_cross_entropy(logits, 1, grad);
+  EXPECT_GE(win, 0.0f);
+  EXPECT_LT(win, 1e-6f);  // confident and correct: ~zero loss
+  EXPECT_TRUE(std::isfinite(grad[0]) && std::isfinite(grad[1]));
+  const float lose = nn::softmax_cross_entropy(logits, 0, grad);
+  EXPECT_TRUE(std::isfinite(lose));  // log guard caps the blowup
+  EXPECT_NEAR(lose, -std::log(1e-12f), 1e-3f);
+  EXPECT_NEAR(grad[0], -1.0f, 1e-6f);  // p0 - 1
+  EXPECT_NEAR(grad[1], 1.0f, 1e-6f);   // p1 - 0
+}
+
+TEST(LossEdges, ExtremeLogitsDoNotOverflow) {
+  // The max-subtracted softmax must survive FLT_MAX-scale logits without
+  // producing inf/NaN anywhere.
+  const std::vector<float> logits = {FLT_MAX, -FLT_MAX, 0.0f};
+  Vector grad(3, 0.0f);
+  const float loss = nn::softmax_cross_entropy(logits, 0, grad);
+  EXPECT_TRUE(std::isfinite(loss));
+  for (float g : grad) EXPECT_TRUE(std::isfinite(g));
+  float sum = 0.0f;
+  for (float g : grad) sum += g;
+  EXPECT_NEAR(sum, 0.0f, 1e-5f);  // softmax grads sum to zero at any scale
+}
+
+TEST(LossEdges, UniformLogitsGiveLogN) {
+  const std::vector<float> logits = {3.0f, 3.0f, 3.0f, 3.0f};
+  Vector grad(4, 0.0f);
+  const float loss = nn::softmax_cross_entropy(logits, 2, grad);
+  EXPECT_NEAR(loss, std::log(4.0f), 1e-6f);
+  EXPECT_NEAR(grad[2], 0.25f - 1.0f, 1e-6f);
+}
+
+}  // namespace
+}  // namespace enw

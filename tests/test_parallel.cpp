@@ -1,4 +1,5 @@
-// Tests for enw::parallel — pool sizing, partition semantics, exceptions.
+// Tests for enw::parallel — pool sizing, partition semantics, exceptions,
+// and the testkit fault hooks (forced chunk reordering, delayed workers).
 #include <gtest/gtest.h>
 
 #include <atomic>
@@ -8,20 +9,18 @@
 #include <utility>
 #include <vector>
 
+#include "core/fault.h"
 #include "core/parallel.h"
+#include "testkit/diff.h"
 
 namespace enw::parallel {
 namespace {
 
 // Most tests force a multi-threaded pool so the non-inline path is covered
-// even on single-core CI machines; each restores the entry thread count.
-class ThreadCountGuard {
- public:
-  ThreadCountGuard() : saved_(thread_count()) {}
-  ~ThreadCountGuard() { set_thread_count(saved_); }
-
- private:
-  std::size_t saved_;
+// even on single-core CI machines; each restores the entry thread count
+// (testkit::ThreadScope re-applies the entry value and restores it on exit).
+struct ThreadCountGuard : testkit::ThreadScope {
+  ThreadCountGuard() : ThreadScope(thread_count()) {}
 };
 
 TEST(ParallelFor, EmptyRangeNeverInvokes) {
@@ -128,6 +127,75 @@ TEST(ParallelFor, BackToBackGenerationsDoNotRecycleSlotEarly) {
     });
     for (std::size_t i = 0; i < n; ++i) ASSERT_EQ(hits[i].load(), 1) << i;
   }
+}
+
+// ---------------------------------------------------------------------------
+// Fault hooks: the pool's determinism contract must hold under the testkit
+// schedule perturbations, and the hooks must not leak past disarm.
+// ---------------------------------------------------------------------------
+
+TEST(PoolFaults, ReverseOrderStillCoversEveryIndexOnce) {
+  ThreadCountGuard guard;
+  for (const std::size_t threads : {std::size_t{1}, std::size_t{4}}) {
+    set_thread_count(threads);
+    fault::arm_pool_reverse();
+    constexpr std::size_t kN = 500;
+    std::vector<std::atomic<int>> hits(kN);
+    for (auto& h : hits) h = 0;
+    std::mutex m;
+    std::vector<std::size_t> first_seen;
+    parallel_for(0, kN, 64, [&](std::size_t lo, std::size_t hi) {
+      {
+        std::lock_guard<std::mutex> lk(m);
+        first_seen.push_back(lo);
+      }
+      for (std::size_t i = lo; i < hi; ++i) hits[i]++;
+    });
+    fault::disarm_all();
+    for (std::size_t i = 0; i < kN; ++i)
+      ASSERT_EQ(hits[i].load(), 1) << "threads=" << threads << " i=" << i;
+    // On the deterministic inline path (threads=1) the reversed claim order
+    // is directly observable.
+    if (threads == 1) {
+      ASSERT_GE(first_seen.size(), 2u);
+      EXPECT_GT(first_seen.front(), first_seen.back());
+    }
+  }
+}
+
+TEST(PoolFaults, DelayedWorkersChangeNothing) {
+  ThreadCountGuard guard;
+  set_thread_count(4);
+  constexpr std::size_t kN = 64;
+  std::vector<int> clean(kN, 0);
+  parallel_for(0, kN, 4, [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) clean[i] = static_cast<int>(i * 3);
+  });
+  fault::arm_pool_delay(30);
+  std::vector<int> delayed(kN, 0);
+  parallel_for(0, kN, 4, [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) delayed[i] = static_cast<int>(i * 3);
+  });
+  fault::disarm_all();
+  EXPECT_EQ(clean, delayed);
+}
+
+TEST(PoolFaults, ExceptionPropagatesUnderReversedSchedule) {
+  ThreadCountGuard guard;
+  set_thread_count(4);
+  fault::arm_pool_reverse();
+  EXPECT_THROW(
+      parallel_for(0, 64, 1,
+                   [&](std::size_t lo, std::size_t) {
+                     if (lo == 13) throw std::runtime_error("chunk 13");
+                   }),
+      std::runtime_error);
+  fault::disarm_all();
+  // Pool healthy and hook fully disarmed afterwards.
+  EXPECT_FALSE(fault::any_armed());
+  std::atomic<std::size_t> total{0};
+  parallel_for(0, 32, 4, [&](std::size_t lo, std::size_t hi) { total += hi - lo; });
+  EXPECT_EQ(total.load(), 32u);
 }
 
 TEST(ThreadCount, SetAndQuery) {
