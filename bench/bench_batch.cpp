@@ -20,6 +20,7 @@
 #include "bench_util.h"
 #include "core/parallel.h"
 #include "core/rng.h"
+#include "obs/obs.h"
 #include "data/click_log.h"
 #include "mann/similarity_search.h"
 #include "nn/digital_linear.h"
@@ -49,9 +50,12 @@ struct Row {
 };
 
 /// Run fn (which processes `samples` samples) repeatedly for at least
-/// min_seconds; return samples/second.
-double throughput(std::size_t samples, double min_seconds,
+/// min_seconds; return samples/second. The timed region is wrapped in an
+/// obs span named `span` so the trace attributes nearly all bench wall time
+/// to a specific workload/mode pair (warm-up included — it is real work).
+double throughput(const char* span, std::size_t samples, double min_seconds,
                   const std::function<void()>& fn) {
+  ENW_SPAN(span);
   fn();  // warm-up (first-touch, pool spin-up)
   std::size_t iters = 0;
   enw::bench::Timer t;
@@ -81,13 +85,13 @@ Row bench_mlp_infer(std::size_t batch, double min_seconds) {
   const Matrix x = random_matrix(batch, 784, 2);
 
   Row row{"mlp_infer", batch};
-  row.per_sample_sps = throughput(batch, min_seconds, [&] {
+  row.per_sample_sps = throughput("bench.mlp_infer.per_sample", batch, min_seconds, [&] {
     for (std::size_t s = 0; s < batch; ++s) {
       volatile std::size_t sink = net.predict(x.row(s));
       (void)sink;
     }
   });
-  row.batched_sps = throughput(batch, min_seconds, [&] {
+  row.batched_sps = throughput("bench.mlp_infer.batched", batch, min_seconds, [&] {
     const std::vector<std::size_t> preds = net.predict_batch(x);
     volatile std::size_t sink = preds[0];
     (void)sink;
@@ -107,13 +111,13 @@ Row bench_mlp_train(std::size_t batch, double min_seconds) {
   const float lr = 1e-4f;  // tiny: keep weights in-range while looping
 
   Row row{"mlp_train", batch};
-  row.per_sample_sps = throughput(batch, min_seconds, [&] {
+  row.per_sample_sps = throughput("bench.mlp_train.per_sample", batch, min_seconds, [&] {
     for (std::size_t s = 0; s < batch; ++s) {
       volatile float sink = net.train_step(x.row(s), labels[s], lr);
       (void)sink;
     }
   });
-  row.batched_sps = throughput(batch, min_seconds, [&] {
+  row.batched_sps = throughput("bench.mlp_train.batched", batch, min_seconds, [&] {
     volatile float sink = net.train_batch(x, labels, lr);
     (void)sink;
   });
@@ -134,13 +138,13 @@ Row bench_dlrm_serve(std::size_t batch, double min_seconds, bool smoke) {
   const std::vector<enw::data::ClickSample> samples = gen.batch(batch, data_rng);
 
   Row row{"dlrm_serve", batch};
-  row.per_sample_sps = throughput(batch, min_seconds, [&] {
+  row.per_sample_sps = throughput("bench.dlrm_serve.per_sample", batch, min_seconds, [&] {
     for (const auto& s : samples) {
       volatile float sink = model.predict(s);
       (void)sink;
     }
   });
-  row.batched_sps = throughput(batch, min_seconds, [&] {
+  row.batched_sps = throughput("bench.dlrm_serve.batched", batch, min_seconds, [&] {
     const std::vector<float> probs = model.predict_batch(samples);
     volatile float sink = probs[0];
     (void)sink;
@@ -157,14 +161,14 @@ Row bench_mann_score(std::size_t batch, double min_seconds) {
   const Matrix queries = random_matrix(batch, dim, 8);
 
   Row row{"mann_score", batch};
-  row.per_sample_sps = throughput(batch, min_seconds, [&] {
+  row.per_sample_sps = throughput("bench.mann_score.per_sample", batch, min_seconds, [&] {
     for (std::size_t s = 0; s < batch; ++s) {
       volatile std::size_t sink = search.predict(queries.row(s));
       (void)sink;
     }
   });
   std::vector<std::size_t> preds(batch);
-  row.batched_sps = throughput(batch, min_seconds, [&] {
+  row.batched_sps = throughput("bench.mann_score.batched", batch, min_seconds, [&] {
     search.predict_batch(queries, preds);
     volatile std::size_t sink = preds[0];
     (void)sink;
@@ -221,11 +225,16 @@ int main(int argc, char** argv) {
                      "per-sample matvec re-streams for every input");
 
   std::vector<Row> rows;
-  for (std::size_t b : batches) rows.push_back(bench_mlp_infer(b, min_seconds));
-  for (std::size_t b : batches) rows.push_back(bench_mlp_train(b, min_seconds));
-  for (std::size_t b : batches)
-    rows.push_back(bench_dlrm_serve(b, min_seconds, opt.smoke));
-  for (std::size_t b : batches) rows.push_back(bench_mann_score(b, min_seconds));
+  {
+    // Root span covering everything we benchmark (setup included) so the
+    // exported trace accounts for essentially the whole run's wall time.
+    ENW_SPAN("bench.batch");
+    for (std::size_t b : batches) rows.push_back(bench_mlp_infer(b, min_seconds));
+    for (std::size_t b : batches) rows.push_back(bench_mlp_train(b, min_seconds));
+    for (std::size_t b : batches)
+      rows.push_back(bench_dlrm_serve(b, min_seconds, opt.smoke));
+    for (std::size_t b : batches) rows.push_back(bench_mann_score(b, min_seconds));
+  }
 
   enw::bench::section("throughput (samples/s)");
   enw::bench::Table table({"workload", "batch", "per-sample", "batched", "speedup"});
@@ -237,5 +246,6 @@ int main(int argc, char** argv) {
   table.print();
 
   if (!opt.out_path.empty()) write_json(opt.out_path, rows);
+  enw::bench::export_trace("batch");
   return 0;
 }

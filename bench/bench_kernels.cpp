@@ -10,6 +10,7 @@
 
 #include <cstddef>
 
+#include "bench_util.h"
 #include "core/parallel.h"
 #include "core/rng.h"
 #include "tensor/matrix.h"
@@ -195,4 +196,13 @@ BENCHMARK(BM_Rank1UpdateBlocked)
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// Expanded BENCHMARK_MAIN so the obs trace (kernel spans recorded while the
+// benchmarks ran) can be exported after the run when ENW_PROF=1.
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  enw::bench::export_trace("kernels");
+  return 0;
+}

@@ -8,8 +8,11 @@
 
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 #include <vector>
+
+#include "obs/obs.h"
 
 namespace enw::bench {
 
@@ -89,5 +92,22 @@ class Timer {
  private:
   std::chrono::steady_clock::time_point start_;
 };
+
+/// Write the accumulated obs trace to TRACE_<bench_id>.json (or to
+/// $ENW_PROF_OUT when set) and announce it on stderr. No-op unless
+/// profiling was enabled (ENW_PROF=1), so benchmark stdout — which some
+/// harnesses byte-diff for reproducibility — never changes shape.
+inline void export_trace(const std::string& bench_id) {
+  if (!obs::enabled()) return;
+  const char* override_path = std::getenv("ENW_PROF_OUT");
+  const std::string path =
+      override_path != nullptr ? override_path : "TRACE_" + bench_id + ".json";
+  const obs::TraceReport report = obs::snapshot();
+  obs::write_json(report, path);
+  std::fprintf(stderr, "[obs] wrote trace: %s (%llu ns in %zu root spans)\n",
+               path.c_str(),
+               static_cast<unsigned long long>(report.total_ns()),
+               report.roots.size());
+}
 
 }  // namespace enw::bench

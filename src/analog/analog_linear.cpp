@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "core/check.h"
+#include "obs/obs.h"
 #include "tensor/ops.h"
 
 namespace enw::analog {
@@ -39,6 +40,7 @@ AnalogLinear::AnalogLinear(std::size_t out_dim, std::size_t in_dim,
 }
 
 void AnalogLinear::forward(std::span<const float> x, std::span<float> y) {
+  ENW_SPAN("analog.linear.forward");
   array_.forward(x, y);
   if (zero_shift_) {
     const Vector ref_y = matvec(reference_, x);
@@ -47,6 +49,7 @@ void AnalogLinear::forward(std::span<const float> x, std::span<float> y) {
 }
 
 void AnalogLinear::forward_batch(const Matrix& x, Matrix& y) {
+  ENW_SPAN("analog.linear.forward_batch");
   ENW_CHECK(x.cols() == in_dim() && y.rows() == x.rows() && y.cols() == out_dim());
   array_.forward_batch(x, y);
   if (zero_shift_) {
@@ -62,6 +65,7 @@ void AnalogLinear::forward_batch(const Matrix& x, Matrix& y) {
 }
 
 void AnalogLinear::backward(std::span<const float> dy, std::span<float> dx) {
+  ENW_SPAN("analog.linear.backward");
   array_.backward(dy, dx);
   if (zero_shift_) {
     const Vector ref_x = matvec_transposed(reference_, dy);
@@ -71,6 +75,7 @@ void AnalogLinear::backward(std::span<const float> dy, std::span<float> dx) {
 
 void AnalogLinear::update(std::span<const float> x, std::span<const float> dy,
                           float lr) {
+  ENW_SPAN("analog.linear.update");
   array_.pulsed_update(x, dy, lr);
 }
 

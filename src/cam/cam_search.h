@@ -31,6 +31,7 @@ class LshTcamSearch final : public mann::SimilaritySearch {
 
   void clear() override;
   void add(std::span<const float> key, std::size_t label) override;
+  std::size_t dim() const override { return encoder_.dim(); }
   std::size_t predict(std::span<const float> key) override;
   const char* name() const override;
   perf::Cost query_cost() const override;
@@ -59,6 +60,7 @@ class ReneTcamSearch final : public mann::SimilaritySearch {
 
   void clear() override;
   void add(std::span<const float> key, std::size_t label) override;
+  std::size_t dim() const override { return encoder_.dims(); }
   std::size_t predict(std::span<const float> key) override;
   const char* name() const override;
   perf::Cost query_cost() const override;

@@ -1,6 +1,7 @@
 #include "core/parallel.h"
 
 #include <algorithm>
+#include <array>
 #include <atomic>
 #include <chrono>
 #include <condition_variable>
@@ -16,6 +17,17 @@
 namespace enw::parallel {
 
 namespace {
+
+// Wall-time stats collection is opt-in (enw::obs flips it with ENW_PROF);
+// the chunk counters below are cheap enough to stay always-on.
+std::atomic<bool> g_stats_enabled{false};
+
+inline std::uint64_t stats_now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
 
 // Set while a pool worker executes chunks; nested parallel_for calls from
 // inside a kernel then degrade to inline execution instead of deadlocking
@@ -51,6 +63,18 @@ struct Pool {
 
   std::vector<std::thread> workers;
   std::size_t configured_threads = 1;  // workers.size() + 1 usable threads
+
+  // Utilization counters (all relaxed; exact totals only matter at the
+  // explicit pool_stats() merge point). Worker chunk counts use fixed slots
+  // so set_thread_count can grow the pool without reallocating under
+  // concurrent drains; ids past the last slot alias into it.
+  static constexpr std::size_t kStatSlots = 256;
+  std::atomic<std::uint64_t> stat_parallel_jobs{0};
+  std::atomic<std::uint64_t> stat_inline_jobs{0};
+  std::atomic<std::uint64_t> stat_chunks_total{0};
+  std::atomic<std::uint64_t> stat_caller_wait_ns{0};
+  std::atomic<std::uint64_t> stat_caller_chunks{0};
+  std::array<std::atomic<std::uint64_t>, kStatSlots> stat_worker_chunks{};
 
   // Claims chunks of the current job until none remain. Every claimed chunk
   // is counted exactly once (even after an exception, when remaining chunks
@@ -106,6 +130,11 @@ struct Pool {
       ++active_workers;
       lk.unlock();
       const std::size_t did = drain();
+      if (did != 0) {
+        stat_chunks_total.fetch_add(did, std::memory_order_relaxed);
+        stat_worker_chunks[std::min(id, kStatSlots - 1)].fetch_add(
+            did, std::memory_order_relaxed);
+      }
       lk.lock();
       completed += did;
       --active_workers;
@@ -181,6 +210,9 @@ void parallel_for(std::size_t begin, std::size_t end, std::size_t grain,
   if (threads <= 1 || nchunks <= 1 || t_in_worker || p.job_active ||
       p.active_workers != 0 || g_shutdown.load(std::memory_order_relaxed)) {
     lk.unlock();
+    p.stat_inline_jobs.fetch_add(1, std::memory_order_relaxed);
+    p.stat_chunks_total.fetch_add(nchunks, std::memory_order_relaxed);
+    p.stat_caller_chunks.fetch_add(nchunks, std::memory_order_relaxed);
     // The reverse-order fault applies here too, so reordering coverage does
     // not silently vanish on single-threaded configurations.
     const bool reverse =
@@ -193,6 +225,7 @@ void parallel_for(std::size_t begin, std::size_t end, std::size_t grain,
     return;
   }
 
+  p.stat_parallel_jobs.fetch_add(1, std::memory_order_relaxed);
   p.job_active = true;
   p.fn = &fn;
   p.begin = begin;
@@ -209,6 +242,12 @@ void parallel_for(std::size_t begin, std::size_t end, std::size_t grain,
   p.cv_job.notify_all();
 
   const std::size_t did = p.drain();  // caller participates
+  if (did != 0) {
+    p.stat_chunks_total.fetch_add(did, std::memory_order_relaxed);
+    p.stat_caller_chunks.fetch_add(did, std::memory_order_relaxed);
+  }
+  const bool timed = g_stats_enabled.load(std::memory_order_relaxed);
+  const std::uint64_t wait_start = timed ? stats_now_ns() : 0;
 
   lk.lock();
   p.completed += did;
@@ -220,11 +259,56 @@ void parallel_for(std::size_t begin, std::size_t end, std::size_t grain,
   p.cv_done.wait(lk, [&] {
     return p.completed == p.nchunks && p.active_workers == 0;
   });
+  if (timed) {
+    p.stat_caller_wait_ns.fetch_add(stats_now_ns() - wait_start,
+                                    std::memory_order_relaxed);
+  }
   p.job_active = false;
   const std::exception_ptr err = p.error;
   p.error = nullptr;
   lk.unlock();
   if (err) std::rethrow_exception(err);
+}
+
+void set_stats_enabled(bool on) {
+  g_stats_enabled.store(on, std::memory_order_relaxed);
+}
+
+bool stats_enabled() { return g_stats_enabled.load(std::memory_order_relaxed); }
+
+PoolStats pool_stats() {
+  Pool& p = pool();
+  std::size_t threads = 1;
+  std::size_t nworkers = 0;
+  {
+    std::lock_guard<std::mutex> lk(p.m);
+    threads = p.configured_threads;
+    nworkers = p.workers.size();
+  }
+  PoolStats s;
+  s.threads = threads;
+  s.parallel_jobs = p.stat_parallel_jobs.load(std::memory_order_relaxed);
+  s.inline_jobs = p.stat_inline_jobs.load(std::memory_order_relaxed);
+  s.chunks_total = p.stat_chunks_total.load(std::memory_order_relaxed);
+  s.caller_wait_ns = p.stat_caller_wait_ns.load(std::memory_order_relaxed);
+  s.chunks_per_worker.resize(1 + nworkers, 0);
+  s.chunks_per_worker[0] = p.stat_caller_chunks.load(std::memory_order_relaxed);
+  for (std::size_t i = 0; i < nworkers; ++i) {
+    s.chunks_per_worker[1 + i] =
+        p.stat_worker_chunks[std::min(i, Pool::kStatSlots - 1)].load(
+            std::memory_order_relaxed);
+  }
+  return s;
+}
+
+void reset_pool_stats() {
+  Pool& p = pool();
+  p.stat_parallel_jobs.store(0, std::memory_order_relaxed);
+  p.stat_inline_jobs.store(0, std::memory_order_relaxed);
+  p.stat_chunks_total.store(0, std::memory_order_relaxed);
+  p.stat_caller_wait_ns.store(0, std::memory_order_relaxed);
+  p.stat_caller_chunks.store(0, std::memory_order_relaxed);
+  for (auto& c : p.stat_worker_chunks) c.store(0, std::memory_order_relaxed);
 }
 
 }  // namespace enw::parallel

@@ -16,7 +16,9 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <functional>
+#include <vector>
 
 namespace enw::parallel {
 
@@ -36,5 +38,35 @@ void set_thread_count(std::size_t n);
 /// chunks drain; remaining chunks are abandoned.
 void parallel_for(std::size_t begin, std::size_t end, std::size_t grain,
                   const std::function<void(std::size_t, std::size_t)>& fn);
+
+/// Utilization counters accumulated across parallel_for calls. Chunk counts
+/// are always collected (one relaxed add per drain); the wall-time fields
+/// additionally require set_stats_enabled(true) because they read the clock
+/// on the dispatch path. enw::obs surfaces these in its trace report.
+struct PoolStats {
+  std::size_t threads = 1;       // configured thread count at snapshot time
+  std::uint64_t parallel_jobs = 0;  // parallel_for calls dispatched to the pool
+  std::uint64_t inline_jobs = 0;    // calls that ran inline on the caller
+  std::uint64_t chunks_total = 0;   // chunks executed (both paths)
+  std::uint64_t caller_wait_ns = 0;  // time callers blocked waiting for
+                                     // stragglers after finishing their own
+                                     // share (needs stats enabled)
+  /// Chunks claimed per thread: [0] aggregates all calling threads (incl.
+  /// the inline path), [i + 1] is pool worker i. A heavily skewed vector
+  /// means the grain is too coarse for the shape.
+  std::vector<std::uint64_t> chunks_per_worker;
+};
+
+/// Toggle wall-time collection in the dispatcher (chunk counters are always
+/// on). enw::obs::set_enabled flips this alongside its own flag.
+void set_stats_enabled(bool on);
+bool stats_enabled();
+
+/// Snapshot the utilization counters. chunks_per_worker is sized
+/// 1 + number of spawned workers.
+PoolStats pool_stats();
+
+/// Zero all utilization counters.
+void reset_pool_stats();
 
 }  // namespace enw::parallel

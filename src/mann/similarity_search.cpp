@@ -1,14 +1,38 @@
 #include "mann/similarity_search.h"
 
 #include <algorithm>
+#include <cmath>
 #include <map>
 
 #include "core/check.h"
 #include "core/parallel.h"
+#include "obs/obs.h"
 #include "perf/tech_constants.h"
 #include "tensor/ops.h"
 
 namespace enw::mann {
+
+namespace {
+
+/// Index of the maximum score with first-stored-wins ties, skipping NaN
+/// entries (a NaN compares false against everything, so a naive seeded
+/// argmax would silently keep its seed index). Returns n when every score
+/// is NaN.
+std::size_t argmax_skip_nan(const float* scores, std::size_t n) {
+  std::size_t best = n;
+  float best_score = 0.0f;
+  for (std::size_t i = 0; i < n; ++i) {
+    const float s = scores[i];
+    if (std::isnan(s)) continue;
+    if (best == n || s > best_score) {
+      best_score = s;
+      best = i;
+    }
+  }
+  return best;
+}
+
+}  // namespace
 
 ExactSearch::ExactSearch(std::size_t dim, Metric metric) : dim_(dim), metric_(metric) {
   ENW_CHECK(dim > 0);
@@ -28,10 +52,17 @@ void ExactSearch::add(std::span<const float> key, std::size_t label) {
 void SimilaritySearch::predict_batch(const Matrix& queries,
                                      std::span<std::size_t> out) {
   ENW_CHECK_MSG(queries.rows() == out.size(), "predict_batch output size mismatch");
+  // Validate the query width before scoring ANY row: Matrix::row spans are
+  // only cols() wide, so without this hoisted check a mis-shaped batch
+  // would hand every predict() a wrong-width span and rely on each backend
+  // noticing — or, worse, reading garbage — before the per-row check fires.
+  ENW_CHECK_MSG(queries.rows() == 0 || queries.cols() == dim(),
+                "predict_batch query dimension mismatch");
   for (std::size_t s = 0; s < queries.rows(); ++s) out[s] = predict(queries.row(s));
 }
 
 std::size_t ExactSearch::predict(std::span<const float> key) {
+  ENW_SPAN("mann.exact.predict");
   ENW_CHECK_MSG(!labels_.empty(), "predict on empty memory");
   ENW_CHECK(key.size() == dim_);
   const float sign = is_similarity(metric_) ? 1.0f : -1.0f;
@@ -47,18 +78,13 @@ std::size_t ExactSearch::predict(std::span<const float> key) {
       scores[i] = sign * metric_value(metric_, row, key);
     }
   });
-  std::size_t best = 0;
-  float best_score = -1e30f;
-  for (std::size_t i = 0; i < n; ++i) {
-    if (scores[i] > best_score) {
-      best_score = scores[i];
-      best = i;
-    }
-  }
+  const std::size_t best = argmax_skip_nan(scores.data(), n);
+  ENW_CHECK_MSG(best != n, "all similarity scores are NaN");
   return labels_[best];
 }
 
 void ExactSearch::predict_batch(const Matrix& queries, std::span<std::size_t> out) {
+  ENW_SPAN("mann.exact.predict_batch");
   ENW_CHECK_MSG(!labels_.empty(), "predict_batch on empty memory");
   ENW_CHECK_MSG(queries.cols() == dim_, "query dimension mismatch");
   ENW_CHECK_MSG(queries.rows() == out.size(), "predict_batch output size mismatch");
@@ -102,19 +128,14 @@ void ExactSearch::predict_batch(const Matrix& queries, std::span<std::size_t> ou
     });
   }
 
-  // Same sequential first-stored-wins reduction as predict().
+  // Same sequential NaN-skipping first-stored-wins reduction as predict().
   for (std::size_t s = 0; s < q; ++s) {
-    const float* srow = scores.data() + s * n;
-    std::size_t best = 0;
-    float best_score = -1e30f;
-    for (std::size_t i = 0; i < n; ++i) {
-      if (srow[i] > best_score) {
-        best_score = srow[i];
-        best = i;
-      }
-    }
+    const std::size_t best = argmax_skip_nan(scores.data() + s * n, n);
+    ENW_CHECK_MSG(best != n, "all similarity scores are NaN");
     out[s] = labels_[best];
   }
+  obs::counter_add("mann.exact.scored_pairs",
+                   static_cast<std::uint64_t>(q) * n);
 }
 
 const char* ExactSearch::name() const {
@@ -155,15 +176,16 @@ std::size_t knn_majority(Metric metric, const Matrix& keys,
                     [&](std::size_t a, std::size_t b) { return scores[a] > scores[b]; });
   std::map<std::size_t, std::size_t> votes;
   for (std::size_t i = 0; i < k; ++i) votes[labels[idx[i]]]++;
-  std::size_t best_label = labels[idx[0]];
-  std::size_t best_votes = 0;
-  for (const auto& [label, v] : votes) {
-    if (v > best_votes) {
-      best_votes = v;
-      best_label = label;
-    }
+  std::size_t max_votes = 0;
+  for (const auto& [label, v] : votes) max_votes = std::max(max_votes, v);
+  // Tie-break by proximity, not by std::map iteration order (which would
+  // always hand ties to the numerically smallest label): walk the neighbours
+  // nearest-first and return the first label that carries the winning vote
+  // count — i.e. among tied labels, the one whose closest voter is closest.
+  for (std::size_t i = 0; i < k; ++i) {
+    if (votes[labels[idx[i]]] == max_votes) return labels[idx[i]];
   }
-  return best_label;
+  return labels[idx[0]];  // unreachable: some neighbour holds max_votes
 }
 
 }  // namespace enw::mann

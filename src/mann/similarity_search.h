@@ -28,12 +28,23 @@ class SimilaritySearch {
   /// Store a (key, label) pair.
   virtual void add(std::span<const float> key, std::size_t label) = 0;
 
+  /// Feature dimensionality this index accepts (keys and queries).
+  virtual std::size_t dim() const = 0;
+
   /// Label of the stored entry most similar to the query.
+  ///
+  /// Selection semantics: the entry with the maximum (similarity-signed)
+  /// score wins; on exact ties the first-stored entry wins. NaN scores
+  /// (NaN keys or queries) are skipped rather than silently absorbing the
+  /// argmax; if EVERY score is NaN the call throws instead of returning an
+  /// arbitrary label.
   virtual std::size_t predict(std::span<const float> key) = 0;
 
   /// Labels for a whole batch of queries (one per row). The default loops
   /// predict(); backends override it to score all queries against the stored
   /// memory at once. Must return exactly what per-query predict() would.
+  /// Validates queries.cols() against dim() up front so a mis-shaped batch
+  /// fails before any row is scored.
   virtual void predict_batch(const Matrix& queries, std::span<std::size_t> out);
 
   /// Human-readable name for report tables.
@@ -53,6 +64,7 @@ class ExactSearch final : public SimilaritySearch {
 
   void clear() override;
   void add(std::span<const float> key, std::size_t label) override;
+  std::size_t dim() const override { return dim_; }
   std::size_t predict(std::span<const float> key) override;
   /// Dot/cosine queries collapse into one (queries x memory) GEMM; the
   /// elementwise metrics score all (query, key) pairs in one parallel sweep.
@@ -69,7 +81,10 @@ class ExactSearch final : public SimilaritySearch {
 };
 
 /// K-nearest-neighbour majority vote on top of any exact metric (used when
-/// K > 1 shots are stored per class).
+/// K > 1 shots are stored per class). Vote ties are broken by proximity:
+/// among the labels with the maximum vote count, the one whose closest
+/// voting neighbour ranks nearest to the query wins (NOT the numerically
+/// smallest label).
 std::size_t knn_majority(Metric metric, const Matrix& keys,
                          std::span<const std::size_t> labels,
                          std::span<const float> query, std::size_t k);

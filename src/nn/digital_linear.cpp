@@ -1,6 +1,7 @@
 #include "nn/digital_linear.h"
 
 #include "core/check.h"
+#include "obs/obs.h"
 #include "tensor/ops.h"
 
 namespace enw::nn {
@@ -13,12 +14,14 @@ DigitalLinear::DigitalLinear(Matrix w) : w_(std::move(w)) {
 }
 
 void DigitalLinear::forward(std::span<const float> x, std::span<float> y) {
+  ENW_SPAN("nn.linear.forward");
   ENW_CHECK(x.size() == in_dim() && y.size() == out_dim());
   const Vector out = matvec(w_, x);
   std::copy(out.begin(), out.end(), y.begin());
 }
 
 void DigitalLinear::backward(std::span<const float> dy, std::span<float> dx) {
+  ENW_SPAN("nn.linear.backward");
   ENW_CHECK(dy.size() == out_dim() && dx.size() == in_dim());
   // Deltas arrive ReLU-sparse and the weights are finite by construction, so
   // opt into the zero-input skip (exact for finite operands).
@@ -28,15 +31,18 @@ void DigitalLinear::backward(std::span<const float> dy, std::span<float> dx) {
 
 void DigitalLinear::update(std::span<const float> x, std::span<const float> dy,
                            float lr) {
+  ENW_SPAN("nn.linear.update");
   rank1_update(w_, dy, x, -lr, ZeroSkip::kSkipZeroInputs);
 }
 
 void DigitalLinear::forward_batch(const Matrix& x, Matrix& y) {
+  ENW_SPAN("nn.linear.forward_batch");
   ENW_CHECK(x.cols() == in_dim() && y.rows() == x.rows() && y.cols() == out_dim());
   y = matmul_nt(x, w_);
 }
 
 void DigitalLinear::backward_batch(const Matrix& dy, Matrix& dx) {
+  ENW_SPAN("nn.linear.backward_batch");
   ENW_CHECK(dy.cols() == out_dim() && dx.rows() == dy.rows() && dx.cols() == in_dim());
   // Same delta-sparsity skip as the per-sample backward (exact for our
   // finite weights), so each row matches matvec_transposed bitwise.
@@ -44,6 +50,7 @@ void DigitalLinear::backward_batch(const Matrix& dy, Matrix& dx) {
 }
 
 void DigitalLinear::update_batch(const Matrix& x, const Matrix& dy, float lr) {
+  ENW_SPAN("nn.linear.update_batch");
   ENW_CHECK(x.cols() == in_dim() && dy.cols() == out_dim() && x.rows() == dy.rows());
   matmul_tn_acc(w_, dy, x, -lr, ZeroSkip::kSkipZeroInputs);
 }

@@ -1,0 +1,335 @@
+#include "obs/obs.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <mutex>
+
+namespace enw::obs {
+
+namespace detail {
+
+std::atomic<int> g_mode{-1};
+
+namespace {
+
+// Injected test clock; nullptr means steady_clock.
+std::atomic<Clock*> g_clock{nullptr};
+
+}  // namespace
+
+std::uint64_t clock_now_ns() {
+  if (Clock* c = g_clock.load(std::memory_order_relaxed)) return c->now_ns();
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+// Aggregated span-tree node. Owned by exactly one thread until that thread
+// retires; only snapshot()/reset() (registry lock held, threads quiescent)
+// look across threads.
+struct Node {
+  const char* name = "";
+  Node* parent = nullptr;
+  std::uint64_t count = 0;
+  std::uint64_t total_ns = 0;
+  std::vector<std::unique_ptr<Node>> children;
+
+  Node* child(const char* child_name) {
+    for (auto& c : children) {
+      // Span names are string literals, so pointer equality usually decides;
+      // fall back to a content compare for names from different TUs.
+      if (c->name == child_name || std::strcmp(c->name, child_name) == 0) {
+        return c.get();
+      }
+    }
+    children.push_back(std::make_unique<Node>());
+    Node* n = children.back().get();
+    n->name = child_name;
+    n->parent = this;
+    return n;
+  }
+};
+
+namespace {
+
+struct ThreadBuffer;
+
+// Registry of live thread buffers + the merged state of exited threads.
+// Locked only on thread create/exit, snapshot, and reset.
+struct Registry {
+  std::mutex m;
+  std::vector<ThreadBuffer*> live;
+  Node retired_root;
+  std::map<std::string, std::uint64_t> retired_counters;
+};
+
+Registry& registry() {
+  static Registry* r = new Registry();  // leaked: outlives detached threads
+  return *r;
+}
+
+struct ThreadBuffer {
+  Node root;
+  Node* current = &root;
+  std::map<std::string, std::uint64_t> counters;
+
+  ThreadBuffer() {
+    Registry& r = registry();
+    std::lock_guard<std::mutex> lk(r.m);
+    r.live.push_back(this);
+  }
+  ~ThreadBuffer();
+};
+
+void merge_node(Node& into, const Node& from) {
+  into.count += from.count;
+  into.total_ns += from.total_ns;
+  for (const auto& c : from.children) merge_node(*into.child(c->name), *c);
+}
+
+ThreadBuffer::~ThreadBuffer() {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lk(r.m);
+  merge_node(r.retired_root, root);
+  for (const auto& [k, v] : counters) r.retired_counters[k] += v;
+  r.live.erase(std::remove(r.live.begin(), r.live.end(), this), r.live.end());
+}
+
+ThreadBuffer& thread_buffer() {
+  thread_local ThreadBuffer buf;
+  return buf;
+}
+
+}  // namespace
+
+int init_mode_from_env() {
+  const char* env = std::getenv("ENW_PROF");
+  const int on = (env != nullptr && env[0] != '\0' &&
+                  !(env[0] == '0' && env[1] == '\0'))
+                     ? 1
+                     : 0;
+  int expected = -1;
+  if (g_mode.compare_exchange_strong(expected, on, std::memory_order_relaxed)) {
+    if (on != 0) parallel::set_stats_enabled(true);
+    return on;
+  }
+  return expected;  // lost the race: someone else resolved it first
+}
+
+Node* span_push(const char* name) {
+  ThreadBuffer& buf = thread_buffer();
+  Node* n = buf.current->child(name);
+  buf.current = n;
+  return n;
+}
+
+void span_pop(Node* node, std::uint64_t elapsed_ns) {
+  node->count += 1;
+  node->total_ns += elapsed_ns;
+  ThreadBuffer& buf = thread_buffer();
+  // Spans are strictly scoped RAII objects, so pops arrive in reverse push
+  // order and `current` is always the node being closed.
+  buf.current = node->parent != nullptr ? node->parent : &buf.root;
+}
+
+}  // namespace detail
+
+void set_enabled(bool on) {
+  detail::g_mode.store(on ? 1 : 0, std::memory_order_relaxed);
+  parallel::set_stats_enabled(on);
+}
+
+void set_clock_for_testing(Clock* clock) {
+  detail::g_clock.store(clock, std::memory_order_relaxed);
+}
+
+void counter_add(const char* name, std::uint64_t delta) {
+  if (!enabled() || delta == 0) return;
+  detail::thread_buffer().counters[name] += delta;
+}
+
+void counter_add(const char* prefix, const perf::OpCounter& ops) {
+  if (!enabled()) return;
+  const std::string p(prefix);
+  auto& counters = detail::thread_buffer().counters;
+  const auto add = [&](const char* field, std::uint64_t v) {
+    if (v != 0) counters[p + "." + field] += v;
+  };
+  add("flops", ops.flops);
+  add("dram_bytes", ops.dram_bytes);
+  add("sram_bytes", ops.sram_bytes);
+  add("crossbar_ops", ops.crossbar_ops);
+  add("tcam_searches", ops.tcam_searches);
+  add("sfu_ops", ops.sfu_ops);
+}
+
+namespace {
+
+void copy_node(const detail::Node& from, std::vector<SpanNode>& out) {
+  // Nodes with zero completed occurrences (opened during a snapshot taken
+  // mid-flight, or structural roots) are kept only if they have children.
+  SpanNode n;
+  n.name = from.name;
+  n.count = from.count;
+  n.total_ns = from.total_ns;
+  for (const auto& c : from.children) copy_node(*c, n.children);
+  if (n.count != 0 || !n.children.empty()) out.push_back(std::move(n));
+}
+
+}  // namespace
+
+TraceReport snapshot() {
+  TraceReport rep;
+  rep.pool = parallel::pool_stats();
+  detail::Registry& r = detail::registry();
+  std::lock_guard<std::mutex> lk(r.m);
+  detail::Node merged;
+  detail::merge_node(merged, r.retired_root);
+  for (const detail::ThreadBuffer* buf : r.live) {
+    detail::merge_node(merged, buf->root);
+  }
+  for (const auto& c : merged.children) copy_node(*c, rep.roots);
+  rep.counters = r.retired_counters;
+  for (const detail::ThreadBuffer* buf : r.live) {
+    for (const auto& [k, v] : buf->counters) rep.counters[k] += v;
+  }
+  return rep;
+}
+
+void reset() {
+  detail::Registry& r = detail::registry();
+  std::lock_guard<std::mutex> lk(r.m);
+  r.retired_root.children.clear();
+  r.retired_counters.clear();
+  for (detail::ThreadBuffer* buf : r.live) {
+    // Only safe while the owning threads are not recording (the same
+    // quiescence contract snapshot() has). Keep the active-span chain
+    // intact: clear aggregates but not the stack-linked current node.
+    if (buf->current == &buf->root) {
+      buf->root.children.clear();
+    } else {
+      // A span is open on that thread (e.g. a test's enclosing span); zero
+      // the aggregates in place instead of freeing nodes under it.
+      struct Zero {
+        static void run(detail::Node& n) {
+          n.count = 0;
+          n.total_ns = 0;
+          for (auto& c : n.children) run(*c);
+        }
+      };
+      Zero::run(buf->root);
+    }
+    buf->counters.clear();
+  }
+  parallel::reset_pool_stats();
+}
+
+namespace {
+
+void json_escape(const std::string& s, std::string& out) {
+  for (char c : s) {
+    if (c == '"' || c == '\\') {
+      out += '\\';
+      out += c;
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof(buf), "\\u%04x", static_cast<unsigned>(c));
+      out += buf;
+    } else {
+      out += c;
+    }
+  }
+}
+
+void span_json(const SpanNode& n, int indent, std::string& out) {
+  const std::string pad(static_cast<std::size_t>(indent), ' ');
+  out += pad + "{\"name\": \"";
+  json_escape(n.name, out);
+  out += "\", \"count\": " + std::to_string(n.count);
+  out += ", \"total_ns\": " + std::to_string(n.total_ns);
+  out += ", \"self_ns\": " + std::to_string(n.self_ns());
+  if (n.children.empty()) {
+    out += "}";
+    return;
+  }
+  out += ", \"children\": [\n";
+  for (std::size_t i = 0; i < n.children.size(); ++i) {
+    span_json(n.children[i], indent + 2, out);
+    if (i + 1 < n.children.size()) out += ",";
+    out += "\n";
+  }
+  out += pad + "]}";
+}
+
+}  // namespace
+
+std::string to_json(const TraceReport& rep) {
+  std::string out = "{\n";
+  out += std::string("  \"enw_prof\": ") + (enabled() ? "true" : "false") +
+         ",\n  \"unit\": \"ns\",\n";
+  out += "  \"total_ns\": " + std::to_string(rep.total_ns()) + ",\n";
+  if (rep.roots.empty()) {
+    out += "  \"spans\": [],\n  \"counters\": {";
+  } else {
+    out += "  \"spans\": [\n";
+    for (std::size_t i = 0; i < rep.roots.size(); ++i) {
+      span_json(rep.roots[i], 4, out);
+      if (i + 1 < rep.roots.size()) out += ",";
+      out += "\n";
+    }
+    out += "  ],\n  \"counters\": {";
+  }
+  std::size_t k = 0;
+  for (const auto& [name, v] : rep.counters) {
+    out += k++ == 0 ? "\n" : ",\n";
+    out += "    \"";
+    json_escape(name, out);
+    out += "\": " + std::to_string(v);
+  }
+  out += rep.counters.empty() ? "},\n" : "\n  },\n";
+  const parallel::PoolStats& p = rep.pool;
+  out += "  \"pool\": {\"threads\": " + std::to_string(p.threads);
+  out += ", \"parallel_jobs\": " + std::to_string(p.parallel_jobs);
+  out += ", \"inline_jobs\": " + std::to_string(p.inline_jobs);
+  out += ", \"chunks_total\": " + std::to_string(p.chunks_total);
+  out += ", \"caller_wait_ns\": " + std::to_string(p.caller_wait_ns);
+  out += ", \"chunks_per_worker\": [";
+  for (std::size_t i = 0; i < p.chunks_per_worker.size(); ++i) {
+    if (i != 0) out += ", ";
+    out += std::to_string(p.chunks_per_worker[i]);
+  }
+  out += "]}\n}\n";
+  return out;
+}
+
+namespace {
+
+void span_csv(const SpanNode& n, const std::string& prefix, std::string& out) {
+  const std::string path = prefix.empty() ? n.name : prefix + "/" + n.name;
+  out += path + "," + std::to_string(n.count) + "," +
+         std::to_string(n.total_ns) + "," + std::to_string(n.self_ns()) + "\n";
+  for (const SpanNode& c : n.children) span_csv(c, path, out);
+}
+
+}  // namespace
+
+std::string to_csv(const TraceReport& rep) {
+  std::string out = "path,count,total_ns,self_ns\n";
+  for (const SpanNode& r : rep.roots) span_csv(r, "", out);
+  return out;
+}
+
+bool write_json(const TraceReport& rep, const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  const std::string json = to_json(rep);
+  const bool ok = std::fwrite(json.data(), 1, json.size(), f) == json.size();
+  return std::fclose(f) == 0 && ok;
+}
+
+}  // namespace enw::obs

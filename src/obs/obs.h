@@ -1,0 +1,176 @@
+// enw::obs — low-overhead runtime observability: RAII span timers forming a
+// hierarchical trace, named counters (interoperable with perf::OpCounter),
+// and thread-pool utilization stats, exportable as JSON or CSV.
+//
+// Design constraints (see DESIGN.md "Observability"):
+//  * Off by default. The layer activates when the ENW_PROF environment
+//    variable is set to a non-empty value other than "0", or via
+//    set_enabled(true). When off, a Span costs one relaxed atomic load and
+//    a branch, and no state is ever recorded — snapshot() returns an empty
+//    report. Defining ENW_OBS_DISABLED at compile time turns ENW_SPAN into
+//    nothing at all.
+//  * No locks on the hot path. Spans and counters accumulate into
+//    thread-local buffers; a global registry (locked only on thread
+//    creation/exit and in snapshot()) merges them on demand. snapshot() is
+//    an explicit merge point: call it while instrumented threads are
+//    quiescent (end of a bench, end of a campaign), not mid-flight.
+//  * Deterministic-safe. Spans measure wall time but never influence any
+//    computation, so the bitwise-determinism and golden-trace suites pass
+//    unchanged with ENW_PROF on or off. Time comes from a monotonic clock
+//    behind a Clock seam; tests inject a fake clock for exact expectations.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/parallel.h"
+#include "perf/op_counter.h"
+
+namespace enw::obs {
+
+// --- enable toggle ----------------------------------------------------------
+
+namespace detail {
+extern std::atomic<int> g_mode;  // -1 = uninitialized, 0 = off, 1 = on
+int init_mode_from_env();        // reads ENW_PROF once, caches into g_mode
+}  // namespace detail
+
+/// Whether the observability layer is recording. First call resolves the
+/// ENW_PROF environment variable; set_enabled() overrides it.
+inline bool enabled() {
+  const int m = detail::g_mode.load(std::memory_order_relaxed);
+  return (m < 0 ? detail::init_mode_from_env() : m) != 0;
+}
+
+/// Force the layer on/off at runtime (tests, benches). Also toggles the
+/// thread-pool stats collection in enw::parallel.
+void set_enabled(bool on);
+
+// --- clock seam -------------------------------------------------------------
+
+/// Time source for span durations. The default reads a monotonic
+/// (steady_clock) counter; tests install a fake to get exact durations.
+class Clock {
+ public:
+  virtual ~Clock() = default;
+  virtual std::uint64_t now_ns() = 0;
+};
+
+/// Install a replacement clock (not owned); nullptr restores the monotonic
+/// default. Only call while no spans are in flight.
+void set_clock_for_testing(Clock* clock);
+
+// --- recording --------------------------------------------------------------
+
+namespace detail {
+struct Node;  // per-thread aggregated span-tree node (internal)
+Node* span_push(const char* name);
+void span_pop(Node* node, std::uint64_t elapsed_ns);
+std::uint64_t clock_now_ns();
+}  // namespace detail
+
+/// RAII scoped timer. Nested spans form a tree: a span opened while another
+/// is active on the same thread becomes (an occurrence of) its child. Spans
+/// with the same name under the same parent aggregate into one node
+/// (count + total time), keeping traces bounded regardless of call counts.
+/// The name must outlive the process (string literals).
+class Span {
+ public:
+  explicit Span(const char* name) {
+    if (!enabled()) {
+      node_ = nullptr;
+      return;
+    }
+    node_ = detail::span_push(name);
+    start_ns_ = detail::clock_now_ns();
+  }
+  ~Span() {
+    if (node_ != nullptr) {
+      detail::span_pop(node_, detail::clock_now_ns() - start_ns_);
+    }
+  }
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+ private:
+  detail::Node* node_;
+  std::uint64_t start_ns_ = 0;
+};
+
+/// Add `delta` to the named counter (thread-local; merged by snapshot()).
+/// No-op when the layer is disabled.
+void counter_add(const char* name, std::uint64_t delta);
+
+/// Record a perf::OpCounter as counters "<prefix>.flops",
+/// "<prefix>.dram_bytes", ... (zero fields are skipped). This is the bridge
+/// between the *analytical* op accounting in src/perf and the *measured*
+/// trace: the same names show up next to measured span times.
+void counter_add(const char* prefix, const perf::OpCounter& ops);
+
+// --- report -----------------------------------------------------------------
+
+/// One aggregated span in the merged trace, with its children.
+struct SpanNode {
+  std::string name;
+  std::uint64_t count = 0;     // completed occurrences
+  std::uint64_t total_ns = 0;  // wall time including children
+  std::vector<SpanNode> children;
+
+  /// Wall time excluding children (clamped at zero).
+  std::uint64_t self_ns() const {
+    std::uint64_t c = 0;
+    for (const SpanNode& k : children) c += k.total_ns;
+    return total_ns > c ? total_ns - c : 0;
+  }
+};
+
+/// The merged view of every thread's spans and counters plus the thread-pool
+/// utilization stats.
+struct TraceReport {
+  std::vector<SpanNode> roots;
+  std::map<std::string, std::uint64_t> counters;
+  parallel::PoolStats pool;
+
+  /// Sum of root-span wall time — the "accounted for" total.
+  std::uint64_t total_ns() const {
+    std::uint64_t t = 0;
+    for (const SpanNode& r : roots) t += r.total_ns;
+    return t;
+  }
+  bool empty() const { return roots.empty() && counters.empty(); }
+};
+
+/// Merge all per-thread buffers (live and retired) into one report.
+/// Locks only the registry; concurrently *recording* threads must be
+/// quiescent for an exact result.
+TraceReport snapshot();
+
+/// Discard all recorded spans/counters and reset the pool stats.
+void reset();
+
+/// Hierarchical JSON: {"enw_prof", "unit", "spans": [...], "counters",
+/// "pool"}. Span entries carry name/count/total_ns/self_ns/children.
+std::string to_json(const TraceReport& report);
+
+/// Flat CSV: path,count,total_ns,self_ns (path joins nested names with '/').
+std::string to_csv(const TraceReport& report);
+
+/// Serialize `report` as JSON into `path`. Returns false on I/O failure.
+bool write_json(const TraceReport& report, const std::string& path);
+
+}  // namespace enw::obs
+
+// ENW_SPAN(name): open an aggregated scoped timer for the rest of the
+// enclosing block. Compiles away entirely under ENW_OBS_DISABLED.
+#define ENW_OBS_CONCAT2(a, b) a##b
+#define ENW_OBS_CONCAT(a, b) ENW_OBS_CONCAT2(a, b)
+#ifdef ENW_OBS_DISABLED
+#define ENW_SPAN(name) \
+  do {                 \
+  } while (false)
+#else
+#define ENW_SPAN(name) ::enw::obs::Span ENW_OBS_CONCAT(enw_span_, __LINE__)(name)
+#endif

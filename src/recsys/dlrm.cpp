@@ -6,6 +6,7 @@
 #include "core/check.h"
 #include "nn/digital_linear.h"
 #include "nn/loss.h"
+#include "obs/obs.h"
 #include "tensor/ops.h"
 
 namespace enw::recsys {
@@ -90,29 +91,41 @@ float Dlrm::forward(const data::ClickSample& sample, ForwardCache& cache) {
   ENW_CHECK_MSG(sample.dense.size() == config_.num_dense, "dense feature mismatch");
   ENW_CHECK_MSG(sample.sparse.size() == config_.num_tables, "sparse feature mismatch");
 
-  cache.bottom_out = run_forward(bottom_, sample.dense);
-  cache.pooled.assign(config_.num_tables, Vector(config_.embed_dim, 0.0f));
-  for (std::size_t t = 0; t < config_.num_tables; ++t) {
-    tables_[t].lookup_sum(sample.sparse[t], cache.pooled[t]);
+  {
+    ENW_SPAN("dlrm.bottom_mlp");
+    cache.bottom_out = run_forward(bottom_, sample.dense);
   }
-
-  // Pairwise dot-product interactions over {bottom, pooled_0..T-1}.
-  cache.interactions.assign(interaction_dim(), 0.0f);
-  std::copy(cache.bottom_out.begin(), cache.bottom_out.end(),
-            cache.interactions.begin());
-  std::size_t k = config_.embed_dim;
-  const auto vec = [&](std::size_t i) -> const Vector& {
-    return i == 0 ? cache.bottom_out : cache.pooled[i - 1];
-  };
-  const std::size_t n = config_.num_tables + 1;
-  for (std::size_t i = 0; i < n; ++i) {
-    for (std::size_t j = i + 1; j < n; ++j) {
-      cache.interactions[k++] = dot(vec(i), vec(j));
+  {
+    ENW_SPAN("dlrm.embedding");
+    cache.pooled.assign(config_.num_tables, Vector(config_.embed_dim, 0.0f));
+    for (std::size_t t = 0; t < config_.num_tables; ++t) {
+      tables_[t].lookup_sum(sample.sparse[t], cache.pooled[t]);
     }
   }
 
-  const Vector out = run_forward(top_, cache.interactions);
-  cache.logit = out[0];
+  {
+    // Pairwise dot-product interactions over {bottom, pooled_0..T-1}.
+    ENW_SPAN("dlrm.interaction");
+    cache.interactions.assign(interaction_dim(), 0.0f);
+    std::copy(cache.bottom_out.begin(), cache.bottom_out.end(),
+              cache.interactions.begin());
+    std::size_t k = config_.embed_dim;
+    const auto vec = [&](std::size_t i) -> const Vector& {
+      return i == 0 ? cache.bottom_out : cache.pooled[i - 1];
+    };
+    const std::size_t n = config_.num_tables + 1;
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = i + 1; j < n; ++j) {
+        cache.interactions[k++] = dot(vec(i), vec(j));
+      }
+    }
+  }
+
+  {
+    ENW_SPAN("dlrm.top_mlp");
+    const Vector out = run_forward(top_, cache.interactions);
+    cache.logit = out[0];
+  }
   return cache.logit;
 }
 
@@ -131,37 +144,51 @@ std::vector<float> Dlrm::logits_batch(std::span<const data::ClickSample> batch) 
                   "sparse feature mismatch");
     std::copy(batch[s].dense.begin(), batch[s].dense.end(), dense.row(s).begin());
   }
-  const Matrix bottom_out = run_infer_batch(bottom_, std::move(dense));
+  Matrix bottom_out;
+  {
+    ENW_SPAN("dlrm.bottom_mlp");
+    bottom_out = run_infer_batch(bottom_, std::move(dense));
+  }
 
   // One (batch x embed_dim) pooled block per table; the ragged per-sample
   // index lists are only rebound, not copied.
   std::vector<Matrix> pooled;
-  pooled.reserve(config_.num_tables);
-  std::vector<std::span<const std::size_t>> lists(b);
-  for (std::size_t t = 0; t < config_.num_tables; ++t) {
-    for (std::size_t s = 0; s < b; ++s) lists[s] = batch[s].sparse[t];
-    Matrix p(b, config_.embed_dim);
-    tables_[t].lookup_sum_batch(lists, p);
-    pooled.push_back(std::move(p));
+  {
+    ENW_SPAN("dlrm.embedding");
+    pooled.reserve(config_.num_tables);
+    std::vector<std::span<const std::size_t>> lists(b);
+    for (std::size_t t = 0; t < config_.num_tables; ++t) {
+      for (std::size_t s = 0; s < b; ++s) lists[s] = batch[s].sparse[t];
+      Matrix p(b, config_.embed_dim);
+      tables_[t].lookup_sum_batch(lists, p);
+      pooled.push_back(std::move(p));
+    }
   }
 
   Matrix inter(b, interaction_dim());
-  const std::size_t n = config_.num_tables + 1;
-  for (std::size_t s = 0; s < b; ++s) {
-    auto irow = inter.row(s);
-    const auto vec = [&](std::size_t i) -> std::span<const float> {
-      return i == 0 ? bottom_out.row(s) : pooled[i - 1].row(s);
-    };
-    std::copy(vec(0).begin(), vec(0).end(), irow.begin());
-    std::size_t k = config_.embed_dim;
-    for (std::size_t i = 0; i < n; ++i) {
-      for (std::size_t j = i + 1; j < n; ++j) {
-        irow[k++] = dot(vec(i), vec(j));
+  {
+    ENW_SPAN("dlrm.interaction");
+    const std::size_t n = config_.num_tables + 1;
+    for (std::size_t s = 0; s < b; ++s) {
+      auto irow = inter.row(s);
+      const auto vec = [&](std::size_t i) -> std::span<const float> {
+        return i == 0 ? bottom_out.row(s) : pooled[i - 1].row(s);
+      };
+      std::copy(vec(0).begin(), vec(0).end(), irow.begin());
+      std::size_t k = config_.embed_dim;
+      for (std::size_t i = 0; i < n; ++i) {
+        for (std::size_t j = i + 1; j < n; ++j) {
+          irow[k++] = dot(vec(i), vec(j));
+        }
       }
     }
   }
 
-  const Matrix out = run_infer_batch(top_, std::move(inter));
+  Matrix out;
+  {
+    ENW_SPAN("dlrm.top_mlp");
+    out = run_infer_batch(top_, std::move(inter));
+  }
   std::vector<float> logits(b);
   for (std::size_t s = 0; s < b; ++s) logits[s] = out(s, 0);
   return logits;

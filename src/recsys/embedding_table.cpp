@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "core/check.h"
+#include "obs/obs.h"
 
 namespace enw::recsys {
 
@@ -30,11 +31,15 @@ void EmbeddingTable::lookup_sum(std::span<const std::size_t> indices,
 
 void EmbeddingTable::lookup_sum_batch(
     std::span<const std::span<const std::size_t>> index_lists, Matrix& out) const {
+  ENW_SPAN("recsys.embed.lookup_batch");
   ENW_CHECK_MSG(out.rows() == index_lists.size() && out.cols() == dim(),
                 "lookup_sum_batch output shape mismatch");
+  std::size_t gathered = 0;
   for (std::size_t s = 0; s < index_lists.size(); ++s) {
     lookup_sum(index_lists[s], out.row(s));
+    gathered += index_lists[s].size();
   }
+  obs::counter_add("recsys.embed.rows_gathered", gathered);
 }
 
 void EmbeddingTable::apply_gradient(std::span<const std::size_t> indices,

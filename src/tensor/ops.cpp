@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "core/parallel.h"
+#include "obs/obs.h"
 
 namespace enw {
 
@@ -115,8 +116,10 @@ std::size_t row_grain(std::size_t inner, std::size_t floor_rows) {
 }  // namespace
 
 Vector matvec(const Matrix& a, std::span<const float> x) {
+  ENW_SPAN("tensor.matvec");
   ENW_CHECK_MSG(a.cols() == x.size(), "matvec dimension mismatch");
   const std::size_t m = a.rows(), n = a.cols();
+  obs::counter_add("tensor.matvec.flops", 2ull * m * n);
   Vector y(m, 0.0f);
   parallel::parallel_for(0, m, row_grain(n, 8), [&](std::size_t r0, std::size_t r1) {
     std::size_t r = r0;
@@ -150,6 +153,7 @@ Vector matvec(const Matrix& a, std::span<const float> x) {
 }
 
 Vector matvec_transposed(const Matrix& a, std::span<const float> x, ZeroSkip skip) {
+  ENW_SPAN("tensor.matvec_transposed");
   ENW_CHECK_MSG(a.rows() == x.size(), "matvec_transposed dimension mismatch");
   const std::size_t m = a.rows(), n = a.cols();
   Vector y(n, 0.0f);
@@ -180,8 +184,10 @@ Vector matvec_transposed(const Matrix& a, std::span<const float> x, ZeroSkip ski
 }
 
 Matrix matmul(const Matrix& a, const Matrix& b, ZeroSkip skip) {
+  ENW_SPAN("tensor.matmul");
   ENW_CHECK_MSG(a.cols() == b.rows(), "matmul dimension mismatch");
   const std::size_t m = a.rows(), k = a.cols(), n = b.cols();
+  obs::counter_add("tensor.matmul.flops", 2ull * m * k * n);
   Matrix c(m, n);
   constexpr std::size_t kKc = 256;  // k-panel: keeps a b-panel resident in L2
   const std::size_t grain = std::max<std::size_t>(4, 16384 / std::max<std::size_t>(1, k * n / 8 + 1));
@@ -309,8 +315,10 @@ void matmul_nt_rowwise(const Matrix& a, const Matrix& b, Matrix& c) {
 }  // namespace
 
 Matrix matmul_nt(const Matrix& a, const Matrix& b) {
+  ENW_SPAN("tensor.matmul_nt");
   ENW_CHECK_MSG(a.cols() == b.cols(), "matmul_nt dimension mismatch");
   const std::size_t m = a.rows(), k = a.cols(), n = b.rows();
+  obs::counter_add("tensor.matmul_nt.flops", 2ull * m * k * n);
   Matrix c(m, n);
   if (m < 4) {
     matmul_nt_rowwise(a, b, c);
@@ -410,6 +418,7 @@ Matrix matmul_nt(const Matrix& a, const Matrix& b) {
 
 void matmul_tn_acc(Matrix& c, const Matrix& a, const Matrix& b, float scale,
                    ZeroSkip skip) {
+  ENW_SPAN("tensor.matmul_tn_acc");
   ENW_CHECK_MSG(a.rows() == b.rows(), "matmul_tn_acc batch mismatch");
   ENW_CHECK_MSG(c.rows() == a.cols() && c.cols() == b.cols(),
                 "matmul_tn_acc output shape mismatch");
@@ -435,6 +444,7 @@ void matmul_tn_acc(Matrix& c, const Matrix& a, const Matrix& b, float scale,
 
 void rank1_update(Matrix& a, std::span<const float> u, std::span<const float> v,
                   float scale, ZeroSkip skip) {
+  ENW_SPAN("tensor.rank1_update");
   ENW_CHECK_MSG(a.rows() == u.size() && a.cols() == v.size(),
                 "rank1_update dimension mismatch");
   const std::size_t n = a.cols();
@@ -450,6 +460,7 @@ void rank1_update(Matrix& a, std::span<const float> u, std::span<const float> v,
 }
 
 Matrix transpose(const Matrix& a) {
+  ENW_SPAN("tensor.transpose");
   const std::size_t m = a.rows(), n = a.cols();
   Matrix t(n, m);
   constexpr std::size_t kTile = 64;  // 64x64 float tile = 16 KiB, L1-resident

@@ -24,6 +24,7 @@
 #include "analog/pcm.h"
 #include "core/fault.h"
 #include "core/rng.h"
+#include "obs/obs.h"
 #include "tensor/ops.h"
 #include "testkit/diff.h"
 #include "testkit/fault.h"
@@ -263,5 +264,15 @@ int main(int argc, char** argv) {
       return 2;
     }
   }
-  return enw::run_campaign(seed, faults);
+  const int rc = enw::run_campaign(seed, faults);
+  // Trace export must stay off stdout: run_fault_campaign.sh byte-diffs the
+  // campaign's stdout across two runs to prove reproducibility.
+  if (enw::obs::enabled()) {
+    const char* override_path = std::getenv("ENW_PROF_OUT");
+    const std::string path =
+        override_path != nullptr ? override_path : "TRACE_fault_campaign.json";
+    enw::obs::write_json(enw::obs::snapshot(), path);
+    std::fprintf(stderr, "[obs] wrote trace: %s\n", path.c_str());
+  }
+  return rc;
 }

@@ -1,0 +1,202 @@
+// Tests for enw::obs — spans, counters, pool stats, export formats, and the
+// two key guarantees: disabled means *nothing* is recorded (at near-zero
+// cost), and the merged trace is exact under an injected clock.
+//
+// Every test sets the enable state explicitly so the suite passes no matter
+// what ENW_PROF is in the environment.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/parallel.h"
+#include "obs/obs.h"
+#include "perf/op_counter.h"
+
+namespace enw::obs {
+namespace {
+
+/// Advances by a fixed step per query so span durations are exact.
+class FakeClock final : public Clock {
+ public:
+  explicit FakeClock(std::uint64_t step) : step_(step) {}
+  std::uint64_t now_ns() override { return now_ += step_; }
+
+ private:
+  std::uint64_t now_ = 0;
+  std::uint64_t step_;
+};
+
+/// Reset obs to a known state around each test regardless of ENW_PROF.
+class ObsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    set_clock_for_testing(nullptr);
+    set_enabled(true);
+    reset();
+    parallel::reset_pool_stats();
+  }
+  void TearDown() override {
+    set_clock_for_testing(nullptr);
+    set_enabled(false);
+    reset();
+  }
+};
+
+const SpanNode* find(const std::vector<SpanNode>& nodes, const std::string& name) {
+  for (const SpanNode& n : nodes) {
+    if (n.name == name) return &n;
+  }
+  return nullptr;
+}
+
+TEST_F(ObsTest, DisabledRecordsNothing) {
+  set_enabled(false);
+  {
+    ENW_SPAN("ghost");
+    counter_add("ghost.count", 42);
+  }
+  const TraceReport report = snapshot();
+  EXPECT_TRUE(report.empty());
+  EXPECT_EQ(report.roots.size(), 0u);
+  EXPECT_EQ(report.counters.size(), 0u);
+  EXPECT_EQ(report.total_ns(), 0u);
+
+  const std::string json = to_json(report);
+  EXPECT_NE(json.find("\"enw_prof\": false"), std::string::npos);
+  EXPECT_NE(json.find("\"spans\": []"), std::string::npos);
+}
+
+TEST_F(ObsTest, DisabledSpanOverheadIsTiny) {
+  set_enabled(false);
+  const auto start = std::chrono::steady_clock::now();
+  for (int i = 0; i < 1000000; ++i) {
+    ENW_SPAN("hot");
+  }
+  const double secs =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  // One relaxed load + branch per span; even a slow CI box does a million in
+  // well under this (generous, anti-flake) bound.
+  EXPECT_LT(secs, 0.5);
+  EXPECT_TRUE(snapshot().empty());
+}
+
+TEST_F(ObsTest, FakeClockGivesExactHierarchicalTotals) {
+  FakeClock clock(10);  // each now_ns() call advances 10ns
+  set_clock_for_testing(&clock);
+
+  {
+    ENW_SPAN("outer");  // clock reads: start=10 ... end=60 -> total 50
+    {
+      ENW_SPAN("inner");  // start=20, end=30 -> total 10
+    }
+    {
+      ENW_SPAN("inner");  // start=40, end=50 -> total 10 (aggregates)
+    }
+  }
+
+  const TraceReport report = snapshot();
+  ASSERT_EQ(report.roots.size(), 1u);
+  const SpanNode& outer = report.roots[0];
+  EXPECT_EQ(outer.name, "outer");
+  EXPECT_EQ(outer.count, 1u);
+  EXPECT_EQ(outer.total_ns, 50u);
+  ASSERT_EQ(outer.children.size(), 1u);
+  const SpanNode& inner = outer.children[0];
+  EXPECT_EQ(inner.name, "inner");
+  EXPECT_EQ(inner.count, 2u);  // same name + parent -> one aggregated node
+  EXPECT_EQ(inner.total_ns, 20u);
+  EXPECT_EQ(outer.self_ns(), 30u);
+  EXPECT_EQ(inner.self_ns(), 20u);
+  EXPECT_EQ(report.total_ns(), 50u);
+}
+
+TEST_F(ObsTest, CountersAccumulateAndMapFromOpCounter) {
+  counter_add("widgets", 2);
+  counter_add("widgets", 3);
+
+  perf::OpCounter ops;
+  ops.flops = 100;
+  ops.dram_bytes = 7;
+  counter_add("kernel", ops);
+  counter_add("kernel", ops);
+
+  const TraceReport report = snapshot();
+  EXPECT_EQ(report.counters.at("widgets"), 5u);
+  EXPECT_EQ(report.counters.at("kernel.flops"), 200u);
+  EXPECT_EQ(report.counters.at("kernel.dram_bytes"), 14u);
+  // Zero OpCounter fields are skipped, not emitted as zero counters.
+  EXPECT_EQ(report.counters.count("kernel.sram_bytes"), 0u);
+}
+
+TEST_F(ObsTest, ResetDiscardsEverything) {
+  {
+    ENW_SPAN("tmp");
+  }
+  counter_add("tmp.count", 1);
+  EXPECT_FALSE(snapshot().empty());
+  reset();
+  EXPECT_TRUE(snapshot().empty());
+}
+
+TEST_F(ObsTest, SpansFromOtherThreadsMergeIntoSnapshot) {
+  {
+    ENW_SPAN("main_thread");
+  }
+  std::thread t([] {
+    ENW_SPAN("worker_thread");
+    counter_add("worker.items", 9);
+  });
+  t.join();  // thread exit retires its buffer into the registry
+
+  const TraceReport report = snapshot();
+  EXPECT_NE(find(report.roots, "main_thread"), nullptr);
+  EXPECT_NE(find(report.roots, "worker_thread"), nullptr);
+  EXPECT_EQ(report.counters.at("worker.items"), 9u);
+}
+
+TEST_F(ObsTest, PoolStatsCountChunks) {
+  parallel::set_thread_count(2);
+  std::vector<int> sink(1000, 0);
+  parallel::parallel_for(0, sink.size(), 10, [&](std::size_t i0, std::size_t i1) {
+    for (std::size_t i = i0; i < i1; ++i) sink[i] = 1;
+  });
+  parallel::set_thread_count(1);
+
+  const TraceReport report = snapshot();
+  EXPECT_GE(report.pool.parallel_jobs, 1u);
+  EXPECT_GE(report.pool.chunks_total, sink.size() / 10);
+  std::uint64_t per_worker = 0;
+  for (std::uint64_t c : report.pool.chunks_per_worker) per_worker += c;
+  EXPECT_EQ(per_worker, report.pool.chunks_total);
+}
+
+TEST_F(ObsTest, JsonAndCsvCarryTheTrace) {
+  FakeClock clock(10);
+  set_clock_for_testing(&clock);
+  {
+    ENW_SPAN("alpha");
+    {
+      ENW_SPAN("beta");
+    }
+  }
+  counter_add("gamma", 4);
+
+  const TraceReport report = snapshot();
+  const std::string json = to_json(report);
+  EXPECT_NE(json.find("\"enw_prof\": true"), std::string::npos);
+  EXPECT_NE(json.find("\"name\": \"alpha\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\": \"beta\""), std::string::npos);
+  EXPECT_NE(json.find("\"gamma\": 4"), std::string::npos);
+  EXPECT_NE(json.find("\"pool\""), std::string::npos);
+
+  const std::string csv = to_csv(report);
+  EXPECT_NE(csv.find("alpha,1,"), std::string::npos);
+  EXPECT_NE(csv.find("alpha/beta,1,"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace enw::obs

@@ -1,0 +1,150 @@
+// Regression tests for the similarity-search argmax/tie-break defects:
+//
+//  1. ExactSearch::predict / predict_batch used to seed the argmax with
+//     -1e30f, so a row whose scores were all NaN (or all <= -1e30) silently
+//     returned labels_[0]. Now NaN scores are skipped, an all-NaN row
+//     throws, and legitimately tiny scores still win.
+//  2. knn_majority used to break vote ties by std::map iteration order
+//     (numerically smallest label wins); now the tied label whose closest
+//     voting neighbour ranks nearest to the query wins.
+//  3. The base SimilaritySearch::predict_batch never validated the query
+//     width, handing every backend a wrong-width row span; now a mis-shaped
+//     batch throws before any row is scored.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+#include <vector>
+
+#include "mann/similarity_search.h"
+#include "tensor/matrix.h"
+
+namespace enw::mann {
+namespace {
+
+constexpr float kNaN = std::numeric_limits<float>::quiet_NaN();
+
+TEST(SearchEdges, NanKeyDoesNotAbsorbArgmax) {
+  // key0 scores NaN against the query; key1 scores -1e36, far below the old
+  // -1e30 argmax seed. The old code kept the seed through both comparisons
+  // and returned labels_[0]; the fix skips the NaN and returns label 20.
+  ExactSearch search(2, Metric::kDot);
+  search.add(std::vector<float>{kNaN, 0.0f}, 10);
+  search.add(std::vector<float>{-1e31f, 0.0f}, 20);
+  const std::vector<float> query{1e5f, 0.0f};
+  EXPECT_EQ(search.predict(query), 20u);
+}
+
+TEST(SearchEdges, VeryNegativeScoresStillWin) {
+  // Both scores below the old -1e30 seed; first-stored must win the tie on
+  // the actual maximum, not fall back to labels_[0] by accident.
+  ExactSearch search(2, Metric::kDot);
+  search.add(std::vector<float>{-2e31f, 0.0f}, 5);   // score -2e36
+  search.add(std::vector<float>{-1e31f, 0.0f}, 6);   // score -1e36 (max)
+  const std::vector<float> query{1e5f, 0.0f};
+  EXPECT_EQ(search.predict(query), 6u);
+}
+
+TEST(SearchEdges, AllNanScoresThrow) {
+  ExactSearch search(2, Metric::kDot);
+  search.add(std::vector<float>{kNaN, kNaN}, 10);
+  const std::vector<float> query{1.0f, 1.0f};
+  EXPECT_THROW(search.predict(query), std::invalid_argument);
+
+  // A NaN query NaNs every score too, regardless of the stored keys.
+  ExactSearch clean(2, Metric::kDot);
+  clean.add(std::vector<float>{1.0f, 2.0f}, 3);
+  const std::vector<float> nan_query{kNaN, 0.0f};
+  EXPECT_THROW(clean.predict(nan_query), std::invalid_argument);
+}
+
+TEST(SearchEdges, BatchedPredictMatchesPerQueryNanHandling) {
+  ExactSearch search(2, Metric::kDot);
+  search.add(std::vector<float>{kNaN, 0.0f}, 10);
+  search.add(std::vector<float>{-1e31f, 0.0f}, 20);
+  search.add(std::vector<float>{2.0f, 1.0f}, 30);
+
+  const Matrix queries{{1e5f, 0.0f}, {1.0f, 0.0f}, {0.0f, 1.0f}};
+  std::vector<std::size_t> batched(queries.rows());
+  search.predict_batch(queries, batched);
+  for (std::size_t s = 0; s < queries.rows(); ++s) {
+    EXPECT_EQ(batched[s], search.predict(queries.row(s))) << "row " << s;
+  }
+
+  // A batch containing an all-NaN row fails loudly, like predict() does.
+  ExactSearch nan_only(2, Metric::kDot);
+  nan_only.add(std::vector<float>{kNaN, kNaN}, 1);
+  const Matrix q{{1.0f, 1.0f}};
+  std::vector<std::size_t> out(1);
+  EXPECT_THROW(nan_only.predict_batch(q, out), std::invalid_argument);
+}
+
+TEST(SearchEdges, KnnVoteTieGoesToClosestVoterNotSmallestLabel) {
+  // Scores (dot with query (1,0)): 4, 3, 2, 1 — strictly ordered, so the
+  // neighbour ranking is unambiguous. k=4 gives votes {7: 2, 3: 2}; the
+  // nearest voter carries label 7. Map-iteration tie-breaking returned 3.
+  const Matrix keys{{4.0f, 0.0f}, {3.0f, 0.0f}, {2.0f, 0.0f}, {1.0f, 0.0f}};
+  const std::vector<std::size_t> labels{7, 3, 3, 7};
+  const std::vector<float> query{1.0f, 0.0f};
+  EXPECT_EQ(knn_majority(Metric::kDot, keys, labels, query, 4), 7u);
+}
+
+TEST(SearchEdges, KnnClearMajorityUnaffectedByTieBreak) {
+  const Matrix keys{{4.0f, 0.0f}, {3.0f, 0.0f}, {2.0f, 0.0f}};
+  const std::vector<std::size_t> labels{9, 2, 2};
+  const std::vector<float> query{1.0f, 0.0f};
+  // Label 2 holds 2 of 3 votes even though the single nearest entry is 9.
+  EXPECT_EQ(knn_majority(Metric::kDot, keys, labels, query, 3), 2u);
+}
+
+/// Minimal backend driving the base-class predict_batch loop; counts how
+/// many rows actually reach predict().
+class CountingSearch final : public SimilaritySearch {
+ public:
+  explicit CountingSearch(std::size_t dim) : dim_(dim) {}
+  void clear() override {}
+  void add(std::span<const float>, std::size_t) override {}
+  std::size_t dim() const override { return dim_; }
+  std::size_t predict(std::span<const float>) override {
+    ++calls;
+    return 0;
+  }
+  const char* name() const override { return "counting"; }
+  perf::Cost query_cost() const override { return {}; }
+  std::size_t size() const override { return 1; }
+
+  std::size_t calls = 0;
+
+ private:
+  std::size_t dim_;
+};
+
+TEST(SearchEdges, BasePredictBatchRejectsMisShapedQueriesBeforeScoring) {
+  CountingSearch search(3);
+  const Matrix queries(2, 4, 1.0f);  // wrong width: 4 != dim() == 3
+  std::vector<std::size_t> out(2);
+  EXPECT_THROW(search.predict_batch(queries, out), std::invalid_argument);
+  EXPECT_EQ(search.calls, 0u) << "no row may be scored with a bad width";
+
+  const Matrix ok(2, 3, 1.0f);
+  search.predict_batch(ok, out);
+  EXPECT_EQ(search.calls, 2u);
+
+  // Zero-row batches are fine whatever their nominal width.
+  const Matrix empty(0, 0);
+  std::vector<std::size_t> none;
+  search.predict_batch(empty, none);
+  EXPECT_EQ(search.calls, 2u);
+}
+
+TEST(SearchEdges, ExactPredictBatchRejectsMisShapedQueries) {
+  ExactSearch search(3, Metric::kCosineSimilarity);
+  search.add(std::vector<float>{1.0f, 0.0f, 0.0f}, 1);
+  const Matrix queries(2, 4, 1.0f);
+  std::vector<std::size_t> out(2);
+  EXPECT_THROW(search.predict_batch(queries, out), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace enw::mann
