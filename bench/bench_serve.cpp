@@ -1,0 +1,240 @@
+// bench_serve — serving throughput and tail latency versus the dynamic
+// batching window, across three batched backends:
+//
+//   mlp     784-256-10 MLP logits        (Mlp::infer_batch)
+//   dlrm    DLRM CTR serving             (Dlrm::predict_batch)
+//   search  ExactSearch cosine labels    (ExactSearch::predict_batch)
+//
+// Closed-loop harness: C client threads each submit R single-sample requests
+// synchronously against a live enw::serve::Server, so the collator sees the
+// batching-versus-latency trade-off the TPU study describes — a wider window
+// coalesces bigger batches (throughput) at the cost of queueing time (p99).
+// Each row reports throughput plus p50/p99 reply latency for one
+// (backend, window) point. Regenerate the committed record with:
+//   ./scripts/run_bench_serve.sh           (writes BENCH_serve.json)
+// CI runs `bench_serve --smoke` to catch harness crashes cheaply.
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.h"
+#include "core/parallel.h"
+#include "core/rng.h"
+#include "data/click_log.h"
+#include "mann/similarity_search.h"
+#include "nn/digital_linear.h"
+#include "nn/mlp.h"
+#include "obs/obs.h"
+#include "recsys/dlrm.h"
+#include "serve/backends.h"
+#include "serve/server.h"
+#include "tensor/matrix.h"
+
+namespace {
+
+using enw::Matrix;
+using enw::Rng;
+using enw::Vector;
+using enw::serve::ServeConfig;
+using enw::serve::Server;
+using enw::serve::ServerStats;
+using enw::serve::Status;
+
+struct Options {
+  bool smoke = false;
+  std::string out_path;  // empty = don't write JSON
+};
+
+struct Row {
+  const char* backend;
+  std::size_t max_batch = 0;
+  std::uint64_t window_us = 0;
+  std::size_t clients = 0;
+  std::size_t requests = 0;  // completed (Status::kOk)
+  double throughput_rps = 0.0;
+  double p50_us = 0.0;
+  double p99_us = 0.0;
+  double mean_batch = 0.0;
+};
+
+Matrix random_matrix(std::size_t r, std::size_t c, unsigned seed) {
+  Rng rng(seed);
+  Matrix m(r, c);
+  for (std::size_t i = 0; i < m.size(); ++i)
+    m.data()[i] = static_cast<float>(rng.normal());
+  return m;
+}
+
+/// Closed-loop drive: `clients` threads each submit `per_client` requests
+/// drawn round-robin from `inputs`; returns the latency/throughput row.
+template <typename In, typename Out>
+Row drive(const char* name, const ServeConfig& cfg,
+          typename Server<In, Out>::BatchFn fn, const std::vector<In>& inputs,
+          std::size_t clients, std::size_t per_client) {
+  ENW_SPAN("bench.serve.drive");
+  Server<In, Out> srv(cfg, std::move(fn));
+  std::vector<std::vector<std::uint64_t>> lat(clients);
+  enw::bench::Timer t;
+  std::vector<std::thread> workers;
+  for (std::size_t c = 0; c < clients; ++c) {
+    workers.emplace_back([&, c] {
+      lat[c].reserve(per_client);
+      for (std::size_t r = 0; r < per_client; ++r) {
+        const In& x = inputs[(c * per_client + r) % inputs.size()];
+        const auto reply = srv.submit(x);
+        if (reply.status == Status::kOk) lat[c].push_back(reply.latency_ns);
+      }
+    });
+  }
+  for (std::thread& w : workers) w.join();
+  const double wall = t.seconds();
+  srv.shutdown();
+
+  std::vector<std::uint64_t> all;
+  for (const auto& v : lat) all.insert(all.end(), v.begin(), v.end());
+  const ServerStats stats = srv.stats();
+
+  Row row;
+  row.backend = name;
+  row.max_batch = cfg.max_batch;
+  row.window_us = cfg.max_wait_ns / 1000;
+  row.clients = clients;
+  row.requests = all.size();
+  row.throughput_rps = wall > 0.0 ? static_cast<double>(all.size()) / wall : 0.0;
+  row.p50_us = static_cast<double>(enw::serve::percentile_ns(all, 50.0)) / 1000.0;
+  row.p99_us = static_cast<double>(enw::serve::percentile_ns(all, 99.0)) / 1000.0;
+  row.mean_batch = stats.mean_batch();
+  return row;
+}
+
+ServeConfig window_config(std::uint64_t window_us) {
+  ServeConfig cfg;
+  cfg.max_batch = 32;
+  cfg.max_wait_ns = window_us * 1000;
+  cfg.queue_capacity = 256;
+  return cfg;
+}
+
+void write_json(const std::string& path, const std::vector<Row>& rows) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "error: cannot write %s\n", path.c_str());
+    std::exit(1);
+  }
+  std::fprintf(f, "{\n  \"context\": {\n    \"threads\": %zu,\n",
+               enw::parallel::thread_count());
+  std::fprintf(f, "    \"unit\": \"requests_per_second, microseconds\"\n  },\n");
+  std::fprintf(f, "  \"benchmarks\": [\n");
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const Row& r = rows[i];
+    std::fprintf(f,
+                 "    {\"backend\": \"%s\", \"max_batch\": %zu, "
+                 "\"window_us\": %llu, \"clients\": %zu, \"requests\": %zu, "
+                 "\"throughput_rps\": %.1f, \"p50_us\": %.1f, "
+                 "\"p99_us\": %.1f, \"mean_batch\": %.2f}%s\n",
+                 r.backend, r.max_batch,
+                 static_cast<unsigned long long>(r.window_us), r.clients,
+                 r.requests, r.throughput_rps, r.p50_us, r.p99_us,
+                 r.mean_batch, i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("\nwrote %s\n", path.c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opt;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      opt.smoke = true;
+    } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      opt.out_path = argv[++i];
+    } else {
+      std::fprintf(stderr, "usage: %s [--smoke] [--out FILE]\n", argv[0]);
+      return 1;
+    }
+  }
+
+  const std::size_t clients = opt.smoke ? 2 : 8;
+  const std::size_t per_client_mlp = opt.smoke ? 8 : 400;
+  const std::size_t per_client_dlrm = opt.smoke ? 8 : 200;
+  const std::size_t per_client_search = opt.smoke ? 8 : 400;
+  const std::vector<std::uint64_t> windows_us = {100, 1000};
+
+  enw::bench::header("serve", "dynamic-batching serving: latency vs window",
+                     "in-datacenter inference batches under a tail-latency "
+                     "deadline; the window trades p99 for batch size");
+
+  std::vector<Row> rows;
+  {
+    ENW_SPAN("bench.serve");
+
+    // MLP logits backend.
+    Rng mlp_rng(1);
+    enw::nn::MlpConfig mlp_cfg;
+    mlp_cfg.dims = {784, 256, 10};
+    mlp_cfg.hidden_activation = enw::nn::Activation::kRelu;
+    const enw::nn::Mlp net(mlp_cfg, enw::nn::DigitalLinear::factory(mlp_rng));
+    const Matrix mlp_in = random_matrix(256, 784, 2);
+    std::vector<Vector> mlp_inputs;
+    for (std::size_t i = 0; i < mlp_in.rows(); ++i) {
+      mlp_inputs.emplace_back(mlp_in.row(i).begin(), mlp_in.row(i).end());
+    }
+    for (std::uint64_t w : windows_us) {
+      rows.push_back(drive<Vector, Vector>(
+          "mlp", window_config(w), enw::serve::mlp_logits_backend(net),
+          mlp_inputs, clients, per_client_mlp));
+    }
+
+    // DLRM CTR backend.
+    Rng dlrm_rng(3);
+    enw::recsys::DlrmConfig dlrm_cfg;
+    dlrm_cfg.rows_per_table = opt.smoke ? 500 : 2000;
+    const enw::recsys::Dlrm model(dlrm_cfg, dlrm_rng);
+    enw::data::ClickLogConfig log_cfg;
+    log_cfg.num_dense = dlrm_cfg.num_dense;
+    log_cfg.num_tables = dlrm_cfg.num_tables;
+    log_cfg.rows_per_table = dlrm_cfg.rows_per_table;
+    const enw::data::ClickLogGenerator gen(log_cfg);
+    Rng data_rng(4);
+    const std::vector<enw::data::ClickSample> samples = gen.batch(256, data_rng);
+    for (std::uint64_t w : windows_us) {
+      rows.push_back(drive<enw::data::ClickSample, float>(
+          "dlrm", window_config(w), enw::serve::dlrm_backend(model), samples,
+          clients, per_client_dlrm));
+    }
+
+    // Similarity-search backend.
+    enw::mann::ExactSearch index(64, enw::Metric::kCosineSimilarity);
+    const Matrix keys = random_matrix(512, 64, 5);
+    for (std::size_t i = 0; i < keys.rows(); ++i) index.add(keys.row(i), i % 5);
+    const Matrix queries = random_matrix(256, 64, 6);
+    std::vector<Vector> query_inputs;
+    for (std::size_t i = 0; i < queries.rows(); ++i) {
+      query_inputs.emplace_back(queries.row(i).begin(), queries.row(i).end());
+    }
+    for (std::uint64_t w : windows_us) {
+      rows.push_back(drive<Vector, std::size_t>(
+          "search", window_config(w), enw::serve::search_backend(index),
+          query_inputs, clients, per_client_search));
+    }
+  }
+
+  enw::bench::section("serving latency/throughput");
+  enw::bench::Table table({"backend", "window_us", "clients", "throughput_rps",
+                           "p50_us", "p99_us", "mean_batch"});
+  for (const Row& r : rows) {
+    table.row({r.backend, std::to_string(r.window_us), std::to_string(r.clients),
+               enw::bench::fmt(r.throughput_rps, 0), enw::bench::fmt(r.p50_us, 1),
+               enw::bench::fmt(r.p99_us, 1), enw::bench::fmt(r.mean_batch, 2)});
+  }
+  table.print();
+
+  if (!opt.out_path.empty()) write_json(opt.out_path, rows);
+  enw::bench::export_trace("serve");
+  return 0;
+}

@@ -1,0 +1,17 @@
+#!/usr/bin/env sh
+# Regenerate BENCH_serve.json — the machine-readable record of serving
+# throughput and p50/p99 reply latency versus the dynamic batching window
+# (MLP, DLRM, and ExactSearch backends behind enw::serve::Server).
+#
+# Usage: ./scripts/run_bench_serve.sh [build-dir] [extra bench_serve args...]
+set -eu
+
+BUILD_DIR="${1:-build}"
+[ $# -gt 0 ] && shift
+
+if [ ! -x "$BUILD_DIR/bench/bench_serve" ]; then
+  echo "error: $BUILD_DIR/bench/bench_serve not built (cmake --build $BUILD_DIR --target bench_serve)" >&2
+  exit 1
+fi
+
+exec "$BUILD_DIR/bench/bench_serve" --out BENCH_serve.json "$@"

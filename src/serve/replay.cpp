@@ -1,0 +1,164 @@
+#include "serve/replay.h"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+#include <limits>
+#include <sstream>
+
+#include "core/check.h"
+#include "obs/obs.h"
+
+namespace enw::serve {
+
+namespace {
+
+constexpr std::uint64_t kNever = std::numeric_limits<std::uint64_t>::max();
+
+void append_ids(std::ostringstream& os, std::span<const std::size_t> ids) {
+  os << "[";
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    if (i != 0) os << ",";
+    os << ids[i];
+  }
+  os << "]";
+}
+
+}  // namespace
+
+std::string ReplayResult::boundary_log() const {
+  std::ostringstream os;
+  for (std::size_t b = 0; b < batches.size(); ++b) {
+    const BatchRecord& rec = batches[b];
+    os << "batch " << b << ": t=" << rec.flush_ns
+       << "ns reason=" << flush_reason_name(rec.reason)
+       << " n=" << rec.executed.size() << " ids=";
+    append_ids(os, rec.executed);
+    os << " shed=";
+    append_ids(os, rec.shed);
+    os << "\n";
+  }
+  return os.str();
+}
+
+ReplayResult replay_trace(std::span<const TraceEvent> trace,
+                          const ReplayConfig& cfg, const ReplayExec& exec) {
+  ENW_SPAN("serve.replay");
+  ENW_CHECK_MSG(cfg.serve.max_batch > 0, "max_batch must be positive");
+  ENW_CHECK_MSG(cfg.serve.queue_capacity > 0, "queue_capacity must be positive");
+  for (std::size_t i = 1; i < trace.size(); ++i) {
+    ENW_CHECK_MSG(trace[i - 1].arrival_ns <= trace[i].arrival_ns,
+                  "trace arrivals must be non-decreasing");
+  }
+
+  ReplayResult result;
+  result.outcomes.resize(trace.size());
+  result.stats.submitted = trace.size();
+
+  struct Queued {
+    std::size_t id;
+    std::uint64_t enqueue_ns;  // admission time: starts the batching window
+  };
+  std::deque<Queued> queue;
+  std::deque<std::size_t> blocked;  // kBlock arrivals waiting for space
+  std::uint64_t exec_free_ns = 0;   // executor available from this instant
+  std::uint64_t now = 0;
+  std::size_t next = 0;  // next trace event to process
+
+  while (next < trace.size() || !queue.empty() || !blocked.empty()) {
+    // Earliest instant the current queue state can flush (policy + executor).
+    // Replay never drains: the trace plays out to quiescence, so the final
+    // partial batch flushes by its window like any other (shutdown/drain
+    // is a live-server behaviour, exercised in test_serve's Server cases).
+    std::uint64_t flush_at = kNever;
+    if (!queue.empty()) {
+      const FlushDecision d = flush_due(now, queue.front().enqueue_ns,
+                                        queue.size(), /*draining=*/false,
+                                        cfg.serve);
+      flush_at = std::max(d.due ? now : d.wake_ns, exec_free_ns);
+    }
+    const std::uint64_t next_arrival =
+        next < trace.size() ? trace[next].arrival_ns : kNever;
+
+    if (next_arrival <= flush_at) {
+      // Admission. Arrivals at the flush instant are admitted first — the
+      // documented tie rule that makes boundaries a pure trace function.
+      now = next_arrival;
+      const std::size_t id = next++;
+      if (queue.size() < cfg.serve.queue_capacity) {
+        queue.push_back({id, now});
+        result.stats.queue_peak = std::max(result.stats.queue_peak, queue.size());
+      } else if (cfg.serve.admission == AdmissionPolicy::kReject) {
+        ++result.stats.rejected;
+        result.outcomes[id] = {Status::kRejected, now, 0};
+      } else {
+        blocked.push_back(id);
+      }
+      continue;
+    }
+
+    // Flush. Re-evaluate the policy AT the flush instant so the recorded
+    // reason is the one the trigger actually fired with.
+    now = flush_at;
+    const FlushDecision d =
+        flush_due(now, queue.front().enqueue_ns, queue.size(),
+                  /*draining=*/false, cfg.serve);
+    ENW_CHECK_MSG(d.due, "flush scheduled but policy not due");
+
+    BatchRecord rec;
+    rec.flush_ns = now;
+    rec.reason = d.reason;
+    const std::size_t take = std::min(queue.size(), cfg.serve.max_batch);
+    for (std::size_t i = 0; i < take; ++i) {
+      const Queued q = queue.front();
+      queue.pop_front();
+      if (deadline_expired(trace[q.id].deadline_ns, now)) {
+        rec.shed.push_back(q.id);
+        ++result.stats.shed;
+        result.outcomes[q.id] = {Status::kTimedOut, now,
+                                 now - trace[q.id].arrival_ns};
+      } else {
+        rec.executed.push_back(q.id);
+      }
+    }
+    // Freed slots admit blocked arrivals FIFO; their window starts now.
+    while (!blocked.empty() && queue.size() < cfg.serve.queue_capacity) {
+      queue.push_back({blocked.front(), now});
+      blocked.pop_front();
+      result.stats.queue_peak = std::max(result.stats.queue_peak, queue.size());
+    }
+    if (!rec.executed.empty()) {
+      exec(std::span<const std::size_t>(rec.executed));
+      const std::uint64_t complete = now + cfg.service_ns;
+      exec_free_ns = complete;
+      for (std::size_t id : rec.executed) {
+        ++result.stats.completed;
+        result.outcomes[id] = {Status::kOk, complete,
+                               complete - trace[id].arrival_ns};
+      }
+      result.stats.record_batch(rec.executed.size());
+    }
+    if (!rec.executed.empty() || !rec.shed.empty()) {
+      result.batches.push_back(std::move(rec));
+    }
+  }
+  return result;
+}
+
+std::vector<TraceEvent> poisson_trace(std::size_t n, double mean_gap_ns,
+                                      std::uint64_t relative_deadline_ns,
+                                      Rng& rng) {
+  ENW_CHECK_MSG(mean_gap_ns >= 0.0, "mean gap must be non-negative");
+  std::vector<TraceEvent> trace(n);
+  std::uint64_t t = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double gap = -mean_gap_ns * std::log(1.0 - rng.uniform());
+    t += static_cast<std::uint64_t>(gap);
+    trace[i].arrival_ns = t;
+    trace[i].deadline_ns =
+        relative_deadline_ns == 0 ? 0 : t + relative_deadline_ns;
+  }
+  return trace;
+}
+
+}  // namespace enw::serve

@@ -1,0 +1,99 @@
+// Deterministic load replay (enw::serve) — the determinism seam.
+//
+// Live batch boundaries depend on thread scheduling, so they cannot anchor a
+// bitwise test. replay_trace() removes the scheduler from the picture: it is
+// a single-threaded discrete-event simulation of the serving pipeline over a
+// scripted arrival trace in VIRTUAL time. Admission (bounded queue,
+// block/reject), batching (the same flush_due policy the live collator
+// runs), deadline shedding (the same deadline_expired predicate), and drain
+// are all replayed as pure functions of the trace and config — so the same
+// seeded trace always produces the same batch boundaries, the same typed
+// outcome per request, and (because the batched GEMM paths compute each
+// output row as an independent k-order dot product) outputs that are
+// bitwise-identical to running the offline predict_batch reference over the
+// whole trace at once. tests/test_serve.cpp pins all three with testkit
+// differential checks across ENW_THREADS {1, 8}.
+//
+// Virtual-time semantics (all deterministic, documented here because tests
+// diff the boundary log byte-for-byte):
+//  * Requests are processed in trace order; arrivals must be non-decreasing.
+//  * One executor: a flush occupies it for cfg.service_ns of virtual time;
+//    triggers that fire while it is busy flush when it frees.
+//  * An arrival stamped at or before a pending flush instant is admitted
+//    before the flush decision is evaluated.
+//  * A blocked arrival (kBlock policy, full queue) is admitted FIFO the
+//    moment a flush frees queue space; its batching window starts then.
+//  * Replay never drains: after the last arrival the remaining queue still
+//    flushes by its size/window triggers, so end-of-trace does not distort
+//    window or deadline behaviour. Shutdown/drain semantics belong to the
+//    live Server and are tested there.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/rng.h"
+#include "serve/serve.h"
+
+namespace enw::serve {
+
+/// One scripted request arrival. Timestamps are virtual nanoseconds.
+struct TraceEvent {
+  std::uint64_t arrival_ns = 0;
+  std::uint64_t deadline_ns = 0;  // absolute virtual deadline; 0 = none
+};
+
+struct ReplayConfig {
+  ServeConfig serve;
+  /// Virtual executor occupancy per flushed batch. Models the serving-side
+  /// head-of-line blocking that lets queues build while a batch runs.
+  std::uint64_t service_ns = 0;
+};
+
+/// One simulated flush, in flush order.
+struct BatchRecord {
+  std::uint64_t flush_ns = 0;
+  FlushReason reason = FlushReason::kWindow;
+  std::vector<std::size_t> executed;  // request ids, collation order
+  std::vector<std::size_t> shed;      // request ids shed at this flush
+};
+
+/// Terminal outcome of one replayed request (indexed by trace position).
+struct RequestOutcome {
+  Status status = Status::kError;
+  std::uint64_t done_ns = 0;     // virtual completion / rejection / shed time
+  std::uint64_t latency_ns = 0;  // done_ns - arrival_ns (0 for rejects)
+};
+
+struct ReplayResult {
+  std::vector<RequestOutcome> outcomes;  // one per trace event
+  std::vector<BatchRecord> batches;
+  ServerStats stats;
+
+  /// Canonical one-line-per-batch rendering ("batch 0: t=...ns reason=size
+  /// n=3 ids=[0,1,2] shed=[]"). Tests diff this string to pin boundaries.
+  std::string boundary_log() const;
+};
+
+/// Executes the surviving requests of one batch; ids index into the trace.
+/// The caller owns request payloads and output storage — replay only decides
+/// WHICH requests run together and WHEN. Exceptions propagate (the harness
+/// makes no fault-masking promises; that is the live server's job).
+using ReplayExec = std::function<void(std::span<const std::size_t> ids)>;
+
+/// Run the full simulation. Requires trace arrivals to be non-decreasing.
+ReplayResult replay_trace(std::span<const TraceEvent> trace,
+                          const ReplayConfig& cfg, const ReplayExec& exec);
+
+/// Seeded open-loop arrival trace: exponential (Poisson-process) gaps with
+/// the given mean, each request carrying an absolute deadline of
+/// arrival + relative_deadline_ns (0 = no deadline). Deterministic in rng.
+std::vector<TraceEvent> poisson_trace(std::size_t n, double mean_gap_ns,
+                                      std::uint64_t relative_deadline_ns,
+                                      Rng& rng);
+
+}  // namespace enw::serve

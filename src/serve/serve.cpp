@@ -1,0 +1,91 @@
+#include "serve/serve.h"
+
+#include <algorithm>
+#include <bit>
+#include <chrono>
+#include <cmath>
+
+#include "core/check.h"
+
+namespace enw::serve {
+
+const char* status_name(Status s) {
+  switch (s) {
+    case Status::kOk:
+      return "ok";
+    case Status::kRejected:
+      return "rejected";
+    case Status::kTimedOut:
+      return "timed_out";
+    case Status::kShutdown:
+      return "shutdown";
+    case Status::kError:
+      return "error";
+  }
+  return "unknown";
+}
+
+const char* flush_reason_name(FlushReason r) {
+  switch (r) {
+    case FlushReason::kSize:
+      return "size";
+    case FlushReason::kWindow:
+      return "window";
+    case FlushReason::kDrain:
+      return "drain";
+  }
+  return "unknown";
+}
+
+FlushDecision flush_due(std::uint64_t now_ns, std::uint64_t oldest_enqueue_ns,
+                        std::size_t queued, bool draining,
+                        const ServeConfig& cfg) {
+  FlushDecision d;
+  if (queued == 0) return d;  // nothing to flush, no wake time
+  if (queued >= cfg.max_batch) {
+    d.due = true;
+    d.reason = FlushReason::kSize;
+    return d;
+  }
+  if (draining) {
+    d.due = true;
+    d.reason = FlushReason::kDrain;
+    return d;
+  }
+  const std::uint64_t wake = oldest_enqueue_ns + cfg.max_wait_ns;
+  if (now_ns >= wake) {
+    d.due = true;
+    d.reason = FlushReason::kWindow;
+  } else {
+    d.wake_ns = wake;
+  }
+  return d;
+}
+
+void ServerStats::record_batch(std::size_t size) {
+  ENW_CHECK(size > 0);
+  ++batches;
+  executed_requests += size;
+  const std::size_t bucket = std::bit_width(size) - 1;  // floor(log2(size))
+  if (batch_size_hist.size() <= bucket) batch_size_hist.resize(bucket + 1, 0);
+  ++batch_size_hist[bucket];
+}
+
+std::uint64_t percentile_ns(std::vector<std::uint64_t> sample, double p) {
+  if (sample.empty()) return 0;
+  ENW_CHECK_MSG(p >= 0.0 && p <= 100.0, "percentile out of range");
+  std::sort(sample.begin(), sample.end());
+  const double rank = std::ceil(p / 100.0 * static_cast<double>(sample.size()));
+  const std::size_t idx =
+      rank <= 1.0 ? 0 : std::min(sample.size() - 1, static_cast<std::size_t>(rank) - 1);
+  return sample[idx];
+}
+
+std::uint64_t monotonic_now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace enw::serve

@@ -1,0 +1,249 @@
+// Live concurrent serving front-end (enw::serve::Server).
+//
+// N client threads call submit(); a single collator thread coalesces admitted
+// requests into dynamic micro-batches (policy: serve.h flush_due) and runs
+// them through a user-supplied BatchFn — typically one of the batched GEMM
+// paths wrapped by backends.h. submit() is synchronous: it blocks until its
+// request reaches a terminal Status, which is the natural shape for a
+// closed-loop client thread and keeps request storage on the submitter's
+// stack (no allocation per request on the serving path).
+//
+// Concurrency design:
+//  * One mutex guards the admission queue, stats, and completion flags; the
+//    collator releases it around BatchFn execution, so admission proceeds
+//    while a batch runs (that overlap is what makes the window trigger
+//    meaningful under load).
+//  * Completion uses a single broadcast condition variable plus a per-request
+//    done flag written under the mutex — submitters never touch their Pending
+//    node after waking, and the collator never touches one after flagging it.
+//  * A BatchFn exception (e.g. std::bad_alloc from a Matrix allocation
+//    mid-GEMM) marks every request of that batch Status::kError — a definite
+//    outcome, never a hang — and the server keeps serving subsequent batches.
+//    test_serve_fault.cpp drives this through the testkit fault campaign.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <span>
+#include <thread>
+#include <vector>
+
+#include "core/check.h"
+#include "obs/obs.h"
+#include "serve/serve.h"
+
+namespace enw::serve {
+
+template <typename In, typename Out>
+class Server {
+ public:
+  /// Executes one collated batch; must return exactly one Out per In.
+  using BatchFn = std::function<std::vector<Out>(std::span<const In>)>;
+
+  struct Reply {
+    Status status = Status::kError;
+    Out value{};                    // valid only when status == kOk
+    std::uint64_t latency_ns = 0;   // submit entry -> terminal status
+  };
+
+  Server(const ServeConfig& cfg, BatchFn fn) : cfg_(cfg), fn_(std::move(fn)) {
+    ENW_CHECK_MSG(cfg_.max_batch > 0, "max_batch must be positive");
+    ENW_CHECK_MSG(cfg_.queue_capacity > 0, "queue_capacity must be positive");
+    ENW_CHECK_MSG(static_cast<bool>(fn_), "batch function must be callable");
+    collator_ = std::thread([this] { collate_loop(); });
+  }
+
+  ~Server() { shutdown(); }
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Submit one request and block until it reaches a terminal status.
+  /// deadline_ns is an ABSOLUTE monotonic_now_ns() timestamp (0 = none); a
+  /// request whose deadline has passed when its batch is collated is shed
+  /// with Status::kTimedOut instead of being executed.
+  Reply submit(const In& input, std::uint64_t deadline_ns = 0) {
+    ENW_SPAN("serve.enqueue");
+    const std::uint64_t arrival = monotonic_now_ns();
+    Pending node;
+    node.input = &input;
+    node.deadline_ns = deadline_ns;
+    Reply reply;
+    {
+      std::unique_lock<std::mutex> lk(mu_);
+      if (stopping_) {
+        reply.status = Status::kShutdown;
+        reply.latency_ns = monotonic_now_ns() - arrival;
+        return reply;
+      }
+      ++stats_.submitted;
+      while (queue_.size() >= cfg_.queue_capacity && !stopping_) {
+        if (cfg_.admission == AdmissionPolicy::kReject) {
+          ++stats_.rejected;
+          obs::counter_add("serve.rejected", 1);
+          reply.status = Status::kRejected;
+          reply.latency_ns = monotonic_now_ns() - arrival;
+          return reply;
+        }
+        cv_space_.wait(lk);
+      }
+      if (stopping_) {
+        // Woken by shutdown before admission: typed outcome, never enqueued.
+        reply.status = Status::kShutdown;
+        reply.latency_ns = monotonic_now_ns() - arrival;
+        return reply;
+      }
+      node.enqueue_ns = monotonic_now_ns();
+      queue_.push_back(&node);
+      stats_.queue_peak = std::max(stats_.queue_peak, queue_.size());
+      cv_work_.notify_one();
+      cv_done_.wait(lk, [&node] { return node.done; });
+      reply.status = node.status;
+      if (node.status == Status::kOk) reply.value = std::move(node.out);
+    }
+    reply.latency_ns = monotonic_now_ns() - arrival;
+    return reply;
+  }
+
+  /// Stop admissions, drain every admitted request, join the collator.
+  /// Idempotent and safe to call from multiple threads; the destructor calls
+  /// it too. Submitters blocked on a full queue wake with Status::kShutdown.
+  void shutdown() {
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      stopping_ = true;
+      cv_work_.notify_all();
+      cv_space_.notify_all();
+    }
+    std::lock_guard<std::mutex> jk(join_mu_);
+    if (collator_.joinable()) collator_.join();
+  }
+
+  ServerStats stats() const {
+    std::lock_guard<std::mutex> lk(mu_);
+    return stats_;
+  }
+
+  /// Requests currently admitted but not yet collated (for tests that need
+  /// to sequence submissions against the collator without sleeping).
+  std::size_t queue_depth() const {
+    std::lock_guard<std::mutex> lk(mu_);
+    return queue_.size();
+  }
+
+ private:
+  struct Pending {
+    const In* input = nullptr;
+    Out out{};
+    Status status = Status::kError;
+    std::uint64_t enqueue_ns = 0;
+    std::uint64_t deadline_ns = 0;
+    bool done = false;
+  };
+
+  void collate_loop() {
+    std::unique_lock<std::mutex> lk(mu_);
+    for (;;) {
+      if (queue_.empty()) {
+        if (stopping_) return;  // drained
+        cv_work_.wait(lk);
+        continue;
+      }
+      const std::uint64_t now = monotonic_now_ns();
+      const FlushDecision d = flush_due(now, queue_.front()->enqueue_ns,
+                                        queue_.size(), stopping_, cfg_);
+      if (!d.due) {
+        // !due guarantees wake_ns > now (flush_due fires at now >= wake).
+        cv_work_.wait_for(lk, std::chrono::nanoseconds(d.wake_ns - now));
+        continue;  // re-evaluate: new arrivals / shutdown / window expiry
+      }
+      run_batch(lk);
+    }
+  }
+
+  /// Pop up to max_batch requests, shed the expired, execute the rest.
+  /// Enters and leaves with lk held; drops it around the backend call.
+  void run_batch(std::unique_lock<std::mutex>& lk) {
+    ENW_SPAN("serve.collate");
+    std::vector<Pending*> shed;
+    std::vector<Pending*> live;
+    std::vector<In> inputs;
+    const std::size_t take = std::min(queue_.size(), cfg_.max_batch);
+    const std::uint64_t flush_ns = monotonic_now_ns();
+    for (std::size_t i = 0; i < take; ++i) {
+      Pending* p = queue_.front();
+      queue_.pop_front();
+      if (deadline_expired(p->deadline_ns, flush_ns)) {
+        shed.push_back(p);
+      } else {
+        live.push_back(p);
+        inputs.push_back(*p->input);
+      }
+    }
+    cv_space_.notify_all();
+    // Shed promptly, before the batch runs: a timed-out request's reply must
+    // not also wait out the execution it was shed from.
+    if (!shed.empty()) {
+      stats_.shed += shed.size();
+      obs::counter_add("serve.shed", shed.size());
+      for (Pending* p : shed) {
+        p->status = Status::kTimedOut;
+        p->done = true;
+      }
+      cv_done_.notify_all();
+    }
+    if (live.empty()) return;
+
+    lk.unlock();  // admission and blocked submitters proceed during execution
+    std::vector<Out> outs;
+    bool failed = false;
+    {
+      ENW_SPAN("serve.execute");
+      try {
+        outs = fn_(std::span<const In>(inputs));
+        failed = outs.size() != live.size();
+      } catch (...) {
+        failed = true;
+      }
+    }
+    lk.lock();
+
+    if (failed) {
+      stats_.errors += live.size();
+      obs::counter_add("serve.errors", live.size());
+      for (Pending* p : live) {
+        p->status = Status::kError;
+        p->done = true;
+      }
+    } else {
+      stats_.completed += live.size();
+      stats_.record_batch(live.size());
+      obs::counter_add("serve.batches", 1);
+      obs::counter_add("serve.executed_requests", live.size());
+      for (std::size_t i = 0; i < live.size(); ++i) {
+        live[i]->out = std::move(outs[i]);
+        live[i]->status = Status::kOk;
+        live[i]->done = true;
+      }
+    }
+    cv_done_.notify_all();
+  }
+
+  const ServeConfig cfg_;
+  const BatchFn fn_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_work_;   // collator: work available / shutdown
+  std::condition_variable cv_space_;  // blocked submitters: queue has space
+  std::condition_variable cv_done_;   // submitters: request reached terminal
+  std::deque<Pending*> queue_;
+  ServerStats stats_;
+  bool stopping_ = false;
+
+  std::mutex join_mu_;  // serializes concurrent shutdown() joins
+  std::thread collator_;
+};
+
+}  // namespace enw::serve

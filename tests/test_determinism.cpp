@@ -8,9 +8,12 @@
 #include <gtest/gtest.h>
 
 #include <cstdint>
+#include <span>
+#include <tuple>
 #include <vector>
 
 #include "core/rng.h"
+#include "data/click_log.h"
 #include "data/dataset.h"
 #include "data/synthetic_mnist.h"
 #include "data/synthetic_omniglot.h"
@@ -19,6 +22,7 @@
 #include "nn/activation.h"
 #include "nn/digital_linear.h"
 #include "nn/mlp.h"
+#include "recsys/dlrm.h"
 #include "testkit/diff.h"
 
 namespace enw {
@@ -95,6 +99,58 @@ double run_fewshot(std::uint64_t seed, std::size_t threads,
     return Vector(x.begin(), x.end());
   };
   return mann::evaluate_fewshot(ds, embed, search, cfg, rng).accuracy;
+}
+
+struct DlrmResult {
+  std::vector<float> serve_probs;  // predict_batch before training
+  std::vector<float> losses;       // per-sample train_step losses (one epoch)
+  std::vector<float> after_probs;  // predict_batch after the epoch
+};
+
+DlrmResult run_dlrm(std::uint64_t seed, std::size_t threads,
+                    std::span<const data::ClickSample> samples) {
+  testkit::ThreadScope scope(threads);
+  recsys::DlrmConfig cfg;
+  cfg.num_tables = 4;
+  cfg.rows_per_table = 300;
+  cfg.embed_dim = 8;
+  cfg.bottom_hidden = {16};
+  cfg.top_hidden = {16};
+  Rng rng(seed);
+  recsys::Dlrm model(cfg, rng);
+  DlrmResult r;
+  r.serve_probs = model.predict_batch(samples);
+  for (const auto& s : samples) {
+    r.losses.push_back(model.train_step(s, 0.01f));
+  }
+  r.after_probs = model.predict_batch(samples);
+  return r;
+}
+
+// The recsys leg of the contract: batched DLRM serving AND a training epoch
+// (sparse embedding updates included) are bitwise-stable across thread
+// counts. Serving uses the GEMM paths directly; training exercises the
+// gather/scatter embedding updates whose order must not depend on threads.
+TEST(Determinism, DlrmServeAndTrainBitwiseAcrossSeedsAndThreads) {
+  data::ClickLogConfig log_cfg;
+  log_cfg.num_tables = 4;
+  log_cfg.rows_per_table = 300;
+  const data::ClickLogGenerator gen(log_cfg);
+  Rng data_rng(11);
+  const std::vector<data::ClickSample> samples = gen.batch(32, data_rng);
+  for (std::uint64_t seed : kSeeds) {
+    const DlrmResult base = run_dlrm(seed, 1, samples);
+    const DlrmResult run = run_dlrm(seed, 8, samples);
+    for (const auto& [name, lhs, rhs] :
+         {std::tuple{"serve", &base.serve_probs, &run.serve_probs},
+          std::tuple{"train-loss", &base.losses, &run.losses},
+          std::tuple{"post-train serve", &base.after_probs, &run.after_probs}}) {
+      const auto div = first_divergence(as_row(std::span<const float>(*lhs)),
+                                        as_row(std::span<const float>(*rhs)));
+      EXPECT_TRUE(div.ok())
+          << "seed " << seed << " " << name << ": " << div.report();
+    }
+  }
 }
 
 TEST(Determinism, FewshotEpisodeBitwiseAcrossSeedsAndThreads) {

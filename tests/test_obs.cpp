@@ -78,9 +78,14 @@ TEST_F(ObsTest, DisabledSpanOverheadIsTiny) {
   const double secs =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
           .count();
-  // One relaxed load + branch per span; even a slow CI box does a million in
-  // well under this (generous, anti-flake) bound.
-  EXPECT_LT(secs, 0.5);
+  // One relaxed load + branch per span, so a million iterations take
+  // single-digit milliseconds on real hardware. The bound exists only to
+  // catch a regression that makes the disabled path heavyweight (an
+  // unconditional clock read or allocation); it is deliberately two orders
+  // of magnitude above normal so scheduler preemption on an oversubscribed
+  // CI runner cannot trip it. The test also rides in the slow ctest tier
+  // (see tests/CMakeLists.txt) because any wall-clock bound is noise-prone.
+  EXPECT_LT(secs, 2.0);
   EXPECT_TRUE(snapshot().empty());
 }
 

@@ -3,6 +3,8 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <span>
+#include <vector>
 
 #include "data/click_log.h"
 #include "recsys/characterize.h"
@@ -24,6 +26,41 @@ TEST(EmbeddingTable, LookupSumsRows) {
   }
   EXPECT_THROW(t.lookup_sum(std::vector<std::size_t>{99}, out),
                std::invalid_argument);
+}
+
+TEST(EmbeddingTable, BatchedLookupRejectsOutOfRangeAnywhereInBatch) {
+  Rng rng(7);
+  EmbeddingTable t(10, 4, rng);
+  const std::vector<std::size_t> ok{1, 2};
+  const std::vector<std::size_t> bad{3, 10};  // 10 == rows(): first invalid id
+  Matrix out(2, 4);
+  // The bad index sits in the SECOND sample, so the per-sample validation
+  // must fire mid-batch, not only on the first list.
+  const std::vector<std::span<const std::size_t>> lists{ok, bad};
+  EXPECT_THROW(t.lookup_sum_batch(lists, out), std::invalid_argument);
+
+  // Shape validation fires before any gather.
+  const std::vector<std::span<const std::size_t>> two_ok{ok, ok};
+  Matrix wrong_rows(1, 4);  // 1 output row for 2 samples
+  EXPECT_THROW(t.lookup_sum_batch(two_ok, wrong_rows), std::invalid_argument);
+  Matrix wrong_cols(2, 3);  // 3 cols for dim() == 4
+  EXPECT_THROW(t.lookup_sum_batch(two_ok, wrong_cols), std::invalid_argument);
+}
+
+TEST(EmbeddingTable, EmptyIndexListPoolsToZeroRow) {
+  Rng rng(8);
+  EmbeddingTable t(10, 4, rng);
+  // A sample with no active ids for this feature is legal multi-hot input;
+  // its pooled embedding is the zero vector, not stale memory.
+  const std::vector<std::size_t> none;
+  const std::vector<std::size_t> some{3};
+  Matrix out(2, 4, 123.0f);  // poison: zeros must be written, not inherited
+  const std::vector<std::span<const std::size_t>> lists{none, some};
+  t.lookup_sum_batch(lists, out);
+  for (std::size_t j = 0; j < 4; ++j) {
+    EXPECT_EQ(out.row(0)[j], 0.0f);
+    EXPECT_FLOAT_EQ(out.row(1)[j], t.row(3)[j]);
+  }
 }
 
 TEST(EmbeddingTable, GradientTouchesOnlyNamedRows) {

@@ -98,6 +98,20 @@ TEST(SearchEdges, KnnClearMajorityUnaffectedByTieBreak) {
   EXPECT_EQ(knn_majority(Metric::kDot, keys, labels, query, 3), 2u);
 }
 
+TEST(SearchEdges, KnnRejectsDegenerateK) {
+  const Matrix keys{{4.0f, 0.0f}, {3.0f, 0.0f}, {2.0f, 0.0f}};
+  const std::vector<std::size_t> labels{9, 2, 2};
+  const std::vector<float> query{1.0f, 0.0f};
+  // k = 0 votes nothing and k > rows would read past the neighbour list;
+  // both are caller bugs and throw rather than returning an arbitrary label.
+  EXPECT_THROW(knn_majority(Metric::kDot, keys, labels, query, 0),
+               std::invalid_argument);
+  EXPECT_THROW(knn_majority(Metric::kDot, keys, labels, query, 4),
+               std::invalid_argument);
+  // k == rows is the inclusive boundary: every entry votes, and it works.
+  EXPECT_EQ(knn_majority(Metric::kDot, keys, labels, query, 3), 2u);
+}
+
 /// Minimal backend driving the base-class predict_batch loop; counts how
 /// many rows actually reach predict().
 class CountingSearch final : public SimilaritySearch {

@@ -1,0 +1,179 @@
+// enw::serve under the testkit fault campaign's process-level faults.
+//
+// The serving contract under faults is "definite outcome": every in-flight
+// request ends in a result or a typed error — never a hang, never a silent
+// drop, never a stale value. Two faults are injected mid-batch through the
+// same enw::fault hooks the campaign drives:
+//
+//   kAllocFail  — a one-shot Matrix allocation failure fires inside the
+//                 batch (collation or GEMM); the whole batch gets
+//                 Status::kError and the server keeps serving afterwards;
+//   kPoolDelay  — pool workers stall before each chunk, stretching the
+//                 execute phase; everything still completes with correct
+//                 (bitwise-reference) results.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <new>
+#include <thread>
+#include <vector>
+
+#include "core/rng.h"
+#include "nn/digital_linear.h"
+#include "nn/mlp.h"
+#include "serve/backends.h"
+#include "serve/replay.h"
+#include "serve/server.h"
+#include "tensor/matrix.h"
+#include "testkit/fault.h"
+
+namespace enw::serve {
+namespace {
+
+nn::Mlp make_mlp(std::uint64_t seed) {
+  nn::MlpConfig cfg;
+  cfg.dims = {64, 32, 10};
+  cfg.hidden_activation = nn::Activation::kRelu;
+  Rng rng(seed);
+  return nn::Mlp(cfg, nn::DigitalLinear::factory(rng));
+}
+
+Matrix random_inputs(std::size_t n, std::size_t dim, std::uint64_t seed) {
+  Rng rng(seed);
+  Matrix m(n, dim);
+  for (std::size_t i = 0; i < m.size(); ++i) {
+    m.data()[i] = static_cast<float>(rng.normal());
+  }
+  return m;
+}
+
+TEST(ServeFault, AllocFailureMidBatchYieldsTypedErrorsAndRecovers) {
+  const std::size_t n = 4;
+  const nn::Mlp net = make_mlp(1);
+  const Matrix inputs = random_inputs(n, 64, 2);
+
+  ServeConfig cfg;
+  cfg.max_batch = n;
+  cfg.max_wait_ns = 1000000;  // 1 ms window
+  Server<Vector, Vector> srv(cfg, mlp_logits_backend(net));
+
+  std::vector<Server<Vector, Vector>::Reply> replies(n);
+  {
+    // One-shot: the very next Matrix allocation (the collation matrix of the
+    // first flushed batch) throws std::bad_alloc inside the backend.
+    testkit::FaultSpec spec;
+    spec.kind = testkit::FaultKind::kAllocFail;
+    spec.alloc_countdown = 0;
+    testkit::ScopedProcessFault fault(spec);
+
+    std::vector<std::thread> clients;
+    for (std::size_t i = 0; i < n; ++i) {
+      clients.emplace_back([&, i] {
+        const Vector x(inputs.row(i).begin(), inputs.row(i).end());
+        replies[i] = srv.submit(x);
+      });
+    }
+    for (std::thread& t : clients) t.join();
+  }
+
+  // Every request reached a definite terminal status; the batch the fault
+  // landed in reported the typed error (at least one, all of them if the
+  // four coalesced into one batch — scheduling decides the grouping).
+  std::size_t errors = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    ASSERT_TRUE(replies[i].status == Status::kOk ||
+                replies[i].status == Status::kError)
+        << "id " << i << ": " << status_name(replies[i].status);
+    errors += replies[i].status == Status::kError ? 1 : 0;
+  }
+  EXPECT_GE(errors, 1u) << "the armed allocation failure never fired";
+  const ServerStats mid = srv.stats();
+  EXPECT_EQ(mid.errors, errors);
+  EXPECT_EQ(mid.completed + mid.errors, n);
+
+  // The failure is one-shot and fail-stop: the server serves the next batch.
+  const Vector x0(inputs.row(0).begin(), inputs.row(0).end());
+  const auto recovered = srv.submit(x0);
+  ASSERT_EQ(recovered.status, Status::kOk);
+  const Matrix offline = net.infer_batch(inputs);
+  EXPECT_EQ(std::memcmp(recovered.value.data(), offline.row(0).data(),
+                        offline.cols() * sizeof(float)),
+            0);
+  srv.shutdown();
+}
+
+TEST(ServeFault, PoolDelayMidBatchStillCompletesEveryRequest) {
+  const std::size_t n = 8;
+  const nn::Mlp net = make_mlp(3);
+  const Matrix inputs = random_inputs(n, 64, 4);
+  const Matrix offline = net.infer_batch(inputs);
+
+  ServeConfig cfg;
+  cfg.max_batch = n;
+  cfg.max_wait_ns = 1000000;
+  Server<Vector, Vector> srv(cfg, mlp_logits_backend(net));
+
+  std::vector<Server<Vector, Vector>::Reply> replies(n);
+  {
+    testkit::FaultSpec spec;
+    spec.kind = testkit::FaultKind::kPoolDelay;
+    spec.delay_us = 200;  // stall every pool chunk mid-execute
+    testkit::ScopedProcessFault fault(spec);
+
+    std::vector<std::thread> clients;
+    for (std::size_t i = 0; i < n; ++i) {
+      clients.emplace_back([&, i] {
+        const Vector x(inputs.row(i).begin(), inputs.row(i).end());
+        replies[i] = srv.submit(x);
+      });
+    }
+    for (std::thread& t : clients) t.join();
+  }
+  srv.shutdown();
+
+  // Slower, but neither dropped nor corrupted: every request completes with
+  // the bitwise offline-reference result (the delay fault is BENIGN by the
+  // determinism contract).
+  for (std::size_t i = 0; i < n; ++i) {
+    ASSERT_EQ(replies[i].status, Status::kOk) << "id " << i;
+    EXPECT_EQ(std::memcmp(replies[i].value.data(), offline.row(i).data(),
+                          offline.cols() * sizeof(float)),
+              0)
+        << "id " << i;
+  }
+  const ServerStats stats = srv.stats();
+  EXPECT_EQ(stats.completed, n);
+  EXPECT_EQ(stats.errors, 0u);
+  EXPECT_EQ(stats.shed, 0u);
+}
+
+TEST(ServeFault, ReplayPropagatesBackendFailureLoudly) {
+  // The replay harness makes no fault-masking promise: a backend failure
+  // surfaces as the original exception, never as silently-missing outputs.
+  const nn::Mlp net = make_mlp(5);
+  const Matrix inputs = random_inputs(4, 64, 6);
+  std::vector<TraceEvent> trace(4);  // burst at t=0
+  ReplayConfig cfg;
+  cfg.serve.max_batch = 4;
+
+  testkit::FaultSpec spec;
+  spec.kind = testkit::FaultKind::kAllocFail;
+  spec.alloc_countdown = 0;
+  testkit::ScopedProcessFault fault(spec);
+
+  const auto backend = mlp_logits_backend(net);
+  EXPECT_THROW(
+      replay_trace(trace, cfg,
+                   [&](std::span<const std::size_t> ids) {
+                     std::vector<Vector> batch;
+                     for (std::size_t id : ids) {
+                       batch.emplace_back(inputs.row(id).begin(),
+                                          inputs.row(id).end());
+                     }
+                     (void)backend(batch);
+                   }),
+      std::bad_alloc);
+}
+
+}  // namespace
+}  // namespace enw::serve
