@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "bench_util.h"
+#include "core/backend.h"
 #include "core/parallel.h"
 #include "core/rng.h"
 #include "obs/obs.h"
@@ -25,6 +26,7 @@
 #include "mann/similarity_search.h"
 #include "nn/digital_linear.h"
 #include "nn/mlp.h"
+#include "nn/quant.h"
 #include "recsys/dlrm.h"
 #include "tensor/matrix.h"
 
@@ -37,6 +39,7 @@ using enw::Vector;
 struct Options {
   bool smoke = false;
   std::string out_path;  // empty = don't write JSON
+  std::string backend;   // empty = ambient ENW_BACKEND/auto selection
 };
 
 struct Row {
@@ -152,6 +155,32 @@ Row bench_dlrm_serve(std::size_t batch, double min_seconds, bool smoke) {
   return row;
 }
 
+// fp32 simulated-quantization inference vs the deployed int8 engine on the
+// SAME trained-shape QAT MLP and inputs. Both columns are batched paths —
+// here "per-sample" holds the fp32 baseline and "batched" the int8 engine,
+// so the speedup column reads directly as int8-over-fp32.
+Row bench_qat_int8(std::size_t batch, double min_seconds) {
+  Rng rng(9);
+  enw::nn::QatConfig cfg;
+  cfg.dims = {784, 256, 10};
+  const enw::nn::QatMlp net(cfg, rng);
+  const enw::nn::QatInt8Inference engine(net);
+  const Matrix x = random_matrix(batch, 784, 10);
+
+  Row row{"qat_int8_vs_fp32", batch};
+  row.per_sample_sps = throughput("bench.qat_int8.fp32", batch, min_seconds, [&] {
+    const Matrix logits = net.infer_batch(x);
+    volatile float sink = logits.data()[0];
+    (void)sink;
+  });
+  row.batched_sps = throughput("bench.qat_int8.int8", batch, min_seconds, [&] {
+    const Matrix logits = engine.infer_batch(x);
+    volatile float sink = logits.data()[0];
+    (void)sink;
+  });
+  return row;
+}
+
 Row bench_mann_score(std::size_t batch, double min_seconds) {
   const std::size_t dim = 64;
   const std::size_t memory = 512;
@@ -184,6 +213,7 @@ void write_json(const std::string& path, const std::vector<Row>& rows) {
   }
   std::fprintf(f, "{\n  \"context\": {\n    \"threads\": %zu,\n",
                enw::parallel::thread_count());
+  std::fprintf(f, "%s", enw::bench::machine_json_fields("    ").c_str());
   std::fprintf(f, "    \"unit\": \"samples_per_second\"\n  },\n");
   std::fprintf(f, "  \"benchmarks\": [\n");
   for (std::size_t i = 0; i < rows.size(); ++i) {
@@ -209,11 +239,18 @@ int main(int argc, char** argv) {
       opt.smoke = true;
     } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
       opt.out_path = argv[++i];
+    } else if (std::strncmp(argv[i], "--backend=", 10) == 0) {
+      opt.backend = argv[i] + 10;
     } else {
-      std::fprintf(stderr, "usage: %s [--smoke] [--out FILE]\n", argv[0]);
+      std::fprintf(stderr,
+                   "usage: %s [--smoke] [--out FILE] [--backend=NAME]\n",
+                   argv[0]);
       return 1;
     }
   }
+  // Resolve up front (throws on a bogus name) so the JSON context records
+  // the backend every row below actually ran on.
+  if (!opt.backend.empty()) enw::core::set_backend(opt.backend);
 
   const double min_seconds = opt.smoke ? 0.002 : 0.2;
   const std::vector<std::size_t> batches =
@@ -234,6 +271,7 @@ int main(int argc, char** argv) {
     for (std::size_t b : batches)
       rows.push_back(bench_dlrm_serve(b, min_seconds, opt.smoke));
     for (std::size_t b : batches) rows.push_back(bench_mann_score(b, min_seconds));
+    for (std::size_t b : batches) rows.push_back(bench_qat_int8(b, min_seconds));
   }
 
   enw::bench::section("throughput (samples/s)");

@@ -125,6 +125,7 @@ void write_json(const std::string& path, const std::vector<Row>& rows) {
   }
   std::fprintf(f, "{\n  \"context\": {\n    \"threads\": %zu,\n",
                enw::parallel::thread_count());
+  std::fprintf(f, "%s", enw::bench::machine_json_fields("    ").c_str());
   std::fprintf(f, "    \"unit\": \"requests_per_second, microseconds\"\n  },\n");
   std::fprintf(f, "  \"benchmarks\": [\n");
   for (std::size_t i = 0; i < rows.size(); ++i) {

@@ -12,9 +12,45 @@
 #include <string>
 #include <vector>
 
+#include "core/backend.h"
+#include "core/cpu_features.h"
 #include "obs/obs.h"
 
 namespace enw::bench {
+
+/// Machine identity for BENCH_*.json records: the CPU's vector features and
+/// the kernel backend the run actually resolved to. Perf numbers from two
+/// machines (or two ENW_BACKEND settings) are only comparable when the
+/// record says what executed — an avx512 row and a scalar row must never be
+/// diffed as a regression.
+///
+/// NOTE: resolving the backend requires linking enw_tensor (where the
+/// registry lives); only the JSON-emitting harnesses call these.
+struct MachineInfo {
+  std::string cpu_features;  // "avx2=1 fma=1 avx512f=1 avx512bw=1"
+  std::string backend;       // "reference" | "blocked" | "simd"
+  std::string backend_isa;   // "scalar" | "portable" | "avx2" | "avx512"
+};
+
+inline MachineInfo machine_info() {
+  MachineInfo info;
+  info.cpu_features = core::cpu_feature_summary();
+  const core::KernelBackend& b = core::backend();
+  info.backend = b.name();
+  info.backend_isa = b.isa();
+  return info;
+}
+
+/// The machine fields as JSON object members (no surrounding braces), for
+/// the hand-rolled emitters (bench_batch, bench_serve). `indent` is the
+/// leading whitespace of each line; the fragment ends with ",\n" so it can
+/// be prepended to an existing member list.
+inline std::string machine_json_fields(const std::string& indent) {
+  const MachineInfo info = machine_info();
+  return indent + "\"cpu_features\": \"" + info.cpu_features + "\",\n" +
+         indent + "\"kernel_backend\": \"" + info.backend + "\",\n" +
+         indent + "\"kernel_backend_isa\": \"" + info.backend_isa + "\",\n";
+}
 
 inline void header(const std::string& id, const std::string& title,
                    const std::string& paper_claim) {

@@ -199,4 +199,71 @@ double QatMlp::accuracy(const Matrix& features,
   return static_cast<double>(correct) / static_cast<double>(labels.size());
 }
 
+QatInt8Inference::QatInt8Inference(const QatMlp& net)
+    : input_dim_(net.input_dim()), output_dim_(net.output_dim()) {
+  const std::size_t L = net.weights_.size();
+  layers_.reserve(L);
+  for (std::size_t l = 0; l < L; ++l) {
+    const Matrix& w = net.weights_[l];
+    const int wbits = net.layer_weight_bits(l);
+    const float alpha_w =
+        sawb_clip_scale(std::span<const float>(w.data(), w.size()), wbits);
+    const float qmax = static_cast<float>((1 << (wbits - 1)) - 1);
+
+    Layer layer;
+    layer.w8.rows = w.rows();
+    layer.w8.cols = w.cols();
+    layer.w8.codes.resize(w.size());
+    // Per-tensor weight scale, broadcast per row so qgemm_nt's per-row
+    // dequantization applies it uniformly.
+    layer.w8.scales.assign(w.rows(), alpha_w / qmax);
+    for (std::size_t i = 0; i < w.size(); ++i) {
+      const float clamped = std::clamp(w.data()[i], -alpha_w, alpha_w);
+      layer.w8.codes[i] = static_cast<std::int8_t>(
+          std::nearbyint(clamped / alpha_w * qmax));
+    }
+    layer.bias = net.biases_[l];
+    if (l + 1 < L) {
+      layer.has_pact = true;
+      layer.pact = net.pacts_[l];
+    }
+    layers_.push_back(std::move(layer));
+  }
+}
+
+Matrix QatInt8Inference::infer_batch(const Matrix& x) const {
+  ENW_CHECK_MSG(x.cols() == input_dim_, "int8 infer_batch input width mismatch");
+  Matrix h = x;
+  for (const Layer& layer : layers_) {
+    const Int8RowMatrix a8 = quantize_rows_s8(h);
+    Matrix pre = qgemm_nt(a8, layer.w8);
+    for (std::size_t s = 0; s < pre.rows(); ++s) {
+      auto row = pre.row(s);
+      for (std::size_t i = 0; i < row.size(); ++i) row[i] += layer.bias[i];
+      if (layer.has_pact) {
+        for (float& v : row) v = layer.pact.forward(v);
+      }
+    }
+    h = std::move(pre);
+  }
+  return h;
+}
+
+std::vector<std::size_t> QatInt8Inference::predict_batch(const Matrix& x) const {
+  const Matrix logits = infer_batch(x);
+  std::vector<std::size_t> preds(x.rows());
+  for (std::size_t s = 0; s < logits.rows(); ++s) preds[s] = argmax(logits.row(s));
+  return preds;
+}
+
+double QatInt8Inference::agreement(const Matrix& features,
+                                   std::span<const std::size_t> preds) const {
+  ENW_CHECK(features.rows() == preds.size());
+  if (preds.empty()) return 1.0;
+  const std::vector<std::size_t> mine = predict_batch(features);
+  std::size_t same = 0;
+  for (std::size_t i = 0; i < mine.size(); ++i) same += (mine[i] == preds[i]);
+  return static_cast<double>(same) / static_cast<double>(preds.size());
+}
+
 }  // namespace enw::nn

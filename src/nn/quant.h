@@ -13,6 +13,7 @@
 
 #include "core/rng.h"
 #include "tensor/matrix.h"
+#include "tensor/qgemm.h"
 
 namespace enw::nn {
 
@@ -81,6 +82,7 @@ class QatMlp {
   float pact_alpha(std::size_t i) const { return pacts_.at(i).alpha; }
 
  private:
+  friend class QatInt8Inference;
   struct LayerCache {
     Vector input;      // quantized input to the layer
     Vector pre;        // W_q x + b
@@ -93,6 +95,54 @@ class QatMlp {
   std::vector<Vector> biases_;
   std::vector<PactActivation> pacts_;  // one per hidden layer
   std::vector<LayerCache> cache_;
+};
+
+/// Deployment-style int8 inference engine for a trained QatMlp.
+///
+/// QatMlp::infer_batch is *simulated* quantization: weights are re-quantized
+/// to fp32 lattice points every batch and the GEMM runs in fp32. This class
+/// is the post-training deployment path the paper's Sec. II argues for:
+///
+///   - Weight codes are extracted ONCE at construction. QAT weights are
+///     exact lattice points q * (alpha_w / qmax) with |q| <= qmax <= 127, so
+///     the int8 codes q are a lossless re-encoding of what infer_batch
+///     multiplies by — no extra weight error is introduced.
+///   - Activations are quantized dynamically per row (symmetric, max|x|/127)
+///     at each layer boundary. This IS lossy for the input layer and for
+///     PACT outputs whose lattice doesn't embed in 127 levels, which is why
+///     the contract vs fp32 inference is prediction agreement, not ULPs.
+///   - The matmul itself runs in int8 x int8 -> int32 via qgemm_nt (exact
+///     integer accumulation, bitwise identical across backends), then one
+///     fused rescale (row_scale * weight_scale) + bias + PACT in fp32.
+class QatInt8Inference {
+ public:
+  explicit QatInt8Inference(const QatMlp& net);
+
+  std::size_t input_dim() const { return input_dim_; }
+  std::size_t output_dim() const { return output_dim_; }
+
+  /// Logits for every row of x via the int8 pipeline.
+  Matrix infer_batch(const Matrix& x) const;
+
+  /// argmax of each logits row.
+  std::vector<std::size_t> predict_batch(const Matrix& x) const;
+
+  /// Fraction of rows where the int8 prediction matches `preds` (typically
+  /// the fp32 QatMlp::predict_batch output on the same features).
+  double agreement(const Matrix& features,
+                   std::span<const std::size_t> preds) const;
+
+ private:
+  struct Layer {
+    Int8RowMatrix w8;  // out x in codes; uniform per-row scale alpha_w / qmax
+    Vector bias;
+    bool has_pact = false;
+    PactActivation pact;
+  };
+
+  std::vector<Layer> layers_;
+  std::size_t input_dim_ = 0;
+  std::size_t output_dim_ = 0;
 };
 
 }  // namespace enw::nn

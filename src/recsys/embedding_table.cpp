@@ -5,6 +5,7 @@
 
 #include "core/check.h"
 #include "obs/obs.h"
+#include "tensor/qgemm.h"
 
 namespace enw::recsys {
 
@@ -110,13 +111,43 @@ std::int8_t QuantizedEmbeddingTable::stored(std::size_t r, std::size_t c) const 
 void QuantizedEmbeddingTable::lookup_sum(std::span<const std::size_t> indices,
                                          std::span<float> out) const {
   ENW_CHECK_MSG(out.size() == dim_, "output size mismatch");
-  std::fill(out.begin(), out.end(), 0.0f);
+  // Validate up front, exactly as the fp32 table does: the bounds check used
+  // to sit in the gather loop and the per-row scale was re-loaded (through a
+  // vector indexing op the compiler could not hoist past the potentially
+  // aliasing `out` store) once per ELEMENT rather than once per row.
   for (std::size_t idx : indices) {
-    ENW_CHECK(idx < rows_);
+    ENW_CHECK_MSG(idx < rows_, "embedding index out of range");
+  }
+  std::fill(out.begin(), out.end(), 0.0f);
+  if (bits_ == 8) {
+    // 8-bit rows are stored unpacked, so each row is a contiguous int8 span:
+    // accumulate through the backend's s8_axpy kernel. Bitwise identical to
+    // the scalar loop below (mul then add, k order) on every backend.
+    for (std::size_t idx : indices) {
+      s8_axpy(out, std::span<const std::int8_t>(codes_.data() + idx * dim_, dim_),
+              scales_[idx]);
+    }
+    return;
+  }
+  for (std::size_t idx : indices) {
+    const float scale = scales_[idx];
     for (std::size_t j = 0; j < dim_; ++j) {
-      out[j] += static_cast<float>(stored(idx, j)) * scales_[idx];
+      out[j] += static_cast<float>(stored(idx, j)) * scale;
     }
   }
+}
+
+void QuantizedEmbeddingTable::lookup_sum_batch(
+    std::span<const std::span<const std::size_t>> index_lists, Matrix& out) const {
+  ENW_SPAN("recsys.embed.q_lookup_batch");
+  ENW_CHECK_MSG(out.rows() == index_lists.size() && out.cols() == dim_,
+                "lookup_sum_batch output shape mismatch");
+  std::size_t gathered = 0;
+  for (std::size_t s = 0; s < index_lists.size(); ++s) {
+    lookup_sum(index_lists[s], out.row(s));
+    gathered += index_lists[s].size();
+  }
+  obs::counter_add("recsys.embed.q_rows_gathered", gathered);
 }
 
 Vector QuantizedEmbeddingTable::row(std::size_t r) const {

@@ -61,6 +61,11 @@ class QuantizedEmbeddingTable {
 
   void lookup_sum(std::span<const std::size_t> indices, std::span<float> out) const;
 
+  /// Batched sum-pool: row s of out is lookup_sum(index_lists[s]) — the
+  /// quantized twin of EmbeddingTable::lookup_sum_batch.
+  void lookup_sum_batch(std::span<const std::span<const std::size_t>> index_lists,
+                        Matrix& out) const;
+
   /// Dequantized copy of one row (for error analysis).
   Vector row(std::size_t r) const;
 

@@ -24,6 +24,7 @@
 #include "data/click_log.h"
 #include "mann/similarity_search.h"
 #include "nn/mlp.h"
+#include "nn/quant.h"
 #include "recsys/dlrm.h"
 #include "recsys/wide_and_deep.h"
 #include "tensor/matrix.h"
@@ -42,6 +43,49 @@ mlp_logits_backend(const nn::Mlp& net) {
       std::copy(batch[s].begin(), batch[s].end(), x.row(s).begin());
     }
     const Matrix logits = net.infer_batch(x);
+    std::vector<Vector> out(batch.size());
+    for (std::size_t s = 0; s < batch.size(); ++s) {
+      out[s].assign(logits.row(s).begin(), logits.row(s).end());
+    }
+    return out;
+  };
+}
+
+/// Serve QAT MLP logits (simulated-quantization fp32 path): same collation
+/// contract as mlp_logits_backend, routed through QatMlp::infer_batch.
+inline std::function<std::vector<Vector>(std::span<const Vector>)>
+qat_mlp_logits_backend(const nn::QatMlp& net) {
+  return [&net](std::span<const Vector> batch) {
+    Matrix x(batch.size(), net.input_dim());
+    for (std::size_t s = 0; s < batch.size(); ++s) {
+      ENW_CHECK_MSG(batch[s].size() == net.input_dim(),
+                    "request width != QAT MLP input dim");
+      std::copy(batch[s].begin(), batch[s].end(), x.row(s).begin());
+    }
+    const Matrix logits = net.infer_batch(x);
+    std::vector<Vector> out(batch.size());
+    for (std::size_t s = 0; s < batch.size(); ++s) {
+      out[s].assign(logits.row(s).begin(), logits.row(s).end());
+    }
+    return out;
+  };
+}
+
+/// Serve QAT MLP logits through the deployed int8 engine (qgemm_nt int32
+/// accumulation + one rescale per layer). NOTE: int8 activation quantization
+/// is per-ROW of the collated batch, i.e. per request — so results stay
+/// independent of which micro-batch the collator forms, preserving the
+/// serve-vs-offline bitwise diff contract.
+inline std::function<std::vector<Vector>(std::span<const Vector>)>
+qat_int8_logits_backend(const nn::QatInt8Inference& engine) {
+  return [&engine](std::span<const Vector> batch) {
+    Matrix x(batch.size(), engine.input_dim());
+    for (std::size_t s = 0; s < batch.size(); ++s) {
+      ENW_CHECK_MSG(batch[s].size() == engine.input_dim(),
+                    "request width != int8 engine input dim");
+      std::copy(batch[s].begin(), batch[s].end(), x.row(s).begin());
+    }
+    const Matrix logits = engine.infer_batch(x);
     std::vector<Vector> out(batch.size());
     for (std::size_t s = 0; s < batch.size(); ++s) {
       out[s].assign(logits.row(s).begin(), logits.row(s).end());

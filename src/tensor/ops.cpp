@@ -5,20 +5,25 @@
 
 #include "core/parallel.h"
 #include "obs/obs.h"
+#include "tensor/kernels_internal.h"
 
 namespace enw {
 
 // ---------------------------------------------------------------------------
-// Naive reference kernels.
+// Naive reference kernels (the `reference` backend).
 //
 // These are the textbook scalar triple loops. They define the bitwise ground
-// truth: the blocked/parallel kernels below perform the exact same sequence
-// of float operations per output element (accumulation strictly in k/row
-// order, no zero-skips, and this TU is built with -ffp-contract=off so no
-// FMA contraction), so equivalence tests can assert exact equality.
+// truth: the blocked kernels below perform the exact same sequence of float
+// operations per output element (accumulation strictly in k/row order, and
+// this TU is built with -ffp-contract=off so no FMA contraction), so
+// equivalence tests can assert exact equality. The ZeroSkip branches skip the
+// same exactly-zero terms the blocked kernels skip, preserving that identity
+// in skip mode too.
 // ---------------------------------------------------------------------------
 
-Vector matvec_reference(const Matrix& a, std::span<const float> x) {
+namespace detail {
+
+Vector matvec_ref(const Matrix& a, std::span<const float> x) {
   ENW_CHECK_MSG(a.cols() == x.size(), "matvec dimension mismatch");
   Vector y(a.rows(), 0.0f);
   for (std::size_t r = 0; r < a.rows(); ++r) {
@@ -30,31 +35,37 @@ Vector matvec_reference(const Matrix& a, std::span<const float> x) {
   return y;
 }
 
-Vector matvec_transposed_reference(const Matrix& a, std::span<const float> x) {
+Vector matvec_transposed_ref(const Matrix& a, std::span<const float> x,
+                             ZeroSkip skip) {
   ENW_CHECK_MSG(a.rows() == x.size(), "matvec_transposed dimension mismatch");
   Vector y(a.cols(), 0.0f);
   for (std::size_t r = 0; r < a.rows(); ++r) {
-    const float* row = a.data() + r * a.cols();
     const float xr = x[r];
+    if (skip == ZeroSkip::kSkipZeroInputs && xr == 0.0f) continue;
+    const float* row = a.data() + r * a.cols();
     for (std::size_t c = 0; c < a.cols(); ++c) y[c] += row[c] * xr;
   }
   return y;
 }
 
-Matrix matmul_reference(const Matrix& a, const Matrix& b) {
+Matrix matmul_ref(const Matrix& a, const Matrix& b, ZeroSkip skip) {
   ENW_CHECK_MSG(a.cols() == b.rows(), "matmul dimension mismatch");
   Matrix c(a.rows(), b.cols());
   for (std::size_t i = 0; i < a.rows(); ++i) {
     for (std::size_t j = 0; j < b.cols(); ++j) {
       float acc = 0.0f;
-      for (std::size_t k = 0; k < a.cols(); ++k) acc += a(i, k) * b(k, j);
+      for (std::size_t k = 0; k < a.cols(); ++k) {
+        const float av = a(i, k);
+        if (skip == ZeroSkip::kSkipZeroInputs && av == 0.0f) continue;
+        acc += av * b(k, j);
+      }
       c(i, j) = acc;
     }
   }
   return c;
 }
 
-Matrix matmul_nt_reference(const Matrix& a, const Matrix& b) {
+Matrix matmul_nt_ref(const Matrix& a, const Matrix& b) {
   ENW_CHECK_MSG(a.cols() == b.cols(), "matmul_nt dimension mismatch");
   Matrix c(a.rows(), b.rows());
   for (std::size_t i = 0; i < a.rows(); ++i) {
@@ -67,39 +78,71 @@ Matrix matmul_nt_reference(const Matrix& a, const Matrix& b) {
   return c;
 }
 
-void matmul_tn_acc_reference(Matrix& c, const Matrix& a, const Matrix& b,
-                             float scale) {
+void matmul_tn_acc_ref(Matrix& c, const Matrix& a, const Matrix& b, float scale,
+                       ZeroSkip skip) {
   ENW_CHECK_MSG(a.rows() == b.rows(), "matmul_tn_acc batch mismatch");
   ENW_CHECK_MSG(c.rows() == a.cols() && c.cols() == b.cols(),
                 "matmul_tn_acc output shape mismatch");
   for (std::size_t r = 0; r < c.rows(); ++r) {
     for (std::size_t s = 0; s < a.rows(); ++s) {
       const float f = scale * a(s, r);
+      if (skip == ZeroSkip::kSkipZeroInputs && f == 0.0f) continue;
       for (std::size_t j = 0; j < c.cols(); ++j) c(r, j) += f * b(s, j);
     }
   }
 }
 
-void rank1_update_reference(Matrix& a, std::span<const float> u,
-                            std::span<const float> v, float scale) {
+void rank1_update_ref(Matrix& a, std::span<const float> u,
+                      std::span<const float> v, float scale, ZeroSkip skip) {
   ENW_CHECK_MSG(a.rows() == u.size() && a.cols() == v.size(),
                 "rank1_update dimension mismatch");
   for (std::size_t r = 0; r < a.rows(); ++r) {
     const float s = scale * u[r];
+    if (skip == ZeroSkip::kSkipZeroInputs && s == 0.0f) continue;
     float* row = a.data() + r * a.cols();
     for (std::size_t c = 0; c < a.cols(); ++c) row[c] += s * v[c];
   }
 }
 
-Matrix transpose_reference(const Matrix& a) {
+Matrix transpose_ref(const Matrix& a) {
   Matrix t(a.cols(), a.rows());
   for (std::size_t r = 0; r < a.rows(); ++r)
     for (std::size_t c = 0; c < a.cols(); ++c) t(c, r) = a(r, c);
   return t;
 }
 
+}  // namespace detail
+
+Vector matvec_reference(const Matrix& a, std::span<const float> x) {
+  return detail::matvec_ref(a, x);
+}
+
+Vector matvec_transposed_reference(const Matrix& a, std::span<const float> x) {
+  return detail::matvec_transposed_ref(a, x, ZeroSkip::kNone);
+}
+
+Matrix matmul_reference(const Matrix& a, const Matrix& b) {
+  return detail::matmul_ref(a, b, ZeroSkip::kNone);
+}
+
+Matrix matmul_nt_reference(const Matrix& a, const Matrix& b) {
+  return detail::matmul_nt_ref(a, b);
+}
+
+void matmul_tn_acc_reference(Matrix& c, const Matrix& a, const Matrix& b,
+                             float scale) {
+  detail::matmul_tn_acc_ref(c, a, b, scale, ZeroSkip::kNone);
+}
+
+void rank1_update_reference(Matrix& a, std::span<const float> u,
+                            std::span<const float> v, float scale) {
+  detail::rank1_update_ref(a, u, v, scale, ZeroSkip::kNone);
+}
+
+Matrix transpose_reference(const Matrix& a) { return detail::transpose_ref(a); }
+
 // ---------------------------------------------------------------------------
-// Blocked / parallel kernels.
+// Blocked / parallel kernels (the `blocked` backend).
 //
 // Grain sizes are pure functions of the problem shape (never of the thread
 // count), so parallel_for's chunk partition — and therefore the result — is
@@ -115,11 +158,11 @@ std::size_t row_grain(std::size_t inner, std::size_t floor_rows) {
 
 }  // namespace
 
-Vector matvec(const Matrix& a, std::span<const float> x) {
-  ENW_SPAN("tensor.matvec");
+namespace detail {
+
+Vector matvec_blocked(const Matrix& a, std::span<const float> x) {
   ENW_CHECK_MSG(a.cols() == x.size(), "matvec dimension mismatch");
   const std::size_t m = a.rows(), n = a.cols();
-  obs::counter_add("tensor.matvec.flops", 2ull * m * n);
   Vector y(m, 0.0f);
   parallel::parallel_for(0, m, row_grain(n, 8), [&](std::size_t r0, std::size_t r1) {
     std::size_t r = r0;
@@ -152,8 +195,8 @@ Vector matvec(const Matrix& a, std::span<const float> x) {
   return y;
 }
 
-Vector matvec_transposed(const Matrix& a, std::span<const float> x, ZeroSkip skip) {
-  ENW_SPAN("tensor.matvec_transposed");
+Vector matvec_transposed_blocked(const Matrix& a, std::span<const float> x,
+                                 ZeroSkip skip) {
   ENW_CHECK_MSG(a.rows() == x.size(), "matvec_transposed dimension mismatch");
   const std::size_t m = a.rows(), n = a.cols();
   Vector y(n, 0.0f);
@@ -183,11 +226,9 @@ Vector matvec_transposed(const Matrix& a, std::span<const float> x, ZeroSkip ski
   return y;
 }
 
-Matrix matmul(const Matrix& a, const Matrix& b, ZeroSkip skip) {
-  ENW_SPAN("tensor.matmul");
+Matrix matmul_blocked(const Matrix& a, const Matrix& b, ZeroSkip skip) {
   ENW_CHECK_MSG(a.cols() == b.rows(), "matmul dimension mismatch");
   const std::size_t m = a.rows(), k = a.cols(), n = b.cols();
-  obs::counter_add("tensor.matmul.flops", 2ull * m * k * n);
   Matrix c(m, n);
   constexpr std::size_t kKc = 256;  // k-panel: keeps a b-panel resident in L2
   const std::size_t grain = std::max<std::size_t>(4, 16384 / std::max<std::size_t>(1, k * n / 8 + 1));
@@ -250,6 +291,8 @@ Matrix matmul(const Matrix& a, const Matrix& b, ZeroSkip skip) {
   });
   return c;
 }
+
+}  // namespace detail
 
 namespace {
 
@@ -314,11 +357,11 @@ void matmul_nt_rowwise(const Matrix& a, const Matrix& b, Matrix& c) {
 
 }  // namespace
 
-Matrix matmul_nt(const Matrix& a, const Matrix& b) {
-  ENW_SPAN("tensor.matmul_nt");
+namespace detail {
+
+Matrix matmul_nt_blocked(const Matrix& a, const Matrix& b) {
   ENW_CHECK_MSG(a.cols() == b.cols(), "matmul_nt dimension mismatch");
   const std::size_t m = a.rows(), k = a.cols(), n = b.rows();
-  obs::counter_add("tensor.matmul_nt.flops", 2ull * m * k * n);
   Matrix c(m, n);
   if (m < 4) {
     matmul_nt_rowwise(a, b, c);
@@ -416,9 +459,8 @@ Matrix matmul_nt(const Matrix& a, const Matrix& b) {
   return c;
 }
 
-void matmul_tn_acc(Matrix& c, const Matrix& a, const Matrix& b, float scale,
-                   ZeroSkip skip) {
-  ENW_SPAN("tensor.matmul_tn_acc");
+void matmul_tn_acc_blocked(Matrix& c, const Matrix& a, const Matrix& b,
+                           float scale, ZeroSkip skip) {
   ENW_CHECK_MSG(a.rows() == b.rows(), "matmul_tn_acc batch mismatch");
   ENW_CHECK_MSG(c.rows() == a.cols() && c.cols() == b.cols(),
                 "matmul_tn_acc output shape mismatch");
@@ -442,9 +484,8 @@ void matmul_tn_acc(Matrix& c, const Matrix& a, const Matrix& b, float scale,
   });
 }
 
-void rank1_update(Matrix& a, std::span<const float> u, std::span<const float> v,
-                  float scale, ZeroSkip skip) {
-  ENW_SPAN("tensor.rank1_update");
+void rank1_update_blocked(Matrix& a, std::span<const float> u,
+                          std::span<const float> v, float scale, ZeroSkip skip) {
   ENW_CHECK_MSG(a.rows() == u.size() && a.cols() == v.size(),
                 "rank1_update dimension mismatch");
   const std::size_t n = a.cols();
@@ -459,8 +500,7 @@ void rank1_update(Matrix& a, std::span<const float> u, std::span<const float> v,
   });
 }
 
-Matrix transpose(const Matrix& a) {
-  ENW_SPAN("tensor.transpose");
+Matrix transpose_blocked(const Matrix& a) {
   const std::size_t m = a.rows(), n = a.cols();
   Matrix t(n, m);
   constexpr std::size_t kTile = 64;  // 64x64 float tile = 16 KiB, L1-resident
@@ -475,6 +515,61 @@ Matrix transpose(const Matrix& a) {
     }
   });
   return t;
+}
+
+}  // namespace detail
+
+// ---------------------------------------------------------------------------
+// Public kernel entry points: validate, trace, dispatch to the active backend.
+// ---------------------------------------------------------------------------
+
+Vector matvec(const Matrix& a, std::span<const float> x) {
+  ENW_SPAN("tensor.matvec");
+  ENW_CHECK_MSG(a.cols() == x.size(), "matvec dimension mismatch");
+  obs::counter_add("tensor.matvec.flops", 2ull * a.rows() * a.cols());
+  return core::backend().matvec(a, x);
+}
+
+Vector matvec_transposed(const Matrix& a, std::span<const float> x, ZeroSkip skip) {
+  ENW_SPAN("tensor.matvec_transposed");
+  ENW_CHECK_MSG(a.rows() == x.size(), "matvec_transposed dimension mismatch");
+  return core::backend().matvec_transposed(a, x, skip);
+}
+
+Matrix matmul(const Matrix& a, const Matrix& b, ZeroSkip skip) {
+  ENW_SPAN("tensor.matmul");
+  ENW_CHECK_MSG(a.cols() == b.rows(), "matmul dimension mismatch");
+  obs::counter_add("tensor.matmul.flops", 2ull * a.rows() * a.cols() * b.cols());
+  return core::backend().matmul(a, b, skip);
+}
+
+Matrix matmul_nt(const Matrix& a, const Matrix& b) {
+  ENW_SPAN("tensor.matmul_nt");
+  ENW_CHECK_MSG(a.cols() == b.cols(), "matmul_nt dimension mismatch");
+  obs::counter_add("tensor.matmul_nt.flops", 2ull * a.rows() * a.cols() * b.rows());
+  return core::backend().matmul_nt(a, b);
+}
+
+void matmul_tn_acc(Matrix& c, const Matrix& a, const Matrix& b, float scale,
+                   ZeroSkip skip) {
+  ENW_SPAN("tensor.matmul_tn_acc");
+  ENW_CHECK_MSG(a.rows() == b.rows(), "matmul_tn_acc batch mismatch");
+  ENW_CHECK_MSG(c.rows() == a.cols() && c.cols() == b.cols(),
+                "matmul_tn_acc output shape mismatch");
+  core::backend().matmul_tn_acc(c, a, b, scale, skip);
+}
+
+void rank1_update(Matrix& a, std::span<const float> u, std::span<const float> v,
+                  float scale, ZeroSkip skip) {
+  ENW_SPAN("tensor.rank1_update");
+  ENW_CHECK_MSG(a.rows() == u.size() && a.cols() == v.size(),
+                "rank1_update dimension mismatch");
+  core::backend().rank1_update(a, u, v, scale, skip);
+}
+
+Matrix transpose(const Matrix& a) {
+  ENW_SPAN("tensor.transpose");
+  return core::backend().transpose(a);
 }
 
 Vector add(std::span<const float> a, std::span<const float> b) {

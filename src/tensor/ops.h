@@ -3,54 +3,50 @@
 // These are the digital reference implementations that the analog crossbar
 // models are validated against: matvec here is the "exact" counterpart of
 // the Ohm's-law/Kirchhoff's-law readout in src/analog.
+//
+// Since PR 6 every kernel below dispatches through the runtime-selected
+// core::KernelBackend (reference | blocked | simd — see core/backend.h and
+// DESIGN.md §10). ZeroSkip now lives in core/backend.h alongside the backend
+// interface; it is re-exported here unchanged.
 #pragma once
 
 #include <span>
 
+#include "core/backend.h"
 #include "tensor/matrix.h"
 
 namespace enw {
 
-/// Whether a kernel may skip work for exactly-zero input elements.
-///
-/// Skipping is NOT a pure optimization: `acc += 0.0f * row[c]` propagates
-/// NaN/Inf from `row` and can flip -0.0 to +0.0, while skipping leaves acc
-/// untouched. The default is therefore kNone (exact IEEE semantics); callers
-/// that know their operands are finite (e.g. SGD backprop through ReLU-
-/// sparse deltas) opt in for the sparsity win.
-enum class ZeroSkip { kNone, kSkipZeroInputs };
-
 /// y = A x. A is (m x n), x has n elements, y gets m elements.
-/// Cache-blocked and row-parallel; bitwise-identical to matvec_reference
-/// for every thread count.
+/// Dispatches to the active backend; the blocked backend is bitwise-identical
+/// to matvec_reference for every thread count, the simd backend is
+/// bounded-ULP (see KernelBackend::tolerance()).
 Vector matvec(const Matrix& a, std::span<const float> x);
 
 /// y = A^T x. A is (m x n), x has m elements, y gets n elements.
-/// Column-chunked and parallel; each output column accumulates over rows in
-/// fixed order, so results are bitwise deterministic across thread counts.
+/// Each output column accumulates over rows in fixed order, so results are
+/// bitwise deterministic across thread counts within any one backend.
 Vector matvec_transposed(const Matrix& a, std::span<const float> x,
                          ZeroSkip skip = ZeroSkip::kNone);
 
-/// C = A B. Cache-blocked (k-panels, 4-row register blocking) and parallel
-/// over row blocks; bitwise-identical to matmul_reference for every thread
-/// count (per-element accumulation stays in k order, no FMA contraction).
-/// With kSkipZeroInputs, terms whose A(i,k) is exactly zero are skipped —
-/// the batched counterpart of matvec_transposed's delta-sparsity skip.
+/// C = A B. With kSkipZeroInputs, terms whose A(i,k) is exactly zero are
+/// skipped — the batched counterpart of matvec_transposed's delta-sparsity
+/// skip. Within one backend, row s of the result is bitwise-identical to
+/// matvec_transposed(A.row(s) as x) under the same skip mode.
 Matrix matmul(const Matrix& a, const Matrix& b, ZeroSkip skip = ZeroSkip::kNone);
 
 /// C = A B^T. A is (m x k), B is (n x k), C gets (m x n). The minibatch
-/// forward GEMM: row i of C holds matvec(B, A.row(i)), and each element
-/// accumulates over k in index order, so C.row(i) is bitwise-identical to
-/// the per-sample matvec for every thread count.
+/// forward GEMM: row i of C holds matvec(B, A.row(i)) bitwise (per backend),
+/// for every thread count — the paired-kernel contract batched code relies on.
 Matrix matmul_nt(const Matrix& a, const Matrix& b);
 
 /// C += scale * A^T B. A is (batch x m), B is (batch x n), C is (m x n) —
 /// the accumulated-outer-product (minibatch weight-gradient) kernel. Each
 /// element folds samples in batch order as C(r,c) += (scale*A(s,r))*B(s,c),
 /// exactly the operation sequence of `batch` successive rank1_update calls,
-/// so it is bitwise-identical to the per-sample update loop. kSkipZeroInputs
-/// skips samples whose scale*A(s,r) is exactly zero (same contract as
-/// rank1_update).
+/// so it is bitwise-identical to the per-sample update loop (per backend).
+/// kSkipZeroInputs skips samples whose scale*A(s,r) is exactly zero (same
+/// contract as rank1_update).
 void matmul_tn_acc(Matrix& c, const Matrix& a, const Matrix& b, float scale,
                    ZeroSkip skip = ZeroSkip::kNone);
 
@@ -62,10 +58,11 @@ void rank1_update(Matrix& a, std::span<const float> u, std::span<const float> v,
 /// Blocked tile transpose, parallel over output-row blocks.
 Matrix transpose(const Matrix& a);
 
-/// Naive scalar triple-loop reference kernels. Retained on purpose: the
-/// equivalence tests assert the blocked/parallel kernels above are
-/// bitwise-identical to these, and bench_kernels reports blocked-vs-naive
-/// speedups against them. Do not "optimize" these.
+/// Naive scalar triple-loop reference kernels. Retained on purpose: these ARE
+/// the `reference` backend, the bitwise ground truth every other backend is
+/// validated against, and bench_kernels reports speedups against them. They
+/// never dispatch — calling matvec_reference always runs the scalar loop no
+/// matter which backend is active. Do not "optimize" these.
 Vector matvec_reference(const Matrix& a, std::span<const float> x);
 Vector matvec_transposed_reference(const Matrix& a, std::span<const float> x);
 Matrix matmul_reference(const Matrix& a, const Matrix& b);

@@ -1,0 +1,5 @@
+// AVX2+FMA kernel table. This TU (alone) is compiled with -mavx2 -mfma; the
+// table must only be invoked after core::cpu_features() confirms avx2 && fma.
+#define ENW_SIMD_TABLE_FUNC simd_avx2_table
+#define ENW_SIMD_ISA_NAME "avx2"
+#include "tensor/simd_kernels.inc"

@@ -1,0 +1,8 @@
+// AVX-512 kernel table. This TU (alone) is compiled with -mavx512f
+// -mavx512bw -mfma; the table must only be invoked after
+// core::cpu_features() confirms avx512f && avx512bw (bw covers the int8
+// widening path).
+#define ENW_SIMD_BUILD_AVX512 1
+#define ENW_SIMD_TABLE_FUNC simd_avx512_table
+#define ENW_SIMD_ISA_NAME "avx512"
+#include "tensor/simd_kernels.inc"

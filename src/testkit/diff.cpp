@@ -143,6 +143,33 @@ Matrix with_threads(std::size_t n, const std::function<Matrix()>& fn) {
   return fn();
 }
 
+BackendScope::BackendScope(const std::string& name)
+    : saved_(core::current_backend_selection()) {
+  core::set_backend(name);
+}
+
+BackendScope::~BackendScope() {
+  if (saved_) {
+    core::set_backend(saved_->name());
+  } else {
+    core::reset_backend_selection();
+  }
+}
+
+Matrix with_backend(const std::string& name,
+                    const std::function<Matrix()>& fn) {
+  BackendScope scope(name);
+  return fn();
+}
+
+TolerancePolicy backend_policy(const core::KernelBackend& backend) {
+  const core::ToleranceSpec spec = backend.tolerance();
+  TolerancePolicy p;
+  p.max_ulps = spec.max_ulps;
+  p.abs_slack = spec.abs_slack;
+  return p;
+}
+
 Matrix as_row(std::span<const float> v) {
   Matrix m(1, v.size());
   if (!v.empty()) std::memcpy(m.data(), v.data(), v.size() * sizeof(float));

@@ -16,6 +16,7 @@
 #include <span>
 #include <string>
 
+#include "core/backend.h"
 #include "tensor/matrix.h"
 
 namespace enw::testkit {
@@ -104,6 +105,31 @@ class ThreadScope {
 
 /// Run fn with the pool set to n threads (restored afterwards).
 Matrix with_threads(std::size_t n, const std::function<Matrix()>& fn);
+
+/// RAII kernel-backend pin; restores the previous selection state on exit
+/// (including "unresolved", so a test that never forced a backend leaves the
+/// ENW_BACKEND/auto resolution untouched for the next test). The shared
+/// helper behind every backend-sensitive equivalence test: a test that
+/// asserts "blocked == reference bitwise" must not let the ambient backend
+/// decide what the optimized kernels mean.
+class BackendScope {
+ public:
+  explicit BackendScope(const std::string& name);
+  ~BackendScope();
+  BackendScope(const BackendScope&) = delete;
+  BackendScope& operator=(const BackendScope&) = delete;
+
+ private:
+  const core::KernelBackend* saved_;  // nullptr = selection was unresolved
+};
+
+/// Run fn with the named kernel backend active (restored afterwards).
+Matrix with_backend(const std::string& name, const std::function<Matrix()>& fn);
+
+/// The TolerancePolicy a backend declares against the reference oracle:
+/// bitwise for reference/blocked, bounded-ULP for simd. Differential tests
+/// iterate core::available_backends() and hold each to exactly this.
+TolerancePolicy backend_policy(const core::KernelBackend& backend);
 
 /// Wrap a vector as a 1 x n Matrix (for differential_check workloads).
 Matrix as_row(std::span<const float> v);

@@ -234,7 +234,16 @@ struct KernelShape {
   std::size_t m, k, n;
 };
 
-class KernelEquivalenceTest : public ::testing::TestWithParam<KernelShape> {};
+// Pinned to the blocked backend: these tests assert the *blocked* kernels are
+// bitwise-equal to the reference oracles, which only holds there (the simd
+// backend is bounded-ULP by contract; its differential coverage lives in
+// test_backends.cpp). Without the pin, the ambient ENW_BACKEND / cpuid
+// auto-detection would decide what "matmul" means.
+class KernelEquivalenceTest : public ::testing::TestWithParam<KernelShape> {
+ protected:
+  void SetUp() override { core::set_backend("blocked"); }
+  void TearDown() override { core::reset_backend_selection(); }
+};
 
 TEST_P(KernelEquivalenceTest, MatmulMatchesReferenceBitwise) {
   const auto [m, k, n] = GetParam();
