@@ -12,7 +12,11 @@
 //       (the near-memory-processing opportunity).
 #include <benchmark/benchmark.h>
 
+#include <cstring>
+#include <string>
+
 #include "bench_util.h"
+#include "core/backend.h"
 #include "data/click_log.h"
 #include "perf/roofline.h"
 #include "recsys/characterize.h"
@@ -68,6 +72,25 @@ BENCHMARK(BM_DlrmInference)->Arg(4)->Arg(16);
 }  // namespace
 
 int main(int argc, char** argv) {
+  // Strip --backend=NAME before Google Benchmark sees the arg list (same
+  // idiom as bench_kernels) and land the machine identity in the JSON
+  // context so per-machine records stay comparable.
+  std::string only;
+  int kept = 1;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--backend=", 10) == 0) {
+      only = argv[i] + 10;
+    } else {
+      argv[kept++] = argv[i];
+    }
+  }
+  argc = kept;
+  if (!only.empty()) enw::core::set_backend(only);
+  const enw::bench::MachineInfo info = enw::bench::machine_info();
+  benchmark::AddCustomContext("cpu_features", info.cpu_features);
+  benchmark::AddCustomContext("kernel_backend", info.backend);
+  benchmark::AddCustomContext("kernel_backend_isa", info.backend_isa);
+
   enw::bench::header("E10 / Fig. 6, Sec. V-B",
                      "DLRM workload characterization & roofline",
                      "embedding ops have orders-of-magnitude lower compute "

@@ -4,7 +4,11 @@
 // compresses the dominant model component by up to ~16x with only a small
 // loss in prediction quality. We train a DLRM in fp32, quantize its tables
 // post-training at 8/4/2 bits, and compare CTR prediction quality.
+#include <cstring>
+#include <string>
+
 #include "bench_util.h"
+#include "core/backend.h"
 #include "data/click_log.h"
 #include "recsys/dlrm.h"
 #include "recsys/embedding_table.h"
@@ -32,10 +36,26 @@ void quantize_tables_in_place(Dlrm& model, int bits) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  // --backend=NAME pins the kernel backend for the run, same flag as
+  // bench_kernels/bench_serve (the dequantize path rides s8_axpy).
+  std::string only;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--backend=", 10) == 0) {
+      only = argv[i] + 10;
+    } else {
+      std::fprintf(stderr, "usage: %s [--backend=NAME]\n", argv[0]);
+      return 1;
+    }
+  }
+  if (!only.empty()) enw::core::set_backend(only);
+
   enw::bench::header("E11 / Sec. V-B [65]",
                      "embedding compression via reduced precision",
                      "up to 16x table compression with small accuracy loss");
+  const enw::bench::MachineInfo info = enw::bench::machine_info();
+  std::printf("machine: %s | backend %s (%s)\n", info.cpu_features.c_str(),
+              info.backend.c_str(), info.backend_isa.c_str());
 
   data::ClickLogConfig lcfg;
   lcfg.num_tables = 6;

@@ -1,0 +1,20 @@
+#!/usr/bin/env sh
+# Regenerate BENCH_embedding_cache.json — the machine-readable record of the
+# multi-tier embedding cache under Zipf traffic: measured vs analytical
+# hot-tier hit rate and cached vs uncached gather wall time, per (backend,
+# bits, batch). The bench exits nonzero if the measured hit rate drifts more
+# than 2pp from the perf::LruCache model or no cached configuration beats
+# the uncached gather at batch >= 64.
+#
+# Usage: ./scripts/run_bench_embedding_cache.sh [build-dir] [extra args...]
+set -eu
+
+BUILD_DIR="${1:-build}"
+[ $# -gt 0 ] && shift
+
+if [ ! -x "$BUILD_DIR/bench/bench_embedding_cache" ]; then
+  echo "error: $BUILD_DIR/bench/bench_embedding_cache not built (cmake --build $BUILD_DIR --target bench_embedding_cache)" >&2
+  exit 1
+fi
+
+exec "$BUILD_DIR/bench/bench_embedding_cache" --out BENCH_embedding_cache.json "$@"

@@ -4,26 +4,119 @@
 
 namespace enw::perf {
 
-LruCache::LruCache(std::size_t capacity) : capacity_(capacity) {
-  ENW_CHECK_MSG(capacity > 0, "cache capacity must be positive");
+namespace {
+
+std::size_t next_pow2(std::size_t n) {
+  std::size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
 }
 
-bool LruCache::access(std::uint64_t key) {
-  auto it = map_.find(key);
-  if (it != map_.end()) {
-    order_.splice(order_.begin(), order_, it->second);
+}  // namespace
+
+LruCache::LruCache(std::size_t capacity) : capacity_(capacity) {
+  ENW_CHECK_MSG(capacity > 0, "cache capacity must be positive");
+  ENW_CHECK_MSG(capacity < kNoSlot, "cache capacity exceeds slot index range");
+  nodes_.resize(capacity_);
+  // Load factor <= 0.5 keeps linear-probe clusters short; power-of-two size
+  // makes the wrap and the backward-shift distance test plain masks.
+  buckets_.assign(next_pow2(capacity_ < 8 ? 16 : capacity_ * 2), kNoSlot);
+  bucket_mask_ = buckets_.size() - 1;
+}
+
+std::size_t LruCache::find_bucket(std::uint64_t key) const {
+  std::size_t b = detail::mix64(key) & bucket_mask_;
+  while (buckets_[b] != kNoSlot) {
+    if (nodes_[buckets_[b]].key == key) return b;
+    b = (b + 1) & bucket_mask_;
+  }
+  return kNoBucket;
+}
+
+void LruCache::hash_insert(std::uint64_t key, std::uint32_t slot) {
+  std::size_t b = detail::mix64(key) & bucket_mask_;
+  while (buckets_[b] != kNoSlot) b = (b + 1) & bucket_mask_;
+  buckets_[b] = slot;
+}
+
+void LruCache::hash_erase(std::uint64_t key) {
+  std::size_t hole = find_bucket(key);
+  // Backward-shift deletion: walk the probe cluster after the hole and pull
+  // back any entry whose ideal bucket lies at or before the hole, so lookups
+  // never need tombstones.
+  std::size_t j = hole;
+  for (;;) {
+    j = (j + 1) & bucket_mask_;
+    const std::uint32_t occupant = buckets_[j];
+    if (occupant == kNoSlot) break;
+    const std::size_t ideal = detail::mix64(nodes_[occupant].key) & bucket_mask_;
+    if (((j - ideal) & bucket_mask_) >= ((j - hole) & bucket_mask_)) {
+      buckets_[hole] = occupant;
+      hole = j;
+    }
+  }
+  buckets_[hole] = kNoSlot;
+}
+
+void LruCache::unlink(std::uint32_t n) {
+  Node& node = nodes_[n];
+  if (node.prev != kNoSlot) {
+    nodes_[node.prev].next = node.next;
+  } else {
+    head_ = node.next;
+  }
+  if (node.next != kNoSlot) {
+    nodes_[node.next].prev = node.prev;
+  } else {
+    tail_ = node.prev;
+  }
+}
+
+void LruCache::push_front(std::uint32_t n) {
+  Node& node = nodes_[n];
+  node.prev = kNoSlot;
+  node.next = head_;
+  if (head_ != kNoSlot) nodes_[head_].prev = n;
+  head_ = n;
+  if (tail_ == kNoSlot) tail_ = n;
+}
+
+LruCache::AccessResult LruCache::access_slot(std::uint64_t key) {
+  AccessResult r;
+  const std::size_t b = find_bucket(key);
+  if (b != kNoBucket) {
+    const std::uint32_t n = buckets_[b];
     ++hits_;
-    return true;
+    if (n != head_) {
+      unlink(n);
+      push_front(n);
+    }
+    r.hit = true;
+    r.slot = n;
+    return r;
   }
+
   ++misses_;
-  if (map_.size() >= capacity_) {
-    const std::uint64_t victim = order_.back();
-    order_.pop_back();
-    map_.erase(victim);
+  std::uint32_t n;
+  if (size_ < capacity_) {
+    n = static_cast<std::uint32_t>(size_++);
+  } else {
+    n = tail_;  // evict least recently used, reuse its slot
+    r.evicted = true;
+    r.victim = nodes_[n].key;
+    unlink(n);
+    hash_erase(r.victim);
   }
-  order_.push_front(key);
-  map_[key] = order_.begin();
-  return false;
+  nodes_[n].key = key;
+  hash_insert(key, n);
+  push_front(n);
+  r.slot = n;
+  return r;
+}
+
+std::uint32_t LruCache::peek_slot(std::uint64_t key) const {
+  const std::size_t b = find_bucket(key);
+  return b == kNoBucket ? kNoSlot : buckets_[b];
 }
 
 }  // namespace enw::perf

@@ -1,26 +1,70 @@
-// LRU cache model for embedding-locality studies (Sec. V-B).
+// LRU cache model for embedding-locality studies (Sec. V-B) — and the
+// metadata engine behind the *data-carrying* recsys::CachedEmbeddingTable.
 //
 // Models a cache of fixed entry capacity in front of the embedding tables:
 // the research question is how much of the Zipf-skewed lookup traffic a
-// modest on-chip cache absorbs. Tracks hits/misses only — no data payload.
+// modest on-chip cache absorbs. access() tracks hits/misses only;
+// access_slot() additionally reports the stable storage slot assigned to
+// the key (and the evicted victim), which is what lets a payload cache keep
+// its row data in a flat array indexed by slot.
+//
+// Internals are a flat index-linked array: nodes live in one preallocated
+// vector (slot == index), the recency list is intrusive prev/next indices,
+// and the key->slot map is open-addressed linear probing with backward-shift
+// deletion. After construction the metadata path never allocates — a miss on
+// the old std::list + unordered_map layout cost two node allocations plus an
+// erase, which dominated the modeled "cache" when driven at trace rates.
 #pragma once
 
 #include <cstddef>
 #include <cstdint>
-#include <list>
-#include <unordered_map>
+#include <limits>
+#include <vector>
 
 namespace enw::perf {
 
+namespace detail {
+/// splitmix64 finalizer — the bucket hash for the open-addressed key map.
+/// Exposed so payload caches batching on top of LruCache can reuse the same
+/// mixing for their per-batch dedup tables.
+inline std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+}  // namespace detail
+
 class LruCache {
  public:
+  /// Sentinel slot: "key not resident".
+  static constexpr std::uint32_t kNoSlot =
+      std::numeric_limits<std::uint32_t>::max();
+
+  /// What one access did. `slot` indexes a payload array of `capacity()`
+  /// entries and stays stable for as long as the key remains resident; on a
+  /// full-cache miss the evicted key's slot is reused for the new key.
+  struct AccessResult {
+    bool hit = false;
+    std::uint32_t slot = kNoSlot;
+    bool evicted = false;        // an existing key was displaced
+    std::uint64_t victim = 0;    // valid only when evicted
+  };
+
   explicit LruCache(std::size_t capacity);
 
   /// Touch key; returns true on hit. Misses insert (evicting LRU if full).
-  bool access(std::uint64_t key);
+  bool access(std::uint64_t key) { return access_slot(key).hit; }
+
+  /// access() plus slot bookkeeping for payload caches.
+  AccessResult access_slot(std::uint64_t key);
+
+  /// Slot of key if resident, kNoSlot otherwise. Pure query: no stats, no
+  /// recency update.
+  std::uint32_t peek_slot(std::uint64_t key) const;
 
   std::size_t capacity() const { return capacity_; }
-  std::size_t size() const { return map_.size(); }
+  std::size_t size() const { return size_; }
   std::uint64_t hits() const { return hits_; }
   std::uint64_t misses() const { return misses_; }
   double hit_rate() const {
@@ -30,9 +74,26 @@ class LruCache {
   void reset_stats() { hits_ = misses_ = 0; }
 
  private:
+  struct Node {
+    std::uint64_t key = 0;
+    std::uint32_t prev = kNoSlot;
+    std::uint32_t next = kNoSlot;
+  };
+  static constexpr std::size_t kNoBucket = std::numeric_limits<std::size_t>::max();
+
+  std::size_t find_bucket(std::uint64_t key) const;  // kNoBucket if absent
+  void hash_insert(std::uint64_t key, std::uint32_t slot);
+  void hash_erase(std::uint64_t key);
+  void unlink(std::uint32_t n);
+  void push_front(std::uint32_t n);
+
   std::size_t capacity_;
-  std::list<std::uint64_t> order_;  // front = most recent
-  std::unordered_map<std::uint64_t, std::list<std::uint64_t>::iterator> map_;
+  std::vector<Node> nodes_;              // slot-indexed; slots [0, size_) live
+  std::uint32_t head_ = kNoSlot;         // most recently used
+  std::uint32_t tail_ = kNoSlot;         // least recently used
+  std::size_t size_ = 0;
+  std::vector<std::uint32_t> buckets_;   // open-addressed: slot or kNoSlot
+  std::size_t bucket_mask_ = 0;          // buckets_.size() - 1 (power of two)
   std::uint64_t hits_ = 0;
   std::uint64_t misses_ = 0;
 };

@@ -99,7 +99,11 @@ float Dlrm::forward(const data::ClickSample& sample, ForwardCache& cache) {
     ENW_SPAN("dlrm.embedding");
     cache.pooled.assign(config_.num_tables, Vector(config_.embed_dim, 0.0f));
     for (std::size_t t = 0; t < config_.num_tables; ++t) {
-      tables_[t].lookup_sum(sample.sparse[t], cache.pooled[t]);
+      if (cached_.empty()) {
+        tables_[t].lookup_sum(sample.sparse[t], cache.pooled[t]);
+      } else {
+        cached_[t].lookup_sum(sample.sparse[t], cache.pooled[t]);
+      }
     }
   }
 
@@ -160,7 +164,11 @@ std::vector<float> Dlrm::logits_batch(std::span<const data::ClickSample> batch) 
     for (std::size_t t = 0; t < config_.num_tables; ++t) {
       for (std::size_t s = 0; s < b; ++s) lists[s] = batch[s].sparse[t];
       Matrix p(b, config_.embed_dim);
-      tables_[t].lookup_sum_batch(lists, p);
+      if (cached_.empty()) {
+        tables_[t].lookup_sum_batch(lists, p);
+      } else {
+        cached_[t].lookup_sum_batch(lists, p);
+      }
       pooled.push_back(std::move(p));
     }
   }
@@ -201,6 +209,9 @@ std::vector<float> Dlrm::predict_batch(std::span<const data::ClickSample> batch)
 }
 
 float Dlrm::train_step(const data::ClickSample& sample, float lr) {
+  ENW_CHECK_MSG(cached_.empty(),
+                "disable the embedding cache before training: the cold tiers "
+                "are a frozen quantized snapshot");
   ForwardCache cache;
   const float logit = forward(sample, cache);
   float dlogit = 0.0f;
@@ -276,6 +287,19 @@ double Dlrm::auc(std::span<const data::ClickSample> batch) const {
   }
   if (pos == 0.0 || neg == 0.0) return 0.5;
   return (rank_sum - pos * (pos + 1.0) / 2.0) / (pos * neg);
+}
+
+void Dlrm::enable_embedding_cache(std::size_t hot_rows, int bits) {
+  cached_.clear();
+  cached_.reserve(config_.num_tables);
+  for (const auto& table : tables_) {
+    cached_.emplace_back(QuantizedEmbeddingTable(table, bits), hot_rows);
+  }
+}
+
+const CachedEmbeddingTable& Dlrm::embedding_cache(std::size_t t) const {
+  ENW_CHECK_MSG(t < cached_.size(), "embedding cache not enabled");
+  return cached_[t];
 }
 
 std::size_t Dlrm::mlp_bytes() const {

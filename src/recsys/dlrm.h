@@ -19,6 +19,7 @@
 #include "core/rng.h"
 #include "data/click_log.h"
 #include "nn/dense_layer.h"
+#include "recsys/cached_embedding_table.h"
 #include "recsys/embedding_table.h"
 
 namespace enw::recsys {
@@ -71,6 +72,19 @@ class Dlrm {
   const std::vector<EmbeddingTable>& tables() const { return tables_; }
   std::vector<EmbeddingTable>& tables() { return tables_; }
 
+  /// Serving-time embedding cache: snapshot each fp32 table into an
+  /// int8/int4 quantized cold tier with a hot fp32 row cache of `hot_rows`
+  /// entries per table in front (see cached_embedding_table.h). While
+  /// enabled, predict / predict_batch pool from the cache — bitwise-equal to
+  /// gathering from the quantized snapshot directly, whatever the request
+  /// order or hit pattern — and train_step is rejected, because the cold
+  /// tiers are a frozen snapshot the fp32 tables would silently diverge from.
+  void enable_embedding_cache(std::size_t hot_rows, int bits = 8);
+  void disable_embedding_cache() { cached_.clear(); }
+  bool embedding_cache_enabled() const { return !cached_.empty(); }
+  /// Per-table cache (stats / model-comparison access); cache must be enabled.
+  const CachedEmbeddingTable& embedding_cache(std::size_t t) const;
+
   /// Total parameter bytes split into MLP and embedding parts — the paper's
   /// capacity argument in one call.
   std::size_t mlp_bytes() const;
@@ -93,6 +107,9 @@ class Dlrm {
   std::vector<nn::DenseLayer> bottom_;
   std::vector<nn::DenseLayer> top_;
   std::vector<EmbeddingTable> tables_;
+  // Empty unless enable_embedding_cache() was called. mutable: the cache
+  // updates residency/recency inside the logically-const serving paths.
+  mutable std::vector<CachedEmbeddingTable> cached_;
 };
 
 }  // namespace enw::recsys

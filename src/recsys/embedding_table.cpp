@@ -9,6 +9,30 @@
 
 namespace enw::recsys {
 
+namespace detail {
+
+void check_indices(std::span<const std::size_t> indices, std::size_t rows) {
+  for (std::size_t idx : indices) {
+    ENW_CHECK_MSG(idx < rows, "embedding index out of range");
+  }
+}
+
+std::size_t check_ragged_batch(
+    std::span<const std::span<const std::size_t>> index_lists,
+    std::size_t out_rows, std::size_t out_cols, std::size_t rows,
+    std::size_t dim) {
+  ENW_CHECK_MSG(out_rows == index_lists.size() && out_cols == dim,
+                "lookup_sum_batch output shape mismatch");
+  std::size_t refs = 0;
+  for (const auto& indices : index_lists) {
+    check_indices(indices, rows);
+    refs += indices.size();
+  }
+  return refs;
+}
+
+}  // namespace detail
+
 EmbeddingTable::EmbeddingTable(std::size_t rows, std::size_t dim, Rng& rng)
     : table_(Matrix::uniform(rows, dim, -0.1f, 0.1f, rng)) {
   ENW_CHECK(rows > 0 && dim > 0);
@@ -20,9 +44,7 @@ void EmbeddingTable::lookup_sum(std::span<const std::size_t> indices,
   // Validate up front so the gather loop below stays branch-free on the
   // bandwidth-bound path (the table is the capacity problem; every cycle in
   // the inner loop is a cycle not spent streaming rows).
-  for (std::size_t idx : indices) {
-    ENW_CHECK_MSG(idx < rows(), "embedding index out of range");
-  }
+  detail::check_indices(indices, rows());
   std::fill(out.begin(), out.end(), 0.0f);
   for (std::size_t idx : indices) {
     const float* r = table_.data() + idx * dim();
@@ -33,12 +55,10 @@ void EmbeddingTable::lookup_sum(std::span<const std::size_t> indices,
 void EmbeddingTable::lookup_sum_batch(
     std::span<const std::span<const std::size_t>> index_lists, Matrix& out) const {
   ENW_SPAN("recsys.embed.lookup_batch");
-  ENW_CHECK_MSG(out.rows() == index_lists.size() && out.cols() == dim(),
-                "lookup_sum_batch output shape mismatch");
-  std::size_t gathered = 0;
+  const std::size_t gathered =
+      detail::check_ragged_batch(index_lists, out.rows(), out.cols(), rows(), dim());
   for (std::size_t s = 0; s < index_lists.size(); ++s) {
     lookup_sum(index_lists[s], out.row(s));
-    gathered += index_lists[s].size();
   }
   obs::counter_add("recsys.embed.rows_gathered", gathered);
 }
@@ -46,9 +66,7 @@ void EmbeddingTable::lookup_sum_batch(
 void EmbeddingTable::apply_gradient(std::span<const std::size_t> indices,
                                     std::span<const float> grad, float lr) {
   ENW_CHECK_MSG(grad.size() == dim(), "gradient size mismatch");
-  for (std::size_t idx : indices) {
-    ENW_CHECK(idx < rows());
-  }
+  detail::check_indices(indices, rows());
   for (std::size_t idx : indices) {
     float* r = table_.data() + idx * dim();
     for (std::size_t j = 0; j < dim(); ++j) r[j] -= lr * grad[j];
@@ -115,9 +133,7 @@ void QuantizedEmbeddingTable::lookup_sum(std::span<const std::size_t> indices,
   // to sit in the gather loop and the per-row scale was re-loaded (through a
   // vector indexing op the compiler could not hoist past the potentially
   // aliasing `out` store) once per ELEMENT rather than once per row.
-  for (std::size_t idx : indices) {
-    ENW_CHECK_MSG(idx < rows_, "embedding index out of range");
-  }
+  detail::check_indices(indices, rows_);
   std::fill(out.begin(), out.end(), 0.0f);
   if (bits_ == 8) {
     // 8-bit rows are stored unpacked, so each row is a contiguous int8 span:
@@ -140,21 +156,32 @@ void QuantizedEmbeddingTable::lookup_sum(std::span<const std::size_t> indices,
 void QuantizedEmbeddingTable::lookup_sum_batch(
     std::span<const std::span<const std::size_t>> index_lists, Matrix& out) const {
   ENW_SPAN("recsys.embed.q_lookup_batch");
-  ENW_CHECK_MSG(out.rows() == index_lists.size() && out.cols() == dim_,
-                "lookup_sum_batch output shape mismatch");
-  std::size_t gathered = 0;
+  const std::size_t gathered =
+      detail::check_ragged_batch(index_lists, out.rows(), out.cols(), rows_, dim_);
   for (std::size_t s = 0; s < index_lists.size(); ++s) {
     lookup_sum(index_lists[s], out.row(s));
-    gathered += index_lists[s].size();
   }
   obs::counter_add("recsys.embed.q_rows_gathered", gathered);
 }
 
-Vector QuantizedEmbeddingTable::row(std::size_t r) const {
+void QuantizedEmbeddingTable::dequantize_row(std::size_t r,
+                                             std::span<float> out) const {
   ENW_CHECK(r < rows_);
-  Vector v(dim_);
+  ENW_CHECK_MSG(out.size() == dim_, "output size mismatch");
+  const float scale = scales_[r];
+  if (bits_ == 8) {
+    const std::int8_t* codes = codes_.data() + r * dim_;
+    for (std::size_t j = 0; j < dim_; ++j)
+      out[j] = static_cast<float>(codes[j]) * scale;
+    return;
+  }
   for (std::size_t j = 0; j < dim_; ++j)
-    v[j] = static_cast<float>(stored(r, j)) * scales_[r];
+    out[j] = static_cast<float>(stored(r, j)) * scale;
+}
+
+Vector QuantizedEmbeddingTable::row(std::size_t r) const {
+  Vector v(dim_);
+  dequantize_row(r, std::span<float>(v.data(), v.size()));
   return v;
 }
 

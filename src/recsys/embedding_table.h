@@ -19,6 +19,25 @@
 
 namespace enw::recsys {
 
+namespace detail {
+
+/// Shared validate-then-gather guard: every index is checked against `rows`
+/// BEFORE any gather/scatter/cache mutation touches state, so the hot loops
+/// downstream stay branch-free and a bad id can never leave a table or
+/// cache tier half-updated.
+void check_indices(std::span<const std::size_t> indices, std::size_t rows);
+
+/// Ragged-batch twin: validates the output shape against the batch, then
+/// every sample's indices (so a mid-batch out-of-range id rejects before
+/// output row 0 is written). Returns the total reference count across the
+/// batch — every caller wants it for its gather counter.
+std::size_t check_ragged_batch(
+    std::span<const std::span<const std::size_t>> index_lists,
+    std::size_t out_rows, std::size_t out_cols, std::size_t rows,
+    std::size_t dim);
+
+}  // namespace detail
+
 class EmbeddingTable {
  public:
   EmbeddingTable(std::size_t rows, std::size_t dim, Rng& rng);
@@ -65,6 +84,12 @@ class QuantizedEmbeddingTable {
   /// quantized twin of EmbeddingTable::lookup_sum_batch.
   void lookup_sum_batch(std::span<const std::span<const std::size_t>> index_lists,
                         Matrix& out) const;
+
+  /// Dequantize row r into out (out.size() == dim()) without allocating.
+  /// Produces exactly the per-element values the lookup paths accumulate
+  /// (one product rounding: scale * float(code)), which is what lets a hot
+  /// tier holding these rows pool bitwise-identically to a cold gather.
+  void dequantize_row(std::size_t r, std::span<float> out) const;
 
   /// Dequantized copy of one row (for error analysis).
   Vector row(std::size_t r) const;

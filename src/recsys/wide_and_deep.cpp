@@ -52,7 +52,11 @@ float WideAndDeep::forward(const data::ClickSample& sample) {
   std::copy(sample.dense.begin(), sample.dense.end(), cache_.deep_input.begin());
   for (std::size_t t = 0; t < config_.num_tables; ++t) {
     std::span<float> slot(cache_.deep_input.data() + config_.num_dense + t * D, D);
-    tables_[t].lookup_sum(sample.sparse[t], slot);
+    if (cached_.empty()) {
+      tables_[t].lookup_sum(sample.sparse[t], slot);
+    } else {
+      cached_[t].lookup_sum(sample.sparse[t], slot);
+    }
   }
   Vector h = cache_.deep_input;
   for (auto& layer : deep_) h = layer.forward(h);
@@ -80,11 +84,30 @@ std::vector<float> WideAndDeep::logits_batch(
       wide[s] += wide_dense_[i] * sample.dense[i];
     }
     for (std::size_t t = 0; t < config_.num_tables; ++t) {
-      std::span<float> slot(row.data() + config_.num_dense + t * D, D);
-      tables_[t].lookup_sum(sample.sparse[t], slot);
       for (std::size_t idx : sample.sparse[t]) {
         ENW_CHECK(idx < config_.rows_per_table);
         wide[s] += wide_[t][idx];
+      }
+    }
+  }
+
+  // Pool the deep embeddings per table through the ragged batch path (which
+  // is where the cache's dedup/prefetch lives), then scatter each pooled
+  // block into its deep-input slice.
+  {
+    std::vector<std::span<const std::size_t>> lists(b);
+    Matrix p(b, D);
+    for (std::size_t t = 0; t < config_.num_tables; ++t) {
+      for (std::size_t s = 0; s < b; ++s) lists[s] = batch[s].sparse[t];
+      if (cached_.empty()) {
+        tables_[t].lookup_sum_batch(lists, p);
+      } else {
+        cached_[t].lookup_sum_batch(lists, p);
+      }
+      for (std::size_t s = 0; s < b; ++s) {
+        const auto src = p.row(s);
+        std::copy(src.begin(), src.end(),
+                  deep_in.row(s).begin() + config_.num_dense + t * D);
       }
     }
   }
@@ -103,6 +126,9 @@ std::vector<float> WideAndDeep::predict_batch(
 }
 
 float WideAndDeep::train_step(const data::ClickSample& sample, float lr) {
+  ENW_CHECK_MSG(cached_.empty(),
+                "disable the embedding cache before training: the cold tiers "
+                "are a frozen quantized snapshot");
   const float logit = forward(sample);
   float dlogit = 0.0f;
   const float loss = nn::binary_cross_entropy_logit(logit, sample.label, dlogit);
@@ -157,6 +183,19 @@ double WideAndDeep::mean_loss(std::span<const data::ClickSample> batch) const {
     total += nn::binary_cross_entropy_logit(logits[s], batch[s].label, g);
   }
   return total / static_cast<double>(batch.size());
+}
+
+void WideAndDeep::enable_embedding_cache(std::size_t hot_rows, int bits) {
+  cached_.clear();
+  cached_.reserve(config_.num_tables);
+  for (const auto& table : tables_) {
+    cached_.emplace_back(QuantizedEmbeddingTable(table, bits), hot_rows);
+  }
+}
+
+const CachedEmbeddingTable& WideAndDeep::embedding_cache(std::size_t t) const {
+  ENW_CHECK_MSG(t < cached_.size(), "embedding cache not enabled");
+  return cached_[t];
 }
 
 std::size_t WideAndDeep::wide_bytes() const {

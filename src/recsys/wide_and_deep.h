@@ -12,6 +12,7 @@
 #include "core/rng.h"
 #include "data/click_log.h"
 #include "nn/dense_layer.h"
+#include "recsys/cached_embedding_table.h"
 #include "recsys/embedding_table.h"
 
 namespace enw::recsys {
@@ -46,6 +47,16 @@ class WideAndDeep {
   std::size_t deep_mlp_bytes() const;
   std::size_t embedding_bytes() const;
 
+  /// Serving-time embedding cache over the *deep* tables (the wide part is a
+  /// scalar-per-value gather — nothing to tier). Same contract as
+  /// Dlrm::enable_embedding_cache: predictions pool from the quantized
+  /// snapshot bitwise-deterministically; train_step is rejected while
+  /// enabled.
+  void enable_embedding_cache(std::size_t hot_rows, int bits = 8);
+  void disable_embedding_cache() { cached_.clear(); }
+  bool embedding_cache_enabled() const { return !cached_.empty(); }
+  const CachedEmbeddingTable& embedding_cache(std::size_t t) const;
+
  private:
   struct Cache {
     Vector deep_input;
@@ -66,6 +77,9 @@ class WideAndDeep {
   // Deep part.
   std::vector<EmbeddingTable> tables_;
   std::vector<nn::DenseLayer> deep_;
+  // Empty unless enable_embedding_cache() was called; mutable because the
+  // cache mutates residency inside the logically-const serving paths.
+  mutable std::vector<CachedEmbeddingTable> cached_;
   Cache cache_;
 };
 

@@ -110,6 +110,32 @@ wide_and_deep_backend(const recsys::WideAndDeep& model) {
   };
 }
 
+/// Serve DLRM through the embedding cache hierarchy (the model must have
+/// enable_embedding_cache() active). The cache mutates residency/recency per
+/// request batch, but the *values* it pools are bitwise-equal to gathering
+/// from the quantized cold tier directly — independent of hit pattern and of
+/// which micro-batch the collator forms — so the serve-vs-offline diff
+/// contract holds exactly as for the uncached adapters. Non-const reference
+/// on purpose: the caller owns a backend that updates cache state.
+inline std::function<std::vector<float>(std::span<const data::ClickSample>)>
+cached_dlrm_backend(recsys::Dlrm& model) {
+  ENW_CHECK_MSG(model.embedding_cache_enabled(),
+                "cached_dlrm_backend: call enable_embedding_cache() first");
+  return [&model](std::span<const data::ClickSample> batch) {
+    return model.predict_batch(batch);
+  };
+}
+
+/// Cached Wide&Deep twin of cached_dlrm_backend; same contract.
+inline std::function<std::vector<float>(std::span<const data::ClickSample>)>
+cached_wide_and_deep_backend(recsys::WideAndDeep& model) {
+  ENW_CHECK_MSG(model.embedding_cache_enabled(),
+                "cached_wide_and_deep_backend: call enable_embedding_cache() first");
+  return [&model](std::span<const data::ClickSample> batch) {
+    return model.predict_batch(batch);
+  };
+}
+
 /// Serve similarity-search labels: collate queries into a Matrix and score
 /// them against the stored memory in one predict_batch call.
 inline std::function<std::vector<std::size_t>(std::span<const Vector>)>

@@ -207,6 +207,58 @@ TEST(Replay, DlrmServedBitwiseMatchesOfflineBatch) {
   }
 }
 
+TEST(Replay, CachedDlrmServedBitwiseMatchesOfflineAcrossThreads) {
+  // The embedding-cache hierarchy mutates residency per micro-batch, but its
+  // determinism contract says values never depend on cache state — so the
+  // served outputs must still diff bitwise against the offline cached
+  // predict_batch reference, whatever the collator's batch boundaries or the
+  // pool size, and across a replay that reuses the warm cache.
+  recsys::DlrmConfig mcfg;
+  mcfg.num_tables = 4;
+  mcfg.rows_per_table = 300;
+  mcfg.embed_dim = 8;
+  mcfg.bottom_hidden = {16};
+  mcfg.top_hidden = {16};
+  Rng mrng(21);
+  recsys::Dlrm model(mcfg, mrng);
+
+  EXPECT_THROW(cached_dlrm_backend(model), std::invalid_argument)
+      << "adapter must reject a model without an enabled cache";
+  model.enable_embedding_cache(/*hot_rows=*/32, /*bits=*/8);
+
+  data::ClickLogConfig lcfg;
+  lcfg.num_dense = mcfg.num_dense;
+  lcfg.num_tables = mcfg.num_tables;
+  lcfg.rows_per_table = mcfg.rows_per_table;
+  const data::ClickLogGenerator gen(lcfg);
+  Rng drng(22);
+  const std::vector<data::ClickSample> samples = gen.batch(32, drng);
+
+  Rng trng(23);
+  const std::vector<TraceEvent> trace = poisson_trace(32, 30000.0, 0, trng);
+  ReplayConfig cfg;
+  cfg.serve.max_batch = 6;
+  cfg.serve.max_wait_ns = 100000;
+  cfg.service_ns = 90000;
+
+  const std::vector<float> offline = model.predict_batch(samples);
+  const auto backend = cached_dlrm_backend(model);
+  for (std::size_t threads : {std::size_t{1}, std::size_t{8}}) {
+    testkit::ThreadScope scope(threads);
+    std::vector<float> served(samples.size(), 0.0f);
+    replay_trace(trace, cfg, [&](std::span<const std::size_t> ids) {
+      std::vector<data::ClickSample> batch;
+      batch.reserve(ids.size());
+      for (std::size_t id : ids) batch.push_back(samples[id]);
+      const std::vector<float> probs = backend(batch);
+      for (std::size_t i = 0; i < ids.size(); ++i) served[ids[i]] = probs[i];
+    });
+    const auto div = first_divergence(as_row(served), as_row(offline));
+    EXPECT_TRUE(div.ok()) << "threads=" << threads << ": " << div.report();
+  }
+  EXPECT_GT(model.embedding_cache(0).hot_hits(), 0u);
+}
+
 TEST(Replay, WideAndDeepServedBitwiseMatchesOfflineBatch) {
   recsys::WideAndDeepConfig mcfg;
   mcfg.num_tables = 4;
