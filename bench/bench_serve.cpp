@@ -10,11 +10,21 @@
 // batching-versus-latency trade-off the TPU study describes — a wider window
 // coalesces bigger batches (throughput) at the cost of queueing time (p99).
 // Each row reports throughput plus p50/p99 reply latency for one
-// (backend, window) point. Regenerate the committed record with:
+// (backend, window) point. Two sharded legs ride along:
+//
+//   dlrm-sharded    live MultiShardServer, 4 DLRM shard replicas from one
+//                   seed, two equal-share tenants — per-TENANT p50/p99 rows
+//                   plus the routed-load imbalance statistic;
+//   replay-sharded  virtual-time sharded replay of a Zipf-keyed two-tenant
+//                   trace (no-op exec) — simulator events/sec, with
+//                   per-tenant percentiles in VIRTUAL time (byte-stable).
+//
+// Regenerate the committed record with:
 //   ./scripts/run_bench_serve.sh           (writes BENCH_serve.json)
 // CI runs `bench_serve --smoke` to catch harness crashes cheaply.
 #include <cstdio>
 #include <cstring>
+#include <memory>
 #include <string>
 #include <thread>
 #include <vector>
@@ -29,7 +39,10 @@
 #include "obs/obs.h"
 #include "recsys/dlrm.h"
 #include "serve/backends.h"
+#include "serve/multi_shard.h"
+#include "serve/replay.h"
 #include "serve/server.h"
+#include "serve/shard_replay.h"
 #include "tensor/matrix.h"
 
 namespace {
@@ -49,6 +62,8 @@ struct Options {
 
 struct Row {
   const char* backend;
+  const char* tenant = "-";  // "-" for the single-tenant legs
+  std::size_t shards = 1;
   std::size_t max_batch = 0;
   std::uint64_t window_us = 0;
   std::size_t clients = 0;
@@ -57,6 +72,7 @@ struct Row {
   double p50_us = 0.0;
   double p99_us = 0.0;
   double mean_batch = 0.0;
+  double imbalance = 0.0;  // max/mean routed load (0 = single server)
 };
 
 Matrix random_matrix(std::size_t r, std::size_t c, unsigned seed) {
@@ -131,14 +147,16 @@ void write_json(const std::string& path, const std::vector<Row>& rows) {
   for (std::size_t i = 0; i < rows.size(); ++i) {
     const Row& r = rows[i];
     std::fprintf(f,
-                 "    {\"backend\": \"%s\", \"max_batch\": %zu, "
+                 "    {\"backend\": \"%s\", \"tenant\": \"%s\", "
+                 "\"shards\": %zu, \"max_batch\": %zu, "
                  "\"window_us\": %llu, \"clients\": %zu, \"requests\": %zu, "
                  "\"throughput_rps\": %.1f, \"p50_us\": %.1f, "
-                 "\"p99_us\": %.1f, \"mean_batch\": %.2f}%s\n",
-                 r.backend, r.max_batch,
+                 "\"p99_us\": %.1f, \"mean_batch\": %.2f, "
+                 "\"imbalance\": %.2f}%s\n",
+                 r.backend, r.tenant, r.shards, r.max_batch,
                  static_cast<unsigned long long>(r.window_us), r.clients,
                  r.requests, r.throughput_rps, r.p50_us, r.p99_us,
-                 r.mean_batch, i + 1 < rows.size() ? "," : "");
+                 r.mean_batch, r.imbalance, i + 1 < rows.size() ? "," : "");
   }
   std::fprintf(f, "  ]\n}\n");
   std::fclose(f);
@@ -209,6 +227,130 @@ int main(int argc, char** argv) {
           clients, per_client_dlrm));
     }
 
+    // Sharded multi-tenant DLRM: per-shard model replicas built from ONE
+    // seed (the numeric-identity invariant), consistent-hash routing on the
+    // first sparse id, two equal-share tenants driven by alternating
+    // clients. Rows are per tenant; imbalance is max/mean routed load.
+    {
+      const std::size_t kShards = opt.smoke ? 2 : 4;
+      std::vector<std::unique_ptr<enw::recsys::Dlrm>> replicas;
+      for (std::size_t s = 0; s < kShards; ++s) {
+        Rng rng(3);
+        replicas.push_back(std::make_unique<enw::recsys::Dlrm>(dlrm_cfg, rng));
+      }
+      enw::serve::MultiShardConfig mcfg;
+      mcfg.shard = window_config(1000);
+      mcfg.num_shards = kShards;
+      enw::serve::TenantPolicy online;
+      online.name = "online";
+      online.queue_share = 0.5;
+      online.admission = enw::serve::AdmissionPolicy::kBlock;
+      enw::serve::TenantPolicy batch = online;
+      batch.name = "batch";
+      mcfg.tenants = {online, batch};
+
+      enw::serve::MultiShardServer<enw::data::ClickSample, float> ms(
+          mcfg,
+          [&](std::size_t s) { return enw::serve::dlrm_backend(*replicas[s]); });
+      enw::bench::Timer t;
+      std::vector<std::thread> workers;
+      for (std::size_t c = 0; c < clients; ++c) {
+        workers.emplace_back([&, c] {
+          for (std::size_t r = 0; r < per_client_dlrm; ++r) {
+            const auto& s = samples[(c * per_client_dlrm + r) % samples.size()];
+            (void)ms.submit(s, enw::serve::click_routing_key(s), c % 2);
+          }
+        });
+      }
+      for (std::thread& w : workers) w.join();
+      const double wall = t.seconds();
+      ms.shutdown();
+
+      const double imbalance = ms.imbalance();
+      const double mean_batch = ms.stats().mean_batch();
+      for (std::size_t ten = 0; ten < 2; ++ten) {
+        const auto rep = ms.tenant_report(ten);
+        Row row;
+        row.backend = "dlrm-sharded";
+        row.tenant = ten == 0 ? "online" : "batch";
+        row.shards = kShards;
+        row.max_batch = mcfg.shard.max_batch;
+        row.window_us = 1000;
+        row.clients = clients / 2;
+        row.requests = rep.completed;
+        row.throughput_rps =
+            wall > 0.0 ? static_cast<double>(rep.completed) / wall : 0.0;
+        row.p50_us = static_cast<double>(rep.p50_ns) / 1000.0;
+        row.p99_us = static_cast<double>(rep.p99_ns) / 1000.0;
+        row.mean_batch = mean_batch;
+        row.imbalance = imbalance;
+        rows.push_back(row);
+      }
+    }
+
+    // Sharded replay simulator throughput: virtual-time events/sec of
+    // replay_sharded itself over a Zipf-keyed two-tenant trace (no-op exec).
+    // Latency percentiles here are VIRTUAL time — identical on every run.
+    {
+      const std::size_t n = opt.smoke ? 20000 : 1000000;
+      Rng trng(7);
+      std::vector<enw::serve::TraceEvent> trace =
+          enw::serve::poisson_trace(n, 1000.0, 0, trng);
+      const enw::ZipfSampler zipf(1000000, 1.05);
+      Rng krng(8);
+      for (std::size_t i = 0; i < n; ++i) {
+        trace[i].key = static_cast<std::uint64_t>(zipf.sample(krng));
+        trace[i].tenant = static_cast<std::uint32_t>(i % 2);
+      }
+      enw::serve::ReplayConfig rcfg;
+      rcfg.serve.max_batch = 32;
+      rcfg.serve.max_wait_ns = 200000;  // 200us window
+      rcfg.serve.queue_capacity = 256;
+      rcfg.service_ns = 20000;
+      enw::serve::TenantPolicy online;
+      online.queue_share = 0.5;
+      online.deadline_ns = 2000000;  // 2ms SLO: backlog sheds, not queues
+      enw::serve::TenantPolicy batch;
+      batch.queue_share = 0.5;
+      rcfg.tenants = {online, batch};
+
+      for (const std::size_t kShards : {std::size_t{1}, std::size_t{4}}) {
+        enw::serve::ShardedReplayConfig scfg;
+        scfg.replay = rcfg;
+        scfg.num_shards = kShards;
+        enw::bench::Timer t;
+        const enw::serve::ShardedReplayResult res = enw::serve::replay_sharded(
+            trace, scfg, [](std::size_t, std::span<const std::size_t>) {});
+        const double wall = t.seconds();
+
+        for (std::uint32_t ten = 0; ten < 2; ++ten) {
+          std::vector<std::uint64_t> lat;
+          for (std::size_t i = 0; i < n; ++i) {
+            if (trace[i].tenant == ten &&
+                res.outcomes[i].status == Status::kOk) {
+              lat.push_back(res.outcomes[i].latency_ns);
+            }
+          }
+          Row row;
+          row.backend = "replay-sharded";
+          row.tenant = ten == 0 ? "online" : "batch";
+          row.shards = kShards;
+          row.max_batch = rcfg.serve.max_batch;
+          row.window_us = rcfg.serve.max_wait_ns / 1000;
+          row.requests = lat.size();
+          row.throughput_rps =
+              wall > 0.0 ? static_cast<double>(n) / wall : 0.0;  // events/s
+          row.p50_us =
+              static_cast<double>(enw::serve::percentile_ns(lat, 50.0)) / 1000.0;
+          row.p99_us =
+              static_cast<double>(enw::serve::percentile_ns(lat, 99.0)) / 1000.0;
+          row.mean_batch = res.stats.mean_batch();
+          row.imbalance = res.imbalance();
+          rows.push_back(row);
+        }
+      }
+    }
+
     // Similarity-search backend.
     enw::mann::ExactSearch index(64, enw::Metric::kCosineSimilarity);
     const Matrix keys = random_matrix(512, 64, 5);
@@ -226,12 +368,15 @@ int main(int argc, char** argv) {
   }
 
   enw::bench::section("serving latency/throughput");
-  enw::bench::Table table({"backend", "window_us", "clients", "throughput_rps",
-                           "p50_us", "p99_us", "mean_batch"});
+  enw::bench::Table table({"backend", "tenant", "shards", "window_us",
+                           "clients", "throughput_rps", "p50_us", "p99_us",
+                           "mean_batch", "imbalance"});
   for (const Row& r : rows) {
-    table.row({r.backend, std::to_string(r.window_us), std::to_string(r.clients),
+    table.row({r.backend, r.tenant, std::to_string(r.shards),
+               std::to_string(r.window_us), std::to_string(r.clients),
                enw::bench::fmt(r.throughput_rps, 0), enw::bench::fmt(r.p50_us, 1),
-               enw::bench::fmt(r.p99_us, 1), enw::bench::fmt(r.mean_batch, 2)});
+               enw::bench::fmt(r.p99_us, 1), enw::bench::fmt(r.mean_batch, 2),
+               enw::bench::fmt(r.imbalance, 2)});
   }
   table.print();
 

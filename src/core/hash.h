@@ -1,0 +1,118 @@
+// Deterministic integer hashing and a consistent-hash ring.
+//
+// Sharded subsystems (request routing in enw::serve, embedding-row
+// partitioning in enw::recsys) need a key -> partition map that is (a) a
+// pure integer function — identical across runs, thread counts, kernel
+// backends, and standard libraries (std::hash is implementation-defined, so
+// it is banned here) — and (b) STABLE under membership change: growing or
+// shrinking the partition set must remap only the ~K/N keys that gain a new
+// owner, never reshuffle the survivors. Modulo hashing fails (b) (changing
+// N remaps almost every key); the classic fix is a consistent-hash ring
+// (Karger et al.): each partition owns many pseudo-random points on a
+// 64-bit ring, and a key belongs to the partition owning the first point
+// clockwise of the key's hash. Virtual nodes (points per partition) trade
+// lookup-table size for load uniformity: the share of ring arc a partition
+// owns concentrates around 1/N as vnodes grow.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "core/check.h"
+
+namespace enw::core {
+
+/// SplitMix64 finalizer: a fast, high-quality 64-bit mix whose output is a
+/// bijection of its input. This is the ONLY integer hash sharded code may
+/// use — never std::hash, whose value is implementation-defined.
+inline std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// Consistent-hash ring over integer member ids. Lookup is a binary search
+/// over the sorted point table; add/remove only insert/erase the member's
+/// own points, which is exactly what bounds remapping to the arcs those
+/// points owned.
+class ConsistentHashRing {
+ public:
+  /// Ring with members 0..members-1, each owning `vnodes` points.
+  explicit ConsistentHashRing(std::size_t members, std::size_t vnodes = 64) {
+    ENW_CHECK_MSG(vnodes > 0, "ring needs at least one vnode per member");
+    vnodes_ = vnodes;
+    for (std::size_t m = 0; m < members; ++m) add(m);
+  }
+
+  std::size_t members() const { return member_count_; }
+  std::size_t vnodes() const { return vnodes_; }
+
+  /// The member owning `key` (first ring point at or clockwise of the
+  /// key's hash, wrapping at the top of the 64-bit space).
+  std::size_t owner(std::uint64_t key) const {
+    ENW_CHECK_MSG(!points_.hash.empty(), "ring has no members");
+    const std::uint64_t h = mix64(key);
+    const auto it =
+        std::lower_bound(points_.hash.begin(), points_.hash.end(), h);
+    const std::size_t i =
+        it == points_.hash.end() ? 0 : static_cast<std::size_t>(
+                                           it - points_.hash.begin());
+    return points_.member[i];
+  }
+
+  /// Add member `m` (its vnode points are a pure function of m, so re-adding
+  /// a removed member restores exactly its old arcs).
+  void add(std::size_t m) {
+    for (std::size_t v = 0; v < vnodes_; ++v) {
+      insert_point(point_hash(m, v), m);
+    }
+    ++member_count_;
+  }
+
+  /// Remove member `m`; its arcs fall to the ring successors.
+  void remove(std::size_t m) {
+    ENW_CHECK_MSG(member_count_ > 1, "cannot remove the last ring member");
+    std::size_t w = 0;
+    for (std::size_t i = 0; i < points_.hash.size(); ++i) {
+      if (points_.member[i] == m) continue;
+      points_.hash[w] = points_.hash[i];
+      points_.member[w] = points_.member[i];
+      ++w;
+    }
+    ENW_CHECK_MSG(w != points_.hash.size(), "member not on the ring");
+    points_.hash.resize(w);
+    points_.member.resize(w);
+    --member_count_;
+  }
+
+ private:
+  static std::uint64_t point_hash(std::size_t m, std::size_t v) {
+    // Mix member and vnode through separate rounds so point sets of
+    // different members are decorrelated.
+    return mix64(mix64(static_cast<std::uint64_t>(m) + 1) ^
+                 (static_cast<std::uint64_t>(v) * 0xd6e8feb86659fd93ULL));
+  }
+
+  void insert_point(std::uint64_t h, std::size_t m) {
+    const auto it =
+        std::lower_bound(points_.hash.begin(), points_.hash.end(), h);
+    const std::size_t i = static_cast<std::size_t>(it - points_.hash.begin());
+    points_.hash.insert(it, h);
+    points_.member.insert(points_.member.begin() +
+                              static_cast<std::ptrdiff_t>(i),
+                          m);
+  }
+
+  // Parallel arrays keep the binary search cache-dense.
+  struct Points {
+    std::vector<std::uint64_t> hash;
+    std::vector<std::size_t> member;
+  };
+  Points points_;
+  std::size_t vnodes_ = 64;
+  std::size_t member_count_ = 0;
+};
+
+}  // namespace enw::core

@@ -153,6 +153,13 @@ void counter_add(const char* name, std::uint64_t delta) {
   detail::thread_buffer().counters[name] += delta;
 }
 
+void counter_add_indexed(const char* base, std::size_t index,
+                         std::uint64_t delta) {
+  if (!enabled() || delta == 0) return;
+  detail::thread_buffer().counters[std::string(base) + "." +
+                                   std::to_string(index)] += delta;
+}
+
 void counter_add(const char* prefix, const perf::OpCounter& ops) {
   if (!enabled()) return;
   const std::string p(prefix);

@@ -104,6 +104,13 @@ class Span {
 /// No-op when the layer is disabled.
 void counter_add(const char* name, std::uint64_t delta);
 
+/// Add `delta` to the counter "<base>.<index>" — the per-shard / per-tenant
+/// form used by the sharded serving layer (e.g. "serve.shard.routed.3").
+/// Index cardinality is expected to be small and bounded (shard and tenant
+/// counts), so the formatted names stay a cheap, finite counter family.
+void counter_add_indexed(const char* base, std::size_t index,
+                         std::uint64_t delta);
+
 /// Record a perf::OpCounter as counters "<prefix>.flops",
 /// "<prefix>.dram_bytes", ... (zero fields are skipped). This is the bridge
 /// between the *analytical* op accounting in src/perf and the *measured*

@@ -1,0 +1,88 @@
+#include "recsys/sharded_table.h"
+
+#include <algorithm>
+
+#include "core/check.h"
+#include "core/rng.h"
+#include "obs/obs.h"
+
+namespace enw::recsys {
+
+ShardedEmbeddingTable::ShardedEmbeddingTable(const EmbeddingTable& source,
+                                             int bits, std::size_t num_shards,
+                                             std::size_t hot_rows,
+                                             std::size_t vnodes)
+    : dim_(source.dim()) {
+  ENW_CHECK_MSG(num_shards > 0, "need at least one shard");
+  const std::size_t rows = source.rows();
+  const core::ConsistentHashRing ring(num_shards, vnodes);
+  shard_of_.resize(rows);
+  local_of_.resize(rows);
+  std::vector<std::vector<std::size_t>> owned(num_shards);
+  for (std::size_t r = 0; r < rows; ++r) {
+    const std::size_t s = ring.owner(static_cast<std::uint64_t>(r));
+    shard_of_[r] = static_cast<std::uint32_t>(s);
+    local_of_[r] = static_cast<std::uint32_t>(owned[s].size());
+    owned[s].push_back(r);
+  }
+
+  // Build each shard's sub-table by copying its rows, then quantize. Row-wise
+  // quantization sees exactly the same row values the full-table quantizer
+  // would, so every shard holds the full table's codes/scales for its rows.
+  shards_.reserve(num_shards);
+  Rng init_rng;  // sub-table init is overwritten row by row below
+  for (std::size_t s = 0; s < num_shards; ++s) {
+    ENW_CHECK_MSG(!owned[s].empty(),
+                  "shard owns no rows; need rows >> shards (or more vnodes)");
+    EmbeddingTable sub(owned[s].size(), dim_, init_rng);
+    Matrix& data = sub.data();
+    for (std::size_t i = 0; i < owned[s].size(); ++i) {
+      const std::span<const float> src = source.row(owned[s][i]);
+      std::copy(src.begin(), src.end(), data.row(i).begin());
+    }
+    shards_.emplace_back(QuantizedEmbeddingTable(sub, bits), hot_rows);
+  }
+  row_scratch_.resize(dim_);
+}
+
+std::size_t ShardedEmbeddingTable::shard_of(std::size_t r) const {
+  ENW_CHECK_MSG(r < shard_of_.size(), "embedding index out of range");
+  return shard_of_[r];
+}
+
+void ShardedEmbeddingTable::lookup_sum(std::span<const std::size_t> indices,
+                                       std::span<float> out) {
+  ENW_CHECK_MSG(out.size() == dim_, "output size mismatch");
+  detail::check_indices(indices, rows());  // reject before any cache mutation
+  std::fill(out.begin(), out.end(), 0.0f);
+  for (std::size_t idx : indices) {
+    // Fetch the owner shard's dequantized row (a one-row pooled lookup is
+    // exactly that row's mul-rounded values), then accumulate in index-list
+    // order — the same add sequence as the unsharded gather.
+    const std::size_t local = local_of_[idx];
+    shards_[shard_of_[idx]].lookup_sum(
+        std::span<const std::size_t>(&local, 1), std::span<float>(row_scratch_));
+    for (std::size_t d = 0; d < dim_; ++d) out[d] += row_scratch_[d];
+  }
+  obs::counter_add("recsys.shard.rows_gathered", indices.size());
+}
+
+std::vector<std::uint64_t> ShardedEmbeddingTable::rows_per_shard() const {
+  std::vector<std::uint64_t> counts(shards_.size(), 0);
+  for (const std::uint32_t s : shard_of_) ++counts[s];
+  return counts;
+}
+
+std::uint64_t ShardedEmbeddingTable::hot_hits() const {
+  std::uint64_t total = 0;
+  for (const CachedEmbeddingTable& s : shards_) total += s.hot_hits();
+  return total;
+}
+
+std::uint64_t ShardedEmbeddingTable::hot_misses() const {
+  std::uint64_t total = 0;
+  for (const CachedEmbeddingTable& s : shards_) total += s.hot_misses();
+  return total;
+}
+
+}  // namespace enw::recsys

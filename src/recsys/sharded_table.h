@@ -1,0 +1,78 @@
+// Consistent-hash partitioning of an embedding table across shards
+// (Sec. V-A: production tables outgrow one node's memory, so the serving
+// tier splits them row-wise and routes each lookup to the row's owner).
+//
+// ShardedEmbeddingTable partitions a source table's rows over N shards with
+// the SAME consistent-hash ring the serve router uses (core/hash.h), so a
+// shard add/remove moves only ~R/N rows — the property that keeps most of
+// every shard's warm cache valid across a resize. Each shard owns a
+// CachedEmbeddingTable (PR 7's multi-tier cache) over its row subset: a
+// quantized cold tier plus an fp32 hot tier sized per shard.
+//
+// Determinism contract: quantization is per-ROW (row-wise symmetric, one
+// scale per row), so a shard's sub-table holds exactly the codes and scale
+// the full-table quantizer would produce for those rows — partitioning
+// changes WHERE a row lives, never its bits. lookup_sum fetches each
+// referenced row from its owner shard and accumulates in index-list order
+// (the same mul-then-add rounding sequence as the unsharded gather, pinned
+// by -ffp-contract=off on this TU), so pooled outputs are bitwise-identical
+// to QuantizedEmbeddingTable(source, bits).lookup_sum on the same indices —
+// for ANY shard count, hit/miss pattern, thread count, or kernel backend.
+// tests/test_embedding_cache.cpp pins this.
+//
+// Not thread-safe (same owner contract as CachedEmbeddingTable): per-shard
+// cache state mutates on lookup. In the sharded deployment each serve shard
+// owns its slice exclusively, which is exactly this contract.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/hash.h"
+#include "recsys/cached_embedding_table.h"
+#include "recsys/embedding_table.h"
+
+namespace enw::recsys {
+
+class ShardedEmbeddingTable {
+ public:
+  /// Partition `source` across num_shards shards, quantizing each shard's
+  /// rows at `bits` (2/4/8) with a hot tier of hot_rows entries PER shard.
+  /// vnodes must match across replicas for identical placement.
+  ShardedEmbeddingTable(const EmbeddingTable& source, int bits,
+                        std::size_t num_shards, std::size_t hot_rows,
+                        std::size_t vnodes = 64);
+
+  std::size_t rows() const { return shard_of_.size(); }
+  std::size_t dim() const { return dim_; }
+  std::size_t num_shards() const { return shards_.size(); }
+
+  /// The shard owning global row `r` (ring placement, not load).
+  std::size_t shard_of(std::size_t r) const;
+
+  const CachedEmbeddingTable& shard(std::size_t s) const { return shards_[s]; }
+
+  /// Sum-pool the rows named by GLOBAL indices into out (out.size() ==
+  /// dim()), bitwise-equal to the unsharded quantized gather. Mutates the
+  /// owner shards' cache state.
+  void lookup_sum(std::span<const std::size_t> indices, std::span<float> out);
+
+  /// Rows placed on each shard — the placement-balance counts the bench's
+  /// imbalance statistic is computed from.
+  std::vector<std::uint64_t> rows_per_shard() const;
+
+  // Aggregate per-reference cache stats across shards.
+  std::uint64_t hot_hits() const;
+  std::uint64_t hot_misses() const;
+
+ private:
+  std::size_t dim_;
+  std::vector<std::uint32_t> shard_of_;  // global row -> owner shard
+  std::vector<std::uint32_t> local_of_;  // global row -> row within owner
+  std::vector<CachedEmbeddingTable> shards_;
+  std::vector<float> row_scratch_;  // one dequantized row during pooling
+};
+
+}  // namespace enw::recsys

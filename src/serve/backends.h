@@ -16,6 +16,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <functional>
 #include <span>
 #include <vector>
@@ -30,6 +31,17 @@
 #include "tensor/matrix.h"
 
 namespace enw::serve {
+
+/// Routing key for sharded recommendation serving (ShardRouter::route): the
+/// first categorical lookup of the first table — the hot/cold entity id
+/// whose embedding locality sharding is meant to exploit. A pure function
+/// of the sample, so routing stays deterministic across runs and replicas;
+/// samples with no sparse features route by key 0. The key is used raw: the
+/// router's ring applies its own mix64, so Zipf-clustered ids still spread.
+inline std::uint64_t click_routing_key(const data::ClickSample& s) {
+  if (s.sparse.empty() || s.sparse.front().empty()) return 0;
+  return static_cast<std::uint64_t>(s.sparse.front().front());
+}
 
 /// Serve MLP logits: collate sample vectors into a Matrix, one infer_batch
 /// GEMM per layer, split the logit rows back out per request.

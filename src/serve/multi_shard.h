@@ -1,0 +1,271 @@
+// Sharded multi-tenant serving front-end (enw::serve::MultiShardServer).
+//
+// Composition of the pieces this layer adds nothing numeric to: a
+// ShardRouter (shard.h) maps each request's routing key to one of N worker
+// shards, each shard is a complete Server<In, Out> (server.h) — its own
+// bounded queue, collator thread, and model-replica backend — and a
+// per-tenant SLO table (TenantPolicy) decides the deadline, backpressure
+// mode, and queue share every submission is held to. The value contract is
+// inherited unchanged: a request's result is computed by whichever shard
+// replica owns its key, through the same batched GEMM paths, so served
+// outputs stay bitwise-equal to the offline reference whatever the routing,
+// batching, or tenant mix (the replicas must be numerically identical,
+// e.g. built from one seed — that is the deployment's job, and what the
+// tests construct).
+//
+// Tenant isolation: each tenant owns a bounded quota of every shard's
+// admission slots (tenant_quota: floor(queue_share * queue_capacity),
+// min 1). The quota gate counts the tenant's OUTSTANDING requests per shard
+// — queued, collated, or executing — which upper-bounds the tenant's queue
+// occupancy, so a tenant saturating its quota can exhaust neither the shard
+// queue nor another tenant's slots. Over-quota behaviour follows the
+// tenant's own admission policy: kReject fails fast with Status::kRejected
+// before touching the shard queue; kBlock waits at the gate until the
+// tenant drops below quota (or shutdown wakes it with Status::kShutdown).
+//
+// Accounting: per-tenant terminal-status counters and completed-request
+// latency samples (p50/p99 via percentile_ns), per-shard routed counts for
+// the load-imbalance statistic, and obs counter families
+// "serve.shard.routed.<s>" / "serve.tenant.<status>.<t>".
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "core/check.h"
+#include "obs/obs.h"
+#include "serve/serve.h"
+#include "serve/server.h"
+#include "serve/shard.h"
+
+namespace enw::serve {
+
+struct MultiShardConfig {
+  ServeConfig shard;              // every shard's Server config
+  std::size_t num_shards = 1;
+  std::size_t vnodes = 64;        // router ring density
+  /// Tenant table; index = tenant id. Empty means one default tenant with
+  /// no deadline, full queue share, and the shard config's admission mode.
+  std::vector<TenantPolicy> tenants;
+};
+
+template <typename In, typename Out>
+class MultiShardServer {
+ public:
+  using BatchFn = typename Server<In, Out>::BatchFn;
+  using Reply = typename Server<In, Out>::Reply;
+  /// Builds shard s's backend — typically a model replica adapter from
+  /// backends.h. Called once per shard at construction.
+  using BackendFactory = std::function<BatchFn(std::size_t shard)>;
+
+  /// Per-tenant terminal-status counts and completed-latency percentiles.
+  struct TenantReport {
+    std::uint64_t submitted = 0;
+    std::uint64_t completed = 0;
+    std::uint64_t rejected = 0;
+    std::uint64_t shed = 0;
+    std::uint64_t errors = 0;
+    std::uint64_t shutdown = 0;
+    std::uint64_t p50_ns = 0;  // over completed requests
+    std::uint64_t p99_ns = 0;
+  };
+
+  MultiShardServer(const MultiShardConfig& cfg, const BackendFactory& factory)
+      : cfg_(normalize(cfg)), router_(cfg_.num_shards, cfg_.vnodes) {
+    ENW_CHECK_MSG(static_cast<bool>(factory), "backend factory must be callable");
+    quotas_.reserve(cfg_.tenants.size());
+    for (const TenantPolicy& t : cfg_.tenants) {
+      quotas_.push_back(tenant_quota(t, cfg_.shard.queue_capacity));
+    }
+    tenants_.reserve(cfg_.tenants.size());
+    for (std::size_t t = 0; t < cfg_.tenants.size(); ++t) {
+      tenants_.push_back(std::make_unique<TenantState>());
+    }
+    shards_.reserve(cfg_.num_shards);
+    for (std::size_t s = 0; s < cfg_.num_shards; ++s) {
+      shards_.push_back(std::make_unique<Shard>(cfg_.shard, factory(s),
+                                                cfg_.tenants.size()));
+    }
+  }
+
+  ~MultiShardServer() { shutdown(); }
+  MultiShardServer(const MultiShardServer&) = delete;
+  MultiShardServer& operator=(const MultiShardServer&) = delete;
+
+  const MultiShardConfig& config() const { return cfg_; }
+  const ShardRouter& router() const { return router_; }
+  std::size_t num_shards() const { return shards_.size(); }
+
+  /// Route by key, hold to the tenant's SLO, and serve on the owning shard.
+  /// Blocks until the request reaches a terminal status (like
+  /// Server::submit). tenant indexes the config's tenant table.
+  Reply submit(const In& input, std::uint64_t key, std::size_t tenant = 0) {
+    ENW_SPAN("serve.shard.submit");
+    ENW_CHECK_MSG(tenant < cfg_.tenants.size(), "unknown tenant id");
+    const TenantPolicy& policy = cfg_.tenants[tenant];
+    const std::size_t s = router_.route(key);
+    Shard& shard = *shards_[s];
+    shard.routed.fetch_add(1, std::memory_order_relaxed);
+    obs::counter_add_indexed("serve.shard.routed", s, 1);
+
+    // Tenant quota gate: bound this tenant's outstanding requests on the
+    // shard BEFORE touching the shard queue, so its over-budget traffic is
+    // turned away (or parked) without consuming shared admission slots.
+    {
+      std::unique_lock<std::mutex> lk(shard.gate_mu);
+      while (shard.outstanding[tenant] >= quotas_[tenant] && !shard.stopping) {
+        if (policy.admission == AdmissionPolicy::kReject) {
+          Reply reply;
+          reply.status = Status::kRejected;
+          record(tenant, reply);
+          obs::counter_add_indexed("serve.tenant.rejected", tenant, 1);
+          return reply;
+        }
+        shard.gate_cv.wait(lk);
+      }
+      if (shard.stopping) {
+        Reply reply;
+        reply.status = Status::kShutdown;
+        record(tenant, reply);
+        return reply;
+      }
+      ++shard.outstanding[tenant];
+    }
+
+    const std::uint64_t deadline =
+        policy.deadline_ns == 0 ? 0 : monotonic_now_ns() + policy.deadline_ns;
+    Reply reply = shard.server.submit(input, deadline, policy.admission);
+
+    {
+      std::lock_guard<std::mutex> lk(shard.gate_mu);
+      --shard.outstanding[tenant];
+      shard.gate_cv.notify_all();
+    }
+    record(tenant, reply);
+    if (reply.status == Status::kTimedOut) {
+      obs::counter_add_indexed("serve.tenant.shed", tenant, 1);
+    } else if (reply.status == Status::kOk) {
+      obs::counter_add_indexed("serve.tenant.completed", tenant, 1);
+    }
+    return reply;
+  }
+
+  /// Stop every shard: gate waiters wake with Status::kShutdown, each shard
+  /// server drains its admitted requests. Idempotent.
+  void shutdown() {
+    for (auto& shard : shards_) {
+      {
+        std::lock_guard<std::mutex> lk(shard->gate_mu);
+        shard->stopping = true;
+        shard->gate_cv.notify_all();
+      }
+      shard->server.shutdown();
+    }
+  }
+
+  TenantReport tenant_report(std::size_t tenant) const {
+    ENW_CHECK_MSG(tenant < tenants_.size(), "unknown tenant id");
+    const TenantState& t = *tenants_[tenant];
+    std::lock_guard<std::mutex> lk(t.mu);
+    TenantReport r = t.report;
+    r.p50_ns = percentile_ns(t.latencies, 50.0);
+    r.p99_ns = percentile_ns(t.latencies, 99.0);
+    return r;
+  }
+
+  /// Requests routed to each shard (admission-gate outcomes included).
+  std::vector<std::uint64_t> routed_per_shard() const {
+    std::vector<std::uint64_t> counts;
+    counts.reserve(shards_.size());
+    for (const auto& s : shards_) {
+      counts.push_back(s->routed.load(std::memory_order_relaxed));
+    }
+    return counts;
+  }
+
+  /// max/mean of routed_per_shard() — the bench's imbalance statistic.
+  double imbalance() const {
+    const std::vector<std::uint64_t> counts = routed_per_shard();
+    return shard_imbalance(counts);
+  }
+
+  ServerStats shard_stats(std::size_t shard) const {
+    ENW_CHECK_MSG(shard < shards_.size(), "unknown shard id");
+    return shards_[shard]->server.stats();
+  }
+
+  /// Sum of every shard server's stats (ServerStats::merge semantics).
+  ServerStats stats() const {
+    ServerStats total;
+    for (const auto& s : shards_) total.merge(s->server.stats());
+    return total;
+  }
+
+ private:
+  struct Shard {
+    Shard(const ServeConfig& cfg, BatchFn fn, std::size_t tenants)
+        : server(cfg, std::move(fn)), outstanding(tenants, 0) {}
+
+    Server<In, Out> server;
+    std::atomic<std::uint64_t> routed{0};
+
+    std::mutex gate_mu;
+    std::condition_variable gate_cv;
+    std::vector<std::size_t> outstanding;  // per tenant
+    bool stopping = false;
+  };
+
+  struct TenantState {
+    mutable std::mutex mu;
+    TenantReport report;
+    std::vector<std::uint64_t> latencies;  // completed requests only
+  };
+
+  static MultiShardConfig normalize(MultiShardConfig cfg) {
+    ENW_CHECK_MSG(cfg.num_shards > 0, "need at least one shard");
+    if (cfg.tenants.empty()) {
+      TenantPolicy def;
+      def.admission = cfg.shard.admission;
+      cfg.tenants.push_back(def);
+    }
+    return cfg;
+  }
+
+  void record(std::size_t tenant, const Reply& reply) {
+    TenantState& t = *tenants_[tenant];
+    std::lock_guard<std::mutex> lk(t.mu);
+    ++t.report.submitted;
+    switch (reply.status) {
+      case Status::kOk:
+        ++t.report.completed;
+        t.latencies.push_back(reply.latency_ns);
+        break;
+      case Status::kRejected:
+        ++t.report.rejected;
+        break;
+      case Status::kTimedOut:
+        ++t.report.shed;
+        break;
+      case Status::kError:
+        ++t.report.errors;
+        break;
+      case Status::kShutdown:
+        ++t.report.shutdown;
+        break;
+    }
+  }
+
+  const MultiShardConfig cfg_;
+  ShardRouter router_;
+  std::vector<std::size_t> quotas_;              // per tenant
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::vector<std::unique_ptr<TenantState>> tenants_;
+};
+
+}  // namespace enw::serve

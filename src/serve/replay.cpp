@@ -26,19 +26,24 @@ void append_ids(std::ostringstream& os, std::span<const std::size_t> ids) {
 
 }  // namespace
 
-std::string ReplayResult::boundary_log() const {
+std::string batch_log_line(std::size_t index, const BatchRecord& rec) {
   std::ostringstream os;
-  for (std::size_t b = 0; b < batches.size(); ++b) {
-    const BatchRecord& rec = batches[b];
-    os << "batch " << b << ": t=" << rec.flush_ns
-       << "ns reason=" << flush_reason_name(rec.reason)
-       << " n=" << rec.executed.size() << " ids=";
-    append_ids(os, rec.executed);
-    os << " shed=";
-    append_ids(os, rec.shed);
-    os << "\n";
-  }
+  os << "batch " << index << ": t=" << rec.flush_ns
+     << "ns reason=" << flush_reason_name(rec.reason)
+     << " n=" << rec.executed.size() << " ids=";
+  append_ids(os, rec.executed);
+  os << " shed=";
+  append_ids(os, rec.shed);
   return os.str();
+}
+
+std::string ReplayResult::boundary_log() const {
+  std::string out;
+  for (std::size_t b = 0; b < batches.size(); ++b) {
+    out += batch_log_line(b, batches[b]);
+    out += "\n";
+  }
+  return out;
 }
 
 ReplayResult replay_trace(std::span<const TraceEvent> trace,
@@ -51,9 +56,34 @@ ReplayResult replay_trace(std::span<const TraceEvent> trace,
                   "trace arrivals must be non-decreasing");
   }
 
+  // Resolve the tenant table: empty config means one default tenant with
+  // the serve config's admission mode and the full queue as its quota —
+  // which reduces every per-tenant check below to the pre-tenancy one.
+  std::vector<TenantPolicy> tenants = cfg.tenants;
+  if (tenants.empty()) {
+    TenantPolicy def;
+    def.admission = cfg.serve.admission;
+    tenants.push_back(def);
+  }
+  std::vector<std::size_t> quota(tenants.size());
+  for (std::size_t t = 0; t < tenants.size(); ++t) {
+    quota[t] = tenant_quota(tenants[t], cfg.serve.queue_capacity);
+  }
+  for (const TraceEvent& e : trace) {
+    ENW_CHECK_MSG(e.tenant < tenants.size(), "trace event names unknown tenant");
+  }
+  // Absolute shed deadline: the event's own stamp wins; otherwise the
+  // tenant's relative SLO deadline counted from arrival (0 = none).
+  const auto deadline_of = [&](std::size_t id) -> std::uint64_t {
+    if (trace[id].deadline_ns != 0) return trace[id].deadline_ns;
+    const std::uint64_t rel = tenants[trace[id].tenant].deadline_ns;
+    return rel == 0 ? 0 : trace[id].arrival_ns + rel;
+  };
+
   ReplayResult result;
   result.outcomes.resize(trace.size());
   result.stats.submitted = trace.size();
+  result.tenant_stats.resize(tenants.size());
 
   struct Queued {
     std::size_t id;
@@ -61,6 +91,7 @@ ReplayResult replay_trace(std::span<const TraceEvent> trace,
   };
   std::deque<Queued> queue;
   std::deque<std::size_t> blocked;  // kBlock arrivals waiting for space
+  std::vector<std::size_t> queued_of(tenants.size(), 0);  // queue slots held
   std::uint64_t exec_free_ns = 0;   // executor available from this instant
   std::uint64_t now = 0;
   std::size_t next = 0;  // next trace event to process
@@ -85,11 +116,19 @@ ReplayResult replay_trace(std::span<const TraceEvent> trace,
       // documented tie rule that makes boundaries a pure trace function.
       now = next_arrival;
       const std::size_t id = next++;
-      if (queue.size() < cfg.serve.queue_capacity) {
+      const std::uint32_t ten = trace[id].tenant;
+      ++result.tenant_stats[ten].submitted;
+      // A tenant is admissible while the shared queue has space AND the
+      // tenant holds fewer slots than its queue-share quota. Over-budget
+      // behaviour follows the TENANT's admission mode, so one tenant's
+      // saturation never turns into another tenant's reject.
+      if (queue.size() < cfg.serve.queue_capacity && queued_of[ten] < quota[ten]) {
         queue.push_back({id, now});
+        ++queued_of[ten];
         result.stats.queue_peak = std::max(result.stats.queue_peak, queue.size());
-      } else if (cfg.serve.admission == AdmissionPolicy::kReject) {
+      } else if (tenants[ten].admission == AdmissionPolicy::kReject) {
         ++result.stats.rejected;
+        ++result.tenant_stats[ten].rejected;
         result.outcomes[id] = {Status::kRejected, now, 0};
       } else {
         blocked.push_back(id);
@@ -112,31 +151,67 @@ ReplayResult replay_trace(std::span<const TraceEvent> trace,
     for (std::size_t i = 0; i < take; ++i) {
       const Queued q = queue.front();
       queue.pop_front();
-      if (deadline_expired(trace[q.id].deadline_ns, now)) {
+      --queued_of[trace[q.id].tenant];
+      if (deadline_expired(deadline_of(q.id), now)) {
         rec.shed.push_back(q.id);
         ++result.stats.shed;
+        ++result.tenant_stats[trace[q.id].tenant].shed;
         result.outcomes[q.id] = {Status::kTimedOut, now,
                                  now - trace[q.id].arrival_ns};
       } else {
         rec.executed.push_back(q.id);
       }
     }
-    // Freed slots admit blocked arrivals FIFO; their window starts now.
-    while (!blocked.empty() && queue.size() < cfg.serve.queue_capacity) {
-      queue.push_back({blocked.front(), now});
-      blocked.pop_front();
-      result.stats.queue_peak = std::max(result.stats.queue_peak, queue.size());
+    // Freed slots admit blocked arrivals FIFO; their window starts now. A
+    // blocked request whose tenant is still at quota is skipped (it keeps
+    // its FIFO position), so an over-budget tenant cannot consume slots the
+    // pops just returned to another tenant.
+    for (auto it = blocked.begin();
+         it != blocked.end() && queue.size() < cfg.serve.queue_capacity;) {
+      const std::uint32_t ten = trace[*it].tenant;
+      if (queued_of[ten] < quota[ten]) {
+        queue.push_back({*it, now});
+        ++queued_of[ten];
+        result.stats.queue_peak = std::max(result.stats.queue_peak, queue.size());
+        it = blocked.erase(it);
+      } else {
+        ++it;
+      }
     }
     if (!rec.executed.empty()) {
-      exec(std::span<const std::size_t>(rec.executed));
+      // Faults: by default an exec exception propagates (the harness makes
+      // no masking promise); mask_exec_faults opts into the live Server's
+      // behaviour — the whole batch resolves kError and replay continues,
+      // with the executor still occupied for the service interval it spent
+      // failing.
+      bool failed = false;
+      if (cfg.mask_exec_faults) {
+        try {
+          exec(std::span<const std::size_t>(rec.executed));
+        } catch (...) {
+          failed = true;
+        }
+      } else {
+        exec(std::span<const std::size_t>(rec.executed));
+      }
       const std::uint64_t complete = now + cfg.service_ns;
       exec_free_ns = complete;
-      for (std::size_t id : rec.executed) {
-        ++result.stats.completed;
-        result.outcomes[id] = {Status::kOk, complete,
-                               complete - trace[id].arrival_ns};
+      if (failed) {
+        result.stats.errors += rec.executed.size();
+        for (std::size_t id : rec.executed) {
+          ++result.tenant_stats[trace[id].tenant].errors;
+          result.outcomes[id] = {Status::kError, complete,
+                                 complete - trace[id].arrival_ns};
+        }
+      } else {
+        for (std::size_t id : rec.executed) {
+          ++result.stats.completed;
+          ++result.tenant_stats[trace[id].tenant].completed;
+          result.outcomes[id] = {Status::kOk, complete,
+                                 complete - trace[id].arrival_ns};
+        }
+        result.stats.record_batch(rec.executed.size());
       }
-      result.stats.record_batch(rec.executed.size());
     }
     if (!rec.executed.empty() || !rec.shed.empty()) {
       result.batches.push_back(std::move(rec));
@@ -159,6 +234,20 @@ std::vector<TraceEvent> poisson_trace(std::size_t n, double mean_gap_ns,
         relative_deadline_ns == 0 ? 0 : t + relative_deadline_ns;
   }
   return trace;
+}
+
+std::vector<std::uint64_t> tenant_latencies(const ReplayResult& result,
+                                            std::span<const TraceEvent> trace,
+                                            std::uint32_t tenant) {
+  ENW_CHECK_MSG(result.outcomes.size() == trace.size(),
+                "outcomes/trace length mismatch");
+  std::vector<std::uint64_t> out;
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    if (trace[i].tenant == tenant && result.outcomes[i].status == Status::kOk) {
+      out.push_back(result.outcomes[i].latency_ns);
+    }
+  }
+  return out;
 }
 
 }  // namespace enw::serve

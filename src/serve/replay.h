@@ -38,13 +38,19 @@
 
 #include "core/rng.h"
 #include "serve/serve.h"
+#include "serve/shard.h"
 
 namespace enw::serve {
 
-/// One scripted request arrival. Timestamps are virtual nanoseconds.
+/// One scripted request arrival. Timestamps are virtual nanoseconds. The
+/// tenant and routing-key fields are appended so single-tenant traces keep
+/// their two-field aggregate initializers: a default event belongs to
+/// tenant 0 and routes by key 0.
 struct TraceEvent {
   std::uint64_t arrival_ns = 0;
   std::uint64_t deadline_ns = 0;  // absolute virtual deadline; 0 = none
+  std::uint64_t key = 0;          // routing key (replay_sharded)
+  std::uint32_t tenant = 0;       // index into ReplayConfig::tenants
 };
 
 struct ReplayConfig {
@@ -52,6 +58,20 @@ struct ReplayConfig {
   /// Virtual executor occupancy per flushed batch. Models the serving-side
   /// head-of-line blocking that lets queues build while a batch runs.
   std::uint64_t service_ns = 0;
+  /// Tenant SLO table, indexed by TraceEvent::tenant. Empty means one
+  /// default tenant (full queue share, no deadline) whose admission mode is
+  /// serve.admission — which makes the single-tenant simulation identical,
+  /// boundary for boundary, to the pre-tenancy harness. A non-empty table
+  /// applies each tenant's admission mode, queue-share quota (the same
+  /// tenant_quota arithmetic the live MultiShardServer uses) and, for
+  /// events with deadline_ns == 0, its relative deadline.
+  std::vector<TenantPolicy> tenants;
+  /// When true, an exception thrown by the exec callback is absorbed the way
+  /// the live Server absorbs a BatchFn throw: every request of that batch
+  /// gets Status::kError and the simulation keeps going (the shard-death
+  /// campaign in test_serve_fault.cpp runs this mode). When false (default)
+  /// exceptions propagate, as before.
+  bool mask_exec_faults = false;
 };
 
 /// One simulated flush, in flush order.
@@ -73,11 +93,20 @@ struct ReplayResult {
   std::vector<RequestOutcome> outcomes;  // one per trace event
   std::vector<BatchRecord> batches;
   ServerStats stats;
+  /// Per-tenant slice of stats (submitted/completed/rejected/shed/errors;
+  /// batch fields stay zero — batches are shared). One entry per resolved
+  /// tenant, so a single default entry when ReplayConfig::tenants is empty.
+  std::vector<ServerStats> tenant_stats;
 
   /// Canonical one-line-per-batch rendering ("batch 0: t=...ns reason=size
   /// n=3 ids=[0,1,2] shed=[]"). Tests diff this string to pin boundaries.
   std::string boundary_log() const;
 };
+
+/// One canonical boundary-log line (no trailing newline) — the shared
+/// renderer behind ReplayResult::boundary_log and the sharded log, which
+/// feeds it batch records remapped to global request ids.
+std::string batch_log_line(std::size_t index, const BatchRecord& rec);
 
 /// Executes the surviving requests of one batch; ids index into the trace.
 /// The caller owns request payloads and output storage — replay only decides
@@ -95,5 +124,11 @@ ReplayResult replay_trace(std::span<const TraceEvent> trace,
 std::vector<TraceEvent> poisson_trace(std::size_t n, double mean_gap_ns,
                                       std::uint64_t relative_deadline_ns,
                                       Rng& rng);
+
+/// Completed-request latencies of one tenant, in trace order — the sample
+/// the per-tenant p50/p99 rows are computed from (percentile_ns).
+std::vector<std::uint64_t> tenant_latencies(const ReplayResult& result,
+                                            std::span<const TraceEvent> trace,
+                                            std::uint32_t tenant);
 
 }  // namespace enw::serve

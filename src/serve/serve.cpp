@@ -71,6 +71,23 @@ void ServerStats::record_batch(std::size_t size) {
   ++batch_size_hist[bucket];
 }
 
+void ServerStats::merge(const ServerStats& other) {
+  submitted += other.submitted;
+  completed += other.completed;
+  rejected += other.rejected;
+  shed += other.shed;
+  errors += other.errors;
+  batches += other.batches;
+  executed_requests += other.executed_requests;
+  queue_peak = std::max(queue_peak, other.queue_peak);
+  if (batch_size_hist.size() < other.batch_size_hist.size()) {
+    batch_size_hist.resize(other.batch_size_hist.size(), 0);
+  }
+  for (std::size_t b = 0; b < other.batch_size_hist.size(); ++b) {
+    batch_size_hist[b] += other.batch_size_hist[b];
+  }
+}
+
 std::uint64_t percentile_ns(std::vector<std::uint64_t> sample, double p) {
   if (sample.empty()) return 0;
   ENW_CHECK_MSG(p >= 0.0 && p <= 100.0, "percentile out of range");

@@ -105,6 +105,11 @@ struct ServerStats {
 
   /// Record one executed batch of `size` requests (size > 0).
   void record_batch(std::size_t size);
+  /// Fold another stats block into this one: counters sum, histogram
+  /// buckets align and sum, queue_peak takes the max. This is how the
+  /// sharded layers (multi_shard.h, shard_replay.h) aggregate per-shard and
+  /// per-tenant stats into one view.
+  void merge(const ServerStats& other);
   /// Mean executed batch size (0 when no batch ran).
   double mean_batch() const {
     return batches == 0 ? 0.0

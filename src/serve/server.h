@@ -65,6 +65,14 @@ class Server {
   /// request whose deadline has passed when its batch is collated is shed
   /// with Status::kTimedOut instead of being executed.
   Reply submit(const In& input, std::uint64_t deadline_ns = 0) {
+    return submit(input, deadline_ns, cfg_.admission);
+  }
+
+  /// submit() with a per-request backpressure mode overriding the server
+  /// config — the seam the multi-tenant front-end (multi_shard.h) uses to
+  /// give each tenant its own full-queue behaviour on a shared shard queue.
+  Reply submit(const In& input, std::uint64_t deadline_ns,
+               AdmissionPolicy admission) {
     ENW_SPAN("serve.enqueue");
     const std::uint64_t arrival = monotonic_now_ns();
     Pending node;
@@ -80,7 +88,7 @@ class Server {
       }
       ++stats_.submitted;
       while (queue_.size() >= cfg_.queue_capacity && !stopping_) {
-        if (cfg_.admission == AdmissionPolicy::kReject) {
+        if (admission == AdmissionPolicy::kReject) {
           ++stats_.rejected;
           obs::counter_add("serve.rejected", 1);
           reply.status = Status::kRejected;

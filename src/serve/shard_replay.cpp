@@ -1,0 +1,86 @@
+#include "serve/shard_replay.h"
+
+#include "core/check.h"
+#include "obs/obs.h"
+
+namespace enw::serve {
+
+std::vector<std::uint64_t> ShardedReplayResult::routed_per_shard() const {
+  std::vector<std::uint64_t> counts;
+  counts.reserve(shard_ids.size());
+  for (const auto& ids : shard_ids) counts.push_back(ids.size());
+  return counts;
+}
+
+double ShardedReplayResult::imbalance() const {
+  const std::vector<std::uint64_t> counts = routed_per_shard();
+  return shard_imbalance(counts);
+}
+
+std::string ShardedReplayResult::boundary_log() const {
+  std::string out;
+  for (std::size_t s = 0; s < shards.size(); ++s) {
+    out += "shard " + std::to_string(s) + ":\n";
+    const std::vector<std::size_t>& to_global = shard_ids[s];
+    for (std::size_t b = 0; b < shards[s].batches.size(); ++b) {
+      BatchRecord rec = shards[s].batches[b];  // copy, then remap ids
+      for (std::size_t& id : rec.executed) id = to_global[id];
+      for (std::size_t& id : rec.shed) id = to_global[id];
+      out += batch_log_line(b, rec);
+      out += "\n";
+    }
+  }
+  return out;
+}
+
+ShardedReplayResult replay_sharded(std::span<const TraceEvent> trace,
+                                   const ShardedReplayConfig& cfg,
+                                   const ShardedReplayExec& exec) {
+  ENW_SPAN("serve.replay.sharded");
+  ENW_CHECK_MSG(cfg.num_shards > 0, "need at least one shard");
+
+  ShardedReplayResult result;
+  result.outcomes.resize(trace.size());
+  result.shard_of.resize(trace.size());
+  result.shard_ids.resize(cfg.num_shards);
+
+  // Route and split. Trace order is preserved within each shard, so every
+  // sub-trace inherits the non-decreasing arrival invariant.
+  const ShardRouter router(cfg.num_shards, cfg.vnodes);
+  std::vector<std::vector<TraceEvent>> sub(cfg.num_shards);
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    const std::size_t s = router.route(trace[i].key);
+    result.shard_of[i] = s;
+    result.shard_ids[s].push_back(i);
+    sub[s].push_back(trace[i]);
+  }
+
+  // Replay each shard independently; the exec shim translates the shard's
+  // local batch ids to global trace indices.
+  result.shards.reserve(cfg.num_shards);
+  std::vector<std::size_t> global_ids;
+  for (std::size_t s = 0; s < cfg.num_shards; ++s) {
+    const std::vector<std::size_t>& to_global = result.shard_ids[s];
+    const auto shim = [&](std::span<const std::size_t> local) {
+      global_ids.clear();
+      for (std::size_t id : local) global_ids.push_back(to_global[id]);
+      exec(s, std::span<const std::size_t>(global_ids));
+    };
+    result.shards.push_back(
+        replay_trace(std::span<const TraceEvent>(sub[s]), cfg.replay, shim));
+    const ReplayResult& shard = result.shards.back();
+    for (std::size_t i = 0; i < to_global.size(); ++i) {
+      result.outcomes[to_global[i]] = shard.outcomes[i];
+    }
+    result.stats.merge(shard.stats);
+    if (result.tenant_stats.size() < shard.tenant_stats.size()) {
+      result.tenant_stats.resize(shard.tenant_stats.size());
+    }
+    for (std::size_t t = 0; t < shard.tenant_stats.size(); ++t) {
+      result.tenant_stats[t].merge(shard.tenant_stats[t]);
+    }
+  }
+  return result;
+}
+
+}  // namespace enw::serve

@@ -1,0 +1,74 @@
+// Deterministic sharded load replay — the cross-shard determinism seam.
+//
+// replay_sharded() extends the single-server virtual-time simulation
+// (replay.h) to the sharded deployment (shard.h / multi_shard.h): the trace
+// is split by a ShardRouter into per-shard sub-traces (arrival order is
+// preserved, so each sub-trace stays non-decreasing), and every shard runs
+// its own independent replay_trace over its slice — its own queue, flush
+// policy, virtual executor, and tenant quotas. Shards share no virtual
+// state, exactly like the live deployment where each shard has its own
+// collator; cross-shard interleaving therefore cannot affect boundaries.
+//
+// Everything reported — the per-shard boundary log (global request ids),
+// every typed outcome, routed counts and the imbalance statistic, merged
+// and per-tenant stats — is a pure function of (trace, config, shard
+// count): bitwise/byte identical across runs, thread counts, and kernel
+// backends. With num_shards == 1 the sub-trace IS the trace, so the single
+// shard's boundaries, outcomes, and stats are exactly what replay_trace
+// produces — the sharded harness reduces to the plain one (its boundary_log
+// is the plain log under one "shard 0:" header). tests/test_determinism.cpp
+// pins both properties over DLRM Zipf traffic.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "serve/replay.h"
+#include "serve/shard.h"
+
+namespace enw::serve {
+
+struct ShardedReplayConfig {
+  /// Every shard's replay config (queue, flush policy, tenants, faults).
+  ReplayConfig replay;
+  std::size_t num_shards = 1;
+  std::size_t vnodes = 64;  // router ring density (must match deployment)
+};
+
+/// Executes the surviving requests of one batch on `shard`; ids are GLOBAL
+/// trace indices (the caller's payload storage needs no per-shard view).
+/// Exception behaviour follows ReplayConfig::mask_exec_faults.
+using ShardedReplayExec =
+    std::function<void(std::size_t shard, std::span<const std::size_t> ids)>;
+
+struct ShardedReplayResult {
+  std::vector<RequestOutcome> outcomes;  // one per trace event (global)
+  std::vector<std::size_t> shard_of;     // routing decision per trace event
+  std::vector<ReplayResult> shards;      // per-shard results (LOCAL ids)
+  std::vector<std::vector<std::size_t>> shard_ids;  // local id -> global id
+  ServerStats stats;                     // merged across shards
+  std::vector<ServerStats> tenant_stats; // merged across shards
+
+  /// Requests routed to each shard (== shard_ids[s].size()).
+  std::vector<std::uint64_t> routed_per_shard() const;
+  /// max/mean of routed_per_shard() (shard_imbalance).
+  double imbalance() const;
+
+  /// Canonical per-shard boundary log: a "shard <s>:" header per shard
+  /// followed by that shard's batch lines with ids remapped to global trace
+  /// indices. Byte-identical across runs/threads/backends; with one shard
+  /// it is "shard 0:\n" + the plain replay_trace boundary_log().
+  std::string boundary_log() const;
+};
+
+/// Route, split, and replay the trace over num_shards independent virtual
+/// shards. Requires trace arrivals to be non-decreasing.
+ShardedReplayResult replay_sharded(std::span<const TraceEvent> trace,
+                                   const ShardedReplayConfig& cfg,
+                                   const ShardedReplayExec& exec);
+
+}  // namespace enw::serve

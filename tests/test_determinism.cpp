@@ -8,7 +8,9 @@
 #include <gtest/gtest.h>
 
 #include <cstdint>
+#include <memory>
 #include <span>
+#include <string>
 #include <tuple>
 #include <vector>
 
@@ -23,6 +25,9 @@
 #include "nn/digital_linear.h"
 #include "nn/mlp.h"
 #include "recsys/dlrm.h"
+#include "serve/backends.h"
+#include "serve/replay.h"
+#include "serve/shard_replay.h"
 #include "testkit/diff.h"
 
 namespace enw {
@@ -150,6 +155,110 @@ TEST(Determinism, DlrmServeAndTrainBitwiseAcrossSeedsAndThreads) {
       EXPECT_TRUE(div.ok())
           << "seed " << seed << " " << name << ": " << div.report();
     }
+  }
+}
+
+struct ShardedReplayRun {
+  std::vector<float> probs;  // one served probability per request, trace order
+  std::string log;           // canonical per-shard boundary log
+  std::uint64_t completed = 0;
+};
+
+/// Replay a Zipf-keyed DLRM trace through the sharded harness: one model
+/// replica per shard, every replica built from the same seed (the sharded
+/// deployment's numeric-identity invariant).
+ShardedReplayRun run_sharded_dlrm_replay(
+    std::uint64_t seed, std::size_t threads, std::size_t shards,
+    std::span<const data::ClickSample> samples,
+    std::span<const serve::TraceEvent> trace) {
+  testkit::ThreadScope scope(threads);
+  recsys::DlrmConfig cfg;
+  cfg.num_tables = 4;
+  cfg.rows_per_table = 300;
+  cfg.embed_dim = 8;
+  cfg.bottom_hidden = {16};
+  cfg.top_hidden = {16};
+  std::vector<std::unique_ptr<recsys::Dlrm>> replicas;
+  for (std::size_t s = 0; s < shards; ++s) {
+    Rng rng(seed);
+    replicas.push_back(std::make_unique<recsys::Dlrm>(cfg, rng));
+  }
+
+  serve::ShardedReplayConfig scfg;
+  scfg.replay.serve.max_batch = 8;
+  scfg.replay.serve.max_wait_ns = 100000;
+  scfg.replay.service_ns = 50000;
+  scfg.num_shards = shards;
+
+  ShardedReplayRun run;
+  run.probs.assign(samples.size(), 0.0f);
+  const serve::ShardedReplayResult result = serve::replay_sharded(
+      trace, scfg, [&](std::size_t shard, std::span<const std::size_t> ids) {
+        std::vector<data::ClickSample> batch;
+        batch.reserve(ids.size());
+        for (std::size_t id : ids) batch.push_back(samples[id]);
+        const std::vector<float> probs = replicas[shard]->predict_batch(batch);
+        for (std::size_t i = 0; i < ids.size(); ++i) {
+          run.probs[ids[i]] = probs[i];
+        }
+      });
+  run.log = result.boundary_log();
+  run.completed = result.stats.completed;
+  return run;
+}
+
+// The sharded-serving leg of the contract: replaying a Zipf-keyed DLRM trace
+// through consistent-hash sharding is bitwise-stable across thread counts
+// (identical boundary logs AND served outputs for shards {1, 4}) and every
+// served output matches the offline predict_batch reference for ANY shard
+// count — partitioning moves requests between replicas, never changes a bit.
+TEST(Determinism, ShardedDlrmReplayBitwiseAcrossThreadsAndShardCounts) {
+  const std::size_t n = 48;
+  data::ClickLogConfig log_cfg;
+  log_cfg.num_tables = 4;
+  log_cfg.rows_per_table = 300;
+  const data::ClickLogGenerator gen(log_cfg);
+  Rng data_rng(13);
+  const std::vector<data::ClickSample> samples = gen.batch(n, data_rng);
+
+  Rng trace_rng(14);
+  std::vector<serve::TraceEvent> trace =
+      serve::poisson_trace(n, 30000.0, 0, trace_rng);
+  for (std::size_t i = 0; i < n; ++i) {
+    trace[i].key = serve::click_routing_key(samples[i]);
+  }
+
+  // Offline reference: one replica, whole trace as a single batch.
+  const std::vector<float> offline = [&] {
+    testkit::ThreadScope scope(1);
+    recsys::DlrmConfig cfg;
+    cfg.num_tables = 4;
+    cfg.rows_per_table = 300;
+    cfg.embed_dim = 8;
+    cfg.bottom_hidden = {16};
+    cfg.top_hidden = {16};
+    Rng rng(1);
+    return recsys::Dlrm(cfg, rng).predict_batch(samples);
+  }();
+
+  for (const std::size_t shards : {std::size_t{1}, std::size_t{4}}) {
+    const ShardedReplayRun base =
+        run_sharded_dlrm_replay(1, 1, shards, samples, trace);
+    const ShardedReplayRun wide =
+        run_sharded_dlrm_replay(1, 8, shards, samples, trace);
+    EXPECT_EQ(base.completed, n) << "shards " << shards;
+    EXPECT_EQ(base.log, wide.log)
+        << "shards " << shards << ": batch boundaries moved with ENW_THREADS";
+    const auto div =
+        first_divergence(as_row(std::span<const float>(base.probs)),
+                         as_row(std::span<const float>(wide.probs)));
+    EXPECT_TRUE(div.ok()) << "shards " << shards << ": " << div.report();
+    const auto off_div =
+        first_divergence(as_row(std::span<const float>(base.probs)),
+                         as_row(std::span<const float>(offline)));
+    EXPECT_TRUE(off_div.ok())
+        << "shards " << shards
+        << " diverged from the offline reference: " << off_div.report();
   }
 }
 

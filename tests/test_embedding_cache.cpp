@@ -25,6 +25,7 @@
 #include "recsys/cached_embedding_table.h"
 #include "recsys/dlrm.h"
 #include "recsys/embedding_table.h"
+#include "recsys/sharded_table.h"
 #include "recsys/wide_and_deep.h"
 #include "tensor/matrix.h"
 #include "testkit/diff.h"
@@ -246,6 +247,77 @@ TEST(CachedEmbeddingTable, HitRateTracksAnalyticalLruModelOnZipfTrace) {
   // recency order slightly; it cannot change steady-state behavior more).
   EXPECT_NEAR(cache.hot_hit_rate(), model.hit_rate(), 0.02);
   EXPECT_GT(cache.hot_hit_rate(), 0.3);
+}
+
+// --- ShardedEmbeddingTable (consistent-hash row partitioning) ----------------
+
+TEST(ShardedEmbeddingTable, PooledLookupsBitwiseMatchUnshardedQuantizedGather) {
+  const EmbeddingTable source = make_table(500, 24, 20);
+  for (int bits : {8, 4, 2}) {
+    const QuantizedEmbeddingTable unsharded(source, bits);
+    for (const std::size_t shards : {std::size_t{1}, std::size_t{4}}) {
+      ShardedEmbeddingTable table(source, bits, shards, /*hot_rows=*/16);
+      ASSERT_EQ(table.rows(), source.rows());
+      ASSERT_EQ(table.dim(), source.dim());
+      const auto lists = make_lists(150, table.rows(), 21);
+      Vector sharded_out(table.dim()), flat(table.dim());
+      for (const auto& list : lists) {
+        table.lookup_sum(list, sharded_out);
+        unsharded.lookup_sum(list, flat);
+        ASSERT_EQ(0, std::memcmp(sharded_out.data(), flat.data(),
+                                 flat.size() * sizeof(float)))
+            << "bits=" << bits << " shards=" << shards;
+      }
+      // Re-pooling warm repeats the identical bytes: per-shard cache state
+      // is invisible to values.
+      for (const auto& list : lists) {
+        table.lookup_sum(list, sharded_out);
+        unsharded.lookup_sum(list, flat);
+        ASSERT_EQ(0, std::memcmp(sharded_out.data(), flat.data(),
+                                 flat.size() * sizeof(float)))
+            << "warm bits=" << bits << " shards=" << shards;
+      }
+      EXPECT_GT(table.hot_hits(), 0u);
+    }
+  }
+}
+
+TEST(ShardedEmbeddingTable, PlacementPartitionsEveryRowExactlyOnce) {
+  const std::size_t rows = 2000;
+  const std::size_t shards = 4;
+  const EmbeddingTable source = make_table(rows, 8, 22);
+  const ShardedEmbeddingTable table(source, 8, shards, /*hot_rows=*/8);
+
+  const std::vector<std::uint64_t> per_shard = table.rows_per_shard();
+  ASSERT_EQ(per_shard.size(), shards);
+  std::uint64_t total = 0;
+  for (std::size_t s = 0; s < shards; ++s) {
+    EXPECT_GT(per_shard[s], 0u) << "shard " << s << " owns no rows";
+    EXPECT_EQ(per_shard[s], table.shard(s).rows());
+    total += per_shard[s];
+  }
+  EXPECT_EQ(total, rows);
+  // shard_of agrees with the per-shard counts (the placement map is the
+  // single source of truth both derive from).
+  std::vector<std::uint64_t> recount(shards, 0);
+  for (std::size_t r = 0; r < rows; ++r) ++recount[table.shard_of(r)];
+  EXPECT_EQ(recount, per_shard);
+  EXPECT_THROW(table.shard_of(rows), std::invalid_argument);
+}
+
+TEST(ShardedEmbeddingTable, OutOfRangeIndexRejectsBeforeAnyShardMutation) {
+  const EmbeddingTable source = make_table(100, 8, 23);
+  ShardedEmbeddingTable table(source, 8, 2, /*hot_rows=*/8);
+  const auto warm = make_lists(16, table.rows(), 24);
+  Vector out(table.dim());
+  for (const auto& list : warm) table.lookup_sum(list, out);
+
+  const std::uint64_t hits = table.hot_hits();
+  const std::uint64_t misses = table.hot_misses();
+  const std::vector<std::size_t> bad = {0, 5, table.rows()};
+  EXPECT_THROW(table.lookup_sum(bad, out), std::invalid_argument);
+  EXPECT_EQ(table.hot_hits(), hits);
+  EXPECT_EQ(table.hot_misses(), misses);
 }
 
 TEST(Dlrm, CachedPredictionsIndependentOfHotCapacityAndTrainingRejected) {

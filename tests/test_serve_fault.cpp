@@ -11,10 +11,19 @@
 //   kPoolDelay  — pool workers stall before each chunk, stretching the
 //                 execute phase; everything still completes with correct
 //                 (bitwise-reference) results.
+//
+// The sharded replay harness runs its own campaign here: a shard dying
+// mid-trace (every exec on it throwing after its first batch) must yield
+// typed kError outcomes for exactly that shard's post-death requests,
+// bitwise-reference results everywhere else, and a byte-reproducible
+// incident report (boundary log + status counts) across identical runs.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstring>
 #include <new>
+#include <stdexcept>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -24,6 +33,7 @@
 #include "serve/backends.h"
 #include "serve/replay.h"
 #include "serve/server.h"
+#include "serve/shard_replay.h"
 #include "tensor/matrix.h"
 #include "testkit/fault.h"
 
@@ -145,6 +155,114 @@ TEST(ServeFault, PoolDelayMidBatchStillCompletesEveryRequest) {
   EXPECT_EQ(stats.completed, n);
   EXPECT_EQ(stats.errors, 0u);
   EXPECT_EQ(stats.shed, 0u);
+}
+
+// --- shard-death campaign (replay_sharded + mask_exec_faults) ---------------
+
+/// One deterministic run of the campaign: shard kDead serves its first batch
+/// and then dies (every later exec on it throws). mask_exec_faults turns each
+/// failed batch into typed kError outcomes, live-Server style, and the other
+/// shards keep serving. Returns everything a byte-reproducibility diff needs.
+struct ShardDeathRun {
+  std::string report;               // boundary log + status/count summary
+  std::vector<Status> statuses;     // per request, trace order
+  Matrix outputs;                   // per request, zero rows for kError
+  std::vector<std::size_t> shard_of;
+  std::size_t dead_batches = 0;     // batches the dead shard was offered
+};
+
+ShardDeathRun run_shard_death_campaign(const nn::Mlp& net, const Matrix& inputs,
+                                       std::span<const TraceEvent> trace,
+                                       std::size_t dead_shard) {
+  ShardedReplayConfig scfg;
+  scfg.replay.serve.max_batch = 4;
+  scfg.replay.serve.max_wait_ns = 100000;
+  scfg.replay.service_ns = 50000;
+  scfg.replay.mask_exec_faults = true;
+  scfg.num_shards = 4;
+
+  ShardDeathRun run;
+  run.outputs = Matrix(trace.size(), 10);  // zero-filled; kError rows stay 0
+  const auto backend = mlp_logits_backend(net);
+  std::vector<std::size_t> batches_on(scfg.num_shards, 0);
+
+  const ShardedReplayResult result = replay_sharded(
+      trace, scfg, [&](std::size_t shard, std::span<const std::size_t> ids) {
+        ++batches_on[shard];
+        if (shard == dead_shard && batches_on[shard] > 1) {
+          throw std::runtime_error("shard died mid-trace");
+        }
+        std::vector<Vector> batch;
+        for (std::size_t id : ids) {
+          batch.emplace_back(inputs.row(id).begin(), inputs.row(id).end());
+        }
+        const std::vector<Vector> outs = backend(batch);
+        for (std::size_t i = 0; i < ids.size(); ++i) {
+          std::copy(outs[i].begin(), outs[i].end(), run.outputs.row(ids[i]).begin());
+        }
+      });
+
+  run.statuses.reserve(result.outcomes.size());
+  for (const RequestOutcome& o : result.outcomes) run.statuses.push_back(o.status);
+  run.shard_of = result.shard_of;
+  run.dead_batches = batches_on[dead_shard];
+  run.report = result.boundary_log();
+  run.report += "completed=" + std::to_string(result.stats.completed) +
+                " errors=" + std::to_string(result.stats.errors) +
+                " rejected=" + std::to_string(result.stats.rejected) +
+                " shed=" + std::to_string(result.stats.shed) + "\n";
+  return run;
+}
+
+TEST(ServeFault, DeadShardYieldsTypedErrorsOnlyForItsRequests) {
+  const std::size_t n = 64;
+  const std::size_t kDead = 2;
+  const nn::Mlp net = make_mlp(7);
+  const Matrix inputs = random_inputs(n, 64, 8);
+  const Matrix offline = net.infer_batch(inputs);
+
+  std::vector<TraceEvent> trace(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    trace[i].arrival_ns = 5000 * i;
+    trace[i].key = i * 2654435761ULL;  // spread keys across the ring
+  }
+
+  const ShardDeathRun run = run_shard_death_campaign(net, inputs, trace, kDead);
+  ASSERT_GE(run.dead_batches, 2u)
+      << "the dead shard never got a second batch — the fault never fired";
+
+  // Typed-error containment: kError exactly on the dead shard's post-death
+  // requests; every other request completes with the bitwise offline result.
+  std::size_t errors = 0;
+  std::size_t dead_shard_oks = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    ASSERT_TRUE(run.statuses[i] == Status::kOk ||
+                run.statuses[i] == Status::kError)
+        << "id " << i << ": " << status_name(run.statuses[i]);
+    if (run.statuses[i] == Status::kError) {
+      ++errors;
+      EXPECT_EQ(run.shard_of[i], kDead)
+          << "id " << i << " got kError but was not routed to the dead shard";
+    } else {
+      dead_shard_oks += run.shard_of[i] == kDead ? 1 : 0;
+      EXPECT_EQ(std::memcmp(run.outputs.row(i).data(), offline.row(i).data(),
+                            offline.cols() * sizeof(float)),
+                0)
+          << "id " << i << " completed with a non-reference result";
+    }
+  }
+  EXPECT_GE(errors, 1u);
+  EXPECT_GE(dead_shard_oks, 1u)
+      << "the dead shard's pre-death batch should have completed";
+
+  // Byte-reproducible report: a second identical run produces the identical
+  // boundary log, summary line, statuses, and output bytes.
+  const ShardDeathRun rerun = run_shard_death_campaign(net, inputs, trace, kDead);
+  EXPECT_EQ(rerun.report, run.report);
+  EXPECT_EQ(rerun.statuses, run.statuses);
+  EXPECT_EQ(std::memcmp(rerun.outputs.data(), run.outputs.data(),
+                        run.outputs.size() * sizeof(float)),
+            0);
 }
 
 TEST(ServeFault, ReplayPropagatesBackendFailureLoudly) {
