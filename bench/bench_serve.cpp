@@ -17,11 +17,15 @@
 //                   plus the routed-load imbalance statistic;
 //   replay-sharded  virtual-time sharded replay of a Zipf-keyed two-tenant
 //                   trace (no-op exec) — simulator events/sec, with
-//                   per-tenant percentiles in VIRTUAL time (byte-stable).
+//                   per-tenant percentiles in VIRTUAL time (byte-stable);
+//   mlp-hotswap     the mlp leg with one mid-drive Server::swap_backend to a
+//                   second build — reports the swap call's latency and the
+//                   requests in flight across the version boundary.
 //
 // Regenerate the committed record with:
 //   ./scripts/run_bench_serve.sh           (writes BENCH_serve.json)
 // CI runs `bench_serve --smoke` to catch harness crashes cheaply.
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <memory>
@@ -73,6 +77,8 @@ struct Row {
   double p99_us = 0.0;
   double mean_batch = 0.0;
   double imbalance = 0.0;  // max/mean routed load (0 = single server)
+  double swap_us = 0.0;    // swap_backend() call latency (hot-swap leg only)
+  std::size_t in_flight_at_swap = 0;  // admitted-but-unfinished at the swap
 };
 
 Matrix random_matrix(std::size_t r, std::size_t c, unsigned seed) {
@@ -152,11 +158,13 @@ void write_json(const std::string& path, const std::vector<Row>& rows) {
                  "\"window_us\": %llu, \"clients\": %zu, \"requests\": %zu, "
                  "\"throughput_rps\": %.1f, \"p50_us\": %.1f, "
                  "\"p99_us\": %.1f, \"mean_batch\": %.2f, "
-                 "\"imbalance\": %.2f}%s\n",
+                 "\"imbalance\": %.2f, \"swap_us\": %.1f, "
+                 "\"in_flight_at_swap\": %zu}%s\n",
                  r.backend, r.tenant, r.shards, r.max_batch,
                  static_cast<unsigned long long>(r.window_us), r.clients,
                  r.requests, r.throughput_rps, r.p50_us, r.p99_us,
-                 r.mean_batch, r.imbalance, i + 1 < rows.size() ? "," : "");
+                 r.mean_batch, r.imbalance, r.swap_us, r.in_flight_at_swap,
+                 i + 1 < rows.size() ? "," : "");
   }
   std::fprintf(f, "  ]\n}\n");
   std::fclose(f);
@@ -207,6 +215,72 @@ int main(int argc, char** argv) {
       rows.push_back(drive<Vector, Vector>(
           "mlp", window_config(w), enw::serve::mlp_logits_backend(net),
           mlp_inputs, clients, per_client_mlp));
+    }
+
+    // Hot-swap leg: the same MLP traffic, but mid-drive the backend is
+    // swapped to a second (differently-seeded, same-shape) build via
+    // Server::swap_backend. The atomicity claims — no drops, no mixed
+    // batches, in-flight batch finishes on the old version — are pinned by
+    // tests; this leg prices the operation: the swap call's latency and how
+    // many admitted requests were in flight across the boundary.
+    {
+      Rng swap_rng(9);
+      const enw::nn::Mlp net_v1(mlp_cfg,
+                                enw::nn::DigitalLinear::factory(swap_rng));
+      const ServeConfig cfg = window_config(1000);
+      Server<Vector, Vector> srv(cfg, enw::serve::mlp_logits_backend(net));
+      std::vector<std::vector<std::uint64_t>> lat(clients);
+      enw::bench::Timer t;
+      std::vector<std::thread> workers;
+      for (std::size_t c = 0; c < clients; ++c) {
+        workers.emplace_back([&, c] {
+          lat[c].reserve(per_client_mlp);
+          for (std::size_t r = 0; r < per_client_mlp; ++r) {
+            const Vector& x =
+                mlp_inputs[(c * per_client_mlp + r) % mlp_inputs.size()];
+            const auto reply = srv.submit(x);
+            if (reply.status == Status::kOk) lat[c].push_back(reply.latency_ns);
+          }
+        });
+      }
+      // Swap once roughly half the traffic has executed, so both versions
+      // serve under load.
+      const std::uint64_t half =
+          static_cast<std::uint64_t>(clients * per_client_mlp) / 2;
+      while (srv.stats().executed_requests < half) std::this_thread::yield();
+      const ServerStats at_swap = srv.stats();
+      enw::bench::Timer swap_t;
+      srv.swap_backend(enw::serve::mlp_logits_backend(net_v1), 1);
+      const double swap_s = swap_t.seconds();
+      for (std::thread& w : workers) w.join();
+      const double wall = t.seconds();
+      srv.shutdown();
+
+      std::vector<std::uint64_t> all;
+      for (const auto& v : lat) all.insert(all.end(), v.begin(), v.end());
+      std::sort(all.begin(), all.end());
+      const ServerStats stats = srv.stats();
+
+      Row row;
+      row.backend = "mlp-hotswap";
+      row.max_batch = cfg.max_batch;
+      row.window_us = 1000;
+      row.clients = clients;
+      row.requests = all.size();
+      row.throughput_rps =
+          wall > 0.0 ? static_cast<double>(all.size()) / wall : 0.0;
+      row.p50_us =
+          static_cast<double>(enw::serve::percentile_sorted_ns(all, 50.0)) /
+          1000.0;
+      row.p99_us =
+          static_cast<double>(enw::serve::percentile_sorted_ns(all, 99.0)) /
+          1000.0;
+      row.mean_batch = stats.mean_batch();
+      row.swap_us = swap_s * 1e6;
+      row.in_flight_at_swap = static_cast<std::size_t>(
+          at_swap.submitted - at_swap.completed - at_swap.rejected -
+          at_swap.shed - at_swap.errors);
+      rows.push_back(row);
     }
 
     // DLRM CTR backend.
@@ -370,13 +444,13 @@ int main(int argc, char** argv) {
   enw::bench::section("serving latency/throughput");
   enw::bench::Table table({"backend", "tenant", "shards", "window_us",
                            "clients", "throughput_rps", "p50_us", "p99_us",
-                           "mean_batch", "imbalance"});
+                           "mean_batch", "imbalance", "swap_us"});
   for (const Row& r : rows) {
     table.row({r.backend, r.tenant, std::to_string(r.shards),
                std::to_string(r.window_us), std::to_string(r.clients),
                enw::bench::fmt(r.throughput_rps, 0), enw::bench::fmt(r.p50_us, 1),
                enw::bench::fmt(r.p99_us, 1), enw::bench::fmt(r.mean_batch, 2),
-               enw::bench::fmt(r.imbalance, 2)});
+               enw::bench::fmt(r.imbalance, 2), enw::bench::fmt(r.swap_us, 1)});
   }
   table.print();
 

@@ -1,0 +1,205 @@
+// Versioned model artifact format with zero-copy mmap loading.
+//
+// Jouppi et al.'s TPU retrospective (PAPERS.md) argues that datacenter
+// inference is dominated by deployment mechanics — how fast a model version
+// can be loaded, verified, and put in front of traffic — at least as much as
+// by kernel speed. This file is that layer: a single-file binary format a
+// trained model is saved into once and served from many times.
+//
+// File layout (all integers little-endian):
+//
+//   offset  size  field
+//   ------  ----  -----------------------------------------------
+//        0     8  magic "ENWMODEL"
+//        8     4  format_version (u32, currently 1)
+//       12     4  model_kind     (u32, see kind constants below)
+//       16     8  checksum       (u64; CRC32 of bytes [24, file_size))
+//       24     8  index_offset   (u64, always 64 in v1)
+//       32     8  index_bytes    (u64)
+//       40     8  blob_offset    (u64, 64-byte aligned)
+//       48     8  blob_bytes     (u64; blob_offset + blob_bytes == file_size)
+//       56     4  tensor_count   (u32)
+//       60     4  meta_count     (u32)
+//       64     -  index: tensor_count tensor records, then meta_count
+//                 key/value string pairs (see artifact.cpp)
+//        -     -  zero padding to blob_offset
+//        -     -  weight blobs, each starting on a 64-byte boundary
+//
+// The 64-byte alignment of every blob is the load-bearing property: a loader
+// can mmap the file read-only and hand models *pointers into the mapping* —
+// no copy, no deserialization pass, page-cache-warm across processes — and
+// those pointers satisfy the strictest alignment any kernel backend wants
+// (AVX-512 loads, cacheline-disjoint parallel reads). The checksum makes
+// corruption loud: a truncated or bit-flipped artifact throws a typed
+// ArtifactError at open(), before any model state exists.
+//
+// Floats are stored as raw IEEE-754 bytes (never text), which is what makes
+// save → load → predict bitwise-reproducible.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace enw::artifact {
+
+inline constexpr char kMagic[8] = {'E', 'N', 'W', 'M', 'O', 'D', 'E', 'L'};
+inline constexpr std::uint32_t kFormatVersion = 1;
+inline constexpr std::size_t kHeaderBytes = 64;
+inline constexpr std::size_t kBlobAlign = 64;
+
+/// Model kinds (the `model_kind` header field).
+inline constexpr std::uint32_t kKindMlp = 1;
+inline constexpr std::uint32_t kKindQatMlp = 2;
+inline constexpr std::uint32_t kKindDlrm = 3;
+inline constexpr std::uint32_t kKindWideAndDeep = 4;
+
+enum class ArtifactErrorCode {
+  kIo,                // open/stat/read/write/rename failed
+  kTruncated,         // file shorter than its own header claims
+  kBadMagic,          // not an ENWMODEL file
+  kFutureVersion,     // format_version newer than this build understands
+  kChecksumMismatch,  // stored CRC32 disagrees with the bytes
+  kMisaligned,        // a blob offset breaks the 64-byte contract
+  kBadIndex,          // index record overruns / inconsistent sizes
+  kMissingTensor,     // model loader asked for a tensor/meta key not present
+  kBadShape,          // tensor present but wrong dtype/shape for the model
+  kWrongKind,         // artifact holds a different model kind
+};
+
+const char* to_string(ArtifactErrorCode code);
+
+/// Every artifact failure is this one typed exception — callers that must
+/// keep serving on a bad artifact (hot-swap) catch it specifically instead
+/// of swallowing all std::exception.
+class ArtifactError : public std::runtime_error {
+ public:
+  ArtifactError(ArtifactErrorCode code, const std::string& message);
+  ArtifactErrorCode code() const { return code_; }
+
+ private:
+  ArtifactErrorCode code_;
+};
+
+enum class DType : std::uint32_t {
+  kF32 = 0,  // rows x cols float32, row-major
+  kS8 = 1,   // opaque int8/byte payload (packed quantized codes); rows ==
+             // byte count, cols == 1
+};
+
+/// Non-owning view of one stored tensor. `data` points into the artifact's
+/// storage (mmap or owned buffer) and is valid as long as the Artifact is.
+struct TensorView {
+  DType dtype = DType::kF32;
+  std::uint64_t rows = 0;
+  std::uint64_t cols = 0;
+  const std::byte* data = nullptr;
+  std::size_t nbytes = 0;
+
+  std::span<const float> f32() const;
+  std::span<const std::int8_t> s8() const;
+};
+
+enum class LoadMode {
+  kMap,    // mmap the file read-only; zero-copy views into the page cache
+  kOwned,  // read into an owned heap buffer (no fd/mapping kept)
+};
+
+/// A validated, opened artifact. All validation (magic, version, checksum,
+/// index bounds, blob alignment) happens inside open(); a constructed
+/// Artifact is known-good. shared_ptr because zero-copy-loaded models and
+/// hot-swapped server backends need it to outlive arbitrary readers.
+class Artifact {
+ public:
+  static std::shared_ptr<const Artifact> open(const std::string& path,
+                                              LoadMode mode = LoadMode::kMap);
+
+  ~Artifact();
+  Artifact(const Artifact&) = delete;
+  Artifact& operator=(const Artifact&) = delete;
+
+  std::uint32_t format_version() const { return format_version_; }
+  std::uint32_t model_kind() const { return model_kind_; }
+  /// The stored CRC32 (validated against the bytes at open()).
+  std::uint32_t checksum() const { return checksum_; }
+  std::size_t file_bytes() const { return size_; }
+  LoadMode load_mode() const { return mode_; }
+
+  bool has_tensor(const std::string& name) const;
+  /// Throws ArtifactError{kMissingTensor} when absent.
+  TensorView tensor(const std::string& name) const;
+  std::vector<std::string> tensor_names() const;
+
+  bool has_meta(const std::string& key) const;
+  /// Throws ArtifactError{kMissingTensor} when absent.
+  const std::string& meta(const std::string& key) const;
+  /// meta() parsed as a decimal u64; throws kBadIndex on garbage.
+  std::uint64_t meta_u64(const std::string& key) const;
+
+ private:
+  Artifact() = default;
+  void parse(const std::string& path);
+
+  struct TensorRec {
+    DType dtype;
+    std::uint64_t rows;
+    std::uint64_t cols;
+    std::uint64_t offset;  // absolute file offset, 64-byte aligned
+    std::uint64_t nbytes;
+  };
+
+  LoadMode mode_ = LoadMode::kMap;
+  const std::byte* base_ = nullptr;  // start of file bytes (mapping or buffer)
+  std::size_t size_ = 0;
+  void* map_ = nullptr;  // munmap target when mode_ == kMap
+  std::vector<std::byte> owned_;
+
+  std::uint32_t format_version_ = 0;
+  std::uint32_t model_kind_ = 0;
+  std::uint32_t checksum_ = 0;
+  std::map<std::string, TensorRec> tensors_;
+  std::map<std::string, std::string> meta_;
+};
+
+/// Streaming writer: stage tensors + metadata, then write() the whole file
+/// atomically (temp file in the same directory + std::rename), so a crashed
+/// or concurrent writer can never leave a half-written artifact under the
+/// published name — a torn write surfaces as a missing file, not a corrupt
+/// one.
+class ArtifactWriter {
+ public:
+  explicit ArtifactWriter(std::uint32_t model_kind) : model_kind_(model_kind) {}
+
+  /// Stage a row-major f32 tensor (copies the data).
+  void add_f32(const std::string& name, const float* data, std::uint64_t rows,
+               std::uint64_t cols);
+  /// Stage an opaque byte payload (packed quantized codes).
+  void add_s8(const std::string& name, const std::int8_t* data, std::uint64_t nbytes);
+  /// Stage a string metadata pair. Only integers/enums/names belong here —
+  /// floats must be stored as f32 tensors to keep round-trips bitwise.
+  void add_meta(const std::string& key, const std::string& value);
+  void add_meta_u64(const std::string& key, std::uint64_t value);
+
+  /// Serialize, checksum, and atomically publish to `path`.
+  void write(const std::string& path) const;
+
+ private:
+  struct Staged {
+    std::string name;
+    DType dtype;
+    std::uint64_t rows;
+    std::uint64_t cols;
+    std::vector<std::byte> bytes;
+  };
+
+  std::uint32_t model_kind_;
+  std::vector<Staged> tensors_;
+  std::vector<std::pair<std::string, std::string>> meta_;
+};
+
+}  // namespace enw::artifact

@@ -1,0 +1,87 @@
+#include "artifact/registry.h"
+
+namespace enw::artifact {
+
+std::uint64_t ModelRegistry::publish(const std::string& name, const std::string& path) {
+  // Full open: every format/integrity check runs before the lock is taken,
+  // so a bad artifact throws without ever appearing in the catalog.
+  const auto a = Artifact::open(path, LoadMode::kMap);
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& versions = entries_[name];
+  Entry e;
+  e.path = path;
+  e.version = versions.empty() ? 1 : versions.back().version + 1;
+  e.model_kind = a->model_kind();
+  e.checksum = a->checksum();
+  versions.push_back(e);
+  return e.version;
+}
+
+ModelRegistry::Entry ModelRegistry::get_locked(const std::string& name,
+                                               std::uint64_t version) const {
+  const auto it = entries_.find(name);
+  if (it == entries_.end()) {
+    throw ArtifactError(ArtifactErrorCode::kMissingTensor,
+                        "no published model named '" + name + "'");
+  }
+  for (const Entry& e : it->second) {
+    if (e.version == version) return e;
+  }
+  throw ArtifactError(ArtifactErrorCode::kMissingTensor,
+                      "model '" + name + "' has no version " +
+                          std::to_string(version));
+}
+
+std::uint64_t ModelRegistry::latest_version(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = entries_.find(name);
+  if (it == entries_.end() || it->second.empty()) {
+    throw ArtifactError(ArtifactErrorCode::kMissingTensor,
+                        "no published model named '" + name + "'");
+  }
+  return it->second.back().version;
+}
+
+ModelRegistry::Entry ModelRegistry::get(const std::string& name,
+                                        std::uint64_t version) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return get_locked(name, version);
+}
+
+std::vector<std::uint64_t> ModelRegistry::versions(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::uint64_t> out;
+  const auto it = entries_.find(name);
+  if (it != entries_.end()) {
+    out.reserve(it->second.size());
+    for (const Entry& e : it->second) out.push_back(e.version);
+  }
+  return out;
+}
+
+void ModelRegistry::verify(const std::string& name, std::uint64_t version) const {
+  open(name, version, LoadMode::kMap);
+}
+
+std::shared_ptr<const Artifact> ModelRegistry::open(const std::string& name,
+                                                    std::uint64_t version,
+                                                    LoadMode mode) const {
+  Entry e;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    e = get_locked(name, version);
+  }
+  // Artifact::open revalidates the file checksum against its own header;
+  // comparing against the publish-time record additionally catches the file
+  // being *replaced* with a different (self-consistent) artifact.
+  const auto a = Artifact::open(e.path, mode);
+  if (a->checksum() != e.checksum) {
+    throw ArtifactError(ArtifactErrorCode::kChecksumMismatch,
+                        "model '" + name + "' v" + std::to_string(version) +
+                            ": file at " + e.path +
+                            " no longer matches its published checksum");
+  }
+  return a;
+}
+
+}  // namespace enw::artifact

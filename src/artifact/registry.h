@@ -1,0 +1,74 @@
+// ModelRegistry: named, versioned catalog of published artifacts.
+//
+// The deployment loop the serve layer runs is: train → save artifact →
+// publish(name, path) → swap the named model's latest version into the
+// server. The registry is the piece that makes "latest version of model X"
+// a well-defined, integrity-checked question:
+//
+//   - publish() opens and fully validates the artifact (magic, version,
+//     checksum, index) before it is ever listed — a corrupt file cannot be
+//     published, so every registered version was readable at publish time.
+//   - Versions are assigned monotonically per name starting at 1. Old
+//     versions stay listed (rollback is "swap version N-1 back in").
+//   - verify() re-reads the file and recomputes the checksum against the
+//     one recorded at publish time, catching on-disk rot or an overwritten
+//     path between publish and (re-)load.
+//
+// In-process only: the registry maps names to paths; artifact files are the
+// durable state. Thread-safe — servers hot-swap from it while publishers
+// add versions.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "artifact/artifact.h"
+
+namespace enw::artifact {
+
+class ModelRegistry {
+ public:
+  struct Entry {
+    std::string path;
+    std::uint64_t version = 0;
+    std::uint32_t model_kind = 0;
+    std::uint32_t checksum = 0;  // CRC32 recorded at publish time
+  };
+
+  /// Validate and list the artifact at `path` as the next version of `name`.
+  /// Returns the assigned version (1, 2, ...). Throws ArtifactError (and
+  /// publishes nothing) if the file fails any format/integrity check.
+  std::uint64_t publish(const std::string& name, const std::string& path);
+
+  /// Highest published version of `name`; throws kMissingTensor-coded
+  /// ArtifactError when the name is unknown.
+  std::uint64_t latest_version(const std::string& name) const;
+
+  /// Entry for (name, version); throws when absent.
+  Entry get(const std::string& name, std::uint64_t version) const;
+
+  /// All versions of `name`, ascending (empty when the name is unknown).
+  std::vector<std::uint64_t> versions(const std::string& name) const;
+
+  /// Re-read the artifact file and require its checksum (recomputed over the
+  /// bytes by Artifact::open) to equal the one recorded at publish. Throws
+  /// kChecksumMismatch if the file changed or rotted since publish.
+  void verify(const std::string& name, std::uint64_t version) const;
+
+  /// Open (and re-validate) the stored artifact for (name, version). Also
+  /// enforces the publish-time checksum like verify().
+  std::shared_ptr<const Artifact> open(const std::string& name,
+                                       std::uint64_t version,
+                                       LoadMode mode = LoadMode::kMap) const;
+
+ private:
+  Entry get_locked(const std::string& name, std::uint64_t version) const;
+
+  mutable std::mutex mu_;
+  std::map<std::string, std::vector<Entry>> entries_;  // ascending by version
+};
+
+}  // namespace enw::artifact

@@ -1,0 +1,39 @@
+#include "core/checksum.h"
+
+#include <array>
+
+namespace enw::core {
+namespace {
+
+// Reflected CRC32 table for polynomial 0xEDB88320, built once at static
+// init. 256 entries x 4 bytes; the classic byte-at-a-time Sarwate loop is
+// plenty for load-time integrity checks (~1 GB/s), and keeping it scalar
+// means the checksum is identical under every kernel backend and sanitizer.
+std::array<std::uint32_t, 256> make_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1u) ? (0xEDB88320u ^ (c >> 1)) : (c >> 1);
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+const std::array<std::uint32_t, 256>& table() {
+  static const std::array<std::uint32_t, 256> t = make_table();
+  return t;
+}
+
+}  // namespace
+
+std::uint32_t crc32_update(std::uint32_t state, std::span<const std::byte> data) {
+  const auto& t = table();
+  for (std::byte b : data) {
+    state = t[(state ^ static_cast<std::uint32_t>(b)) & 0xFFu] ^ (state >> 8);
+  }
+  return state;
+}
+
+}  // namespace enw::core

@@ -1,0 +1,46 @@
+// CRC32 integrity checksum (enw::core).
+//
+// The model-artifact subsystem (src/artifact) stores a checksum of every
+// file's index + weight blobs so a truncated or bit-flipped artifact is
+// rejected loudly at load instead of silently serving corrupted weights —
+// the deployment-side failure mode the TPU paper's availability argument is
+// about. CRC32 (IEEE 802.3 polynomial, reflected 0xEDB88320) is the standard
+// storage-integrity choice: cheap enough to run over multi-GB embedding
+// blobs at load time, and guaranteed to catch any single burst error up to
+// 32 bits, which covers the realistic artifact corruptions (truncation,
+// torn write, single-sector damage).
+//
+// The implementation is table-driven and incremental: crc32_update lets a
+// writer fold header, index, and blob regions in as it emits them without
+// buffering the whole file. Plain byte arithmetic — the value is independent
+// of endianness, alignment, thread count, and kernel backend.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+namespace enw::core {
+
+/// Fold `data` into a running CRC32. Start from crc32_init(), finish with
+/// crc32_final(). Chaining update calls over consecutive chunks yields
+/// exactly the CRC of their concatenation.
+std::uint32_t crc32_update(std::uint32_t state, std::span<const std::byte> data);
+
+/// Initial state of the running CRC (all-ones preconditioning).
+constexpr std::uint32_t crc32_init() { return 0xFFFFFFFFu; }
+
+/// Final value from a running state (post-inversion).
+constexpr std::uint32_t crc32_final(std::uint32_t state) { return state ^ 0xFFFFFFFFu; }
+
+/// One-shot CRC32 of a buffer ("123456789" -> 0xCBF43926).
+inline std::uint32_t crc32(std::span<const std::byte> data) {
+  return crc32_final(crc32_update(crc32_init(), data));
+}
+
+/// Convenience overload over raw memory.
+inline std::uint32_t crc32(const void* data, std::size_t bytes) {
+  return crc32(std::span<const std::byte>(static_cast<const std::byte*>(data), bytes));
+}
+
+}  // namespace enw::core

@@ -15,6 +15,14 @@ Mlp::Mlp(const MlpConfig& config, const LinearOpsFactory& factory) {
   }
 }
 
+Mlp::Mlp(std::vector<DenseLayer> layers) : layers_(std::move(layers)) {
+  ENW_CHECK_MSG(!layers_.empty(), "MLP needs at least one layer");
+  for (std::size_t i = 0; i + 1 < layers_.size(); ++i) {
+    ENW_CHECK_MSG(layers_[i].out_dim() == layers_[i + 1].in_dim(),
+                  "layer dimension chain mismatch");
+  }
+}
+
 Vector Mlp::forward(std::span<const float> x) {
   Vector h(x.begin(), x.end());
   for (auto& layer : layers_) h = layer.forward(h);

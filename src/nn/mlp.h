@@ -25,6 +25,10 @@ class Mlp {
  public:
   Mlp(const MlpConfig& config, const LinearOpsFactory& factory);
 
+  /// Rebuild from fully-formed layers (artifact load). The layers must form
+  /// a chain: layer i's out_dim equals layer i+1's in_dim.
+  explicit Mlp(std::vector<DenseLayer> layers);
+
   std::size_t input_dim() const { return layers_.front().in_dim(); }
   std::size_t output_dim() const { return layers_.back().out_dim(); }
   std::size_t layer_count() const { return layers_.size(); }

@@ -76,6 +76,29 @@ QatMlp::QatMlp(const QatConfig& config, Rng& rng) : config_(config) {
   cache_.resize(L);
 }
 
+QatMlp::QatMlp(const QatConfig& config, std::vector<Matrix> weights,
+               std::vector<Vector> biases, std::span<const float> pact_alphas)
+    : config_(config), weights_(std::move(weights)), biases_(std::move(biases)) {
+  ENW_CHECK_MSG(config.dims.size() >= 2, "QatMlp needs at least two dims");
+  const std::size_t L = config.dims.size() - 1;
+  ENW_CHECK_MSG(weights_.size() == L && biases_.size() == L,
+                "QatMlp layer count mismatch");
+  ENW_CHECK_MSG(pact_alphas.size() == L - 1, "QatMlp PACT alpha count mismatch");
+  for (std::size_t i = 0; i < L; ++i) {
+    ENW_CHECK_MSG(weights_[i].rows() == config.dims[i + 1] &&
+                      weights_[i].cols() == config.dims[i] &&
+                      biases_[i].size() == config.dims[i + 1],
+                  "QatMlp layer shape mismatch");
+  }
+  for (std::size_t i = 0; i + 1 < L; ++i) {
+    PactActivation p;
+    p.bits = config.act_bits;
+    p.alpha = pact_alphas[i];
+    pacts_.push_back(p);
+  }
+  cache_.resize(L);
+}
+
 int QatMlp::layer_weight_bits(std::size_t i) const {
   const std::size_t L = weights_.size();
   if (config_.high_precision_edges && (i == 0 || i + 1 == L)) return 8;

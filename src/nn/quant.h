@@ -54,8 +54,21 @@ class QatMlp {
  public:
   QatMlp(const QatConfig& config, Rng& rng);
 
+  /// Rebuild from stored state (artifact load): fp32 master weights + biases
+  /// per layer, and the learned PACT alpha per hidden layer. Shapes must
+  /// match config.dims. Weight matrices may be borrowed zero-copy views, in
+  /// which case train_step throws via the Matrix borrow guard.
+  QatMlp(const QatConfig& config, std::vector<Matrix> weights,
+         std::vector<Vector> biases, std::span<const float> pact_alphas);
+
   std::size_t input_dim() const { return config_.dims.front(); }
   std::size_t output_dim() const { return config_.dims.back(); }
+
+  /// Stored-state accessors (artifact save).
+  const QatConfig& config() const { return config_; }
+  std::size_t num_layers() const { return weights_.size(); }
+  const Matrix& weight(std::size_t i) const { return weights_.at(i); }
+  const Vector& bias(std::size_t i) const { return biases_.at(i); }
 
   /// Logits with quantized weights/activations.
   Vector forward(std::span<const float> x);

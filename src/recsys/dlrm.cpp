@@ -82,6 +82,27 @@ Dlrm::Dlrm(const DlrmConfig& config, Rng& rng) : config_(config) {
   }
 }
 
+Dlrm::Dlrm(const DlrmConfig& config, std::vector<nn::DenseLayer> bottom,
+           std::vector<nn::DenseLayer> top, std::vector<EmbeddingTable> tables)
+    : config_(config),
+      bottom_(std::move(bottom)),
+      top_(std::move(top)),
+      tables_(std::move(tables)) {
+  ENW_CHECK(config.num_tables > 0 && config.embed_dim > 0);
+  ENW_CHECK_MSG(!bottom_.empty() && !top_.empty(), "DLRM needs both MLP stacks");
+  ENW_CHECK_MSG(bottom_.front().in_dim() == config.num_dense &&
+                    bottom_.back().out_dim() == config.embed_dim,
+                "DLRM bottom MLP shape mismatch");
+  ENW_CHECK_MSG(top_.front().in_dim() == interaction_dim() &&
+                    top_.back().out_dim() == 1,
+                "DLRM top MLP shape mismatch");
+  ENW_CHECK_MSG(tables_.size() == config.num_tables, "DLRM table count mismatch");
+  for (const auto& t : tables_) {
+    ENW_CHECK_MSG(t.rows() == config.rows_per_table && t.dim() == config.embed_dim,
+                  "DLRM table shape mismatch");
+  }
+}
+
 std::size_t Dlrm::interaction_dim() const {
   const std::size_t n = config_.num_tables + 1;  // pooled vectors + bottom output
   return config_.embed_dim + n * (n - 1) / 2;
@@ -295,6 +316,19 @@ void Dlrm::enable_embedding_cache(std::size_t hot_rows, int bits) {
   for (const auto& table : tables_) {
     cached_.emplace_back(QuantizedEmbeddingTable(table, bits), hot_rows);
   }
+}
+
+void Dlrm::enable_embedding_cache(std::vector<QuantizedEmbeddingTable> cold,
+                                  std::size_t hot_rows) {
+  ENW_CHECK_MSG(cold.size() == config_.num_tables,
+                "cold tier count must match table count");
+  for (const auto& c : cold) {
+    ENW_CHECK_MSG(c.rows() == config_.rows_per_table && c.dim() == config_.embed_dim,
+                  "cold tier shape mismatch");
+  }
+  cached_.clear();
+  cached_.reserve(cold.size());
+  for (auto& c : cold) cached_.emplace_back(std::move(c), hot_rows);
 }
 
 const CachedEmbeddingTable& Dlrm::embedding_cache(std::size_t t) const {

@@ -43,7 +43,16 @@ class Dlrm {
  public:
   Dlrm(const DlrmConfig& config, Rng& rng);
 
+  /// Rebuild from stored parts (artifact load). Layer and table shapes must
+  /// match the config; weights may be borrowed zero-copy views, in which
+  /// case train_step throws via the Matrix borrow guard.
+  Dlrm(const DlrmConfig& config, std::vector<nn::DenseLayer> bottom,
+       std::vector<nn::DenseLayer> top, std::vector<EmbeddingTable> tables);
+
   const DlrmConfig& config() const { return config_; }
+
+  const std::vector<nn::DenseLayer>& bottom() const { return bottom_; }
+  const std::vector<nn::DenseLayer>& top() const { return top_; }
 
   /// Dimensionality of the interaction vector feeding the top MLP.
   std::size_t interaction_dim() const;
@@ -80,6 +89,12 @@ class Dlrm {
   /// order or hit pattern — and train_step is rejected, because the cold
   /// tiers are a frozen snapshot the fp32 tables would silently diverge from.
   void enable_embedding_cache(std::size_t hot_rows, int bits = 8);
+  /// Cache from pre-built cold tiers (artifact load): installs the stored
+  /// quantized snapshots directly instead of re-quantizing the fp32 tables,
+  /// so a loaded model's cold tiers are byte-identical to the saved ones.
+  /// One tier per table, each matching (rows_per_table, embed_dim).
+  void enable_embedding_cache(std::vector<QuantizedEmbeddingTable> cold,
+                              std::size_t hot_rows);
   void disable_embedding_cache() { cached_.clear(); }
   bool embedding_cache_enabled() const { return !cached_.empty(); }
   /// Per-table cache (stats / model-comparison access); cache must be enabled.

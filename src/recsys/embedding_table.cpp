@@ -38,6 +38,11 @@ EmbeddingTable::EmbeddingTable(std::size_t rows, std::size_t dim, Rng& rng)
   ENW_CHECK(rows > 0 && dim > 0);
 }
 
+EmbeddingTable::EmbeddingTable(Matrix table) : table_(std::move(table)) {
+  ENW_CHECK_MSG(table_.rows() > 0 && table_.cols() > 0,
+                "embedding table must be non-empty");
+}
+
 void EmbeddingTable::lookup_sum(std::span<const std::size_t> indices,
                                 std::span<float> out) const {
   ENW_CHECK_MSG(out.size() == dim(), "output size mismatch");
@@ -73,12 +78,53 @@ void EmbeddingTable::apply_gradient(std::span<const std::size_t> indices,
   }
 }
 
+std::size_t QuantizedEmbeddingTable::packed_code_bytes(std::size_t rows,
+                                                       std::size_t dim, int bits) {
+  ENW_CHECK_MSG(bits == 2 || bits == 4 || bits == 8, "bits must be 2, 4 or 8");
+  const std::size_t codes_per_byte = bits == 8 ? 1 : (bits == 4 ? 2 : 4);
+  return (rows * dim + codes_per_byte - 1) / codes_per_byte;
+}
+
+QuantizedEmbeddingTable::QuantizedEmbeddingTable(std::size_t rows, std::size_t dim,
+                                                 int bits,
+                                                 std::vector<std::int8_t> codes,
+                                                 std::vector<float> scales)
+    : rows_(rows),
+      dim_(dim),
+      bits_(bits),
+      code_bytes_(packed_code_bytes(rows, dim, bits)),
+      codes_(std::move(codes)),
+      scales_(std::move(scales)) {
+  ENW_CHECK_MSG(rows_ > 0 && dim_ > 0, "quantized table must be non-empty");
+  ENW_CHECK_MSG(codes_.size() == code_bytes_, "packed code size mismatch");
+  ENW_CHECK_MSG(scales_.size() == rows_, "per-row scale count mismatch");
+}
+
+QuantizedEmbeddingTable QuantizedEmbeddingTable::borrow(std::size_t rows,
+                                                        std::size_t dim, int bits,
+                                                        const std::int8_t* codes,
+                                                        std::size_t code_bytes,
+                                                        const float* scales) {
+  ENW_CHECK_MSG(rows > 0 && dim > 0, "quantized table must be non-empty");
+  ENW_CHECK(codes != nullptr && scales != nullptr);
+  ENW_CHECK_MSG(code_bytes == packed_code_bytes(rows, dim, bits),
+                "packed code size mismatch");
+  QuantizedEmbeddingTable t;
+  t.rows_ = rows;
+  t.dim_ = dim;
+  t.bits_ = bits;
+  t.code_bytes_ = code_bytes;
+  t.codes_b_ = codes;
+  t.scales_b_ = scales;
+  return t;
+}
+
 QuantizedEmbeddingTable::QuantizedEmbeddingTable(const EmbeddingTable& source, int bits)
     : rows_(source.rows()), dim_(source.dim()), bits_(bits) {
   ENW_CHECK_MSG(bits == 2 || bits == 4 || bits == 8, "bits must be 2, 4 or 8");
   scales_.resize(rows_);
-  const std::size_t codes_per_byte = bits_ == 8 ? 1 : (bits_ == 4 ? 2 : 4);
-  codes_.assign((rows_ * dim_ + codes_per_byte - 1) / codes_per_byte, 0);
+  codes_.assign(packed_code_bytes(rows_, dim_, bits_), 0);
+  code_bytes_ = codes_.size();
   const int qmax = (1 << (bits_ - 1)) - 1;
 
   for (std::size_t r = 0; r < rows_; ++r) {
@@ -112,15 +158,16 @@ QuantizedEmbeddingTable::QuantizedEmbeddingTable(const EmbeddingTable& source, i
 }
 
 std::int8_t QuantizedEmbeddingTable::stored(std::size_t r, std::size_t c) const {
+  const std::int8_t* codes = codes_ptr();
   const std::size_t flat = r * dim_ + c;
-  if (bits_ == 8) return codes_[flat];
+  if (bits_ == 8) return codes[flat];
   if (bits_ == 4) {
-    const auto u = static_cast<std::uint8_t>(codes_[flat / 2]);
+    const auto u = static_cast<std::uint8_t>(codes[flat / 2]);
     auto nibble = static_cast<std::int8_t>((u >> ((flat % 2) * 4)) & 0xF);
     if (nibble & 0x8) nibble = static_cast<std::int8_t>(nibble | ~0xF);  // sign extend
     return nibble;
   }
-  const auto u = static_cast<std::uint8_t>(codes_[flat / 4]);
+  const auto u = static_cast<std::uint8_t>(codes[flat / 4]);
   auto crumb = static_cast<std::int8_t>((u >> ((flat % 4) * 2)) & 0x3);
   if (crumb & 0x2) crumb = static_cast<std::int8_t>(crumb | ~0x3);
   return crumb;
@@ -135,18 +182,20 @@ void QuantizedEmbeddingTable::lookup_sum(std::span<const std::size_t> indices,
   // aliasing `out` store) once per ELEMENT rather than once per row.
   detail::check_indices(indices, rows_);
   std::fill(out.begin(), out.end(), 0.0f);
+  const std::int8_t* codes = codes_ptr();
+  const float* scales = scales_ptr();
   if (bits_ == 8) {
     // 8-bit rows are stored unpacked, so each row is a contiguous int8 span:
     // accumulate through the backend's s8_axpy kernel. Bitwise identical to
     // the scalar loop below (mul then add, k order) on every backend.
     for (std::size_t idx : indices) {
-      s8_axpy(out, std::span<const std::int8_t>(codes_.data() + idx * dim_, dim_),
-              scales_[idx]);
+      s8_axpy(out, std::span<const std::int8_t>(codes + idx * dim_, dim_),
+              scales[idx]);
     }
     return;
   }
   for (std::size_t idx : indices) {
-    const float scale = scales_[idx];
+    const float scale = scales[idx];
     for (std::size_t j = 0; j < dim_; ++j) {
       out[j] += static_cast<float>(stored(idx, j)) * scale;
     }
@@ -168,9 +217,9 @@ void QuantizedEmbeddingTable::dequantize_row(std::size_t r,
                                              std::span<float> out) const {
   ENW_CHECK(r < rows_);
   ENW_CHECK_MSG(out.size() == dim_, "output size mismatch");
-  const float scale = scales_[r];
+  const float scale = scales_ptr()[r];
   if (bits_ == 8) {
-    const std::int8_t* codes = codes_.data() + r * dim_;
+    const std::int8_t* codes = codes_ptr() + r * dim_;
     for (std::size_t j = 0; j < dim_; ++j)
       out[j] = static_cast<float>(codes[j]) * scale;
     return;
@@ -186,7 +235,7 @@ Vector QuantizedEmbeddingTable::row(std::size_t r) const {
 }
 
 std::size_t QuantizedEmbeddingTable::bytes() const {
-  return codes_.size() + scales_.size() * sizeof(float);
+  return code_bytes_ + rows_ * sizeof(float);
 }
 
 double QuantizedEmbeddingTable::compression_ratio() const {

@@ -42,6 +42,11 @@ class EmbeddingTable {
  public:
   EmbeddingTable(std::size_t rows, std::size_t dim, Rng& rng);
 
+  /// Rebuild from stored weights (artifact load). Accepts either an owning
+  /// matrix (trainable) or a borrowed zero-copy view over an artifact blob
+  /// (read-only; apply_gradient throws via the Matrix borrow guard).
+  explicit EmbeddingTable(Matrix table);
+
   std::size_t rows() const { return table_.rows(); }
   std::size_t dim() const { return table_.cols(); }
 
@@ -74,9 +79,31 @@ class QuantizedEmbeddingTable {
   /// bits in {2, 4, 8}. Quantizes a snapshot of the given table.
   QuantizedEmbeddingTable(const EmbeddingTable& source, int bits);
 
+  /// Rebuild from stored codes + scales (artifact load, owning). The codes
+  /// vector must already be packed exactly as this class packs them
+  /// (1/2/4 codes per byte at 8/4/2 bits), which holds by construction when
+  /// it came from codes() of a saved table.
+  QuantizedEmbeddingTable(std::size_t rows, std::size_t dim, int bits,
+                          std::vector<std::int8_t> codes, std::vector<float> scales);
+
+  /// Non-owning zero-copy view over artifact blobs. The caller guarantees
+  /// both pointers outlive the table; code_bytes must equal the packed size
+  /// for (rows, dim, bits). Lookup paths read through these pointers; there
+  /// are no mutating members, so no write guard is needed.
+  static QuantizedEmbeddingTable borrow(std::size_t rows, std::size_t dim, int bits,
+                                        const std::int8_t* codes,
+                                        std::size_t code_bytes, const float* scales);
+
   std::size_t rows() const { return rows_; }
   std::size_t dim() const { return dim_; }
   int bits() const { return bits_; }
+
+  /// Packed code bytes / per-row scales as stored (for artifact save).
+  std::span<const std::int8_t> codes() const { return {codes_ptr(), code_bytes_}; }
+  std::span<const float> scales() const { return {scales_ptr(), rows_}; }
+
+  /// Packed size in bytes of the code array for a (rows, dim, bits) table.
+  static std::size_t packed_code_bytes(std::size_t rows, std::size_t dim, int bits);
 
   void lookup_sum(std::span<const std::size_t> indices, std::span<float> out) const;
 
@@ -101,13 +128,27 @@ class QuantizedEmbeddingTable {
   double compression_ratio() const;
 
  private:
+  QuantizedEmbeddingTable() = default;
+
   std::int8_t stored(std::size_t r, std::size_t c) const;
 
-  std::size_t rows_;
-  std::size_t dim_;
-  int bits_;
+  // Owned storage is authoritative unless the borrow pointers are set (then
+  // the vectors stay empty and reads go through the pointers). Copy/move of
+  // an owned table stays correct by default; a borrowed table copies as a
+  // borrowed table (pointer members copy shallow, as intended for views).
+  const std::int8_t* codes_ptr() const {
+    return codes_b_ ? codes_b_ : codes_.data();
+  }
+  const float* scales_ptr() const { return scales_b_ ? scales_b_ : scales_.data(); }
+
+  std::size_t rows_ = 0;
+  std::size_t dim_ = 0;
+  int bits_ = 8;
+  std::size_t code_bytes_ = 0;      // packed size (== codes_.size() when owned)
   std::vector<std::int8_t> codes_;  // packed 2 codes/byte when bits == 4
   std::vector<float> scales_;       // one per row
+  const std::int8_t* codes_b_ = nullptr;  // non-null => borrowed view
+  const float* scales_b_ = nullptr;
 };
 
 }  // namespace enw::recsys

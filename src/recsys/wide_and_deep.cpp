@@ -29,6 +29,34 @@ WideAndDeep::WideAndDeep(const WideAndDeepConfig& config, Rng& rng)
                      nn::Activation::kIdentity);
 }
 
+WideAndDeep::WideAndDeep(const WideAndDeepConfig& config, std::vector<Vector> wide,
+                         Vector wide_dense, float wide_bias,
+                         std::vector<EmbeddingTable> tables,
+                         std::vector<nn::DenseLayer> deep)
+    : config_(config),
+      wide_(std::move(wide)),
+      wide_dense_(std::move(wide_dense)),
+      wide_bias_(wide_bias),
+      tables_(std::move(tables)),
+      deep_(std::move(deep)) {
+  ENW_CHECK(config.num_tables > 0 && config.embed_dim > 0);
+  ENW_CHECK_MSG(wide_.size() == config.num_tables, "wide table count mismatch");
+  for (const auto& w : wide_) {
+    ENW_CHECK_MSG(w.size() == config.rows_per_table, "wide table size mismatch");
+  }
+  ENW_CHECK_MSG(wide_dense_.size() == config.num_dense, "wide dense size mismatch");
+  ENW_CHECK_MSG(tables_.size() == config.num_tables, "deep table count mismatch");
+  for (const auto& t : tables_) {
+    ENW_CHECK_MSG(t.rows() == config.rows_per_table && t.dim() == config.embed_dim,
+                  "deep table shape mismatch");
+  }
+  ENW_CHECK_MSG(!deep_.empty() &&
+                    deep_.front().in_dim() ==
+                        config.num_dense + config.num_tables * config.embed_dim &&
+                    deep_.back().out_dim() == 1,
+                "deep MLP shape mismatch");
+}
+
 float WideAndDeep::forward(const data::ClickSample& sample) {
   ENW_CHECK_MSG(sample.dense.size() == config_.num_dense, "dense mismatch");
   ENW_CHECK_MSG(sample.sparse.size() == config_.num_tables, "sparse mismatch");
@@ -191,6 +219,19 @@ void WideAndDeep::enable_embedding_cache(std::size_t hot_rows, int bits) {
   for (const auto& table : tables_) {
     cached_.emplace_back(QuantizedEmbeddingTable(table, bits), hot_rows);
   }
+}
+
+void WideAndDeep::enable_embedding_cache(std::vector<QuantizedEmbeddingTable> cold,
+                                         std::size_t hot_rows) {
+  ENW_CHECK_MSG(cold.size() == config_.num_tables,
+                "cold tier count must match table count");
+  for (const auto& c : cold) {
+    ENW_CHECK_MSG(c.rows() == config_.rows_per_table && c.dim() == config_.embed_dim,
+                  "cold tier shape mismatch");
+  }
+  cached_.clear();
+  cached_.reserve(cold.size());
+  for (auto& c : cold) cached_.emplace_back(std::move(c), hot_rows);
 }
 
 const CachedEmbeddingTable& WideAndDeep::embedding_cache(std::size_t t) const {

@@ -29,7 +29,23 @@ class WideAndDeep {
  public:
   WideAndDeep(const WideAndDeepConfig& config, Rng& rng);
 
+  /// Rebuild from stored parts (artifact load). The wide part is always
+  /// owned (it is tiny — one scalar per categorical value); the deep tables
+  /// and MLP weights may be borrowed zero-copy views, in which case
+  /// train_step throws via the Matrix borrow guard.
+  WideAndDeep(const WideAndDeepConfig& config, std::vector<Vector> wide,
+              Vector wide_dense, float wide_bias,
+              std::vector<EmbeddingTable> tables,
+              std::vector<nn::DenseLayer> deep);
+
   const WideAndDeepConfig& config() const { return config_; }
+
+  /// Stored-state accessors (artifact save).
+  const std::vector<Vector>& wide() const { return wide_; }
+  const Vector& wide_dense() const { return wide_dense_; }
+  float wide_bias() const { return wide_bias_; }
+  const std::vector<EmbeddingTable>& tables() const { return tables_; }
+  const std::vector<nn::DenseLayer>& deep() const { return deep_; }
 
   float predict(const data::ClickSample& sample);
 
@@ -53,6 +69,10 @@ class WideAndDeep {
   /// snapshot bitwise-deterministically; train_step is rejected while
   /// enabled.
   void enable_embedding_cache(std::size_t hot_rows, int bits = 8);
+  /// Cache from pre-built cold tiers (artifact load) — same contract as
+  /// Dlrm::enable_embedding_cache(cold, hot_rows).
+  void enable_embedding_cache(std::vector<QuantizedEmbeddingTable> cold,
+                              std::size_t hot_rows);
   void disable_embedding_cache() { cached_.clear(); }
   bool embedding_cache_enabled() const { return !cached_.empty(); }
   const CachedEmbeddingTable& embedding_cache(std::size_t t) const;

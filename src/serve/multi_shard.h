@@ -156,6 +156,36 @@ class MultiShardServer {
     return reply;
   }
 
+  /// All-or-nothing hot-swap across every shard. The factory is invoked for
+  /// ALL shards first — if building any replacement backend throws (e.g. a
+  /// corrupt artifact rejected at load), NO shard is swapped and every shard
+  /// keeps serving the old version. Only after all N backends exist does the
+  /// swap run shard by shard; each shard's swap has the per-batch atomicity
+  /// of Server::swap_backend. Brief mixed-version service across shards
+  /// during the installation loop is inherent to a rolling swap — what this
+  /// method rules out is a *stuck* mix from a mid-rollout failure.
+  void swap_backend(const BackendFactory& factory, std::uint64_t version) {
+    ENW_CHECK_MSG(static_cast<bool>(factory), "backend factory must be callable");
+    std::vector<BatchFn> next;
+    next.reserve(shards_.size());
+    for (std::size_t s = 0; s < shards_.size(); ++s) {
+      next.push_back(factory(s));  // throws here => nothing swapped
+      ENW_CHECK_MSG(static_cast<bool>(next.back()),
+                    "backend factory returned a non-callable fn");
+    }
+    for (std::size_t s = 0; s < shards_.size(); ++s) {
+      shards_[s]->server.swap_backend(std::move(next[s]), version);
+    }
+  }
+
+  /// Backend version per shard (equal across shards except mid-rollout).
+  std::vector<std::uint64_t> backend_versions() const {
+    std::vector<std::uint64_t> v;
+    v.reserve(shards_.size());
+    for (const auto& s : shards_) v.push_back(s->server.backend_version());
+    return v;
+  }
+
   /// Stop every shard: gate waiters wake with Status::kShutdown, each shard
   /// server drains its admitted requests. Idempotent.
   void shutdown() {
@@ -174,8 +204,12 @@ class MultiShardServer {
     const TenantState& t = *tenants_[tenant];
     std::lock_guard<std::mutex> lk(t.mu);
     TenantReport r = t.report;
-    r.p50_ns = percentile_ns(t.latencies, 50.0);
-    r.p99_ns = percentile_ns(t.latencies, 99.0);
+    // One sorted copy serves both percentiles (percentile_ns would sort the
+    // full sample once per call).
+    std::vector<std::uint64_t> sorted = t.latencies;
+    std::sort(sorted.begin(), sorted.end());
+    r.p50_ns = percentile_sorted_ns(sorted, 50.0);
+    r.p99_ns = percentile_sorted_ns(sorted, 99.0);
     return r;
   }
 

@@ -38,9 +38,25 @@ std::string batch_log_line(std::size_t index, const BatchRecord& rec) {
 }
 
 std::string ReplayResult::boundary_log() const {
+  // With no activated swaps the rendering is exactly the pre-swap format —
+  // tests pin that string byte-for-byte, so the version annotations appear
+  // only when a swap makes them meaningful.
   std::string out;
+  std::size_t s = 0;
   for (std::size_t b = 0; b < batches.size(); ++b) {
+    for (; s < swaps.size() && swaps[s].first_batch == b; ++s) {
+      std::ostringstream os;
+      os << "swap: t=" << swaps[s].at_ns << "ns v=" << swaps[s].version
+         << " first_batch=" << b;
+      out += os.str();
+      out += "\n";
+    }
     out += batch_log_line(b, batches[b]);
+    if (!swaps.empty()) {
+      std::ostringstream os;
+      os << " v=" << batches[b].version;
+      out += os.str();
+    }
     out += "\n";
   }
   return out;
@@ -48,12 +64,25 @@ std::string ReplayResult::boundary_log() const {
 
 ReplayResult replay_trace(std::span<const TraceEvent> trace,
                           const ReplayConfig& cfg, const ReplayExec& exec) {
+  return replay_trace(
+      trace, cfg,
+      ReplayExecV([&exec](std::span<const std::size_t> ids, std::uint64_t) {
+        exec(ids);
+      }));
+}
+
+ReplayResult replay_trace(std::span<const TraceEvent> trace,
+                          const ReplayConfig& cfg, const ReplayExecV& exec) {
   ENW_SPAN("serve.replay");
   ENW_CHECK_MSG(cfg.serve.max_batch > 0, "max_batch must be positive");
   ENW_CHECK_MSG(cfg.serve.queue_capacity > 0, "queue_capacity must be positive");
   for (std::size_t i = 1; i < trace.size(); ++i) {
     ENW_CHECK_MSG(trace[i - 1].arrival_ns <= trace[i].arrival_ns,
                   "trace arrivals must be non-decreasing");
+  }
+  for (std::size_t i = 1; i < cfg.swaps.size(); ++i) {
+    ENW_CHECK_MSG(cfg.swaps[i - 1].at_ns <= cfg.swaps[i].at_ns,
+                  "swap events must be non-decreasing in at_ns");
   }
 
   // Resolve the tenant table: empty config means one default tenant with
@@ -95,6 +124,8 @@ ReplayResult replay_trace(std::span<const TraceEvent> trace,
   std::uint64_t exec_free_ns = 0;   // executor available from this instant
   std::uint64_t now = 0;
   std::size_t next = 0;  // next trace event to process
+  std::uint64_t version = 0;   // active backend version (0 = initial)
+  std::size_t swap_idx = 0;    // next scripted swap to activate
 
   while (next < trace.size() || !queue.empty() || !blocked.empty()) {
     // Earliest instant the current queue state can flush (policy + executor).
@@ -139,6 +170,18 @@ ReplayResult replay_trace(std::span<const TraceEvent> trace,
     // Flush. Re-evaluate the policy AT the flush instant so the recorded
     // reason is the one the trigger actually fired with.
     now = flush_at;
+    // Activate scripted swaps due by this flush instant — the replay twin of
+    // the live server's capture-under-lock: the version is fixed BEFORE the
+    // batch is collated, so the whole batch runs on one version. A swap
+    // scripted after the last flush never reaches this point and stays
+    // unactivated.
+    while (swap_idx < cfg.swaps.size() && cfg.swaps[swap_idx].at_ns <= now) {
+      result.swaps.push_back({cfg.swaps[swap_idx].at_ns,
+                              cfg.swaps[swap_idx].version,
+                              result.batches.size()});
+      version = cfg.swaps[swap_idx].version;
+      ++swap_idx;
+    }
     const FlushDecision d =
         flush_due(now, queue.front().enqueue_ns, queue.size(),
                   /*draining=*/false, cfg.serve);
@@ -147,6 +190,7 @@ ReplayResult replay_trace(std::span<const TraceEvent> trace,
     BatchRecord rec;
     rec.flush_ns = now;
     rec.reason = d.reason;
+    rec.version = version;
     const std::size_t take = std::min(queue.size(), cfg.serve.max_batch);
     for (std::size_t i = 0; i < take; ++i) {
       const Queued q = queue.front();
@@ -187,12 +231,12 @@ ReplayResult replay_trace(std::span<const TraceEvent> trace,
       bool failed = false;
       if (cfg.mask_exec_faults) {
         try {
-          exec(std::span<const std::size_t>(rec.executed));
+          exec(std::span<const std::size_t>(rec.executed), version);
         } catch (...) {
           failed = true;
         }
       } else {
-        exec(std::span<const std::size_t>(rec.executed));
+        exec(std::span<const std::size_t>(rec.executed), version);
       }
       const std::uint64_t complete = now + cfg.service_ns;
       exec_free_ns = complete;
@@ -220,6 +264,18 @@ ReplayResult replay_trace(std::span<const TraceEvent> trace,
   return result;
 }
 
+std::uint64_t poisson_gap_ns(double mean_gap_ns, double u) {
+  ENW_CHECK_MSG(mean_gap_ns >= 0.0, "mean gap must be non-negative");
+  // u == 1.0 would give log(0) = -inf; casting the resulting +inf (or any
+  // value >= 2^64) to uint64_t is undefined behaviour. Both clamps are
+  // no-ops for in-contract draws, so seeded traces are unchanged.
+  const double one_minus_u =
+      std::max(1.0 - u, std::numeric_limits<double>::min());
+  const double gap = -mean_gap_ns * std::log(one_minus_u);
+  constexpr double kMaxGap = 9223372036854775808.0;  // 2^63, exact in double
+  return static_cast<std::uint64_t>(std::clamp(gap, 0.0, kMaxGap));
+}
+
 std::vector<TraceEvent> poisson_trace(std::size_t n, double mean_gap_ns,
                                       std::uint64_t relative_deadline_ns,
                                       Rng& rng) {
@@ -227,8 +283,7 @@ std::vector<TraceEvent> poisson_trace(std::size_t n, double mean_gap_ns,
   std::vector<TraceEvent> trace(n);
   std::uint64_t t = 0;
   for (std::size_t i = 0; i < n; ++i) {
-    const double gap = -mean_gap_ns * std::log(1.0 - rng.uniform());
-    t += static_cast<std::uint64_t>(gap);
+    t += poisson_gap_ns(mean_gap_ns, rng.uniform());
     trace[i].arrival_ns = t;
     trace[i].deadline_ns =
         relative_deadline_ns == 0 ? 0 : t + relative_deadline_ns;

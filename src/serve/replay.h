@@ -53,6 +53,18 @@ struct TraceEvent {
   std::uint32_t tenant = 0;       // index into ReplayConfig::tenants
 };
 
+/// One scripted backend swap at a virtual instant (the replay twin of
+/// Server::swap_backend). A swap takes effect at the first flush whose
+/// instant is >= at_ns: every batch flushed strictly before runs on the
+/// prior version, every batch at/after runs on `version` — a batch executes
+/// entirely on one version by construction, which is exactly the atomicity
+/// the live server promises and what the boundary log lets tests pin
+/// byte-for-byte.
+struct SwapEvent {
+  std::uint64_t at_ns = 0;
+  std::uint64_t version = 0;
+};
+
 struct ReplayConfig {
   ServeConfig serve;
   /// Virtual executor occupancy per flushed batch. Models the serving-side
@@ -72,6 +84,11 @@ struct ReplayConfig {
   /// campaign in test_serve_fault.cpp runs this mode). When false (default)
   /// exceptions propagate, as before.
   bool mask_exec_faults = false;
+  /// Scripted hot-swaps, non-decreasing in at_ns. Version 0 is the initial
+  /// backend. Swaps activate lazily at flush instants (see SwapEvent); a
+  /// swap scripted after the last flush never activates and is not recorded.
+  /// Empty (default) reproduces pre-swap replays byte-for-byte.
+  std::vector<SwapEvent> swaps;
 };
 
 /// One simulated flush, in flush order.
@@ -80,6 +97,7 @@ struct BatchRecord {
   FlushReason reason = FlushReason::kWindow;
   std::vector<std::size_t> executed;  // request ids, collation order
   std::vector<std::size_t> shed;      // request ids shed at this flush
+  std::uint64_t version = 0;          // backend version this batch ran on
 };
 
 /// Terminal outcome of one replayed request (indexed by trace position).
@@ -87,6 +105,14 @@ struct RequestOutcome {
   Status status = Status::kError;
   std::uint64_t done_ns = 0;     // virtual completion / rejection / shed time
   std::uint64_t latency_ns = 0;  // done_ns - arrival_ns (0 for rejects)
+};
+
+/// A swap that actually activated during the replay: the boundary between
+/// the last batch on the prior version and the first batch on `version`.
+struct SwapBoundary {
+  std::uint64_t at_ns = 0;       // scripted instant (SwapEvent::at_ns)
+  std::uint64_t version = 0;     // version installed
+  std::size_t first_batch = 0;   // index of the first batch on `version`
 };
 
 struct ReplayResult {
@@ -97,9 +123,16 @@ struct ReplayResult {
   /// batch fields stay zero — batches are shared). One entry per resolved
   /// tenant, so a single default entry when ReplayConfig::tenants is empty.
   std::vector<ServerStats> tenant_stats;
+  /// Activated swaps in activation order (scripted swaps past the last
+  /// flush never activate and do not appear).
+  std::vector<SwapBoundary> swaps;
 
   /// Canonical one-line-per-batch rendering ("batch 0: t=...ns reason=size
   /// n=3 ids=[0,1,2] shed=[]"). Tests diff this string to pin boundaries.
+  /// When swaps activated, a "swap ..." line is interleaved before the first
+  /// batch of each new version and every batch line gains a " v=<version>"
+  /// suffix; with no swaps the rendering is byte-identical to pre-swap
+  /// builds, so existing pinned logs stay valid.
   std::string boundary_log() const;
 };
 
@@ -114,9 +147,27 @@ std::string batch_log_line(std::size_t index, const BatchRecord& rec);
 /// makes no fault-masking promises; that is the live server's job).
 using ReplayExec = std::function<void(std::span<const std::size_t> ids)>;
 
-/// Run the full simulation. Requires trace arrivals to be non-decreasing.
+/// Version-aware exec: also receives the backend version the batch runs on,
+/// so a swap test can dispatch each batch to the model build it is scripted
+/// to land on and byte-diff the outputs per version.
+using ReplayExecV =
+    std::function<void(std::span<const std::size_t> ids, std::uint64_t version)>;
+
+/// Run the full simulation. Requires trace arrivals to be non-decreasing
+/// (and cfg.swaps non-decreasing in at_ns).
 ReplayResult replay_trace(std::span<const TraceEvent> trace,
                           const ReplayConfig& cfg, const ReplayExec& exec);
+ReplayResult replay_trace(std::span<const TraceEvent> trace,
+                          const ReplayConfig& cfg, const ReplayExecV& exec);
+
+/// Exponential inter-arrival gap from one uniform draw u in [0, 1):
+/// -mean_gap_ns * ln(1 - u), guarded at both tails. u == 1.0 (which some
+/// uniform_real_distribution implementations CAN return despite the
+/// half-open contract) would give ln(0) = -inf, and casting the resulting
+/// +inf gap to uint64_t is undefined behaviour — so 1 - u is clamped to
+/// DBL_MIN (normal draws are unchanged: existing seeded traces stay
+/// bitwise-identical) and the gap is capped below 2^63 before the cast.
+std::uint64_t poisson_gap_ns(double mean_gap_ns, double u);
 
 /// Seeded open-loop arrival trace: exponential (Poisson-process) gaps with
 /// the given mean, each request carrying an absolute deadline of

@@ -89,13 +89,17 @@ void ServerStats::merge(const ServerStats& other) {
 }
 
 std::uint64_t percentile_ns(std::vector<std::uint64_t> sample, double p) {
-  if (sample.empty()) return 0;
-  ENW_CHECK_MSG(p >= 0.0 && p <= 100.0, "percentile out of range");
   std::sort(sample.begin(), sample.end());
-  const double rank = std::ceil(p / 100.0 * static_cast<double>(sample.size()));
+  return percentile_sorted_ns(sample, p);
+}
+
+std::uint64_t percentile_sorted_ns(std::span<const std::uint64_t> sorted, double p) {
+  if (sorted.empty()) return 0;
+  ENW_CHECK_MSG(p >= 0.0 && p <= 100.0, "percentile out of range");
+  const double rank = std::ceil(p / 100.0 * static_cast<double>(sorted.size()));
   const std::size_t idx =
-      rank <= 1.0 ? 0 : std::min(sample.size() - 1, static_cast<std::size_t>(rank) - 1);
-  return sample[idx];
+      rank <= 1.0 ? 0 : std::min(sorted.size() - 1, static_cast<std::size_t>(rank) - 1);
+  return sorted[idx];
 }
 
 std::uint64_t monotonic_now_ns() {

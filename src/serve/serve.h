@@ -30,6 +30,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -118,9 +119,29 @@ struct ServerStats {
   }
 };
 
+/// One hot-swap of a server's backend (see Server::swap_backend). The
+/// counters snapshot the server's stats at the swap instant, so consecutive
+/// records delimit how many batches/requests each version served. A batch
+/// already collated (in flight) at the swap instant still completes on the
+/// OLD version — it is not counted in `batches_before`, which records
+/// *recorded* batches; exact boundary accounting is the replay harness's job.
+struct SwapRecord {
+  std::uint64_t version = 0;          // version being swapped IN
+  std::uint64_t swap_ns = 0;          // monotonic_now_ns() at the swap
+  std::uint64_t batches_before = 0;   // batches recorded before the swap
+  std::uint64_t requests_before = 0;  // executed requests recorded before
+};
+
 /// Nearest-rank percentile (p in [0, 100]) of a latency sample; 0 if empty.
-/// Takes the sample by value — it sorts its copy.
+/// Takes the sample by value — it sorts its copy. Callers that need several
+/// percentiles of one sample should sort once and use percentile_sorted_ns.
 std::uint64_t percentile_ns(std::vector<std::uint64_t> sample, double p);
+
+/// Nearest-rank percentile of an ALREADY ASCENDING-SORTED sample; 0 if
+/// empty. percentile_ns delegates here, so the two are result-identical by
+/// construction; the point of the overload is paying for the sort once when
+/// reporting p50 + p99 (+ ...) of the same sample.
+std::uint64_t percentile_sorted_ns(std::span<const std::uint64_t> sorted, double p);
 
 /// Monotonic wall clock for the live serving path (steady_clock, ns).
 std::uint64_t monotonic_now_ns();

@@ -26,6 +26,7 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <memory>
 #include <mutex>
 #include <span>
 #include <thread>
@@ -49,10 +50,11 @@ class Server {
     std::uint64_t latency_ns = 0;   // submit entry -> terminal status
   };
 
-  Server(const ServeConfig& cfg, BatchFn fn) : cfg_(cfg), fn_(std::move(fn)) {
+  Server(const ServeConfig& cfg, BatchFn fn)
+      : cfg_(cfg), fn_(std::make_shared<const BatchFn>(std::move(fn))) {
     ENW_CHECK_MSG(cfg_.max_batch > 0, "max_batch must be positive");
     ENW_CHECK_MSG(cfg_.queue_capacity > 0, "queue_capacity must be positive");
-    ENW_CHECK_MSG(static_cast<bool>(fn_), "batch function must be callable");
+    ENW_CHECK_MSG(static_cast<bool>(*fn_), "batch function must be callable");
     collator_ = std::thread([this] { collate_loop(); });
   }
 
@@ -134,6 +136,43 @@ class Server {
     return stats_;
   }
 
+  /// Atomically replace the backend with `fn`, tagged `version`, WITHOUT
+  /// stopping traffic. Atomicity contract:
+  ///   * Validation happens before anything is replaced — a non-callable fn
+  ///     throws and the old backend keeps serving untouched (the rollback
+  ///     guarantee the fault campaign pins down).
+  ///   * Each batch runs entirely on the backend captured when the batch is
+  ///     collated: a batch in flight during the swap completes on the OLD
+  ///     version; the next collated batch runs on the NEW one. No batch ever
+  ///     mixes versions and no request is dropped by a swap.
+  ///   * The boundary is recorded as a SwapRecord in swap_history().
+  void swap_backend(BatchFn fn, std::uint64_t version) {
+    ENW_CHECK_MSG(static_cast<bool>(fn), "swap_backend: fn must be callable");
+    auto next = std::make_shared<const BatchFn>(std::move(fn));
+    std::lock_guard<std::mutex> lk(mu_);
+    SwapRecord rec;
+    rec.version = version;
+    rec.swap_ns = monotonic_now_ns();
+    rec.batches_before = stats_.batches;
+    rec.requests_before = stats_.executed_requests;
+    swap_history_.push_back(rec);
+    fn_ = std::move(next);
+    backend_version_ = version;
+    obs::counter_add("serve.swaps", 1);
+  }
+
+  /// Version tag of the currently-installed backend (0 = the constructor
+  /// backend, never swapped).
+  std::uint64_t backend_version() const {
+    std::lock_guard<std::mutex> lk(mu_);
+    return backend_version_;
+  }
+
+  std::vector<SwapRecord> swap_history() const {
+    std::lock_guard<std::mutex> lk(mu_);
+    return swap_history_;
+  }
+
   /// Requests currently admitted but not yet collated (for tests that need
   /// to sequence submissions against the collator without sleeping).
   std::size_t queue_depth() const {
@@ -204,13 +243,19 @@ class Server {
     }
     if (live.empty()) return;
 
+    // Capture the backend under the lock: THIS is the swap atomicity point.
+    // The batch executes entirely on the capture; a concurrent swap_backend
+    // replaces fn_ for the NEXT batch and the shared_ptr keeps the old
+    // backend (and whatever model storage it closes over) alive until this
+    // batch finishes.
+    const std::shared_ptr<const BatchFn> fn = fn_;
     lk.unlock();  // admission and blocked submitters proceed during execution
     std::vector<Out> outs;
     bool failed = false;
     {
       ENW_SPAN("serve.execute");
       try {
-        outs = fn_(std::span<const In>(inputs));
+        outs = (*fn)(std::span<const In>(inputs));
         failed = outs.size() != live.size();
       } catch (...) {
         failed = true;
@@ -240,9 +285,12 @@ class Server {
   }
 
   const ServeConfig cfg_;
-  const BatchFn fn_;
 
   mutable std::mutex mu_;
+  // Guarded by mu_; replaced whole by swap_backend, captured per batch.
+  std::shared_ptr<const BatchFn> fn_;
+  std::uint64_t backend_version_ = 0;
+  std::vector<SwapRecord> swap_history_;
   std::condition_variable cv_work_;   // collator: work available / shutdown
   std::condition_variable cv_space_;  // blocked submitters: queue has space
   std::condition_variable cv_done_;   // submitters: request reached terminal

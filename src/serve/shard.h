@@ -25,8 +25,10 @@
 // this under the deterministic replay harness).
 #pragma once
 
+#include <algorithm>
 #include <cstddef>
 #include <cstdint>
+#include <limits>
 #include <span>
 #include <string>
 #include <vector>
@@ -86,13 +88,23 @@ struct TenantPolicy {
   double queue_share = 1.0;
 };
 
-/// The slot quota a queue share buys against a queue of `capacity`.
+/// The slot quota a queue share buys against a queue of `capacity`:
+/// floor(queue_share * capacity), minimum one slot.
+///
+/// The floor is taken with a relative-epsilon nudge because the product
+/// itself is inexact: 0.1 * 30 evaluates to 2.999...96, and truncating THAT
+/// silently costs a tenant a slot it was configured to have. Scaling by
+/// (1 + 4 eps) restores products that are exact ratios up to a few ulps of
+/// representation error while leaving genuinely fractional shares floored
+/// (0.15 * 10 = 1.5 still buys 1 slot — the nudge is ~1e-15 relative, eight
+/// orders of magnitude below any intentional fraction).
 inline std::size_t tenant_quota(const TenantPolicy& t, std::size_t capacity) {
   ENW_CHECK_MSG(t.queue_share > 0.0 && t.queue_share <= 1.0,
                 "queue_share must be in (0, 1]");
+  const double x = t.queue_share * static_cast<double>(capacity);
   const auto q = static_cast<std::size_t>(
-      t.queue_share * static_cast<double>(capacity));
-  return q == 0 ? 1 : q;
+      x * (1.0 + 4.0 * std::numeric_limits<double>::epsilon()));
+  return q == 0 ? 1 : std::min(q, capacity);
 }
 
 /// Load-imbalance statistic for per-shard counts: max / mean (1.0 = perfectly

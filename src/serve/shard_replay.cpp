@@ -22,13 +22,19 @@ std::string ShardedReplayResult::boundary_log() const {
   for (std::size_t s = 0; s < shards.size(); ++s) {
     out += "shard " + std::to_string(s) + ":\n";
     const std::vector<std::size_t>& to_global = shard_ids[s];
-    for (std::size_t b = 0; b < shards[s].batches.size(); ++b) {
-      BatchRecord rec = shards[s].batches[b];  // copy, then remap ids
+    // Remap ids to global, keep swap lines/version suffixes: render through
+    // a ReplayResult holding only what boundary_log() reads, so the sharded
+    // log stays byte-compatible with the plain one per shard.
+    ReplayResult view;
+    view.swaps = shards[s].swaps;
+    view.batches.reserve(shards[s].batches.size());
+    for (const BatchRecord& src : shards[s].batches) {
+      BatchRecord rec = src;  // copy, then remap ids
       for (std::size_t& id : rec.executed) id = to_global[id];
       for (std::size_t& id : rec.shed) id = to_global[id];
-      out += batch_log_line(b, rec);
-      out += "\n";
+      view.batches.push_back(std::move(rec));
     }
+    out += view.boundary_log();
   }
   return out;
 }
@@ -36,6 +42,16 @@ std::string ShardedReplayResult::boundary_log() const {
 ShardedReplayResult replay_sharded(std::span<const TraceEvent> trace,
                                    const ShardedReplayConfig& cfg,
                                    const ShardedReplayExec& exec) {
+  return replay_sharded(
+      trace, cfg,
+      ShardedReplayExecV([&exec](std::size_t shard,
+                                 std::span<const std::size_t> ids,
+                                 std::uint64_t) { exec(shard, ids); }));
+}
+
+ShardedReplayResult replay_sharded(std::span<const TraceEvent> trace,
+                                   const ShardedReplayConfig& cfg,
+                                   const ShardedReplayExecV& exec) {
   ENW_SPAN("serve.replay.sharded");
   ENW_CHECK_MSG(cfg.num_shards > 0, "need at least one shard");
 
@@ -61,10 +77,11 @@ ShardedReplayResult replay_sharded(std::span<const TraceEvent> trace,
   std::vector<std::size_t> global_ids;
   for (std::size_t s = 0; s < cfg.num_shards; ++s) {
     const std::vector<std::size_t>& to_global = result.shard_ids[s];
-    const auto shim = [&](std::span<const std::size_t> local) {
+    const auto shim = [&](std::span<const std::size_t> local,
+                          std::uint64_t version) {
       global_ids.clear();
       for (std::size_t id : local) global_ids.push_back(to_global[id]);
-      exec(s, std::span<const std::size_t>(global_ids));
+      exec(s, std::span<const std::size_t>(global_ids), version);
     };
     result.shards.push_back(
         replay_trace(std::span<const TraceEvent>(sub[s]), cfg.replay, shim));

@@ -34,6 +34,9 @@ namespace enw::serve {
 
 struct ShardedReplayConfig {
   /// Every shard's replay config (queue, flush policy, tenants, faults).
+  /// replay.swaps script a COORDINATED rollout: every shard activates each
+  /// swap at the same virtual instant, the replay twin of
+  /// MultiShardServer::swap_backend installing one version fleet-wide.
   ReplayConfig replay;
   std::size_t num_shards = 1;
   std::size_t vnodes = 64;  // router ring density (must match deployment)
@@ -44,6 +47,10 @@ struct ShardedReplayConfig {
 /// Exception behaviour follows ReplayConfig::mask_exec_faults.
 using ShardedReplayExec =
     std::function<void(std::size_t shard, std::span<const std::size_t> ids)>;
+
+/// Version-aware sharded exec (see ReplayExecV).
+using ShardedReplayExecV = std::function<void(
+    std::size_t shard, std::span<const std::size_t> ids, std::uint64_t version)>;
 
 struct ShardedReplayResult {
   std::vector<RequestOutcome> outcomes;  // one per trace event (global)
@@ -61,7 +68,8 @@ struct ShardedReplayResult {
   /// Canonical per-shard boundary log: a "shard <s>:" header per shard
   /// followed by that shard's batch lines with ids remapped to global trace
   /// indices. Byte-identical across runs/threads/backends; with one shard
-  /// it is "shard 0:\n" + the plain replay_trace boundary_log().
+  /// it is "shard 0:\n" + the plain replay_trace boundary_log(), including
+  /// the swap lines / version suffixes when swaps activated on that shard.
   std::string boundary_log() const;
 };
 
@@ -70,5 +78,8 @@ struct ShardedReplayResult {
 ShardedReplayResult replay_sharded(std::span<const TraceEvent> trace,
                                    const ShardedReplayConfig& cfg,
                                    const ShardedReplayExec& exec);
+ShardedReplayResult replay_sharded(std::span<const TraceEvent> trace,
+                                   const ShardedReplayConfig& cfg,
+                                   const ShardedReplayExecV& exec);
 
 }  // namespace enw::serve

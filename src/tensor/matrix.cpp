@@ -17,17 +17,22 @@ Matrix::Matrix(std::initializer_list<std::initializer_list<float>> rows) {
 
 Matrix& Matrix::operator+=(const Matrix& other) {
   ENW_CHECK_MSG(same_shape(other), "shape mismatch in +=");
-  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] += other.data_[i];
+  check_mutable();
+  const float* src = other.data();  // other may be a borrowed view
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] += src[i];
   return *this;
 }
 
 Matrix& Matrix::operator-=(const Matrix& other) {
   ENW_CHECK_MSG(same_shape(other), "shape mismatch in -=");
-  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] -= other.data_[i];
+  check_mutable();
+  const float* src = other.data();
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] -= src[i];
   return *this;
 }
 
 Matrix& Matrix::operator*=(float s) {
+  check_mutable();
   for (auto& v : data_) v *= s;
   return *this;
 }

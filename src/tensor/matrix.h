@@ -29,35 +29,79 @@ class Matrix {
   /// Build from nested initializer list (for tests and small examples).
   Matrix(std::initializer_list<std::initializer_list<float>> rows);
 
+  /// Non-owning read-only view over external storage (an mmap'ed artifact
+  /// blob). The caller guarantees `data` outlives the Matrix and stays
+  /// immutable. Every mutating accessor throws on a borrowed matrix, so a
+  /// zero-copy-loaded model cannot silently scribble on the artifact file;
+  /// training paths must load with an owning copy instead.
+  static Matrix borrow(const float* data, std::size_t rows, std::size_t cols) {
+    ENW_CHECK(data != nullptr || rows * cols == 0);
+    Matrix m;
+    m.rows_ = rows;
+    m.cols_ = cols;
+    m.borrowed_ = data;
+    return m;
+  }
+
+  /// True when this matrix is a non-owning view (see borrow()).
+  bool borrowed() const { return borrowed_ != nullptr; }
+
+  /// Copying a borrowed view materializes an owning deep copy: a copy is a
+  /// fresh value, so the zero-copy mutation guard stays with the view it
+  /// protects and does not transfer. Copies of owning matrices are plain
+  /// deep copies; moves preserve whichever state the source had.
+  Matrix(const Matrix& other) : rows_(other.rows_), cols_(other.cols_) {
+    if (other.borrowed_ != nullptr) {
+      fault::check_alloc(rows_ * cols_ * sizeof(float));
+      data_.assign(other.borrowed_, other.borrowed_ + rows_ * cols_);
+    } else {
+      data_ = other.data_;
+    }
+  }
+  Matrix& operator=(const Matrix& other) {
+    if (this != &other) *this = Matrix(other);
+    return *this;
+  }
+  Matrix(Matrix&&) = default;
+  Matrix& operator=(Matrix&&) = default;
+
   std::size_t rows() const { return rows_; }
   std::size_t cols() const { return cols_; }
-  std::size_t size() const { return data_.size(); }
-  bool empty() const { return data_.empty(); }
+  std::size_t size() const { return rows_ * cols_; }
+  bool empty() const { return size() == 0; }
 
   float& operator()(std::size_t r, std::size_t c) {
     ENW_CHECK(r < rows_ && c < cols_);
+    check_mutable();
     return data_[r * cols_ + c];
   }
   float operator()(std::size_t r, std::size_t c) const {
     ENW_CHECK(r < rows_ && c < cols_);
-    return data_[r * cols_ + c];
+    return data()[r * cols_ + c];
   }
 
   /// Contiguous view of row r.
   std::span<float> row(std::size_t r) {
     ENW_CHECK(r < rows_);
+    check_mutable();
     return {data_.data() + r * cols_, cols_};
   }
   std::span<const float> row(std::size_t r) const {
     ENW_CHECK(r < rows_);
-    return {data_.data() + r * cols_, cols_};
+    return {data() + r * cols_, cols_};
   }
 
-  float* data() { return data_.data(); }
-  const float* data() const { return data_.data(); }
+  float* data() {
+    check_mutable();
+    return data_.data();
+  }
+  const float* data() const { return borrowed_ ? borrowed_ : data_.data(); }
 
   /// All elements set to v.
-  void fill(float v) { std::fill(data_.begin(), data_.end(), v); }
+  void fill(float v) {
+    check_mutable();
+    std::fill(data_.begin(), data_.end(), v);
+  }
 
   /// Element-wise in-place operations.
   Matrix& operator+=(const Matrix& other);
@@ -91,9 +135,16 @@ class Matrix {
     return rows * cols;
   }
 
+  void check_mutable() const {
+    ENW_CHECK_MSG(borrowed_ == nullptr,
+                  "Matrix: mutation of a borrowed (zero-copy artifact) view; "
+                  "load with Materialize::kCopy for a trainable model");
+  }
+
   std::size_t rows_ = 0;
   std::size_t cols_ = 0;
   std::vector<float> data_;
+  const float* borrowed_ = nullptr;  // non-null => non-owning read-only view
 };
 
 }  // namespace enw

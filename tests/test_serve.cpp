@@ -10,8 +10,11 @@
 // CI job with an 8-thread pool.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cmath>
 #include <condition_variable>
 #include <cstring>
+#include <limits>
 #include <mutex>
 #include <string>
 #include <thread>
@@ -568,6 +571,259 @@ TEST(Server, BlockedSubmitterWakesOnShutdownWithTypedStatus) {
   t1.join();
   t2.join();
   EXPECT_EQ(srv.stats().completed, 2u);
+}
+
+// --- scripted hot-swap (replay) ---------------------------------------------
+
+TEST(Replay, ScriptedSwapPartitionsBatchesByVersionByteReproducibly) {
+  // Five size-4 waves, 1ms apart; swaps scripted between waves 2/3 and 4/5.
+  std::vector<TraceEvent> trace;
+  for (std::uint64_t wave = 0; wave < 5; ++wave) {
+    for (int i = 0; i < 4; ++i) trace.push_back({wave * 1000000, 0});
+  }
+  ReplayConfig cfg;
+  cfg.serve.max_batch = 4;
+  cfg.serve.queue_capacity = 8;
+  cfg.serve.max_wait_ns = 100000;
+  cfg.swaps = {{1500000, 1}, {3500000, 2}};
+
+  const auto run = [&] {
+    std::vector<std::uint64_t> exec_versions;
+    const ReplayResult r = replay_trace(
+        trace, cfg,
+        [&](std::span<const std::size_t>, std::uint64_t version) {
+          exec_versions.push_back(version);
+        });
+    return std::make_pair(r, exec_versions);
+  };
+  const auto [r, exec_versions] = run();
+
+  ASSERT_EQ(r.batches.size(), 5u);
+  const std::vector<std::uint64_t> want_versions = {0, 0, 1, 1, 2};
+  for (std::size_t b = 0; b < 5; ++b) {
+    EXPECT_EQ(r.batches[b].version, want_versions[b]) << "batch " << b;
+  }
+  EXPECT_EQ(exec_versions, want_versions);
+  ASSERT_EQ(r.swaps.size(), 2u);
+  EXPECT_EQ(r.swaps[0].version, 1u);
+  EXPECT_EQ(r.swaps[0].first_batch, 2u);
+  EXPECT_EQ(r.swaps[1].version, 2u);
+  EXPECT_EQ(r.swaps[1].first_batch, 4u);
+  // Every request completes on exactly one version: no drops, no errors.
+  EXPECT_EQ(r.stats.completed, trace.size());
+  EXPECT_EQ(r.stats.errors, 0u);
+
+  // The boundary log carries the swap lines and version suffixes, and the
+  // whole replay (log included) is byte-reproducible.
+  const std::string log = r.boundary_log();
+  EXPECT_NE(log.find("swap: t=1500000ns v=1 first_batch=2"), std::string::npos)
+      << log;
+  EXPECT_NE(log.find("swap: t=3500000ns v=2 first_batch=4"), std::string::npos);
+  EXPECT_NE(log.find(" v=0\n"), std::string::npos);
+  EXPECT_EQ(log, run().first.boundary_log());
+}
+
+TEST(Replay, NoSwapsKeepsBoundaryLogByteIdenticalToPreSwapFormat) {
+  std::vector<TraceEvent> trace(4);
+  ReplayConfig cfg;
+  cfg.serve.max_batch = 4;
+  const ReplayResult r =
+      replay_trace(trace, cfg, [](std::span<const std::size_t>) {});
+  const std::string log = r.boundary_log();
+  EXPECT_EQ(log.find("swap"), std::string::npos);
+  EXPECT_EQ(log.find(" v="), std::string::npos);
+  EXPECT_EQ(log, "batch 0: t=0ns reason=size n=4 ids=[0,1,2,3] shed=[]\n");
+}
+
+TEST(Replay, SwapAfterLastFlushNeverActivates) {
+  std::vector<TraceEvent> trace(4);
+  ReplayConfig cfg;
+  cfg.serve.max_batch = 4;
+  cfg.swaps = {{1000000000, 7}};  // long after the only flush at t=0
+  const ReplayResult r = replay_trace(
+      trace, cfg, [](std::span<const std::size_t>, std::uint64_t version) {
+        EXPECT_EQ(version, 0u);
+      });
+  EXPECT_TRUE(r.swaps.empty());
+  ASSERT_EQ(r.batches.size(), 1u);
+  EXPECT_EQ(r.batches[0].version, 0u);
+}
+
+TEST(Replay, MidTrafficSwapServesEachBatchBitwiseOnItsOwnModelVersion) {
+  // The full deployment story in virtual time: two model builds, a swap
+  // scripted mid-traffic, and every request's served output byte-equal to
+  // the offline reference of the ONE version its batch ran on.
+  const nn::Mlp v0 = make_mlp(91);
+  const nn::Mlp v1 = make_mlp(92);
+  const std::size_t n = 24;
+  const Matrix inputs = random_inputs(n, 32, 93);
+  const Matrix offline0 = v0.infer_batch(inputs);
+  const Matrix offline1 = v1.infer_batch(inputs);
+
+  std::vector<TraceEvent> trace;
+  for (std::size_t i = 0; i < n; ++i) {
+    trace.push_back({static_cast<std::uint64_t>(i) * 250000, 0});
+  }
+  ReplayConfig cfg;
+  cfg.serve.max_batch = 4;
+  cfg.serve.queue_capacity = 32;
+  cfg.serve.max_wait_ns = 1000000;
+  cfg.swaps = {{3000000, 1}};
+
+  std::vector<std::function<std::vector<Vector>(std::span<const Vector>)>> fns;
+  fns.push_back(mlp_logits_backend(v0));
+  fns.push_back(mlp_logits_backend(v1));
+  Matrix served(n, v0.output_dim());
+  const ReplayResult r = replay_trace(
+      trace, cfg,
+      [&](std::span<const std::size_t> ids, std::uint64_t version) {
+        std::vector<Vector> batch;
+        for (std::size_t id : ids) {
+          batch.emplace_back(inputs.row(id).begin(), inputs.row(id).end());
+        }
+        const std::vector<Vector> outs = fns[version](batch);
+        for (std::size_t i = 0; i < ids.size(); ++i) {
+          std::copy(outs[i].begin(), outs[i].end(), served.row(ids[i]).begin());
+        }
+      });
+
+  EXPECT_EQ(r.stats.completed, n);
+  ASSERT_EQ(r.swaps.size(), 1u);
+  for (const BatchRecord& b : r.batches) {
+    const Matrix& offline = b.version == 0 ? offline0 : offline1;
+    for (std::size_t id : b.executed) {
+      EXPECT_EQ(std::memcmp(served.row(id).data(), offline.row(id).data(),
+                            served.cols() * sizeof(float)),
+                0)
+          << "id " << id << " version " << b.version;
+    }
+  }
+  // Byte-reproducible boundary log, swap line included.
+  const ReplayResult again = replay_trace(
+      trace, cfg, [](std::span<const std::size_t>, std::uint64_t) {});
+  EXPECT_EQ(r.boundary_log(), again.boundary_log());
+}
+
+// --- poisson trace edge cases -----------------------------------------------
+
+TEST(PoissonTrace, BoundaryDrawsProduceFiniteArrivals) {
+  // u -> 1 is the draw that used to produce log(0) = -inf and an undefined
+  // uint64 cast. The guarded gap must be finite, capped, and monotone.
+  EXPECT_EQ(poisson_gap_ns(1e6, 0.0), 0u);
+  const std::uint64_t at_one = poisson_gap_ns(1e6, 1.0);
+  // 1 - u clamps to DBL_MIN: -log(DBL_MIN) ~ 708.4, so the gap is a large
+  // but FINITE ~708 * mean — and always below the 2^63 cast cap.
+  EXPECT_EQ(at_one,
+            static_cast<std::uint64_t>(
+                -1e6 * std::log(std::numeric_limits<double>::min())));
+  EXPECT_LT(at_one, 1ull << 63);
+  EXPECT_LE(poisson_gap_ns(1e6, std::nextafter(1.0, 0.0)), at_one);
+  // Normal draws keep the exact historical arithmetic (seeded traces are
+  // pinned downstream): gap(u) == uint64(-mean * log1m(u)) bitwise.
+  for (double u : {0.1, 0.5, 0.9, 0.999}) {
+    EXPECT_EQ(poisson_gap_ns(2.5e5, u),
+              static_cast<std::uint64_t>(-2.5e5 * std::log(1.0 - u)));
+  }
+  EXPECT_EQ(poisson_gap_ns(0.0, 0.5), 0u);
+}
+
+TEST(PoissonTrace, SeededTraceIsDeterministicAndNonDecreasing) {
+  Rng rng_a(77);
+  Rng rng_b(77);
+  const auto a = poisson_trace(500, 1e5, 50000, rng_a);
+  const auto b = poisson_trace(500, 1e5, 50000, rng_b);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].arrival_ns, b[i].arrival_ns);
+    EXPECT_EQ(a[i].deadline_ns, a[i].arrival_ns + 50000);
+    if (i > 0) {
+      EXPECT_GE(a[i].arrival_ns, a[i - 1].arrival_ns);
+    }
+  }
+}
+
+// --- percentile overloads ---------------------------------------------------
+
+TEST(Percentile, SortedSpanOverloadByteIdenticalToSortingOverload) {
+  Rng rng(55);
+  std::vector<std::uint64_t> sample;
+  for (int i = 0; i < 997; ++i) {
+    sample.push_back(static_cast<std::uint64_t>(rng.uniform() * 1e9));
+  }
+  std::vector<std::uint64_t> sorted = sample;
+  std::sort(sorted.begin(), sorted.end());
+  for (double p : {0.0, 1.0, 50.0, 90.0, 99.0, 99.9, 100.0}) {
+    EXPECT_EQ(percentile_sorted_ns(sorted, p), percentile_ns(sample, p)) << p;
+  }
+  EXPECT_EQ(percentile_sorted_ns(std::span<const std::uint64_t>{}, 50.0), 0u);
+}
+
+// --- live hot-swap ----------------------------------------------------------
+
+TEST(Server, HotSwapMidTrafficCompletesInFlightBatchOnOldVersion) {
+  ServeConfig cfg;
+  cfg.max_batch = 1;
+  cfg.max_wait_ns = 0;
+  cfg.queue_capacity = 8;
+  GatedEcho gate;
+  // Version 0 tags results +1000 (and parks its first batch on the gate);
+  // version 1 tags +2000 — so the reply value names the version that served.
+  const auto inner = gate.fn();
+  Server<int, int> srv(cfg, [inner](std::span<const int> batch) {
+    std::vector<int> out = inner(batch);
+    for (int& v : out) v += 1000;
+    return out;
+  });
+
+  Server<int, int>::Reply r1;
+  std::thread t1([&] { r1 = srv.submit(1); });
+  gate.wait_entered();  // request 1's batch is mid-execute on version 0
+
+  srv.swap_backend(
+      [](std::span<const int> batch) {
+        std::vector<int> out(batch.begin(), batch.end());
+        for (int& v : out) v += 2000;
+        return out;
+      },
+      /*version=*/1);
+  EXPECT_EQ(srv.backend_version(), 1u);
+
+  gate.release();
+  t1.join();
+  // The in-flight batch completed on the OLD backend — swapped mid-execution,
+  // served entirely by the version that collated it.
+  EXPECT_EQ(r1.status, Status::kOk);
+  EXPECT_EQ(r1.value, 1001);
+  // The next batch runs on the new version.
+  const auto r2 = srv.submit(2);
+  EXPECT_EQ(r2.status, Status::kOk);
+  EXPECT_EQ(r2.value, 2002);
+  srv.shutdown();
+
+  const std::vector<SwapRecord> hist = srv.swap_history();
+  ASSERT_EQ(hist.size(), 1u);
+  EXPECT_EQ(hist[0].version, 1u);
+  // The in-flight batch had not been recorded when the boundary was cut.
+  EXPECT_EQ(hist[0].batches_before, 0u);
+  EXPECT_EQ(hist[0].requests_before, 0u);
+  const ServerStats stats = srv.stats();
+  EXPECT_EQ(stats.completed, 2u);  // nothing dropped across the swap
+  EXPECT_EQ(stats.errors, 0u);
+}
+
+TEST(Server, SwapRejectsNonCallableBackendAndKeepsServing) {
+  ServeConfig cfg;
+  cfg.max_batch = 1;
+  cfg.max_wait_ns = 0;
+  Server<int, int> srv(cfg, [](std::span<const int> batch) {
+    return std::vector<int>(batch.begin(), batch.end());
+  });
+  EXPECT_THROW(srv.swap_backend(Server<int, int>::BatchFn{}, 5),
+               std::invalid_argument);
+  EXPECT_EQ(srv.backend_version(), 0u);
+  EXPECT_TRUE(srv.swap_history().empty());
+  EXPECT_EQ(srv.submit(3).value, 3);  // old backend untouched
+  srv.shutdown();
 }
 
 TEST(Server, ExpiredDeadlineIsShedWithTypedError) {

@@ -21,16 +21,22 @@
 
 #include <algorithm>
 #include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <memory>
 #include <new>
 #include <stdexcept>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "artifact/artifact.h"
+#include "artifact/model_io.h"
 #include "core/rng.h"
 #include "nn/digital_linear.h"
 #include "nn/mlp.h"
 #include "serve/backends.h"
+#include "serve/multi_shard.h"
 #include "serve/replay.h"
 #include "serve/server.h"
 #include "serve/shard_replay.h"
@@ -291,6 +297,118 @@ TEST(ServeFault, ReplayPropagatesBackendFailureLoudly) {
                      (void)backend(batch);
                    }),
       std::bad_alloc);
+}
+
+// --- artifact fault campaign: corrupt model files vs the swap path ----------
+
+namespace fs = std::filesystem;
+
+/// Save `model`, flip one blob byte, and return the corrupted path.
+std::string save_corrupted_mlp(const nn::Mlp& model, const std::string& path) {
+  artifact::save_mlp(model, path);
+  std::fstream f(path, std::ios::binary | std::ios::in | std::ios::out);
+  f.seekg(0, std::ios::end);
+  const std::streamoff size = f.tellg();
+  f.seekp(size - 1);
+  char last = 0;
+  f.seekg(size - 1);
+  f.get(last);
+  last = static_cast<char>(last ^ 0x20);
+  f.seekp(size - 1);
+  f.put(last);
+  f.close();
+  return path;
+}
+
+TEST(ServeFault, CorruptedArtifactIsRejectedLoudlyAtLoad) {
+  const nn::Mlp model = make_mlp(21);
+  const std::string path = "fault_corrupt_mlp.enw";
+  save_corrupted_mlp(model, path);
+  // The rejection is TYPED and happens at open — no partially-built model,
+  // no silent fallback, in either load mode.
+  for (artifact::LoadMode mode :
+       {artifact::LoadMode::kMap, artifact::LoadMode::kOwned}) {
+    try {
+      artifact::load_mlp(path, mode);
+      ADD_FAILURE() << "corrupted artifact load unexpectedly succeeded";
+    } catch (const artifact::ArtifactError& e) {
+      EXPECT_EQ(e.code(), artifact::ArtifactErrorCode::kChecksumMismatch);
+    }
+  }
+  fs::remove(path);
+}
+
+TEST(ServeFault, FailedSwapLeavesEveryShardServingTheOldVersion) {
+  // Deployment rollback drill: version 0 serves from a published artifact;
+  // the version-1 artifact is corrupt. The all-or-nothing swap must throw
+  // out of the factory on shard 0 and leave ALL shards on version 0,
+  // serving results bitwise-equal to before the attempt.
+  const nn::Mlp v0 = make_mlp(31);
+  const std::string good_path = "fault_swap_v0.enw";
+  const std::string bad_path = "fault_swap_v1.enw";
+  artifact::save_mlp(v0, good_path);
+  save_corrupted_mlp(make_mlp(32), bad_path);
+
+  const Matrix inputs = random_inputs(8, 64, 33);
+  const Matrix offline = v0.infer_batch(inputs);
+
+  MultiShardConfig cfg;
+  cfg.num_shards = 3;
+  cfg.shard.max_batch = 4;
+  cfg.shard.max_wait_ns = 100000;
+  cfg.shard.queue_capacity = 16;
+  // Every shard replica loads from the SAME artifact — the deployment move
+  // the zero-copy loader is for (one mapping, page cache shared).
+  auto replica_factory = [&](const std::string& path) {
+    return [path](std::size_t) {
+      auto loaded = artifact::load_mlp(path);
+      // The backend closes over the loaded model (and its artifact pin).
+      auto model = std::make_shared<artifact::Loaded<nn::Mlp>>(std::move(loaded));
+      return [model](std::span<const Vector> batch) {
+        Matrix x(batch.size(), model->model.input_dim());
+        for (std::size_t r = 0; r < batch.size(); ++r) {
+          std::copy(batch[r].begin(), batch[r].end(), x.row(r).begin());
+        }
+        const Matrix y = model->model.infer_batch(x);
+        std::vector<Vector> out;
+        for (std::size_t r = 0; r < y.rows(); ++r) {
+          out.emplace_back(y.row(r).begin(), y.row(r).end());
+        }
+        return out;
+      };
+    };
+  };
+
+  MultiShardServer<Vector, Vector> srv(cfg, replica_factory(good_path));
+  const auto serve_all = [&] {
+    for (std::size_t i = 0; i < inputs.rows(); ++i) {
+      const Vector x(inputs.row(i).begin(), inputs.row(i).end());
+      const auto reply = srv.submit(x, /*key=*/i * 7919);
+      ASSERT_EQ(reply.status, Status::kOk) << "id " << i;
+      ASSERT_EQ(reply.value.size(), offline.cols());
+      EXPECT_EQ(std::memcmp(reply.value.data(), offline.row(i).data(),
+                            offline.cols() * sizeof(float)),
+                0)
+          << "id " << i;
+    }
+  };
+  serve_all();
+
+  // The swap fails loudly in the factory (corrupt artifact) — and fails
+  // ATOMICALLY: no shard moved off version 0.
+  EXPECT_THROW(srv.swap_backend(replica_factory(bad_path), /*version=*/1),
+               artifact::ArtifactError);
+  for (std::uint64_t v : srv.backend_versions()) EXPECT_EQ(v, 0u);
+  serve_all();  // still bitwise the version-0 reference
+
+  // Repairing the artifact lets the SAME swap succeed.
+  artifact::save_mlp(v0, bad_path);
+  srv.swap_backend(replica_factory(bad_path), /*version=*/1);
+  for (std::uint64_t v : srv.backend_versions()) EXPECT_EQ(v, 1u);
+  serve_all();  // same weights, same bits, now as version 1
+  srv.shutdown();
+  fs::remove(good_path);
+  fs::remove(bad_path);
 }
 
 }  // namespace

@@ -211,6 +211,26 @@ TEST(TenantPolicy, QuotaIsFlooredShareWithOneSlotMinimum) {
       << "every tenant must always own at least one slot";
 }
 
+TEST(TenantPolicy, ExactRatioSharesBuyTheirFullSlotCount) {
+  // 0.1 and 0.3 are not exactly representable: the product 0.1 * 30
+  // evaluates to 2.999...96, and a raw floor silently costs the tenant the
+  // slot its config promised. The epsilon-nudged floor restores these while
+  // leaving genuinely fractional shares (0.15 * 10 = 1.5) floored.
+  TenantPolicy t;
+  t.queue_share = 0.1;
+  EXPECT_EQ(tenant_quota(t, 30), 3u);
+  EXPECT_EQ(tenant_quota(t, 10), 1u);
+  t.queue_share = 0.3;
+  EXPECT_EQ(tenant_quota(t, 10), 3u);
+  t.queue_share = 0.7;
+  EXPECT_EQ(tenant_quota(t, 10), 7u);
+  t.queue_share = 0.15;
+  EXPECT_EQ(tenant_quota(t, 10), 1u);  // 1.5 is a true fraction: still floors
+  // The nudge must never push a full share past the queue itself.
+  t.queue_share = 1.0;
+  EXPECT_EQ(tenant_quota(t, 7), 7u);
+}
+
 TEST(TenantPolicy, InvalidShareIsRejected) {
   TenantPolicy t;
   t.queue_share = 0.0;
