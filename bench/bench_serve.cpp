@@ -20,12 +20,17 @@
 //                   per-tenant percentiles in VIRTUAL time (byte-stable);
 //   mlp-hotswap     the mlp leg with one mid-drive Server::swap_backend to a
 //                   second build — reports the swap call's latency and the
-//                   requests in flight across the version boundary.
+//                   requests in flight across the version boundary;
+//   dlrm-resize     the sharded DLRM leg with one mid-drive add_shard +
+//                   remove_shard — p99 during the migration window vs steady
+//                   state, the embedding rows the matching data-tier resize
+//                   migrates, and the victim shard's drain time.
 //
 // Regenerate the committed record with:
 //   ./scripts/run_bench_serve.sh           (writes BENCH_serve.json)
 // CI runs `bench_serve --smoke` to catch harness crashes cheaply.
 #include <algorithm>
+#include <atomic>
 #include <cstdio>
 #include <cstring>
 #include <memory>
@@ -42,6 +47,8 @@
 #include "nn/mlp.h"
 #include "obs/obs.h"
 #include "recsys/dlrm.h"
+#include "recsys/embedding_table.h"
+#include "recsys/sharded_table.h"
 #include "serve/backends.h"
 #include "serve/multi_shard.h"
 #include "serve/replay.h"
@@ -79,6 +86,8 @@ struct Row {
   double imbalance = 0.0;  // max/mean routed load (0 = single server)
   double swap_us = 0.0;    // swap_backend() call latency (hot-swap leg only)
   std::size_t in_flight_at_swap = 0;  // admitted-but-unfinished at the swap
+  std::size_t rows_moved = 0;  // embedding rows the data-tier resize migrated
+  double drain_us = 0.0;       // remove_shard() drain latency (resize leg)
 };
 
 Matrix random_matrix(std::size_t r, std::size_t c, unsigned seed) {
@@ -159,12 +168,13 @@ void write_json(const std::string& path, const std::vector<Row>& rows) {
                  "\"throughput_rps\": %.1f, \"p50_us\": %.1f, "
                  "\"p99_us\": %.1f, \"mean_batch\": %.2f, "
                  "\"imbalance\": %.2f, \"swap_us\": %.1f, "
-                 "\"in_flight_at_swap\": %zu}%s\n",
+                 "\"in_flight_at_swap\": %zu, \"rows_moved\": %zu, "
+                 "\"drain_us\": %.1f}%s\n",
                  r.backend, r.tenant, r.shards, r.max_batch,
                  static_cast<unsigned long long>(r.window_us), r.clients,
                  r.requests, r.throughput_rps, r.p50_us, r.p99_us,
                  r.mean_batch, r.imbalance, r.swap_us, r.in_flight_at_swap,
-                 i + 1 < rows.size() ? "," : "");
+                 r.rows_moved, r.drain_us, i + 1 < rows.size() ? "," : "");
   }
   std::fprintf(f, "  ]\n}\n");
   std::fclose(f);
@@ -362,6 +372,122 @@ int main(int argc, char** argv) {
       }
     }
 
+    // Live resize leg: the sharded DLRM traffic, but mid-drive shards are
+    // added and drained (kCycles add+remove pairs) while clients keep
+    // submitting. Correctness — every request served exactly once, bitwise —
+    // is pinned by tests; this leg prices the operation: p99 inside the
+    // migration window vs steady state, the mean remove_shard call latency
+    // (= the victim's drain time), and the embedding rows the matching
+    // data-tier ShardedEmbeddingTable resize migrates for one shard joining.
+    {
+      const std::size_t kShards = opt.smoke ? 2 : 4;
+      const std::size_t kCycles = opt.smoke ? 1 : 4;
+      std::vector<std::unique_ptr<enw::recsys::Dlrm>> replicas;
+      for (std::size_t s = 0; s < kShards + kCycles; ++s) {
+        Rng rng(3);
+        replicas.push_back(std::make_unique<enw::recsys::Dlrm>(dlrm_cfg, rng));
+      }
+      enw::serve::MultiShardConfig mcfg;
+      mcfg.shard = window_config(1000);
+      mcfg.num_shards = kShards;
+      enw::serve::TenantPolicy tenant;
+      tenant.admission = enw::serve::AdmissionPolicy::kBlock;
+      mcfg.tenants = {tenant};
+      const auto factory = [&](std::size_t s) {
+        return enw::serve::dlrm_backend(*replicas[s]);
+      };
+      enw::serve::MultiShardServer<enw::data::ClickSample, float> ms(mcfg,
+                                                                     factory);
+
+      // Clients bucket each completion by whether the control-plane resize
+      // was in progress when they submitted.
+      std::atomic<bool> resizing{false};
+      std::vector<std::vector<std::uint64_t>> steady(clients);
+      std::vector<std::vector<std::uint64_t>> migr(clients);
+      enw::bench::Timer t;
+      std::vector<std::thread> workers;
+      for (std::size_t c = 0; c < clients; ++c) {
+        workers.emplace_back([&, c] {
+          for (std::size_t r = 0; r < per_client_dlrm; ++r) {
+            const auto& s = samples[(c * per_client_dlrm + r) % samples.size()];
+            const bool in_window = resizing.load(std::memory_order_relaxed);
+            const auto reply = ms.submit(s, enw::serve::click_routing_key(s));
+            if (reply.status == enw::serve::Status::kOk) {
+              (in_window ? migr : steady)[c].push_back(reply.latency_ns);
+            }
+          }
+        });
+      }
+      // Start churning once roughly a quarter of the traffic has completed,
+      // so every cycle overlaps live load. Each cycle grows the ring by one
+      // shard, then drains a victim: first an original shard, then the shard
+      // the previous cycle added. The window stays open until traffic
+      // submitted during each cycle completes, so the migrating bucket
+      // reflects resize-coincident requests.
+      const std::uint64_t total =
+          static_cast<std::uint64_t>(clients * per_client_dlrm);
+      while (ms.stats().completed < total / 4) std::this_thread::yield();
+      resizing.store(true, std::memory_order_relaxed);
+      double drain_total_s = 0.0;
+      std::size_t victim = 1;
+      for (std::size_t i = 0; i < kCycles; ++i) {
+        const std::size_t added = ms.add_shard(factory);
+        enw::bench::Timer drain_t;
+        ms.remove_shard(victim);
+        drain_total_s += drain_t.seconds();
+        victim = added;
+        const std::uint64_t mark = ms.stats().completed + clients;
+        while (ms.stats().completed < mark && ms.stats().completed < total) {
+          std::this_thread::yield();
+        }
+      }
+      resizing.store(false, std::memory_order_relaxed);
+      for (std::thread& w : workers) w.join();
+      const double wall = t.seconds();
+      ms.shutdown();
+
+      // Data-tier cost of the same membership change: rows a quantized
+      // sharded embedding table migrates when a shard joins the ring.
+      Rng erng(12);
+      const enw::recsys::EmbeddingTable src(
+          opt.smoke ? 2000 : 20000, dlrm_cfg.embed_dim, erng);
+      enw::recsys::ShardedEmbeddingTable table(src, 8, kShards, 256);
+      const auto mig = table.add_shard();
+
+      const double imbalance = ms.imbalance();
+      const double mean_batch = ms.stats().mean_batch();
+      const char* phases[2] = {"steady", "migrating"};
+      for (int p = 0; p < 2; ++p) {
+        std::vector<std::uint64_t> all;
+        const auto& buckets = p == 0 ? steady : migr;
+        for (const auto& v : buckets) all.insert(all.end(), v.begin(), v.end());
+        std::sort(all.begin(), all.end());
+        Row row;
+        row.backend = "dlrm-resize";
+        row.tenant = phases[p];
+        row.shards = kShards;
+        row.max_batch = mcfg.shard.max_batch;
+        row.window_us = 1000;
+        row.clients = clients;
+        row.requests = all.size();
+        row.throughput_rps =
+            wall > 0.0 ? static_cast<double>(all.size()) / wall : 0.0;
+        row.p50_us =
+            static_cast<double>(enw::serve::percentile_sorted_ns(all, 50.0)) /
+            1000.0;
+        row.p99_us =
+            static_cast<double>(enw::serve::percentile_sorted_ns(all, 99.0)) /
+            1000.0;
+        row.mean_batch = mean_batch;
+        row.imbalance = imbalance;
+        if (p == 1) {
+          row.rows_moved = mig.rows_moved;
+          row.drain_us = drain_total_s / static_cast<double>(kCycles) * 1e6;
+        }
+        rows.push_back(row);
+      }
+    }
+
     // Sharded replay simulator throughput: virtual-time events/sec of
     // replay_sharded itself over a Zipf-keyed two-tenant trace (no-op exec).
     // Latency percentiles here are VIRTUAL time — identical on every run.
@@ -444,13 +570,15 @@ int main(int argc, char** argv) {
   enw::bench::section("serving latency/throughput");
   enw::bench::Table table({"backend", "tenant", "shards", "window_us",
                            "clients", "throughput_rps", "p50_us", "p99_us",
-                           "mean_batch", "imbalance", "swap_us"});
+                           "mean_batch", "imbalance", "swap_us", "rows_moved",
+                           "drain_us"});
   for (const Row& r : rows) {
     table.row({r.backend, r.tenant, std::to_string(r.shards),
                std::to_string(r.window_us), std::to_string(r.clients),
                enw::bench::fmt(r.throughput_rps, 0), enw::bench::fmt(r.p50_us, 1),
                enw::bench::fmt(r.p99_us, 1), enw::bench::fmt(r.mean_batch, 2),
-               enw::bench::fmt(r.imbalance, 2), enw::bench::fmt(r.swap_us, 1)});
+               enw::bench::fmt(r.imbalance, 2), enw::bench::fmt(r.swap_us, 1),
+               std::to_string(r.rows_moved), enw::bench::fmt(r.drain_us, 1)});
   }
   table.print();
 

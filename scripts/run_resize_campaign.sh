@@ -1,0 +1,36 @@
+#!/usr/bin/env sh
+# Run the resize fault campaign (tests/test_serve_fault.cpp) twice as two
+# separate processes and diff the reports. The campaign injects a one-shot
+# allocation failure into the embedding-row migration path and a throwing
+# shard factory into a live server's add_shard, then asserts both resizes are
+# all-or-nothing; its report is a pure function of fixed seeds, so two whole
+# processes must produce byte-identical bytes. The in-process double-run
+# inside the test covers same-process reproducibility; this script covers
+# cross-process (fresh heap, fresh thread interleavings).
+#
+# Usage: ./scripts/run_resize_campaign.sh [build-dir]
+set -eu
+
+BUILD_DIR="${1:-build}"
+
+BIN="$BUILD_DIR/tests/test_serve_fault"
+if [ ! -x "$BIN" ]; then
+  echo "error: $BIN not built (cmake --build $BUILD_DIR --target test_serve_fault)" >&2
+  exit 1
+fi
+
+OUT1=$(mktemp)
+OUT2=$(mktemp)
+trap 'rm -f "$OUT1" "$OUT2"' EXIT INT TERM
+
+ENW_RESIZE_CAMPAIGN_OUT="$OUT1" \
+  "$BIN" --gtest_filter='*ResizeFaultCampaign*'
+ENW_RESIZE_CAMPAIGN_OUT="$OUT2" \
+  "$BIN" --gtest_filter='*ResizeFaultCampaign*' > /dev/null
+
+if ! cmp -s "$OUT1" "$OUT2"; then
+  echo "error: resize campaign report not reproducible across two processes" >&2
+  diff "$OUT1" "$OUT2" >&2 || true
+  exit 1
+fi
+echo "resize campaign reproducible: two processes produced byte-identical reports"

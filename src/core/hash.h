@@ -17,6 +17,7 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "core/check.h"
@@ -114,5 +115,20 @@ class ConsistentHashRing {
   std::size_t vnodes_ = 64;
   std::size_t member_count_ = 0;
 };
+
+/// The keys whose owner differs between two ring states — the ~K/(N+1)
+/// delta a resize must migrate, and nothing else. Pure function of the two
+/// rings and the key list; output preserves the input's key order, so a
+/// caller that feeds keys in a canonical order gets a canonical migration
+/// order for free.
+inline std::vector<std::uint64_t> ring_delta(
+    const ConsistentHashRing& before, const ConsistentHashRing& after,
+    std::span<const std::uint64_t> keys) {
+  std::vector<std::uint64_t> moved;
+  for (const std::uint64_t k : keys) {
+    if (before.owner(k) != after.owner(k)) moved.push_back(k);
+  }
+  return moved;
+}
 
 }  // namespace enw::core

@@ -119,4 +119,15 @@ std::uint32_t LruCache::peek_slot(std::uint64_t key) const {
   return b == kNoBucket ? kNoSlot : buckets_[b];
 }
 
+std::vector<std::uint64_t> LruCache::keys_by_recency() const {
+  std::vector<std::uint64_t> keys;
+  keys.reserve(size_);
+  // tail_ is LRU; prev links walk toward head_ (MRU), so accessing the
+  // returned keys in order ends with the MRU key most recent again.
+  for (std::uint32_t n = tail_; n != kNoSlot; n = nodes_[n].prev) {
+    keys.push_back(nodes_[n].key);
+  }
+  return keys;
+}
+
 }  // namespace enw::perf

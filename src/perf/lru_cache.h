@@ -63,6 +63,13 @@ class LruCache {
   /// recency update.
   std::uint32_t peek_slot(std::uint64_t key) const;
 
+  /// Resident keys from least- to most-recently used. Pure query (no stats,
+  /// no recency change). Replaying the returned sequence through a fresh
+  /// cache of the same capacity reproduces this cache's residency AND
+  /// recency order — the enumeration a payload cache uses to move its warm
+  /// set to another node during a shard resize.
+  std::vector<std::uint64_t> keys_by_recency() const;
+
   std::size_t capacity() const { return capacity_; }
   std::size_t size() const { return size_; }
   std::uint64_t hits() const { return hits_; }

@@ -42,6 +42,20 @@ void CachedEmbeddingTable::fill_row(std::size_t id, float* dst) {
   cold_.dequantize_row(id, std::span<float>(dst, dim_));
 }
 
+void CachedEmbeddingTable::warm_rows(std::span<const std::size_t> ids) {
+  detail::check_indices(ids, rows());
+  std::uint64_t filled = 0;
+  for (std::size_t id : ids) {
+    const auto res = lru_.access_slot(id);
+    if (!res.hit) {
+      ++filled;
+      fill_row(id, hot_.data() + static_cast<std::size_t>(res.slot) * dim_);
+    }
+  }
+  fills_ += filled;
+  bytes_from_cold_ += filled * cold_row_bytes_;
+}
+
 void CachedEmbeddingTable::lookup_sum(std::span<const std::size_t> indices,
                                       std::span<float> out) {
   ENW_CHECK_MSG(out.size() == dim_, "output size mismatch");

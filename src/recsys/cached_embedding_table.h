@@ -75,6 +75,14 @@ class CachedEmbeddingTable {
   void lookup_sum_batch(std::span<const std::span<const std::size_t>> index_lists,
                         Matrix& out);
 
+  /// Pre-warm the hot tier: make each id resident (dequantizing on a miss)
+  /// and touch it MRU in the given order — feeding a donor cache's
+  /// keys_by_recency() reproduces the donor's residency and recency here.
+  /// Values are unaffected either way (only speed depends on warmth); fills
+  /// count in rows_filled()/bytes_from_cold() but NOT in the per-reference
+  /// hit/miss stats, which track serving traffic only.
+  void warm_rows(std::span<const std::size_t> ids);
+
   // Per-reference stats (see file comment for the convention).
   std::uint64_t hot_hits() const { return hits_; }
   std::uint64_t hot_misses() const { return misses_; }

@@ -119,6 +119,55 @@ QuantizedEmbeddingTable QuantizedEmbeddingTable::borrow(std::size_t rows,
   return t;
 }
 
+QuantizedEmbeddingTable QuantizedEmbeddingTable::gather(
+    const QuantizedEmbeddingTable& src, std::span<const std::size_t> rows) {
+  const std::vector<const QuantizedEmbeddingTable*> srcs(rows.size(), &src);
+  return gather(std::span<const QuantizedEmbeddingTable* const>(srcs), rows);
+}
+
+QuantizedEmbeddingTable QuantizedEmbeddingTable::gather(
+    std::span<const QuantizedEmbeddingTable* const> srcs,
+    std::span<const std::size_t> rows) {
+  ENW_CHECK_MSG(!rows.empty(), "gather needs at least one row");
+  ENW_CHECK_MSG(srcs.size() == rows.size(), "one source per gathered row");
+  const std::size_t dim = srcs[0]->dim_;
+  const int bits = srcs[0]->bits_;
+  std::vector<std::int8_t> codes(packed_code_bytes(rows.size(), dim, bits), 0);
+  std::vector<float> scales(rows.size());
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const QuantizedEmbeddingTable& src = *srcs[i];
+    ENW_CHECK_MSG(src.dim_ == dim && src.bits_ == bits,
+                  "gather sources must share dim and bits");
+    const std::size_t r = rows[i];
+    ENW_CHECK_MSG(r < src.rows_, "gather row out of range");
+    scales[i] = src.scales_ptr()[r];
+    if (bits == 8) {
+      const std::int8_t* row = src.codes_ptr() + r * dim;
+      std::copy(row, row + dim, codes.begin() + static_cast<std::ptrdiff_t>(i * dim));
+      continue;
+    }
+    // Sub-byte rows can straddle byte boundaries at either end, so re-pack
+    // code by code (codes start zeroed, so OR-ing each field suffices).
+    for (std::size_t c = 0; c < dim; ++c) {
+      const auto q = static_cast<std::uint8_t>(src.stored(r, c));
+      const std::size_t flat = i * dim + c;
+      if (bits == 4) {
+        const std::size_t byte = flat / 2;
+        const int shift = static_cast<int>((flat % 2) * 4);
+        codes[byte] = static_cast<std::int8_t>(
+            static_cast<std::uint8_t>(codes[byte]) | ((q & 0xF) << shift));
+      } else {  // 2 bits
+        const std::size_t byte = flat / 4;
+        const int shift = static_cast<int>((flat % 4) * 2);
+        codes[byte] = static_cast<std::int8_t>(
+            static_cast<std::uint8_t>(codes[byte]) | ((q & 0x3) << shift));
+      }
+    }
+  }
+  return QuantizedEmbeddingTable(rows.size(), dim, bits, std::move(codes),
+                                 std::move(scales));
+}
+
 QuantizedEmbeddingTable::QuantizedEmbeddingTable(const EmbeddingTable& source, int bits)
     : rows_(source.rows()), dim_(source.dim()), bits_(bits) {
   ENW_CHECK_MSG(bits == 2 || bits == 4 || bits == 8, "bits must be 2, 4 or 8");

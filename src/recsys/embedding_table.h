@@ -94,6 +94,23 @@ class QuantizedEmbeddingTable {
                                         const std::int8_t* codes,
                                         std::size_t code_bytes, const float* scales);
 
+  /// Sub-table of selected rows: row i of the result holds exactly src row
+  /// rows[i]'s stored codes and scale, re-packed at the new row offsets.
+  /// This is the shard-migration primitive — gathering a shard's row set
+  /// from donor shards preserves every code and scale bit-for-bit, so the
+  /// dequantized values (and therefore pooled lookups) are unchanged by the
+  /// move. Duplicate row ids are allowed (each copy is independent).
+  static QuantizedEmbeddingTable gather(const QuantizedEmbeddingTable& src,
+                                        std::span<const std::size_t> rows);
+
+  /// Multi-source gather: row i comes from srcs[i]'s row rows[i]. All
+  /// sources must share dim and bits. This is what a shard resize uses when
+  /// a receiver's new row set spans several donors (e.g. a removed shard's
+  /// successor keeps its own rows and absorbs the victim's).
+  static QuantizedEmbeddingTable gather(
+      std::span<const QuantizedEmbeddingTable* const> srcs,
+      std::span<const std::size_t> rows);
+
   std::size_t rows() const { return rows_; }
   std::size_t dim() const { return dim_; }
   int bits() const { return bits_; }

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "core/check.h"
+#include "core/fault.h"
 #include "core/rng.h"
 #include "obs/obs.h"
 
@@ -12,15 +13,16 @@ ShardedEmbeddingTable::ShardedEmbeddingTable(const EmbeddingTable& source,
                                              int bits, std::size_t num_shards,
                                              std::size_t hot_rows,
                                              std::size_t vnodes)
-    : dim_(source.dim()) {
-  ENW_CHECK_MSG(num_shards > 0, "need at least one shard");
+    : dim_(source.dim()),
+      bits_(bits),
+      hot_rows_(hot_rows),
+      ring_(check_positive(num_shards), vnodes) {
   const std::size_t rows = source.rows();
-  const core::ConsistentHashRing ring(num_shards, vnodes);
   shard_of_.resize(rows);
   local_of_.resize(rows);
   std::vector<std::vector<std::size_t>> owned(num_shards);
   for (std::size_t r = 0; r < rows; ++r) {
-    const std::size_t s = ring.owner(static_cast<std::uint64_t>(r));
+    const std::size_t s = ring_.owner(static_cast<std::uint64_t>(r));
     shard_of_[r] = static_cast<std::uint32_t>(s);
     local_of_[r] = static_cast<std::uint32_t>(owned[s].size());
     owned[s].push_back(r);
@@ -40,7 +42,8 @@ ShardedEmbeddingTable::ShardedEmbeddingTable(const EmbeddingTable& source,
       const std::span<const float> src = source.row(owned[s][i]);
       std::copy(src.begin(), src.end(), data.row(i).begin());
     }
-    shards_.emplace_back(QuantizedEmbeddingTable(sub, bits), hot_rows);
+    shards_.push_back(std::make_unique<CachedEmbeddingTable>(
+        QuantizedEmbeddingTable(sub, bits), hot_rows));
   }
   row_scratch_.resize(dim_);
 }
@@ -48,6 +51,138 @@ ShardedEmbeddingTable::ShardedEmbeddingTable(const EmbeddingTable& source,
 std::size_t ShardedEmbeddingTable::shard_of(std::size_t r) const {
   ENW_CHECK_MSG(r < shard_of_.size(), "embedding index out of range");
   return shard_of_[r];
+}
+
+const CachedEmbeddingTable& ShardedEmbeddingTable::shard(std::size_t s) const {
+  ENW_CHECK_MSG(shard_live(s), "unknown or retired shard id");
+  return *shards_[s];
+}
+
+ShardedEmbeddingTable::ResizeStats ShardedEmbeddingTable::add_shard() {
+  return rebalance(shards_.size(), /*add=*/true);
+}
+
+ShardedEmbeddingTable::ResizeStats ShardedEmbeddingTable::remove_shard(
+    std::size_t s) {
+  ENW_CHECK_MSG(shard_live(s), "unknown or retired shard id");
+  ENW_CHECK_MSG(ring_.members() > 1, "cannot remove the last shard");
+  return rebalance(s, /*add=*/false);
+}
+
+ShardedEmbeddingTable::ResizeStats ShardedEmbeddingTable::rebalance(
+    std::size_t target, bool add) {
+  ENW_SPAN("recsys.shard.resize");
+  const std::size_t rows = shard_of_.size();
+  ResizeStats stats;
+  stats.shard = target;
+
+  // Phase 1 — the post-resize ring and placement, computed into locals. The
+  // placement loop doubles as the ring-delta scan: a row whose new owner
+  // differs from shard_of_ is exactly a ring_delta(ring_, next_ring) key.
+  core::ConsistentHashRing next_ring = ring_;
+  if (add) {
+    next_ring.add(target);
+  } else {
+    next_ring.remove(target);
+  }
+  const std::size_t slots = add ? shards_.size() + 1 : shards_.size();
+  std::vector<std::uint32_t> new_shard_of(rows);
+  std::vector<std::uint32_t> new_local_of(rows);
+  std::vector<std::vector<std::size_t>> owned(slots);
+  std::vector<std::uint8_t> rebuild(slots, 0);
+  if (add) rebuild[target] = 1;
+  for (std::size_t r = 0; r < rows; ++r) {
+    const std::size_t s = next_ring.owner(static_cast<std::uint64_t>(r));
+    new_shard_of[r] = static_cast<std::uint32_t>(s);
+    new_local_of[r] = static_cast<std::uint32_t>(owned[s].size());
+    owned[s].push_back(r);
+    if (s != shard_of_[r]) {
+      // Consistent hashing only ever moves rows TO an added shard or OFF a
+      // removed one; any other movement would thrash warm caches for
+      // nothing, so it is checked, not assumed.
+      ENW_CHECK_MSG(add ? s == target : shard_of_[r] == target,
+                    "resize moved a row between surviving shards");
+      ++stats.rows_moved;
+      rebuild[s] = 1;               // receiver gains rows
+      rebuild[shard_of_[r]] = 1;    // donor's local ids shift
+    }
+  }
+  if (!add) rebuild[target] = 0;  // the victim is retired, never rebuilt
+  for (std::size_t s = 0; s < slots; ++s) {
+    const bool live = add ? (s == target || shard_live(s))
+                          : (s != target && shard_live(s));
+    if (live) {
+      ENW_CHECK_MSG(!owned[s].empty(),
+                    "shard owns no rows; need rows >> shards (or more vnodes)");
+    }
+  }
+
+  // Phase 2 — rebuild every shard that gained or lost rows. Codes and
+  // scales are gathered bit-for-bit from each row's OLD owner (never
+  // re-quantized), so migrated rows keep exactly the bits the full-table
+  // quantizer produced. The explicit check_alloc is the migration
+  // allocation site the testkit alloc-fault campaign arms: a one-shot
+  // failure here must leave the table untouched (everything below builds
+  // into locals; the commit in phase 4 is noexcept).
+  std::vector<std::unique_ptr<CachedEmbeddingTable>> rebuilt(slots);
+  std::vector<const QuantizedEmbeddingTable*> srcs;
+  std::vector<std::size_t> locals;
+  for (std::size_t s = 0; s < slots; ++s) {
+    if (!rebuild[s]) continue;
+    srcs.clear();
+    locals.clear();
+    for (const std::size_t r : owned[s]) {
+      srcs.push_back(&shards_[shard_of_[r]]->cold());
+      locals.push_back(local_of_[r]);
+    }
+    fault::check_alloc(
+        QuantizedEmbeddingTable::packed_code_bytes(owned[s].size(), dim_, bits_));
+    rebuilt[s] = std::make_unique<CachedEmbeddingTable>(
+        QuantizedEmbeddingTable::gather(
+            std::span<const QuantizedEmbeddingTable* const>(srcs),
+            std::span<const std::size_t>(locals)),
+        hot_rows_);
+  }
+
+  // Phase 3 — warm rows travel with their rows. Donors are visited in
+  // shard-id order, each in LRU-to-MRU recency order, so the receiver's
+  // post-resize recency is a pure function of the pre-resize cache states
+  // (values never depend on warmth; this only preserves speed).
+  std::vector<std::vector<std::size_t>> old_owned(shards_.size());
+  for (std::size_t r = 0; r < rows; ++r) old_owned[shard_of_[r]].push_back(r);
+  std::vector<std::vector<std::size_t>> warm(slots);  // new-local ids
+  for (std::size_t d = 0; d < shards_.size(); ++d) {
+    if (!shards_[d]) continue;
+    for (const std::uint64_t local : shards_[d]->meta().keys_by_recency()) {
+      const std::size_t g = old_owned[d][static_cast<std::size_t>(local)];
+      const std::size_t s = new_shard_of[g];
+      if (!rebuild[s]) continue;
+      warm[s].push_back(new_local_of[g]);
+      if (s != d) ++stats.warm_rows_moved;
+    }
+  }
+  for (std::size_t s = 0; s < slots; ++s) {
+    if (rebuilt[s] && !warm[s].empty()) {
+      rebuilt[s]->warm_rows(std::span<const std::size_t>(warm[s]));
+    }
+  }
+
+  // Phase 4 — commit. Reserve first (the only allocation), then install the
+  // new state with noexcept swaps/moves only: past this point nothing can
+  // throw, so the table is never observable half-migrated.
+  if (add) shards_.reserve(slots);
+  shard_of_.swap(new_shard_of);
+  local_of_.swap(new_local_of);
+  ring_ = std::move(next_ring);
+  if (add) shards_.push_back(nullptr);
+  for (std::size_t s = 0; s < slots; ++s) {
+    if (rebuilt[s]) shards_[s] = std::move(rebuilt[s]);
+  }
+  if (!add) shards_[target].reset();
+
+  obs::counter_add("recsys.shard.resize.rows_moved", stats.rows_moved);
+  obs::counter_add("recsys.shard.resize.warm_rows_moved", stats.warm_rows_moved);
+  return stats;
 }
 
 void ShardedEmbeddingTable::lookup_sum(std::span<const std::size_t> indices,
@@ -60,7 +195,7 @@ void ShardedEmbeddingTable::lookup_sum(std::span<const std::size_t> indices,
     // exactly that row's mul-rounded values), then accumulate in index-list
     // order — the same add sequence as the unsharded gather.
     const std::size_t local = local_of_[idx];
-    shards_[shard_of_[idx]].lookup_sum(
+    shards_[shard_of_[idx]]->lookup_sum(
         std::span<const std::size_t>(&local, 1), std::span<float>(row_scratch_));
     for (std::size_t d = 0; d < dim_; ++d) out[d] += row_scratch_[d];
   }
@@ -75,13 +210,17 @@ std::vector<std::uint64_t> ShardedEmbeddingTable::rows_per_shard() const {
 
 std::uint64_t ShardedEmbeddingTable::hot_hits() const {
   std::uint64_t total = 0;
-  for (const CachedEmbeddingTable& s : shards_) total += s.hot_hits();
+  for (const auto& s : shards_) {
+    if (s) total += s->hot_hits();
+  }
   return total;
 }
 
 std::uint64_t ShardedEmbeddingTable::hot_misses() const {
   std::uint64_t total = 0;
-  for (const CachedEmbeddingTable& s : shards_) total += s.hot_misses();
+  for (const auto& s : shards_) {
+    if (s) total += s->hot_misses();
+  }
   return total;
 }
 

@@ -84,6 +84,8 @@ ReplayResult replay_trace(std::span<const TraceEvent> trace,
     ENW_CHECK_MSG(cfg.swaps[i - 1].at_ns <= cfg.swaps[i].at_ns,
                   "swap events must be non-decreasing in at_ns");
   }
+  ENW_CHECK_MSG(cfg.resizes.empty(),
+                "scripted resizes are a sharded-replay feature (replay_sharded)");
 
   // Resolve the tenant table: empty config means one default tenant with
   // the serve config's admission mode and the full queue as its quota —
@@ -138,6 +140,12 @@ ReplayResult replay_trace(std::span<const TraceEvent> trace,
                                         queue.size(), /*draining=*/false,
                                         cfg.serve);
       flush_at = std::max(d.due ? now : d.wake_ns, exec_free_ns);
+      if (cfg.drain_at_ns != 0) {
+        // Drain mode: from drain_at_ns the queue flushes as soon as the
+        // executor allows, instead of waiting for size/window triggers.
+        flush_at =
+            std::min(flush_at, std::max({cfg.drain_at_ns, now, exec_free_ns}));
+      }
     }
     const std::uint64_t next_arrival =
         next < trace.size() ? trace[next].arrival_ns : kNever;
@@ -182,9 +190,9 @@ ReplayResult replay_trace(std::span<const TraceEvent> trace,
       version = cfg.swaps[swap_idx].version;
       ++swap_idx;
     }
-    const FlushDecision d =
-        flush_due(now, queue.front().enqueue_ns, queue.size(),
-                  /*draining=*/false, cfg.serve);
+    const bool draining = cfg.drain_at_ns != 0 && now >= cfg.drain_at_ns;
+    const FlushDecision d = flush_due(now, queue.front().enqueue_ns,
+                                      queue.size(), draining, cfg.serve);
     ENW_CHECK_MSG(d.due, "flush scheduled but policy not due");
 
     BatchRecord rec;

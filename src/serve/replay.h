@@ -23,10 +23,13 @@
 //    before the flush decision is evaluated.
 //  * A blocked arrival (kBlock policy, full queue) is admitted FIFO the
 //    moment a flush frees queue space; its batching window starts then.
-//  * Replay never drains: after the last arrival the remaining queue still
-//    flushes by its size/window triggers, so end-of-trace does not distort
-//    window or deadline behaviour. Shutdown/drain semantics belong to the
-//    live Server and are tested there.
+//  * Replay never drains by default: after the last arrival the remaining
+//    queue still flushes by its size/window triggers, so end-of-trace does
+//    not distort window or deadline behaviour. Shutdown/drain semantics
+//    belong to the live Server and are tested there. The one scripted
+//    exception is ReplayConfig::drain_at_ns: from that virtual instant the
+//    replay runs in drain mode (flushes stop waiting for triggers), which
+//    is how replay_sharded models a removed shard draining mid-trace.
 #pragma once
 
 #include <cstddef>
@@ -65,6 +68,27 @@ struct SwapEvent {
   std::uint64_t version = 0;
 };
 
+/// One scripted shard-set change at a virtual instant (the replay twin of
+/// MultiShardServer::add_shard / remove_shard). A sharded-only event:
+/// replay_trace rejects configs carrying resizes; replay_sharded applies
+/// each event to the routing ring when the first arrival at or after at_ns
+/// is routed — every arrival stamped >= at_ns sees the post-resize ring,
+/// everything earlier the pre-resize one. On a kRemove the victim shard's
+/// sub-replay switches to drain mode at at_ns (ReplayConfig::drain_at_ns),
+/// so its already-queued requests flush to typed outcomes instead of
+/// lingering — the replay abstraction of the live drain/reroute. A resize
+/// scripted after the last arrival never activates and is not recorded
+/// (the swap pattern).
+struct ResizeEvent {
+  enum class Kind { kAdd, kRemove };
+  std::uint64_t at_ns = 0;
+  Kind kind = Kind::kAdd;
+  /// kAdd: the id the router must assign when the event activates (ids are
+  /// sequential and never reused — checked at activation). kRemove: the id
+  /// retired.
+  std::size_t shard = 0;
+};
+
 struct ReplayConfig {
   ServeConfig serve;
   /// Virtual executor occupancy per flushed batch. Models the serving-side
@@ -89,6 +113,17 @@ struct ReplayConfig {
   /// swap scripted after the last flush never activates and is not recorded.
   /// Empty (default) reproduces pre-swap replays byte-for-byte.
   std::vector<SwapEvent> swaps;
+  /// Scripted shard-set changes, non-decreasing in at_ns — a sharded-replay
+  /// feature (see ResizeEvent and replay_sharded). replay_trace rejects a
+  /// non-empty list: a single-server replay has no shard set to change.
+  std::vector<ResizeEvent> resizes;
+  /// Virtual instant from which this replay runs in drain mode: flushes
+  /// stop waiting for size/window triggers and push whatever is queued
+  /// (executor occupancy still respected; blocked arrivals still admit FIFO
+  /// as space frees and drain too). 0 (default) = never, which reproduces
+  /// pre-drain replays byte-for-byte. replay_sharded sets this on a removed
+  /// shard's sub-replay.
+  std::uint64_t drain_at_ns = 0;
 };
 
 /// One simulated flush, in flush order.

@@ -52,6 +52,11 @@ class ShardRouter {
   /// The shard owning `key`.
   std::size_t route(std::uint64_t key) const { return ring_.owner(key); }
 
+  /// The id the next add_shard() will assign. Ids are never reused, so a
+  /// caller building a shard's backend BEFORE installing it (the live
+  /// resize path) can name the shard in advance.
+  std::size_t next_shard_id() const { return next_id_; }
+
   /// Add a new shard; returns its id. Only ~K/(N+1) keys remap, all of
   /// them TO the new shard.
   std::size_t add_shard() {
@@ -110,5 +115,12 @@ inline std::size_t tenant_quota(const TenantPolicy& t, std::size_t capacity) {
 /// Load-imbalance statistic for per-shard counts: max / mean (1.0 = perfectly
 /// even; 0.0 for an empty or all-zero count set).
 double shard_imbalance(std::span<const std::uint64_t> per_shard_counts);
+
+/// Same statistic over id-indexed counts where some slots are retired
+/// (post-resize reports): only slots with live[s] != 0 enter the max and the
+/// mean, so a removed shard's historical count cannot skew the balance of
+/// the shards actually serving.
+double shard_imbalance(std::span<const std::uint64_t> per_shard_counts,
+                       std::span<const std::uint8_t> live);
 
 }  // namespace enw::serve

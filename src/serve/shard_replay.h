@@ -9,15 +9,32 @@
 // state, exactly like the live deployment where each shard has its own
 // collator; cross-shard interleaving therefore cannot affect boundaries.
 //
+// Scripted resizes (ReplayConfig::resizes) make the shard set itself a
+// virtual-time variable — the replay twin of the live
+// MultiShardServer::add_shard / remove_shard. The router is applied to the
+// trace in arrival order; a resize activates when the first arrival at or
+// after its at_ns is routed, so the routing decision for every request is a
+// pure function of (trace, config): arrivals before the instant route on
+// the old ring, arrivals at/after on the new one (the replay analogue of
+// the live reroute-to-new). A removed shard's sub-replay runs with
+// drain_at_ns = the resize instant, flushing its already-queued requests to
+// typed outcomes (the analogue of complete-on-old). Activated resizes are
+// recorded as ResizeBoundary rows with the remapped-arrival count — the
+// ~K/(N+1) consistent-hashing delta, observable in the log.
+//
 // Everything reported — the per-shard boundary log (global request ids),
 // every typed outcome, routed counts and the imbalance statistic, merged
-// and per-tenant stats — is a pure function of (trace, config, shard
-// count): bitwise/byte identical across runs, thread counts, and kernel
-// backends. With num_shards == 1 the sub-trace IS the trace, so the single
-// shard's boundaries, outcomes, and stats are exactly what replay_trace
-// produces — the sharded harness reduces to the plain one (its boundary_log
-// is the plain log under one "shard 0:" header). tests/test_determinism.cpp
-// pins both properties over DLRM Zipf traffic.
+// and per-tenant stats, swap and resize boundaries — is a pure function of
+// (trace, config, shard count): bitwise/byte identical across runs, thread
+// counts, and kernel backends. With num_shards == 1 and no resizes the
+// sub-trace IS the trace, so the single shard's boundaries, outcomes, and
+// stats are exactly what replay_trace produces — the sharded harness
+// reduces to the plain one (its boundary_log is the plain log under one
+// "shard 0:" header). And with no resizes the log is byte-identical to the
+// pre-resize format: resize header lines and per-batch " s=" tags appear
+// only when a resize activated (the same log-only-when-present rule the
+// swap annotations follow). tests/test_determinism.cpp and
+// tests/test_resize.cpp pin these properties over DLRM Zipf traffic.
 #pragma once
 
 #include <cstddef>
@@ -37,6 +54,10 @@ struct ShardedReplayConfig {
   /// replay.swaps script a COORDINATED rollout: every shard activates each
   /// swap at the same virtual instant, the replay twin of
   /// MultiShardServer::swap_backend installing one version fleet-wide.
+  /// replay.resizes script shard-set changes (see file comment); they are
+  /// consumed by the routing phase and never forwarded to the per-shard
+  /// replays. replay.drain_at_ns must be 0 here — the routing phase owns
+  /// per-shard drain instants.
   ReplayConfig replay;
   std::size_t num_shards = 1;
   std::size_t vnodes = 64;  // router ring density (must match deployment)
@@ -52,29 +73,48 @@ using ShardedReplayExec =
 using ShardedReplayExecV = std::function<void(
     std::size_t shard, std::span<const std::size_t> ids, std::uint64_t version)>;
 
+/// A scripted resize that actually activated during the replay (an event
+/// stamped after the last arrival never activates and is not recorded).
+struct ResizeBoundary {
+  std::uint64_t at_ns = 0;   // scripted instant (ResizeEvent::at_ns)
+  bool added = false;        // true: shard added, false: shard removed
+  std::size_t shard = 0;     // id added or retired
+  std::size_t moved = 0;     // remaining arrivals whose owner changed
+};
+
 struct ShardedReplayResult {
   std::vector<RequestOutcome> outcomes;  // one per trace event (global)
   std::vector<std::size_t> shard_of;     // routing decision per trace event
-  std::vector<ReplayResult> shards;      // per-shard results (LOCAL ids)
+  std::vector<ReplayResult> shards;      // per-shard-slot results (LOCAL ids)
   std::vector<std::vector<std::size_t>> shard_ids;  // local id -> global id
+  /// Liveness per shard slot at end of replay (0 = retired / never grew a
+  /// slot's worth of traffic; fresh slots from kAdd events are live).
+  std::vector<std::uint8_t> live;
+  /// Activated resizes in activation order.
+  std::vector<ResizeBoundary> resizes;
   ServerStats stats;                     // merged across shards
   std::vector<ServerStats> tenant_stats; // merged across shards
 
-  /// Requests routed to each shard (== shard_ids[s].size()).
+  /// Requests routed to each shard slot (== shard_ids[s].size()).
   std::vector<std::uint64_t> routed_per_shard() const;
-  /// max/mean of routed_per_shard() (shard_imbalance).
+  /// max/mean of routed_per_shard() (shard_imbalance over live slots).
   double imbalance() const;
 
-  /// Canonical per-shard boundary log: a "shard <s>:" header per shard
+  /// Canonical per-shard boundary log: a "shard <s>:" header per shard slot
   /// followed by that shard's batch lines with ids remapped to global trace
   /// indices. Byte-identical across runs/threads/backends; with one shard
   /// it is "shard 0:\n" + the plain replay_trace boundary_log(), including
   /// the swap lines / version suffixes when swaps activated on that shard.
+  /// When resizes activated, "resize <i>: t=<t>ns op=<add|remove>
+  /// shard=<s> moved=<k>" header lines precede the shard sections and every
+  /// batch line gains a " s=<shard>" tag; with no resizes the rendering is
+  /// byte-identical to the pre-resize format.
   std::string boundary_log() const;
 };
 
-/// Route, split, and replay the trace over num_shards independent virtual
-/// shards. Requires trace arrivals to be non-decreasing.
+/// Route, split, and replay the trace over the (possibly resizing) virtual
+/// shard set. Requires trace arrivals and scripted resizes to be
+/// non-decreasing.
 ShardedReplayResult replay_sharded(std::span<const TraceEvent> trace,
                                    const ShardedReplayConfig& cfg,
                                    const ShardedReplayExec& exec);

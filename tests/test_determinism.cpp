@@ -262,6 +262,104 @@ TEST(Determinism, ShardedDlrmReplayBitwiseAcrossThreadsAndShardCounts) {
   }
 }
 
+/// The full deployment story in one virtual-time trace: a backend hot-swap
+/// AND a shard-set resize (add + remove) scripted mid-traffic. Every routing
+/// decision, batch boundary, version tag, resize boundary, and served bit
+/// must be a pure function of (trace, config) — identical across thread
+/// counts for every seed and starting shard count.
+ShardedReplayRun run_swap_and_resize_replay(
+    std::uint64_t seed, std::size_t threads, std::size_t shards,
+    std::span<const data::ClickSample> samples,
+    std::span<const serve::TraceEvent> trace) {
+  testkit::ThreadScope scope(threads);
+  recsys::DlrmConfig cfg;
+  cfg.num_tables = 4;
+  cfg.rows_per_table = 300;
+  cfg.embed_dim = 8;
+  cfg.bottom_hidden = {16};
+  cfg.top_hidden = {16};
+  // replicas[v][s]: one model build per backend version, replicated across
+  // every shard slot the script can create (`shards` initial + one added).
+  std::vector<std::vector<std::unique_ptr<recsys::Dlrm>>> replicas(2);
+  for (std::size_t v = 0; v < 2; ++v) {
+    for (std::size_t s = 0; s < shards + 1; ++s) {
+      Rng rng(seed + v * 100);
+      replicas[v].push_back(std::make_unique<recsys::Dlrm>(cfg, rng));
+    }
+  }
+
+  const std::size_t n = trace.size();
+  serve::ShardedReplayConfig scfg;
+  scfg.replay.serve.max_batch = 8;
+  scfg.replay.serve.max_wait_ns = 100000;
+  scfg.replay.service_ns = 50000;
+  scfg.num_shards = shards;
+  scfg.replay.resizes = {
+      {trace[n / 4].arrival_ns, serve::ResizeEvent::Kind::kAdd, shards},
+      {trace[(3 * n) / 4].arrival_ns, serve::ResizeEvent::Kind::kRemove, 0},
+  };
+  scfg.replay.swaps = {{trace[n / 2].arrival_ns, 1}};
+
+  ShardedReplayRun run;
+  run.probs.assign(samples.size(), 0.0f);
+  const serve::ShardedReplayResult result = serve::replay_sharded(
+      trace, scfg,
+      [&](std::size_t shard, std::span<const std::size_t> ids,
+          std::uint64_t version) {
+        std::vector<data::ClickSample> batch;
+        batch.reserve(ids.size());
+        for (std::size_t id : ids) batch.push_back(samples[id]);
+        const std::vector<float> probs =
+            replicas[version][shard]->predict_batch(batch);
+        for (std::size_t i = 0; i < ids.size(); ++i) {
+          run.probs[ids[i]] = probs[i];
+        }
+      });
+  run.log = result.boundary_log();
+  run.completed = result.stats.completed;
+  return run;
+}
+
+TEST(Determinism, SwapAndResizeInOneTraceBitwiseAcrossSeedsShardsAndThreads) {
+  const std::size_t n = 48;
+  data::ClickLogConfig log_cfg;
+  log_cfg.num_tables = 4;
+  log_cfg.rows_per_table = 300;
+  const data::ClickLogGenerator gen(log_cfg);
+  Rng data_rng(17);
+  const std::vector<data::ClickSample> samples = gen.batch(n, data_rng);
+
+  Rng trace_rng(18);
+  std::vector<serve::TraceEvent> trace =
+      serve::poisson_trace(n, 30000.0, 0, trace_rng);
+  for (std::size_t i = 0; i < n; ++i) {
+    trace[i].key = serve::click_routing_key(samples[i]);
+  }
+
+  for (std::uint64_t seed : kSeeds) {
+    for (const std::size_t shards : {std::size_t{2}, std::size_t{4}}) {
+      const ShardedReplayRun base =
+          run_swap_and_resize_replay(seed, 1, shards, samples, trace);
+      const ShardedReplayRun wide =
+          run_swap_and_resize_replay(seed, 8, shards, samples, trace);
+      EXPECT_EQ(base.completed, n) << "seed " << seed << " shards " << shards;
+      EXPECT_EQ(base.log, wide.log)
+          << "seed " << seed << " shards " << shards
+          << ": swap+resize boundary log moved with ENW_THREADS";
+      // The scripted events are all visible in the pinned log.
+      EXPECT_NE(base.log.find("op=add"), std::string::npos);
+      EXPECT_NE(base.log.find("op=remove shard=0"), std::string::npos);
+      EXPECT_NE(base.log.find("swap: t="), std::string::npos);
+      EXPECT_NE(base.log.find(" s="), std::string::npos);
+      const auto div =
+          first_divergence(as_row(std::span<const float>(base.probs)),
+                           as_row(std::span<const float>(wide.probs)));
+      EXPECT_TRUE(div.ok())
+          << "seed " << seed << " shards " << shards << ": " << div.report();
+    }
+  }
+}
+
 TEST(Determinism, FewshotEpisodeBitwiseAcrossSeedsAndThreads) {
   data::SyntheticOmniglotConfig ocfg;
   ocfg.num_classes = 20;

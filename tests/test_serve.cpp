@@ -31,6 +31,7 @@
 #include "serve/replay.h"
 #include "serve/serve.h"
 #include "serve/server.h"
+#include "serve/shard_replay.h"
 #include "tensor/matrix.h"
 #include "testkit/diff.h"
 
@@ -633,6 +634,37 @@ TEST(Replay, NoSwapsKeepsBoundaryLogByteIdenticalToPreSwapFormat) {
   EXPECT_EQ(log.find("swap"), std::string::npos);
   EXPECT_EQ(log.find(" v="), std::string::npos);
   EXPECT_EQ(log, "batch 0: t=0ns reason=size n=4 ids=[0,1,2,3] shed=[]\n");
+}
+
+TEST(Replay, NoResizesKeepShardedBoundaryLogByteIdenticalToPreResizeFormat) {
+  // The sharded log's resize annotations follow the same
+  // log-only-when-present rule as the swap annotations: a resize-free
+  // replay_sharded renders exactly the pre-resize per-shard format, so every
+  // pinned sharded log stays valid.
+  std::vector<TraceEvent> trace(4);
+  ShardedReplayConfig scfg;
+  scfg.replay.serve.max_batch = 4;
+  scfg.num_shards = 1;
+  const ShardedReplayResult r = replay_sharded(
+      trace, scfg, [](std::size_t, std::span<const std::size_t>) {});
+  const std::string log = r.boundary_log();
+  EXPECT_EQ(log, "shard 0:\nbatch 0: t=0ns reason=size n=4 ids=[0,1,2,3] shed=[]\n");
+  EXPECT_EQ(log.find("resize"), std::string::npos);
+  EXPECT_EQ(log.find(" s="), std::string::npos);
+  EXPECT_TRUE(r.resizes.empty());
+  EXPECT_EQ(r.live, (std::vector<std::uint8_t>{1}));
+}
+
+TEST(Replay, ScriptedResizeIsRejectedBySingleServerReplay) {
+  // A single-server replay has no shard set to change: a config carrying
+  // resizes is a misuse, rejected loudly instead of silently ignored.
+  std::vector<TraceEvent> trace(4);
+  ReplayConfig cfg;
+  cfg.serve.max_batch = 4;
+  cfg.resizes = {{0, ResizeEvent::Kind::kAdd, 1}};
+  EXPECT_THROW(
+      replay_trace(trace, cfg, [](std::span<const std::size_t>) {}),
+      std::exception);
 }
 
 TEST(Replay, SwapAfterLastFlushNeverActivates) {

@@ -20,6 +20,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cstdlib>
 #include <cstring>
 #include <filesystem>
 #include <fstream>
@@ -35,6 +36,8 @@
 #include "core/rng.h"
 #include "nn/digital_linear.h"
 #include "nn/mlp.h"
+#include "recsys/embedding_table.h"
+#include "recsys/sharded_table.h"
 #include "serve/backends.h"
 #include "serve/multi_shard.h"
 #include "serve/replay.h"
@@ -297,6 +300,182 @@ TEST(ServeFault, ReplayPropagatesBackendFailureLoudly) {
                      (void)backend(batch);
                    }),
       std::bad_alloc);
+}
+
+// --- resize fault campaign: migration faults vs the all-or-nothing commit ---
+
+/// One deterministic run of the resize fault campaign. Two legs:
+///
+///   alloc-fail  — a one-shot allocation failure armed at the migration
+///                 alloc site fires inside ShardedEmbeddingTable::add_shard;
+///                 the strong exception guarantee must hold (placement and
+///                 every pooled lookup bitwise unchanged) and the SAME
+///                 resize must succeed once the fault clears. Runs on the
+///                 table-only path: concurrent traffic would consume the
+///                 one-shot countdown nondeterministically.
+///
+///   dead-target — MultiShardServer::add_shard with a factory that throws
+///                 (the target shard is unreachable) while clients are
+///                 submitting; membership, routing, and every served value
+///                 stay unchanged, all-or-nothing.
+///
+/// Every report field is a pure function of the fixed seeds, so the report
+/// is byte-reproducible across runs — the test diffs two in-process runs and
+/// scripts/run_resize_campaign.sh diffs two whole-process runs in CI.
+std::string run_resize_fault_campaign() {
+  std::string report = "resize-fault-campaign v1\n";
+
+  // Leg 1: alloc failure mid-migration.
+  {
+    Rng rng(41);
+    const recsys::EmbeddingTable source(600, 16, rng);
+    recsys::ShardedEmbeddingTable table(source, 8, /*num_shards=*/4,
+                                        /*hot_rows=*/16);
+    const recsys::QuantizedEmbeddingTable ref(source, 8);
+
+    // Warm the hot tiers so the failed resize is attempted against dirty
+    // cache state, then snapshot the placement it must preserve.
+    Rng traffic(42);
+    std::vector<std::size_t> list(6);
+    Vector got(table.dim()), want(table.dim());
+    for (std::size_t q = 0; q < 50; ++q) {
+      for (auto& idx : list) {
+        idx = static_cast<std::size_t>(traffic.uniform(0.0, 599.0));
+      }
+      table.lookup_sum(list, got);
+    }
+    std::vector<std::size_t> owner_before(table.rows());
+    for (std::size_t r = 0; r < table.rows(); ++r) {
+      owner_before[r] = table.shard_of(r);
+    }
+
+    bool threw = false;
+    {
+      testkit::FaultSpec spec;
+      spec.kind = testkit::FaultKind::kAllocFail;
+      spec.alloc_countdown = 0;  // the first migration allocation fails
+      testkit::ScopedProcessFault fault(spec);
+      try {
+        table.add_shard();
+      } catch (const std::bad_alloc&) {
+        threw = true;
+      }
+    }
+
+    // All-or-nothing: no partially-migrated row is observable and the
+    // source shards keep serving every key bitwise.
+    bool unchanged = table.num_shards() == 4 && table.shard_slots() == 4;
+    for (std::size_t r = 0; r < table.rows() && unchanged; ++r) {
+      unchanged = table.shard_of(r) == owner_before[r];
+    }
+    bool bitwise = true;
+    Rng check(43);
+    for (std::size_t q = 0; q < 50 && bitwise; ++q) {
+      for (auto& idx : list) {
+        idx = static_cast<std::size_t>(check.uniform(0.0, 599.0));
+      }
+      table.lookup_sum(list, got);
+      ref.lookup_sum(list, want);
+      bitwise = std::memcmp(got.data(), want.data(),
+                            want.size() * sizeof(float)) == 0;
+    }
+
+    // The fault was one-shot: the identical resize now commits.
+    const auto retry = table.add_shard();
+    const bool retried = table.num_shards() == 5 && retry.shard == 4;
+
+    report += "leg=alloc-fail threw=" + std::to_string(threw) +
+              " unchanged=" + std::to_string(unchanged) +
+              " lookups_bitwise=" + std::to_string(bitwise) +
+              " retry_ok=" + std::to_string(retried) +
+              " retry_rows_moved=" + std::to_string(retry.rows_moved) +
+              " retry_warm_rows_moved=" + std::to_string(retry.warm_rows_moved) +
+              "\n";
+  }
+
+  // Leg 2: dead target shard under live traffic.
+  {
+    MultiShardConfig cfg;
+    cfg.num_shards = 4;
+    cfg.shard.max_batch = 4;
+    cfg.shard.max_wait_ns = 100000;
+    cfg.shard.queue_capacity = 32;
+    // Every shard computes the same pure function — the numeric-identity
+    // invariant that makes "which shard served it" unobservable in values.
+    const auto factory = [](std::size_t) {
+      return [](std::span<const int> batch) {
+        std::vector<int> out;
+        out.reserve(batch.size());
+        for (const int x : batch) out.push_back(x * 2);
+        return out;
+      };
+    };
+    MultiShardServer<int, int> ms(cfg, factory);
+
+    const std::size_t n = 32;
+    std::vector<int> values(n, 0);
+    std::vector<Status> statuses(n, Status::kError);
+    std::vector<std::thread> clients;
+    for (std::size_t c = 0; c < 4; ++c) {
+      clients.emplace_back([&, c] {
+        for (std::size_t i = c * (n / 4); i < (c + 1) * (n / 4); ++i) {
+          const auto reply =
+              ms.submit(static_cast<int>(i), /*key=*/i * 2654435761ULL);
+          statuses[i] = reply.status;
+          values[i] = reply.value;
+        }
+      });
+    }
+
+    bool threw = false;
+    try {
+      ms.add_shard([](std::size_t) -> MultiShardServer<int, int>::BatchFn {
+        throw std::runtime_error("target shard unreachable");
+      });
+    } catch (const std::runtime_error&) {
+      threw = true;
+    }
+    for (std::thread& t : clients) t.join();
+    ms.shutdown();
+
+    bool all_ok = true;
+    bool all_bitwise = true;
+    for (std::size_t i = 0; i < n; ++i) {
+      all_ok = all_ok && statuses[i] == Status::kOk;
+      all_bitwise = all_bitwise && values[i] == static_cast<int>(i) * 2;
+    }
+    report += "leg=dead-target threw=" + std::to_string(threw) +
+              " shards=" + std::to_string(ms.num_shards()) +
+              " slots=" + std::to_string(ms.shard_slots()) +
+              " resizes=" + std::to_string(ms.resize_history().size()) +
+              " all_ok=" + std::to_string(all_ok) +
+              " values_bitwise=" + std::to_string(all_bitwise) + "\n";
+  }
+  return report;
+}
+
+TEST(ServeFault, ResizeFaultCampaignIsAllOrNothingAndByteReproducible) {
+  const std::string run1 = run_resize_fault_campaign();
+  // Every leg reached its typed, all-or-nothing outcome.
+  EXPECT_NE(run1.find("leg=alloc-fail threw=1 unchanged=1 lookups_bitwise=1 "
+                      "retry_ok=1"),
+            std::string::npos)
+      << run1;
+  EXPECT_NE(run1.find("leg=dead-target threw=1 shards=4 slots=4 resizes=0 "
+                      "all_ok=1 values_bitwise=1"),
+            std::string::npos)
+      << run1;
+
+  // Byte-reproducible: a second identical campaign produces the identical
+  // report (scripts/run_resize_campaign.sh repeats this across processes).
+  const std::string run2 = run_resize_fault_campaign();
+  EXPECT_EQ(run1, run2);
+
+  // CI hook: persist the report so two whole-process runs can be diffed.
+  if (const char* out = std::getenv("ENW_RESIZE_CAMPAIGN_OUT")) {
+    std::ofstream f(out, std::ios::binary | std::ios::trunc);
+    f << run1;
+  }
 }
 
 // --- artifact fault campaign: corrupt model files vs the swap path ----------
